@@ -1,0 +1,36 @@
+"""Benchmark-suite helpers.
+
+Every bench regenerates one paper artifact through the experiment registry,
+asserts its reproduction criteria (measured <= paper UB, adversarial >=
+paper LB trajectory, table values match) and saves the rendered table under
+``benchmarks/results/`` so EXPERIMENTS.md can quote real output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_report(results_dir):
+    """Persist a rendered ExperimentReport; returns the path."""
+
+    def _save(report) -> pathlib.Path:
+        path = results_dir / f"{report.id.lower()}.txt"
+        existing = path.read_text() if path.exists() else ""
+        block = report.render() + "\n\n"
+        if report.render() not in existing:
+            path.write_text(existing + block)
+        return path
+
+    return _save

@@ -1,0 +1,34 @@
+"""DVFS — discrete speed levels ablation.
+
+The paper's power model is continuous; real CPUs have finite DVFS states.
+The bench measures the energy penalty of emulating the continuous AVRQ and
+clairvoyant profiles with geometric speed ladders of growing size, next to
+the closed-form one-rung worst case.  Reproduction shape: penalties
+decrease monotonically in the level count and approach 1.
+"""
+
+from repro.analysis.experiments import experiment_discretization
+
+
+def test_dvfs_ablation(benchmark, save_report):
+    report = benchmark.pedantic(
+        experiment_discretization,
+        kwargs={
+            "alpha": 3.0,
+            "n": 14,
+            "seeds": (0, 1, 2),
+            "level_counts": (2, 3, 5, 8, 16),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print()
+    print(report.render())
+    avrq_pen = [row[1] for row in report.rows]
+    opt_pen = [row[2] for row in report.rows]
+    # more levels never hurt, and every penalty is a true overhead (>= 1)
+    assert all(a >= b - 1e-9 for a, b in zip(avrq_pen, avrq_pen[1:]))
+    assert all(p >= 1.0 - 1e-12 for p in avrq_pen + opt_pen)
+    # a 16-level ladder over a 16x range is near-free
+    assert avrq_pen[-1] <= 1.1

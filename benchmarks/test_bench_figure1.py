@@ -1,0 +1,37 @@
+"""Experiment F1 — Figure 1's instance-transformation chain.
+
+Figure 1 illustrates the three instances (I*, I', I'_1/2) behind the CRP2D
+analysis.  The bench materialises all three for a power-of-two instance,
+computes their optimal energies plus CRP2D's actual energy, and asserts the
+per-step inequalities of Lemmas 4.9, 4.10 and Corollary 4.12 as well as the
+end-to-end Theorem 4.13 bound.
+"""
+
+import pytest
+
+from repro.analysis.experiments import experiment_figure1
+from repro.core.constants import PHI
+
+
+@pytest.mark.parametrize("alpha", [2.0, 3.0])
+@pytest.mark.parametrize("seed", [7, 21])
+def test_figure1_chain(benchmark, alpha, seed, save_report):
+    report = benchmark.pedantic(
+        experiment_figure1,
+        kwargs={"alpha": alpha, "n": 12, "seed": seed},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print()
+    print(report.render())
+    assert "True" in report.notes[0]
+
+    # the chain multiplies out to the Theorem 4.13 guarantee
+    rows = {r[0]: r for r in report.rows}
+    overall_factor = rows["overall"][4]
+    assert overall_factor <= (4 * PHI) ** alpha * (1 + 1e-9)
+    # and each step respects its own lemma
+    assert rows["E' (opt of I')"][4] <= PHI**alpha * (1 + 1e-9)
+    assert rows["E'_1/2 (opt of I'_1/2)"][4] <= 2.0**alpha * (1 + 1e-9)
+    assert rows["E (CRP2D)"][4] <= 2.0**alpha * (1 + 1e-9)

@@ -1,0 +1,47 @@
+"""AB-MIG (cost of forbidding migration) and CLB (classical LB families).
+
+AB-MIG quantifies the paper's Sec. 7 remark about the non-migratory
+variant; CLB shows the classical AVR/OA adversarial families Lemma 5.1
+extends, growing towards alpha^alpha.
+"""
+
+from repro.analysis.experiments import (
+    experiment_classical_lb_families,
+    experiment_migration_ablation,
+)
+
+
+def test_migration_ablation(benchmark, save_report):
+    report = benchmark.pedantic(
+        experiment_migration_ablation,
+        kwargs={"alpha": 3.0, "n": 14, "machine_counts": (2, 4), "seeds": (0, 1, 2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print()
+    print(report.render())
+    for row in report.rows:
+        mean_rel = row[3]
+        # pinning never helps (same derived jobs, fewer degrees of freedom)
+        assert mean_rel >= 1.0 - 1e-6
+        # and on these workloads the price is bounded (regression guard)
+        assert mean_rel <= 50.0
+
+
+def test_classical_lb_families(benchmark, save_report):
+    report = benchmark.pedantic(
+        experiment_classical_lb_families,
+        kwargs={"alpha": 3.0, "levels": (4, 8, 16, 32)},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print()
+    print(report.render())
+    one_sided = [row[1] for row in report.rows]
+    oa_ratios = [row[4] for row in report.rows]
+    # trajectories grow towards the alpha^alpha targets, never beyond the UBs
+    assert all(a < b for a, b in zip(one_sided, one_sided[1:]))
+    assert all(a < b for a, b in zip(oa_ratios, oa_ratios[1:]))
+    assert all(row[4] <= row[5] * (1 + 1e-9) for row in report.rows)

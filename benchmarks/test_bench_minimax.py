@@ -1,0 +1,51 @@
+"""MINIMAX — the best possible two-phase policy vs CRCD.
+
+Solves the exact common-window minimax game on representative instances
+and reports CRCD's gap.  Reproduction shape: on the paper's lower-bound
+instances CRCD is (near-)minimax-optimal — its guarantees are not an
+artifact of weak analysis — while on heterogeneous instances an
+instance-tuned policy can do better, confirming the equal window is a
+worst-case choice, not a pointwise one.
+"""
+
+from repro.analysis.experiments import experiment_minimax
+
+
+def test_crcd_design_space(benchmark, save_report):
+    """AB-CRCD — the (x, lam) plane around the paper's Algorithm 1."""
+    from repro.analysis.experiments import experiment_crcd_design_space
+
+    report = benchmark.pedantic(
+        experiment_crcd_design_space,
+        kwargs={"alpha": 3.0, "n": 12, "seeds": (0, 1, 2, 3)},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print()
+    print(report.render())
+    by_point = {(row[0], row[1]): row[2] for row in report.rows}
+    centre = by_point[(0.5, 0.5)]
+    # the paper's point is within 25% of the best grid point on the
+    # measured worst case — the equal split is a robust default
+    best = min(by_point.values())
+    assert centre <= best * 1.25
+
+
+def test_minimax_vs_crcd(benchmark, save_report):
+    report = benchmark.pedantic(
+        experiment_minimax, kwargs={"alpha": 3.0}, rounds=1, iterations=1
+    )
+    save_report(report)
+    print()
+    print(report.render())
+
+    by_label = {row[0]: row for row in report.rows}
+    # CRCD can never beat the minimax optimum (it IS a point of the space)
+    for row in report.rows:
+        assert row[5] >= 1.0 - 1e-6
+    # on the Lemma 4.3 instance CRCD is minimax-optimal up to grid slack
+    assert by_label["lemma 4.3 (c=1, w=2)"][5] <= 1.1
+    # the single-job minimax values meet the paper's lower bounds
+    assert by_label["lemma 4.3 (c=1, w=2)"][1] >= 2.0 ** (3.0 - 1.0) - 1e-6
+    assert by_label["golden boundary (c=1, w=phi)"][1] >= 1.618**3.0 - 1e-2

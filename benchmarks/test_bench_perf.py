@@ -1,0 +1,56 @@
+"""PERF — harness performance: throughput of the core algorithms.
+
+Proper pytest-benchmark timing (multiple rounds) of YDS, AVR, BKP, CRCD and
+AVRQ at growing instance sizes.  These are the knobs that bound how large
+the reproduction experiments can go; regressions here would silently shrink
+the feasible experiment sizes.
+"""
+
+import pytest
+
+from repro.qbss.avrq import avrq
+from repro.qbss.crcd import crcd
+from repro.speed_scaling.avr import avr_profile
+from repro.speed_scaling.bkp import bkp_profile
+from repro.speed_scaling.yds import yds
+from repro.workloads.generators import common_deadline_instance, online_instance
+
+
+def classical(n, seed=0):
+    qi = online_instance(n, seed=seed)
+    return [j.clairvoyant_job() for j in qi]
+
+
+@pytest.mark.parametrize("n", [20, 50, 100])
+def test_perf_yds(benchmark, n):
+    jobs = classical(n)
+    result = benchmark(yds, jobs)
+    assert result.profile.total_work() > 0
+
+
+@pytest.mark.parametrize("n", [50, 200])
+def test_perf_avr_profile(benchmark, n):
+    jobs = classical(n)
+    profile = benchmark(avr_profile, jobs)
+    assert not profile.is_empty
+
+
+@pytest.mark.parametrize("n", [20, 50])
+def test_perf_bkp_profile(benchmark, n):
+    jobs = classical(n)
+    profile = benchmark(bkp_profile, jobs)
+    assert not profile.is_empty
+
+
+@pytest.mark.parametrize("n", [50, 200])
+def test_perf_crcd(benchmark, n):
+    qi = common_deadline_instance(n, seed=1)
+    result = benchmark(crcd, qi)
+    assert result.max_speed() > 0
+
+
+@pytest.mark.parametrize("n", [20, 50])
+def test_perf_avrq_end_to_end(benchmark, n):
+    qi = online_instance(n, seed=2)
+    result = benchmark(avrq, qi)
+    assert result.max_speed() > 0

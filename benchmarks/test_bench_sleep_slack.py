@@ -1,0 +1,51 @@
+"""SLEEP (static power / race-to-idle) and SLACK (window slack) ablations."""
+
+from repro.analysis.experiments import experiment_sleep, experiment_slack_sweep
+
+
+def test_sleep_ablation(benchmark, save_report):
+    report = benchmark.pedantic(
+        experiment_sleep,
+        kwargs={
+            "alpha": 3.0,
+            "n": 14,
+            "seeds": (0, 1, 2),
+            "leakages": (0.0, 0.1, 0.5, 2.0, 8.0, 32.0),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print()
+    print(report.render())
+    savings = [row[2] for row in report.rows]
+    crit = [row[1] for row in report.rows]
+    # no leakage -> no savings; savings and critical speed grow with leakage
+    assert abs(savings[0] - 1.0) < 1e-9
+    assert all(a <= b + 1e-9 for a, b in zip(savings, savings[1:]))
+    assert all(a <= b + 1e-12 for a, b in zip(crit, crit[1:]))
+    # with heavy leakage race-to-idle saves substantially
+    assert savings[-1] > 1.2
+
+
+def test_slack_sweep(benchmark, save_report):
+    report = benchmark.pedantic(
+        experiment_slack_sweep,
+        kwargs={
+            "alpha": 3.0,
+            "n": 14,
+            "seeds": (0, 1, 2, 3),
+            "slack_factors": (1.0, 2.0, 4.0, 8.0),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print()
+    print(report.render())
+    oaq_col = [row[3] for row in report.rows]
+    # replanning exploits slack: OAQ's mean ratio does not degrade with it
+    assert oaq_col[-1] <= oaq_col[0] * 1.25
+    # every mean ratio is a genuine ratio
+    for row in report.rows:
+        assert all(v >= 1.0 - 1e-9 for v in row[1:])

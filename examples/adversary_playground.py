@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Play the paper's lower-bound games interactively.
+
+Reproduces the adversarial arguments of Section 4.1 against the *shipped*
+implementations: the single-job game of Lemmas 4.2/4.3, the randomized
+game of Lemma 4.4, and the equal-window trap of Lemma 4.5 — printing, for
+each, the claimed bound and what the adversary actually extracted.
+
+Run:  python examples/adversary_playground.py
+"""
+
+from repro import PHI, PowerFunction
+from repro.analysis.tables import render_table
+from repro.bounds.adversary import adversarial_ratio, best_deterministic_decision
+from repro.bounds.lemmas import (
+    lemma45_equal_window_lower_bounds,
+    lemma45_instance,
+)
+from repro.qbss import avrq, clairvoyant, crcd
+from repro.qbss.randomized import solve_game
+
+ALPHA = 3.0
+
+
+def main() -> None:
+    print("=== Lemma 4.3: the (c=1, w=2) game against CRCD ===\n")
+    rows = []
+    for objective, claimed in (
+        ("max_speed", 2.0),
+        ("energy", 2.0 ** (ALPHA - 1)),
+    ):
+        best_val, best_q, best_x = best_deterministic_decision(
+            1.0, 2.0, ALPHA, objective
+        )
+        outcome = adversarial_ratio(crcd, 1.0, 2.0, ALPHA, objective)
+        rows.append(
+            [
+                objective,
+                claimed,
+                best_val,
+                f"{'query' if best_q else 'skip'}"
+                + (f" x={best_x:.3f}" if best_x else ""),
+                outcome.ratio,
+                outcome.wstar,
+            ]
+        )
+    print(
+        render_table(
+            [
+                "objective",
+                "claimed LB",
+                "best any algorithm can do",
+                "best decision",
+                "CRCD suffered",
+                "adversary w*",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nNo decision escapes the bound: skipping lets the adversary set "
+        "w*=0, querying with any split lets it choose the bad half.\n"
+    )
+
+    print("=== Lemma 4.4: randomization doesn't save you ===\n")
+    rows = []
+    for objective in ("max_speed", "energy"):
+        sol = solve_game(ALPHA, objective)
+        rows.append(
+            [objective, sol.claimed, sol.value, sol.theta, sol.rho]
+        )
+    print(
+        render_table(
+            ["objective", "claimed LB", "game value", "worst w/c", "best rho"],
+            rows,
+        )
+    )
+
+    print("\n=== Lemma 4.5: the equal-window trap ===\n")
+    instance = lemma45_instance(1e-6)
+    for j in instance:
+        print(
+            f"  job {j.id}: window ({j.release}, {j.deadline}], "
+            f"c={j.query_cost:.2g}, w={j.work_upper:.4g}, hidden w*={j.work_true:.2g}"
+        )
+    s_lb, e_lb = lemma45_equal_window_lower_bounds(1e-6, ALPHA)
+    result = avrq(instance)
+    base = clairvoyant(instance, ALPHA)
+    print(
+        f"\n  best possible equal-window schedule: "
+        f"{s_lb:.4f}x optimal speed, {e_lb:.4f}x optimal energy"
+    )
+    print(
+        f"  AVRQ (an equal-window algorithm) pays: "
+        f"{result.max_speed() / base.max_speed_value:.4f}x speed, "
+        f"{result.energy(PowerFunction(ALPHA)) / base.energy_value:.4f}x energy"
+    )
+    print(
+        f"  claimed bounds: 3 and 3^(alpha-1) = {3 ** (ALPHA - 1):.0f} — "
+        "job j's revealed load and job k's query are both trapped in (1, 2], "
+        "while the optimum spreads them over (0, 3]."
+    )
+
+    print("\n=== Bonus: let the machine build its own adversary ===\n")
+    from repro.bounds.online_adversary import adaptive_online_search
+
+    found = adaptive_online_search(avrq, alpha=ALPHA, steps=4)
+    print(
+        f"  greedy adaptive search vs AVRQ: ratio {found.ratio:.2f} "
+        f"with {len(found.instance)} jobs"
+    )
+    for line in found.trace:
+        print(f"    {line}")
+    print(
+        "  (compare: random 16-job streams max out around 5.7 — "
+        "adaptivity is what the paper's lower bounds are made of)"
+    )
+
+
+if __name__ == "__main__":
+    main()

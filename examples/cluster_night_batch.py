@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Scenario: a nightly batch window on a small cluster (Section 6).
+
+Runs AVRQ(m) — the paper's multi-machine algorithm — on a heavy-tailed
+batch workload over 2, 4 and 8 machines, showing the per-machine speed
+profiles, the big/small job split in action, and the measured energy
+against the pooled lower bound and the Corollary 6.4 guarantee.
+
+Run:  python examples/cluster_night_batch.py
+"""
+
+from repro import PowerFunction
+from repro.analysis.tables import render_table
+from repro.bounds.formulas import avrq_m_ub_energy
+from repro.qbss import avrq_m, clairvoyant
+from repro.workloads.scenarios import datacenter_batch_scenario
+
+ALPHA = 3.0
+N_JOBS = 24
+SEED = 99
+
+
+def main() -> None:
+    power = PowerFunction(ALPHA)
+    rows = []
+    for m in (2, 4, 8):
+        instance = datacenter_batch_scenario(N_JOBS, machines=m, seed=SEED)
+        result = avrq_m(instance)
+        result.validate().raise_if_infeasible()
+        base = clairvoyant(instance, ALPHA)  # pooled lower bound for m > 1
+        energy = result.energy(power)
+        rows.append(
+            [
+                m,
+                energy,
+                base.energy_value,
+                energy / base.energy_value,
+                avrq_m_ub_energy(ALPHA),
+                result.max_speed(),
+            ]
+        )
+    print(
+        render_table(
+            [
+                "machines",
+                "AVRQ(m) energy",
+                "pooled LB",
+                "ratio (conservative)",
+                "paper UB",
+                "peak speed",
+            ],
+            rows,
+            title=f"Nightly batch, {N_JOBS} jobs, alpha={ALPHA}",
+        )
+    )
+
+    # -- look inside one run: per-machine load and migrations ----------------
+    m = 4
+    instance = datacenter_batch_scenario(N_JOBS, machines=m, seed=SEED)
+    result = avrq_m(instance)
+    print(f"\nper-machine picture (m = {m}):")
+    for i, profile in enumerate(result.profiles):
+        work = profile.total_work()
+        peak = profile.max_speed()
+        print(
+            f"  machine {i}: executed work {work:8.2f}   peak speed {peak:6.2f}"
+        )
+
+    migrated = 0
+    for job_id in result.schedule.job_ids():
+        machines_used = {
+            mach
+            for mach in range(m)
+            for s in result.schedule.slices(mach)
+            if s.job_id == job_id
+        }
+        if len(machines_used) > 1:
+            migrated += 1
+    print(
+        f"\n{migrated} derived jobs migrated between machines "
+        f"(McNaughton wrap-around of the shared 'small' pool)."
+    )
+
+
+if __name__ == "__main__":
+    main()

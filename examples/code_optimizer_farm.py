@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Scenario: a CI build farm with an optional optimiser pass.
+
+The paper's first motivating application (Sec. 1): before running a build
+job you may spend extra cycles on a code optimiser (the *query*), which
+usually shrinks the remaining workload — but you only learn by how much
+after the pass finishes.  Skipping the optimiser means executing the full
+unoptimised workload.
+
+This example streams a day of build jobs through the online algorithms and
+shows how much energy the golden-ratio query rule saves against both
+extremes (never optimise / always optimise), and how far everything sits
+from the clairvoyant optimum.
+
+Run:  python examples/code_optimizer_farm.py
+"""
+
+import numpy as np
+
+from repro import PowerFunction
+from repro.analysis.ratios import measure, never_query_offline
+from repro.analysis.tables import render_table
+from repro.qbss import avrq, bkpq, clairvoyant, oaq
+from repro.qbss.policies import AlwaysQuery, NeverQuery, ThresholdQuery
+from repro.workloads.scenarios import code_optimizer_scenario
+
+ALPHA = 3.0
+N_JOBS = 40
+SEED = 2024
+
+
+def main() -> None:
+    instance = code_optimizer_scenario(N_JOBS, seed=SEED)
+    power = PowerFunction(ALPHA)
+    base = clairvoyant(instance, ALPHA)
+
+    worthwhile = sum(1 for j in instance if j.query_worthwhile)
+    print(
+        f"{N_JOBS} build jobs; the optimiser would pay off for "
+        f"{worthwhile}/{N_JOBS} of them (hidden from the scheduler)\n"
+    )
+    print(f"clairvoyant optimum energy: {base.energy_value:.2f}\n")
+
+    # -- compare query policies under the BKPQ machinery -------------------
+    rows = []
+    for label, policy in (
+        ("never optimise", NeverQuery()),
+        ("golden rule (paper)", None),  # bkpq's default
+        ("always optimise", AlwaysQuery()),
+        ("picky (c <= w/10)", ThresholdQuery(10.0)),
+    ):
+        result = bkpq(instance, query_policy=policy)
+        result.validate().raise_if_infeasible()
+        n_queried = len(result.decisions.queried_ids())
+        rows.append(
+            [
+                label,
+                n_queried,
+                result.energy(power),
+                result.energy(power) / base.energy_value,
+            ]
+        )
+    print(
+        render_table(
+            ["policy (under BKPQ)", "# optimised", "energy", "vs optimal"],
+            rows,
+            title="Query-policy comparison",
+        )
+    )
+
+    # -- compare online algorithms under the golden rule -------------------
+    rows2 = []
+    for name, algo in (("AVRQ", avrq), ("BKPQ", bkpq), ("OAQ", oaq)):
+        m = measure(algo, instance, ALPHA)
+        rows2.append([name, m.energy, m.energy_ratio, m.max_speed_ratio])
+    print()
+    print(
+        render_table(
+            ["algorithm", "energy", "energy ratio", "max-speed ratio"],
+            rows2,
+            title="Online algorithms (golden rule)",
+        )
+    )
+
+    # -- the never-query *lower bound* (best possible without optimiser) ---
+    m = measure(never_query_offline, instance, ALPHA)
+    print(
+        f"\nbest possible schedule that never optimises: "
+        f"{m.energy_ratio:.2f}x the clairvoyant optimum"
+        f" — the value of information in this workload."
+    )
+
+
+if __name__ == "__main__":
+    main()

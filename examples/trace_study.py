@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""A small empirical study on a synthetic daily trace, with error bars.
+
+Compares the online QBSS algorithms on diurnal (sinusoidal-rate) arrival
+traces — closer to production arrivals than uniform streams — reporting
+mean energy ratios with bootstrap confidence intervals and a paired
+head-to-head of OAQ against AVRQ.  Finishes by emitting the study as a
+markdown table, the same machinery behind ``qbss-report --markdown``.
+
+Run:  python examples/trace_study.py
+"""
+
+from repro.analysis.ratios import measure
+from repro.analysis.stats import RatioStats, bootstrap_ci, paired_improvement
+from repro.analysis.tables import render_table
+from repro.qbss import avrq, bkpq, oaq
+from repro.workloads.generators import diurnal_trace_instance
+
+ALPHA = 3.0
+N_JOBS = 25
+N_TRACES = 10
+
+
+def main() -> None:
+    traces = [
+        diurnal_trace_instance(N_JOBS, seed=seed) for seed in range(N_TRACES)
+    ]
+    print(
+        f"{N_TRACES} synthetic daily traces x {N_JOBS} jobs "
+        f"(sinusoidal arrival rate, peak at 14:00), alpha = {ALPHA}\n"
+    )
+
+    ratios = {}
+    for name, algo in (("AVRQ", avrq), ("BKPQ", bkpq), ("OAQ", oaq)):
+        ratios[name] = [measure(algo, qi, ALPHA).energy_ratio for qi in traces]
+
+    rows = []
+    for name, sample in ratios.items():
+        stats = RatioStats.from_sample(sample)
+        lo, hi = bootstrap_ci(sample, seed=0)
+        rows.append(
+            [name, stats.mean, lo, hi, stats.median, stats.p95, stats.maximum]
+        )
+    print(
+        render_table(
+            ["algorithm", "mean ratio", "CI low", "CI high", "median", "p95", "max"],
+            rows,
+            title="Energy ratio vs clairvoyant optimum (95% bootstrap CI)",
+        )
+    )
+
+    mean_rel, (lo, hi), win = paired_improvement(ratios["AVRQ"], ratios["OAQ"])
+    print(
+        f"\npaired OAQ vs AVRQ on the same traces: mean ratio "
+        f"{mean_rel:.3f} (CI [{lo:.3f}, {hi:.3f}]), win rate {win:.0%}"
+    )
+    if hi < 1.0:
+        print(
+            "=> OAQ reliably beats AVRQ on this workload class — empirical "
+            "support for the paper's Section 7 conjecture that OA extends "
+            "to the QBSS model."
+        )
+
+    # the same study as a markdown fragment (for reports / PRs)
+    print("\n--- markdown fragment ---\n")
+    print("| algorithm | mean ratio | 95% CI |")
+    print("|---|---|---|")
+    for name, sample in ratios.items():
+        stats = RatioStats.from_sample(sample)
+        lo, hi = bootstrap_ci(sample, seed=0)
+        print(f"| {name} | {stats.mean:.3f} | [{lo:.3f}, {hi:.3f}] |")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Measurement harness: ratios vs the optimum, sweeps, tables, experiments."""
+
+from .experiments import REGISTRY, ExperimentReport
+from .ratios import (
+    Algorithm,
+    RatioMeasurement,
+    RatioSummary,
+    always_query_equal_window_offline,
+    measure,
+    measure_many,
+    never_query_offline,
+)
+from .stats import RatioStats, bootstrap_ci, paired_improvement
+from .verification import Claim, all_ok, render_claims, verify_reproduction
+from .sweep import SweepPoint, alpha_sweep, best_point, parameter_sweep, size_sweep, worst_point
+from .tables import render_table
+
+__all__ = [
+    "REGISTRY",
+    "ExperimentReport",
+    "Algorithm",
+    "RatioMeasurement",
+    "RatioSummary",
+    "always_query_equal_window_offline",
+    "measure",
+    "measure_many",
+    "never_query_offline",
+    "RatioStats",
+    "bootstrap_ci",
+    "paired_improvement",
+    "Claim",
+    "all_ok",
+    "render_claims",
+    "verify_reproduction",
+    "SweepPoint",
+    "alpha_sweep",
+    "best_point",
+    "parameter_sweep",
+    "size_sweep",
+    "worst_point",
+    "render_table",
+]

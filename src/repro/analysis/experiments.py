@@ -1,0 +1,1285 @@
+"""The experiment registry: one callable per paper artifact.
+
+Every table, figure and executable lemma of the paper has an
+``experiment_*`` function here returning an :class:`ExperimentReport`
+(headers + rows + notes).  The pytest benches under ``benchmarks/`` and the
+``qbss-report`` CLI both render these, so the reproduction is defined in
+exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..bounds import formulas, lemmas, rho
+from ..bounds.adversary import (
+    adversarial_ratio,
+    best_deterministic_decision,
+    game_value,
+    optimal_value,
+)
+from ..core.constants import PHI
+from ..core.power import PowerFunction
+from ..qbss import (
+    avrq,
+    avrq_m,
+    bkpq,
+    clairvoyant,
+    crad,
+    crcd,
+    crp2d,
+    oaq,
+)
+from ..qbss.policies import FixedSplit, NeverQuery, ThresholdQuery
+from ..qbss.randomized import solve_game
+from ..qbss.transform import instance_prime, instance_prime_half, instance_star
+from ..speed_scaling.yds import yds_profile
+from ..workloads import generators, scenarios
+from .ratios import (
+    always_query_equal_window_offline,
+    measure,
+    measure_many,
+    never_query_offline,
+)
+from .tables import render_table
+
+
+@dataclass
+class ExperimentReport:
+    """A rendered paper artifact."""
+
+    id: str
+    title: str
+    headers: List[str]
+    rows: List[list]
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        out = render_table(self.headers, self.rows, title=f"[{self.id}] {self.title}")
+        if self.notes:
+            out += "\n" + "\n".join(f"note: {n}" for n in self.notes)
+        return out
+
+
+# ----------------------------------------------------------------------------------
+# T1 — Table 1
+# ----------------------------------------------------------------------------------
+
+
+def _measured_max(algorithm, instance_factory, alpha, seeds, **measure_kw):
+    instances = [instance_factory(seed) for seed in seeds]
+    summary = measure_many(algorithm, instances, alpha, **measure_kw)
+    return summary
+
+
+def experiment_table1(
+    alpha: float = 3.0,
+    n: int = 16,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    machines: int = 3,
+) -> ExperimentReport:
+    """Regenerate Table 1: theoretical bounds + measured ratios.
+
+    For each algorithm row the measured column is the *max* energy ratio
+    over random instances of the algorithm's setting, and the adversarial
+    column the ratio achieved on the paper's lower-bound construction for
+    that row (played against the real implementation).
+    """
+    rows: List[list] = []
+
+    # Oracle row: no algorithm — report the single-job oracle game value.
+    oracle_val = _oracle_game_value(1.0, PHI, alpha, "energy")
+    rows.append(
+        [
+            "offline",
+            "Oracle",
+            formulas.oracle_lb_energy(alpha),
+            None,
+            None,
+            oracle_val,
+            True,
+        ]
+    )
+
+    specs = [
+        (
+            "offline",
+            "CRCD",
+            crcd,
+            lambda s: generators.common_deadline_instance(n, seed=s),
+            formulas.offline_lb_energy(alpha),
+            formulas.crcd_ub_energy(alpha),
+        ),
+        (
+            "offline",
+            "CRP2D",
+            crp2d,
+            lambda s: generators.power_of_two_instance(n, seed=s),
+            formulas.offline_lb_energy(alpha),
+            formulas.crp2d_ub_energy(alpha),
+        ),
+        (
+            "offline",
+            "CRAD",
+            crad,
+            lambda s: generators.common_release_instance(n, seed=s),
+            formulas.offline_lb_energy(alpha),
+            formulas.crad_ub_energy(alpha),
+        ),
+        (
+            "online",
+            "AVRQ",
+            avrq,
+            lambda s: generators.online_instance(n, seed=s),
+            formulas.avrq_lb_energy(alpha),
+            formulas.avrq_ub_energy(alpha),
+        ),
+        (
+            "online",
+            "BKPQ",
+            bkpq,
+            lambda s: generators.online_instance(n, seed=s),
+            formulas.bkpq_lb_energy(alpha),
+            formulas.bkpq_ub_energy(alpha),
+        ),
+    ]
+    adversarial: Dict[str, float] = {
+        "CRCD": adversarial_ratio(crcd, 1.0, 2.0, alpha, "energy").ratio,
+        "CRP2D": adversarial_ratio(crp2d, 1.0, 2.0, alpha, "energy").ratio,
+        "CRAD": adversarial_ratio(crad, 1.0, 2.0, alpha, "energy").ratio,
+        "AVRQ": measure(
+            avrq, lemmas.lemma51_tower_instance(14, alpha), alpha
+        ).energy_ratio,
+        "BKPQ": measure(bkpq, lemmas.lemma45_instance(1e-4), alpha).energy_ratio,
+    }
+    for setting, name, algo, factory, lb, ub in specs:
+        summary = _measured_max(algo, factory, alpha, seeds)
+        rows.append(
+            [
+                setting,
+                name,
+                lb,
+                ub,
+                summary.max_energy_ratio,
+                adversarial[name],
+                summary.max_energy_ratio <= ub * (1 + 1e-9),
+            ]
+        )
+
+    # AVRQ(m): multi-machine (denominator is the pooled lower bound).
+    summary_m = _measured_max(
+        avrq_m,
+        lambda s: generators.multi_machine_instance(n, machines, seed=s),
+        alpha,
+        seeds,
+    )
+    rows.append(
+        [
+            "online",
+            f"AVRQ(m={machines})",
+            formulas.avrq_m_lb_energy(alpha),
+            formulas.avrq_m_ub_energy(alpha),
+            summary_m.max_energy_ratio,
+            None,
+            summary_m.max_energy_ratio
+            <= formulas.avrq_m_ub_energy(alpha) * (1 + 1e-9),
+        ]
+    )
+
+    return ExperimentReport(
+        id="T1",
+        title=f"Table 1 — energy bounds vs measured ratios (alpha={alpha})",
+        headers=[
+            "setting",
+            "algorithm",
+            "paper LB",
+            "paper UB",
+            "measured max (random)",
+            "measured (adversarial)",
+            "within UB",
+        ],
+        rows=rows,
+        notes=[
+            f"random column: max over {len(seeds)} seeds x n={n} jobs per setting",
+            "adversarial column: paper's lower-bound instance run against the real implementation",
+            "AVRQ LB (2a)^a and AVRQ(m) bounds are asymptotic; finite instances approach them from below",
+            "AVRQ(m) measured ratio uses the pooled lower bound as denominator (conservative upper estimate)",
+        ],
+    )
+
+
+def _oracle_game_value(c: float, w: float, alpha: float, objective) -> float:
+    """min over {query w/ oracle split, no-query} of max over w* (Lemma 4.2).
+
+    In the oracle model a querying algorithm runs at the constant speed
+    ``c + w*`` over the whole window; a non-querying one at ``w``; the
+    optimum at ``p* = min(w, c + w*)``.
+    """
+    grid = np.linspace(0.0, w, 513)
+    exp = alpha if objective == "energy" else 1.0
+    q_worst = max(((c + ws) ** exp) / (min(w, c + ws) ** exp) for ws in grid)
+    nq_worst = max((w**exp) / (min(w, c + ws) ** exp) for ws in grid)
+    return min(q_worst, nq_worst)
+
+
+# ----------------------------------------------------------------------------------
+# RHO — the Section 4.2 table
+# ----------------------------------------------------------------------------------
+
+
+def experiment_rho() -> ExperimentReport:
+    """Regenerate the rho table and validate CRCD against the best ratio."""
+    rows = []
+    for row, p1, p2, p3 in zip(
+        rho.rho_table(), rho.PAPER_RHO1, rho.PAPER_RHO2, rho.PAPER_RHO3
+    ):
+        ok = (
+            abs(row.rho1 - p1) <= 0.015 * max(1.0, p1)
+            and abs(row.rho2 - p2) <= 0.015 * max(1.0, p2)
+            and (row.rho3 is None or abs(row.rho3 - p3) <= 0.015 * max(1.0, p3))
+        )
+        rows.append(
+            [
+                row.alpha,
+                row.rho1,
+                p1,
+                row.rho2,
+                p2,
+                row.rho3,
+                p3 if p3 else None,
+                rho.best_regime(row.alpha),
+                ok,
+            ]
+        )
+    return ExperimentReport(
+        id="RHO",
+        title="Sec. 4.2 table — CRCD energy ratios rho1/rho2/rho3",
+        headers=[
+            "alpha",
+            "rho1",
+            "paper",
+            "rho2",
+            "paper",
+            "rho3",
+            "paper",
+            "best",
+            "match",
+        ],
+        rows=rows,
+        notes=[
+            "paper regime claims: rho1 best for alpha<=1.44, rho2 for 1.44<alpha<2, rho3 for alpha>=2",
+            "paper prints truncated decimals; match tolerance 1.5%",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------------------
+# F1 — Figure 1: the I*, I', I'_1/2 transformation chain
+# ----------------------------------------------------------------------------------
+
+
+def experiment_figure1(
+    alpha: float = 3.0, n: int = 12, seed: int = 7
+) -> ExperimentReport:
+    """Verify the Figure 1 instance chain and its per-step energy bounds.
+
+    E*   = optimal energy of I*                    (Lemma 4.9's reference)
+    E'   = optimal energy of I'    <= phi^alpha E*  (Lemma 4.9)
+    E1/2 = optimal energy of I'_1/2 <= 2^alpha E'   (Lemma 4.10)
+    E    = CRP2D's energy          <= 2^alpha E1/2  (Corollary 4.12)
+    and overall E <= (4 phi)^alpha E*               (Theorem 4.13).
+    """
+    qi = generators.power_of_two_instance(n, seed=seed)
+    power = PowerFunction(alpha)
+    from ..qbss.transform import partition_golden
+
+    _, b_set = partition_golden(qi)
+    b_ids = {j.id for j in b_set}
+    queried = lambda j: j.id in b_ids  # noqa: E731 - tiny predicate
+
+    e_star = yds_profile(list(instance_star(qi).jobs)).energy(power)
+    e_prime = yds_profile(list(instance_prime(qi, queried).jobs)).energy(power)
+    e_half = yds_profile(list(instance_prime_half(qi, queried).jobs)).energy(power)
+    e_alg = crp2d(qi).energy(power)
+
+    rows = [
+        ["E* (opt of I*)", e_star, None, None, None],
+        ["E' (opt of I')", e_prime, "phi^a * E*", PHI**alpha, e_prime / e_star],
+        ["E'_1/2 (opt of I'_1/2)", e_half, "2^a * E'", 2.0**alpha, e_half / e_prime],
+        ["E (CRP2D)", e_alg, "2^a * E'_1/2", 2.0**alpha, e_alg / e_half],
+        [
+            "overall",
+            e_alg,
+            "(4 phi)^a * E*",
+            (4 * PHI) ** alpha,
+            e_alg / e_star,
+        ],
+    ]
+    ok = (
+        e_prime <= PHI**alpha * e_star * (1 + 1e-9)
+        and e_half <= 2.0**alpha * e_prime * (1 + 1e-9)
+        and e_alg <= 2.0**alpha * e_half * (1 + 1e-9)
+        and e_alg <= (4 * PHI) ** alpha * e_star * (1 + 1e-9)
+    )
+    return ExperimentReport(
+        id="F1",
+        title=f"Figure 1 — instance transformation chain (alpha={alpha}, n={n})",
+        headers=["quantity", "energy", "bound vs prev", "bound factor", "measured factor"],
+        rows=rows,
+        notes=[f"all chain inequalities hold: {ok}"],
+    )
+
+
+# ----------------------------------------------------------------------------------
+# L41..L51 — lower-bound lemmas
+# ----------------------------------------------------------------------------------
+
+
+def experiment_lemma41(
+    alpha: float = 3.0, eps_values: Sequence[float] = (0.2, 0.1, 0.05, 0.01)
+) -> ExperimentReport:
+    """Lemma 4.1 — never querying diverges as eps -> 0."""
+    rows = []
+    for eps in eps_values:
+        inst = lemmas.lemma41_instance(eps)
+        m = measure(never_query_offline, inst, alpha)
+        rows.append(
+            [
+                eps,
+                lemmas.lemma41_expected_ratio(eps, alpha, "max_speed"),
+                m.max_speed_ratio,
+                lemmas.lemma41_expected_ratio(eps, alpha, "energy"),
+                m.energy_ratio,
+            ]
+        )
+    return ExperimentReport(
+        id="L41",
+        title=f"Lemma 4.1 — never-query is unbounded (alpha={alpha})",
+        headers=[
+            "eps",
+            "predicted speed ratio",
+            "measured",
+            "predicted energy ratio",
+            "measured",
+        ],
+        rows=rows,
+        notes=["the measured column uses the *best* never-query schedule (YDS)"],
+    )
+
+
+def experiment_lemma42(alpha: float = 3.0) -> ExperimentReport:
+    """Lemma 4.2 — phi / phi^alpha, even in the oracle model."""
+    rows = []
+    for objective, claimed in (
+        ("max_speed", PHI),
+        ("energy", PHI**alpha),
+    ):
+        val = _oracle_game_value(1.0, PHI, alpha, objective)
+        rows.append([objective, claimed, val, val >= claimed * (1 - 1e-9)])
+    return ExperimentReport(
+        id="L42",
+        title=f"Lemma 4.2 — oracle-model lower bound on (c=1, w=phi) (alpha={alpha})",
+        headers=["objective", "claimed LB", "oracle game value", "achieved"],
+        rows=rows,
+    )
+
+
+def experiment_lemma43(alpha: float = 3.0) -> ExperimentReport:
+    """Lemma 4.3 — 2 / 2^{alpha-1} for every deterministic algorithm."""
+    c, w = lemmas.lemma43_params()
+    rows = []
+    for objective, claimed in (
+        ("max_speed", 2.0),
+        ("energy", 2.0 ** (alpha - 1.0)),
+    ):
+        best_val, best_query, best_x = best_deterministic_decision(
+            c, w, alpha, objective
+        )
+        real = adversarial_ratio(crcd, c, w, alpha, objective)
+        rows.append(
+            [
+                objective,
+                claimed,
+                best_val,
+                "query" if best_query else "skip",
+                best_x,
+                real.ratio,
+            ]
+        )
+    return ExperimentReport(
+        id="L43",
+        title=f"Lemma 4.3 — deterministic LB on (c=1, w=2) (alpha={alpha})",
+        headers=[
+            "objective",
+            "claimed LB",
+            "best decision value",
+            "best decision",
+            "best split x",
+            "CRCD adversarial",
+        ],
+        rows=rows,
+        notes=[
+            "best-decision column: min over all (query, x) of the adversary's value — matches the claim",
+            "CRCD achieves the lower bound exactly (its golden rule + equal window is optimal here)",
+        ],
+    )
+
+
+def experiment_lemma44(alpha: float = 3.0) -> ExperimentReport:
+    """Lemma 4.4 — randomized lower bounds via the solved game."""
+    rows = []
+    for objective in ("max_speed", "energy"):
+        sol = solve_game(alpha, objective)
+        rows.append(
+            [
+                objective,
+                sol.claimed,
+                sol.value,
+                sol.theta,
+                sol.rho,
+                sol.value >= sol.claimed * (1 - 1e-6),
+            ]
+        )
+    return ExperimentReport(
+        id="L44",
+        title=f"Lemma 4.4 — randomized single-job game (alpha={alpha})",
+        headers=[
+            "objective",
+            "claimed LB",
+            "game value",
+            "worst theta=w/c",
+            "optimal rho",
+            "achieved",
+        ],
+        rows=rows,
+        notes=[
+            "claims: 4/3 for max speed (theta=2), (1+phi^a)/2 for energy (theta=phi)",
+        ],
+    )
+
+
+def experiment_lemma45(
+    alpha: float = 3.0, eps_values: Sequence[float] = (1e-2, 1e-3, 1e-4)
+) -> ExperimentReport:
+    """Lemma 4.5 — equal-window algorithms lose 3 / 3^{alpha-1}."""
+    rows = []
+    for eps in eps_values:
+        s_lb, e_lb = lemmas.lemma45_equal_window_lower_bounds(eps, alpha)
+        inst = lemmas.lemma45_instance(eps)
+        m = measure(avrq, inst, alpha)
+        rows.append([eps, 3.0, s_lb, m.max_speed_ratio, 3.0 ** (alpha - 1), e_lb, m.energy_ratio])
+    return ExperimentReport(
+        id="L45",
+        title=f"Lemma 4.5 — equal-window lower bound (alpha={alpha})",
+        headers=[
+            "eps",
+            "claimed speed LB",
+            "class LB (YDS relaxation)",
+            "AVRQ measured",
+            "claimed energy LB",
+            "class LB (YDS relaxation)",
+            "AVRQ measured",
+        ],
+        rows=rows,
+        notes=[
+            "the paper omits the construction; ours: j=(0,2] w*=w traps its load in (1,2], k=(1,3] w*=0 traps its query there",
+            "class LB = best possible equal-window schedule (YDS on derived half-window jobs)",
+        ],
+    )
+
+
+def experiment_lemma51(
+    alpha: float = 3.0, levels: Sequence[int] = (2, 4, 8, 16, 24)
+) -> ExperimentReport:
+    """Lemma 5.1 — AVRQ lower-bound trajectory on the tower family."""
+    claimed = formulas.avrq_lb_energy(alpha)
+    rows = []
+    for k in levels:
+        inst = lemmas.lemma51_tower_instance(k, alpha)
+        m = measure(avrq, inst, alpha)
+        rows.append([k, m.energy_ratio, claimed, formulas.avrq_ub_energy(alpha)])
+    return ExperimentReport(
+        id="L51",
+        title=f"Lemma 5.1 — AVRQ on the nested tower family (alpha={alpha})",
+        headers=["levels", "measured energy ratio", "claimed LB (asymptotic)", "paper UB"],
+        rows=rows,
+        notes=[
+            "the (2a)^a bound is asymptotic (proof extends the AVR lower bound of [13]);",
+            "the finite tower family shows the ratio growing with depth, sandwiched by the UB",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------------------
+# ONL / MM — online and multi-machine measured ratios
+# ----------------------------------------------------------------------------------
+
+
+def experiment_online(
+    alpha: float = 3.0,
+    n: int = 16,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4, 5, 6, 7),
+) -> ExperimentReport:
+    """Measured online ratios (AVRQ, BKPQ, OAQ) vs the paper's bounds."""
+    rows = []
+    instances = [generators.online_instance(n, seed=s) for s in seeds]
+    specs = [
+        ("AVRQ", avrq, formulas.avrq_ub_energy(alpha)),
+        ("BKPQ", bkpq, formulas.bkpq_ub_energy(alpha)),
+        ("OAQ (ext.)", oaq, None),
+    ]
+    for name, algo, ub in specs:
+        summary = measure_many(algo, instances, alpha)
+        rows.append(
+            [
+                name,
+                summary.max_energy_ratio,
+                summary.mean_energy_ratio,
+                summary.max_speed_ratio,
+                ub,
+                ub is None or summary.max_energy_ratio <= ub * (1 + 1e-9),
+            ]
+        )
+    return ExperimentReport(
+        id="ONL",
+        title=f"Online algorithms on random streams (alpha={alpha}, n={n})",
+        headers=[
+            "algorithm",
+            "max energy ratio",
+            "mean energy ratio",
+            "max speed ratio",
+            "paper UB (energy)",
+            "within",
+        ],
+        rows=rows,
+        notes=["OAQ is the paper's open question (Sec. 7) — no bound is claimed"],
+    )
+
+
+def experiment_multi(
+    alpha: float = 3.0,
+    n: int = 16,
+    machine_counts: Sequence[int] = (2, 4, 8),
+    seeds: Sequence[int] = (0, 1, 2, 3),
+) -> ExperimentReport:
+    """AVRQ(m) vs the Corollary 6.4 bound across machine counts.
+
+    The max-speed column uses the *exact* flow-based minimum peak speed of
+    the clairvoyant instance as denominator (not a bound), so it is a true
+    competitive measurement.
+    """
+    from ..core.power import PowerFunction
+    from ..speed_scaling.multi.flow import min_max_speed
+
+    ub = formulas.avrq_m_ub_energy(alpha)
+    rows = []
+    for m in machine_counts:
+        instances = [
+            generators.multi_machine_instance(n, m, seed=s) for s in seeds
+        ]
+        summary = measure_many(avrq_m, instances, alpha)
+        speed_ratios = []
+        for qi in instances:
+            opt_speed = min_max_speed(
+                [j.clairvoyant_job() for j in qi], m
+            )
+            if opt_speed > 0:
+                speed_ratios.append(avrq_m(qi).max_speed() / opt_speed)
+        rows.append(
+            [
+                m,
+                summary.max_energy_ratio,
+                summary.mean_energy_ratio,
+                ub,
+                max(speed_ratios),
+                summary.max_energy_ratio <= ub * (1 + 1e-9),
+            ]
+        )
+    return ExperimentReport(
+        id="MM",
+        title=f"AVRQ(m) on m parallel machines (alpha={alpha}, n={n})",
+        headers=[
+            "m",
+            "max energy ratio",
+            "mean",
+            "paper UB",
+            "max speed ratio (exact opt)",
+            "within",
+        ],
+        rows=rows,
+        notes=[
+            "energy denominator is the pooled lower bound — conservative",
+            "speed denominator is the exact flow-based minimum peak speed",
+        ],
+    )
+
+
+def experiment_oaq_multi(
+    alpha: float = 3.0,
+    n: int = 10,
+    machine_counts: Sequence[int] = (2, 3),
+    seeds: Sequence[int] = (0, 1, 2),
+) -> ExperimentReport:
+    """Extension: OAQ(m) vs AVRQ(m) (open question x Section 6)."""
+    from ..core.power import PowerFunction
+    from ..qbss.oaq_m import oaq_m
+
+    power = PowerFunction(alpha)
+    rows = []
+    for m in machine_counts:
+        instances = [
+            generators.multi_machine_instance(n, m, seed=s) for s in seeds
+        ]
+        e_avrq = [avrq_m(qi).energy(power) for qi in instances]
+        e_oaq = [oaq_m(qi, alpha=alpha).energy(power) for qi in instances]
+        rows.append(
+            [
+                m,
+                sum(e_avrq) / len(e_avrq),
+                sum(e_oaq) / len(e_oaq),
+                sum(o / a for o, a in zip(e_oaq, e_avrq)) / len(e_avrq),
+            ]
+        )
+    return ExperimentReport(
+        id="AB-OAQM",
+        title=f"Extension — OAQ(m) vs AVRQ(m) (alpha={alpha}, n={n})",
+        headers=["m", "AVRQ(m) mean energy", "OAQ(m) mean energy", "mean OAQ/AVRQ"],
+        rows=rows,
+        notes=["no bound claimed for OAQ(m); replanning wins empirically"],
+    )
+
+
+# ----------------------------------------------------------------------------------
+# Ablations and the OAQ extension
+# ----------------------------------------------------------------------------------
+
+
+def experiment_split_ablation(
+    alpha: float = 3.0,
+    n: int = 12,
+    seeds: Sequence[int] = (0, 1, 2, 3),
+    x_values: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9),
+) -> ExperimentReport:
+    """How the split point x changes AVRQ's measured ratio (equal-window ablation)."""
+    from ..qbss.policies import ProportionalSplit
+
+    instances = [generators.online_instance(n, seed=s) for s in seeds]
+    rows = []
+    for x in x_values:
+        algo = lambda qi, _x=x: avrq(qi, split_policy=FixedSplit(_x))  # noqa: E731
+        summary = measure_many(algo, instances, alpha)
+        rows.append([str(x), summary.max_energy_ratio, summary.mean_energy_ratio, summary.max_speed_ratio])
+    # the c-aware heuristic: x = c / (c + w/2), per job
+    prop = lambda qi: avrq(qi, split_policy=ProportionalSplit())  # noqa: E731
+    summary = measure_many(prop, instances, alpha)
+    rows.append(
+        [
+            "proportional",
+            summary.max_energy_ratio,
+            summary.mean_energy_ratio,
+            summary.max_speed_ratio,
+        ]
+    )
+    return ExperimentReport(
+        id="AB-SPLIT",
+        title=f"Ablation — split point x for AVRQ (alpha={alpha})",
+        headers=["x", "max energy ratio", "mean energy ratio", "max speed ratio"],
+        rows=rows,
+        notes=[
+            "Lemma 4.3's argument: any fixed x != 1/2 worsens the worst case;",
+            "on random instances the curve is typically flat-bottomed around x=1/2",
+            "'proportional' = per-job x = c/(c + w/2), the uninformed oracle-split mimic",
+        ],
+    )
+
+
+def experiment_query_policy_ablation(
+    alpha: float = 3.0,
+    n: int = 20,
+    seeds: Sequence[int] = (0, 1, 2, 3),
+) -> ExperimentReport:
+    """Never / always / golden / other thresholds on the motivating scenarios."""
+    policies = [
+        ("never", NeverQuery()),
+        ("golden (phi)", ThresholdQuery(PHI)),
+        ("threshold 5", ThresholdQuery(5.0)),
+        ("threshold 10", ThresholdQuery(10.0)),
+        ("threshold 20", ThresholdQuery(20.0)),
+    ]
+    scenario_makers = [
+        ("code-optimizer", lambda s: scenarios.code_optimizer_scenario(n, seed=s)),
+        ("file-compression", lambda s: scenarios.file_compression_scenario(n, seed=s)),
+    ]
+    rows = []
+    for scen_name, make in scenario_makers:
+        instances = [make(s) for s in seeds]
+        for pol_name, pol in policies:
+            algo = lambda qi, _p=pol: bkpq(qi, query_policy=_p)  # noqa: E731
+            summary = measure_many(algo, instances, alpha)
+            rows.append(
+                [scen_name, pol_name, summary.max_energy_ratio, summary.mean_energy_ratio]
+            )
+    return ExperimentReport(
+        id="AB-QP",
+        title=f"Ablation — query policy under BKPQ on scenario workloads (alpha={alpha})",
+        headers=["scenario", "policy", "max energy ratio", "mean energy ratio"],
+        rows=rows,
+        notes=["'never' pays the full upper bound; the golden rule tracks the best threshold"],
+    )
+
+
+def experiment_oaq_extension(
+    alpha: float = 3.0,
+    n: int = 16,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4, 5),
+) -> ExperimentReport:
+    """The Sec. 7 open question: OAQ measured against AVRQ and BKPQ."""
+    rows = []
+    makers = [
+        ("uniform online", lambda s: generators.online_instance(n, seed=s)),
+        ("bursty", lambda s: generators.bursty_online_instance(3, max(n // 3, 2), seed=s)),
+        ("code-optimizer", lambda s: scenarios.code_optimizer_scenario(n, seed=s)),
+    ]
+    for workload, make in makers:
+        instances = [make(s) for s in seeds]
+        for name, algo in (("AVRQ", avrq), ("BKPQ", bkpq), ("OAQ", oaq)):
+            summary = measure_many(algo, instances, alpha)
+            rows.append(
+                [workload, name, summary.max_energy_ratio, summary.mean_energy_ratio]
+            )
+    return ExperimentReport(
+        id="AB-OAQ",
+        title=f"Extension — OAQ vs AVRQ/BKPQ (alpha={alpha})",
+        headers=["workload", "algorithm", "max energy ratio", "mean energy ratio"],
+        rows=rows,
+        notes=["OAQ has no proven bound (open question); empirically it dominates here"],
+    )
+
+
+def experiment_adaptive_adversary(
+    alpha: float = 3.0,
+    steps: int = 5,
+) -> ExperimentReport:
+    """Greedy adaptive adversary vs the online algorithms.
+
+    The search (see :mod:`repro.bounds.online_adversary`) extends an
+    instance job by job, always picking the extension the algorithm handles
+    worst.  The found ratios sit far above random-workload maxima — the
+    practical face of the paper's adaptive lower-bound arguments — while
+    never crossing the proven upper bounds.
+    """
+    from ..bounds.online_adversary import adaptive_online_search
+
+    specs = [
+        ("AVRQ", avrq, formulas.avrq_ub_energy(alpha)),
+        ("BKPQ", bkpq, formulas.bkpq_ub_energy(alpha)),
+        ("OAQ (ext.)", oaq, None),
+    ]
+    rows = []
+    for name, algo, ub in specs:
+        found = adaptive_online_search(algo, alpha=alpha, steps=steps)
+        rows.append(
+            [
+                name,
+                found.ratio,
+                len(found.instance),
+                ub,
+                ub is None or found.ratio <= ub * (1 + 1e-9),
+            ]
+        )
+    return ExperimentReport(
+        id="ADV-SEARCH",
+        title=f"Adaptive adversary search (alpha={alpha}, {steps} steps)",
+        headers=[
+            "algorithm",
+            "worst ratio found",
+            "jobs",
+            "paper UB",
+            "within",
+        ],
+        rows=rows,
+        notes=[
+            "greedy adaptive construction over a 5-template menu; deterministic",
+            "compare the ONL experiment's random maxima — adaptivity is worth 3-6x here",
+        ],
+    )
+
+
+def experiment_crcd_design_space(
+    alpha: float = 3.0,
+    n: int = 12,
+    seeds: Sequence[int] = (0, 1, 2, 3),
+    x_values: Sequence[float] = (0.2, 0.35, 0.5, 0.65, 0.8),
+    lam_values: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+) -> ExperimentReport:
+    """Sweep CRCD's (x, lam) design plane on random instances.
+
+    For each grid point the column is the *max* energy ratio over seeds —
+    the worst-case flavour the paper optimises for.  The expectation from
+    Theorem 4.6 / the minimax study: (0.5, 0.5) is at or near the flat
+    bottom of the worst-case surface even though individual instances
+    prefer other points.
+    """
+    from ..qbss.crcd import crcd_tuned
+
+    instances = [
+        generators.common_deadline_instance(n, seed=s) for s in seeds
+    ]
+    rows = []
+    for x in x_values:
+        for lam in lam_values:
+            algo = lambda qi, _x=x, _l=lam: crcd_tuned(qi, _x, _l)  # noqa: E731
+            summary = measure_many(algo, instances, alpha)
+            rows.append(
+                [x, lam, summary.max_energy_ratio, summary.mean_energy_ratio]
+            )
+    return ExperimentReport(
+        id="AB-CRCD",
+        title=f"Ablation — CRCD design space (x, lam) (alpha={alpha})",
+        headers=["x", "lam", "max energy ratio", "mean energy ratio"],
+        rows=rows,
+        notes=["(0.5, 0.5) is the paper's Algorithm 1"],
+    )
+
+
+def experiment_sleep(
+    alpha: float = 3.0,
+    n: int = 14,
+    seeds: Sequence[int] = (0, 1, 2),
+    leakages: Sequence[float] = (0.0, 0.1, 0.5, 2.0, 8.0),
+) -> ExperimentReport:
+    """Static power / race-to-idle ablation.
+
+    With leakage ``p_static`` the awake power is ``s^alpha + p_static``;
+    race-to-idle raises sub-critical segments to the critical speed and
+    sleeps the rest.  Reports, per leakage level, the mean no-sleep /
+    race-to-idle energy ratio for the AVRQ and clairvoyant profiles.
+    """
+    from ..speed_scaling.sleep import StaticPowerModel, evaluate_race_to_idle
+    from ..speed_scaling.yds import yds
+
+    instances = [generators.online_instance(n, seed=s) for s in seeds]
+    avrq_profiles = [avrq(qi).profile for qi in instances]
+    opt_profiles = [
+        yds([j.clairvoyant_job() for j in qi]).profile for qi in instances
+    ]
+    rows = []
+    for p_static in leakages:
+        model = StaticPowerModel(alpha, p_static)
+        s_avrq = [
+            evaluate_race_to_idle(p, model).savings_ratio for p in avrq_profiles
+        ]
+        s_opt = [
+            evaluate_race_to_idle(p, model).savings_ratio for p in opt_profiles
+        ]
+        rows.append(
+            [
+                p_static,
+                model.critical_speed,
+                sum(s_avrq) / len(s_avrq),
+                sum(s_opt) / len(s_opt),
+            ]
+        )
+    return ExperimentReport(
+        id="SLEEP",
+        title=f"Ablation — static power and race-to-idle (alpha={alpha})",
+        headers=[
+            "p_static",
+            "critical speed",
+            "AVRQ mean savings (no-sleep / race-to-idle)",
+            "optimal-profile mean savings",
+        ],
+        rows=rows,
+        notes=[
+            "race-to-idle: run sub-critical segments at s_crit = (p_static/(alpha-1))^(1/alpha), sleep the rest",
+            "feasibility preserved: speeds only rise, per-segment work unchanged",
+        ],
+    )
+
+
+def experiment_slack_sweep(
+    alpha: float = 3.0,
+    n: int = 14,
+    seeds: Sequence[int] = (0, 1, 2, 3),
+    slack_factors: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+) -> ExperimentReport:
+    """How window slack changes the online ratios.
+
+    Scales every window by ``slack`` (more room to spread work).  The
+    expectation: AVRQ's ratio is roughly slack-invariant (densities scale
+    down uniformly) while OAQ converges towards 1 — replanning exploits
+    slack, density-tracking cannot.
+    """
+    rows = []
+    for slack in slack_factors:
+        instances = [
+            generators.online_instance(
+                n,
+                min_window=0.5 * slack,
+                max_window=2.0 * slack,
+                seed=s,
+            )
+            for s in seeds
+        ]
+        summaries = {
+            name: measure_many(algo, instances, alpha)
+            for name, algo in (("AVRQ", avrq), ("BKPQ", bkpq), ("OAQ", oaq))
+        }
+        rows.append(
+            [
+                slack,
+                summaries["AVRQ"].mean_energy_ratio,
+                summaries["BKPQ"].mean_energy_ratio,
+                summaries["OAQ"].mean_energy_ratio,
+            ]
+        )
+    return ExperimentReport(
+        id="SLACK",
+        title=f"Ablation — window slack vs online ratios (alpha={alpha})",
+        headers=[
+            "window scale",
+            "AVRQ mean ratio",
+            "BKPQ mean ratio",
+            "OAQ mean ratio",
+        ],
+        rows=rows,
+        notes=["windows scaled by the factor; arrivals unchanged"],
+    )
+
+
+def experiment_minimax(
+    alpha: float = 3.0,
+) -> ExperimentReport:
+    """How close is CRCD to the best possible two-phase policy?
+
+    Solves the exact (grid-resolution) minimax game over query set, phase
+    split x and workload split lam for small common-window instances, and
+    compares CRCD's value on the same instances.  Findings recorded in
+    EXPERIMENTS.md: on the Lemma 4.3 instance CRCD is minimax-optimal up to
+    grid resolution; on heterogeneous instances a per-instance tuned policy
+    can be meaningfully better — the equal window is worst-case-motivated,
+    not instance-optimal.
+    """
+    from ..bounds.minimax import (
+        CommonWindowJob,
+        crcd_policy_value,
+        minimax_common_window,
+    )
+
+    cases = [
+        ("lemma 4.3 (c=1, w=2)", [CommonWindowJob(1.0, 2.0)]),
+        ("golden boundary (c=1, w=phi)", [CommonWindowJob(1.0, PHI)]),
+        (
+            "mixed pair",
+            [CommonWindowJob(0.3, 2.0), CommonWindowJob(1.5, 2.0)],
+        ),
+        (
+            "cheap queries",
+            [CommonWindowJob(0.1, 1.0), CommonWindowJob(0.2, 3.0)],
+        ),
+        (
+            "dear queries",
+            [CommonWindowJob(0.9, 1.0), CommonWindowJob(1.8, 2.0)],
+        ),
+    ]
+    rows = []
+    for label, jobs in cases:
+        mm = minimax_common_window(jobs, alpha)
+        crcd_val, crcd_q = crcd_policy_value(jobs, alpha)
+        rows.append(
+            [
+                label,
+                mm.value,
+                f"Q={mm.query_set} x={mm.x:.2f}",
+                crcd_val,
+                f"Q={crcd_q}",
+                crcd_val / mm.value,
+            ]
+        )
+    return ExperimentReport(
+        id="MINIMAX",
+        title=f"Minimax two-phase policies vs CRCD (alpha={alpha})",
+        headers=[
+            "instance",
+            "minimax value",
+            "minimax policy",
+            "CRCD value",
+            "CRCD policy",
+            "CRCD / minimax",
+        ],
+        rows=rows,
+        notes=[
+            "minimax over query set x phase split x workload split, adversary on per-job w* grids",
+            "grid resolution ~0.05 on x; values are exact up to that",
+        ],
+    )
+
+
+def experiment_discretization(
+    alpha: float = 3.0,
+    n: int = 14,
+    seeds: Sequence[int] = (0, 1, 2),
+    level_counts: Sequence[int] = (2, 3, 5, 8, 16),
+    span: float = 16.0,
+) -> ExperimentReport:
+    """DVFS ablation: energy penalty of discrete speed levels.
+
+    Post-processes the AVRQ and clairvoyant profiles onto geometric speed
+    ladders of growing size (dynamic range ``span``), reporting the mean
+    discrete/continuous energy ratio next to the closed-form one-rung
+    worst case.  The practical answer to "real CPUs have finitely many
+    states": a handful of levels already costs only a few percent.
+    """
+    from ..speed_scaling.discrete import (
+        SpeedLadder,
+        discretization_penalty,
+        worst_case_penalty,
+    )
+    from ..speed_scaling.yds import yds
+
+    instances = [generators.online_instance(n, seed=s) for s in seeds]
+    avrq_profiles = [avrq(qi).profile for qi in instances]
+    opt_profiles = [
+        yds([j.clairvoyant_job() for j in qi]).profile for qi in instances
+    ]
+
+    rows = []
+    for count in level_counts:
+        q = span ** (1.0 / (count - 1)) if count > 1 else span
+        pen_avrq, pen_opt = [], []
+        for prof in avrq_profiles:
+            top = prof.max_speed()
+            ladder = SpeedLadder.geometric(top / span, top, count)
+            pen_avrq.append(discretization_penalty(prof, ladder, alpha))
+        for prof in opt_profiles:
+            top = prof.max_speed()
+            ladder = SpeedLadder.geometric(top / span, top, count)
+            pen_opt.append(discretization_penalty(prof, ladder, alpha))
+        rows.append(
+            [
+                count,
+                sum(pen_avrq) / len(pen_avrq),
+                sum(pen_opt) / len(pen_opt),
+                worst_case_penalty(q, alpha),
+            ]
+        )
+    return ExperimentReport(
+        id="DVFS",
+        title=f"Ablation — discrete speed levels (alpha={alpha}, range {span}x)",
+        headers=[
+            "levels",
+            "AVRQ mean penalty",
+            "optimal-profile mean penalty",
+            "one-rung worst case",
+        ],
+        rows=rows,
+        notes=[
+            "penalty = discrete energy / continuous energy on the same profile",
+            "speeds below the lowest level pay the idle bracket (0, s_min), so the",
+            "measured penalty can exceed the one-rung bound on low-speed tails",
+        ],
+    )
+
+
+def experiment_randomized_policy(
+    alpha: float = 3.0,
+    n: int = 16,
+    seeds: Sequence[int] = (0, 1, 2),
+    rhos: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    coin_seeds: Sequence[int] = (0, 1, 2, 3, 4),
+) -> ExperimentReport:
+    """Randomized query policies in the large (beyond Lemma 4.4's game).
+
+    Lemma 4.4 analyses the randomized single-job game; here we run the
+    coin-flipping policy through the full BKPQ machinery on random streams
+    and report the *expected* energy ratio per query probability rho,
+    against the deterministic golden rule.  On workload distributions (as
+    opposed to the adversarial game) the golden rule typically beats every
+    fixed rho — queries should depend on (c, w), not on a coin.
+    """
+    from ..core.power import PowerFunction
+    from ..qbss.policies import RandomizedQuery
+
+    instances = [generators.online_instance(n, seed=s) for s in seeds]
+    rows = []
+    for rho in rhos:
+        ratios = []
+        for coin in coin_seeds:
+            policy = RandomizedQuery(rho, rng=coin)
+            algo = lambda qi, _p=policy: bkpq(qi, query_policy=_p)  # noqa: E731
+            summary = measure_many(algo, instances, alpha)
+            ratios.append(summary.mean_energy_ratio)
+        rows.append(
+            [rho, sum(ratios) / len(ratios), min(ratios), max(ratios)]
+        )
+    golden = measure_many(bkpq, instances, alpha)
+    rows.append(["golden rule", golden.mean_energy_ratio, None, None])
+    return ExperimentReport(
+        id="RAND",
+        title=f"Randomized query policies under BKPQ (alpha={alpha})",
+        headers=[
+            "rho (query prob.)",
+            "expected mean energy ratio",
+            "best coin",
+            "worst coin",
+        ],
+        rows=rows,
+        notes=[
+            f"expectation over {len(coin_seeds)} coin seeds x {len(seeds)} instance seeds",
+            "the deterministic golden rule is the last row",
+        ],
+    )
+
+
+def experiment_migration_ablation(
+    alpha: float = 3.0,
+    n: int = 14,
+    machine_counts: Sequence[int] = (2, 4),
+    seeds: Sequence[int] = (0, 1, 2, 3),
+) -> ExperimentReport:
+    """The Sec. 7 remark: the non-migratory variant, quantified.
+
+    Compares AVRQ(m) (free migration, Theorem 6.3) against AVRQ-NM (each
+    job pinned to one machine at arrival) and, offline, the assignment
+    heuristics of the non-migratory substrate, all against the pooled lower
+    bound.  The paired column reports mean NM/migratory energy with a
+    bootstrap confidence interval.
+    """
+    from ..core.power import PowerFunction
+    from ..qbss.nonmigratory import avrq_nm
+    from .stats import paired_improvement
+
+    from ..speed_scaling.multi.nonmigratory import optimal_non_migratory
+    from ..speed_scaling.multi.optimal import convex_optimal_energy
+
+    power = PowerFunction(alpha)
+    rows = []
+    for m in machine_counts:
+        instances = [
+            generators.multi_machine_instance(n, m, seed=s) for s in seeds
+        ]
+        mig = [avrq_m(qi).energy(power) for qi in instances]
+        nm = [avrq_nm(qi).energy(power) for qi in instances]
+        mean_rel, (lo, hi), win = paired_improvement(mig, nm)
+        # the *true* migration gap on small clairvoyant instances
+        small = [
+            generators.multi_machine_instance(6, m, seed=s) for s in seeds[:2]
+        ]
+        gaps = []
+        for qi in small:
+            jobs = [j.clairvoyant_job() for j in qi]
+            exact_nm = optimal_non_migratory(jobs, m, alpha).energy(power)
+            exact_mig = convex_optimal_energy(jobs, m, alpha)
+            if exact_mig > 0:
+                gaps.append(exact_nm / exact_mig)
+        rows.append(
+            [
+                m,
+                sum(mig) / len(mig),
+                sum(nm) / len(nm),
+                mean_rel,
+                lo,
+                hi,
+                sum(gaps) / len(gaps) if gaps else None,
+            ]
+        )
+    return ExperimentReport(
+        id="AB-MIG",
+        title=f"Ablation — cost of forbidding migration (alpha={alpha})",
+        headers=[
+            "m",
+            "AVRQ(m) mean energy",
+            "AVRQ-NM mean energy",
+            "NM/mig mean ratio",
+            "CI low",
+            "CI high",
+            "true optimal gap (n=6)",
+        ],
+        rows=rows,
+        notes=[
+            "paper Sec. 7: 'our approach can directly be applied to the "
+            "preemptive-non-migratory variant' — this measures what pinning costs",
+            "bootstrap 95% CI over paired seeds",
+            "last column: exact NM optimum / exact migratory optimum on small clairvoyant instances",
+        ],
+    )
+
+
+def experiment_classical_lb_families(
+    alpha: float = 3.0,
+    levels: Sequence[int] = (4, 8, 16, 32),
+) -> ExperimentReport:
+    """The classical AVR/OA lower-bound families Lemma 5.1 builds on."""
+    from ..bounds.classical import (
+        avr_tower_instance,
+        avr_two_sided_instance,
+        family_ratio,
+        oa_staircase_instance,
+    )
+    from ..speed_scaling.avr import avr_profile
+    from ..speed_scaling.oa import oa_profile
+
+    rows = []
+    for k in levels:
+        rows.append(
+            [
+                k,
+                family_ratio(avr_tower_instance(k, alpha), avr_profile, alpha),
+                family_ratio(avr_two_sided_instance(k, alpha), avr_profile, alpha),
+                alpha**alpha,
+                family_ratio(oa_staircase_instance(k, alpha), oa_profile, alpha),
+                alpha**alpha,
+            ]
+        )
+    return ExperimentReport(
+        id="CLB",
+        title=f"Classical lower-bound families (alpha={alpha})",
+        headers=[
+            "levels",
+            "AVR one-sided",
+            "AVR two-sided",
+            "AVR LB target a^a",
+            "OA staircase",
+            "OA tight a^a",
+        ],
+        rows=rows,
+        notes=[
+            "finite truncations of the asymptotic constructions; the Lemma 5.1",
+            "AVRQ bound (2a)^a = 2^a x the AVR behaviour on these families",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------------------
+
+REGISTRY: Dict[str, Callable[..., ExperimentReport]] = {
+    "table1": experiment_table1,
+    "rho": experiment_rho,
+    "figure1": experiment_figure1,
+    "lemma41": experiment_lemma41,
+    "lemma42": experiment_lemma42,
+    "lemma43": experiment_lemma43,
+    "lemma44": experiment_lemma44,
+    "lemma45": experiment_lemma45,
+    "lemma51": experiment_lemma51,
+    "online": experiment_online,
+    "multi": experiment_multi,
+    "ablation-split": experiment_split_ablation,
+    "ablation-query": experiment_query_policy_ablation,
+    "ablation-migration": experiment_migration_ablation,
+    "classical-lb": experiment_classical_lb_families,
+    "oaq": experiment_oaq_extension,
+    "oaq-multi": experiment_oaq_multi,
+    "randomized-policy": experiment_randomized_policy,
+    "dvfs": experiment_discretization,
+    "minimax": experiment_minimax,
+    "sleep": experiment_sleep,
+    "slack": experiment_slack_sweep,
+    "crcd-design-space": experiment_crcd_design_space,
+    "adaptive-adversary": experiment_adaptive_adversary,
+}

@@ -1,0 +1,54 @@
+"""Markdown report generation from the experiment registry.
+
+`EXPERIMENTS.md` in this repository was written from bench output; this
+module automates the mechanical part: run any subset of the registry and
+emit a self-contained markdown document with one table per artifact.  Used
+by ``qbss-report --markdown`` and by downstream users archiving their own
+parameterisations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .experiments import REGISTRY, ExperimentReport
+from .tables import format_cell
+
+
+def report_to_markdown(report: ExperimentReport) -> str:
+    """One experiment as a markdown section with a pipe table."""
+    lines = [f"## {report.id} — {report.title}", ""]
+    lines.append("| " + " | ".join(report.headers) + " |")
+    lines.append("|" + "|".join("---" for _ in report.headers) + "|")
+    for row in report.rows:
+        lines.append(
+            "| " + " | ".join(format_cell(c) for c in row) + " |"
+        )
+    if report.notes:
+        lines.append("")
+        for note in report.notes:
+            lines.append(f"*{note}*")
+    return "\n".join(lines)
+
+
+def generate_markdown(
+    names: Optional[Sequence[str]] = None,
+    overrides: Optional[Dict[str, dict]] = None,
+    title: str = "QBSS reproduction report",
+) -> str:
+    """Run experiments and return a full markdown document.
+
+    ``names`` defaults to the whole registry (sorted); ``overrides`` maps an
+    experiment name to keyword arguments for its callable.
+    """
+    chosen = list(names) if names is not None else sorted(REGISTRY)
+    unknown = [n for n in chosen if n not in REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}")
+    sections: List[str] = [f"# {title}", ""]
+    for name in chosen:
+        kwargs = (overrides or {}).get(name, {})
+        report = REGISTRY[name](**kwargs)
+        sections.append(report_to_markdown(report))
+        sections.append("")
+    return "\n".join(sections).rstrip() + "\n"

@@ -1,0 +1,87 @@
+"""Statistics for measured ratios: summaries and bootstrap intervals.
+
+Competitive analysis cares about the max, but when comparing algorithms on
+random workloads the *distribution* of ratios matters; this module gives
+the experiments honest error bars (nonparametric bootstrap, seeded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RatioStats:
+    """Summary of a sample of ratios."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    p95: float
+    maximum: float
+
+    @classmethod
+    def from_sample(cls, values: Sequence[float]) -> "RatioStats":
+        if len(values) == 0:
+            raise ValueError("need at least one value")
+        arr = np.asarray(values, dtype=float)
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+            minimum=float(arr.min()),
+            median=float(np.median(arr)),
+            p95=float(np.percentile(arr, 95)),
+            maximum=float(arr.max()),
+        )
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic=np.mean,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for ``statistic``."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    stats = np.apply_along_axis(statistic, 1, arr[idx])
+    lo = (1.0 - confidence) / 2.0
+    return (
+        float(np.quantile(stats, lo)),
+        float(np.quantile(stats, 1.0 - lo)),
+    )
+
+
+def paired_improvement(
+    baseline: Sequence[float],
+    candidate: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, Tuple[float, float], float]:
+    """Paired comparison of two algorithms on the same instances.
+
+    Returns ``(mean ratio candidate/baseline, bootstrap CI of that mean,
+    win rate)`` — a mean ratio below 1 with a CI excluding 1 means the
+    candidate is reliably better on this workload distribution.
+    """
+    b = np.asarray(baseline, dtype=float)
+    c = np.asarray(candidate, dtype=float)
+    if b.shape != c.shape or b.size == 0:
+        raise ValueError("need equal-length non-empty paired samples")
+    rel = c / b
+    ci = bootstrap_ci(rel, np.mean, confidence, n_resamples, seed)
+    win_rate = float((c <= b).mean())
+    return float(rel.mean()), ci, win_rate

@@ -1,0 +1,70 @@
+"""Parameter sweeps over alpha, instance size and policy knobs.
+
+Thin, composable helpers over :mod:`repro.analysis.ratios` used by the
+ablation benches and by anyone exploring the model interactively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from ..core.instance import QBSSInstance
+from .ratios import Algorithm, RatioSummary, measure_many
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point of a sweep."""
+
+    parameter: float
+    summary: RatioSummary
+
+
+def alpha_sweep(
+    algorithm: Algorithm,
+    instances: Sequence[QBSSInstance],
+    alphas: Sequence[float],
+) -> List[SweepPoint]:
+    """Measure the same instances under different power exponents."""
+    return [
+        SweepPoint(a, measure_many(algorithm, instances, a)) for a in alphas
+    ]
+
+
+def size_sweep(
+    algorithm: Algorithm,
+    instance_factory: Callable[[int, int], QBSSInstance],
+    sizes: Sequence[int],
+    alpha: float,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> List[SweepPoint]:
+    """Measure instances of growing size; ``instance_factory(n, seed)``."""
+    out = []
+    for n in sizes:
+        instances = [instance_factory(n, s) for s in seeds]
+        out.append(SweepPoint(float(n), measure_many(algorithm, instances, alpha)))
+    return out
+
+
+def parameter_sweep(
+    algorithm_factory: Callable[[float], Algorithm],
+    instances: Sequence[QBSSInstance],
+    values: Sequence[float],
+    alpha: float,
+) -> List[SweepPoint]:
+    """Sweep an algorithm knob; ``algorithm_factory(value)`` builds the runner."""
+    return [
+        SweepPoint(v, measure_many(algorithm_factory(v), instances, alpha))
+        for v in values
+    ]
+
+
+def worst_point(points: Sequence[SweepPoint]) -> SweepPoint:
+    """The grid point with the highest max energy ratio."""
+    return max(points, key=lambda p: p.summary.max_energy_ratio)
+
+
+def best_point(points: Sequence[SweepPoint]) -> SweepPoint:
+    """The grid point with the lowest max energy ratio."""
+    return min(points, key=lambda p: p.summary.max_energy_ratio)

@@ -1,0 +1,96 @@
+"""Plain-text table rendering for benches, the CLI and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_cell(value, float_fmt: str = "{:.3f}") -> str:
+    if value is None:
+        return "--"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        return float_fmt.format(value)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [
+        [format_cell(c, float_fmt) for c in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(headers))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def _latex_escape(text: str) -> str:
+    for char, repl in (
+        ("&", r"\&"),
+        ("%", r"\%"),
+        ("_", r"\_"),
+        ("#", r"\#"),
+        ("^", r"\^{}"),
+    ):
+        text = text.replace(char, repl)
+    return text
+
+
+def render_latex(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    caption: Optional[str] = None,
+    label: Optional[str] = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render a LaTeX ``tabular`` (wrapped in ``table`` when captioned).
+
+    Handy for pasting regenerated tables straight into a writeup; the
+    experiment registry's reports all render through here via
+    ``ExperimentReport`` rows.
+    """
+    cols = "l" * len(headers)
+    body = [
+        r"\begin{tabular}{" + cols + "}",
+        r"\toprule",
+        " & ".join(_latex_escape(h) for h in headers) + r" \\",
+        r"\midrule",
+    ]
+    for row in rows:
+        body.append(
+            " & ".join(_latex_escape(format_cell(c, float_fmt)) for c in row)
+            + r" \\"
+        )
+    body += [r"\bottomrule", r"\end{tabular}"]
+    if caption is None and label is None:
+        return "\n".join(body)
+    wrapped = [r"\begin{table}[t]", r"\centering"] + body
+    if caption:
+        wrapped.append(r"\caption{" + _latex_escape(caption) + "}")
+    if label:
+        wrapped.append(r"\label{" + label + "}")
+    wrapped.append(r"\end{table}")
+    return "\n".join(wrapped)

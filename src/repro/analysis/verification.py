@@ -1,0 +1,224 @@
+"""One-call verification of the reproduction's headline claims.
+
+``verify_reproduction()`` runs a condensed version of every reproduction
+criterion — bounds respected, lower bounds achieved, tables matching — and
+returns a structured list of :class:`Claim` outcomes.  It is the
+programmatic mirror of the benchmark suite (which asserts the same things
+with more samples), intended for CI smoke checks and for users who want a
+single call that answers "does this library still reproduce the paper?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..bounds import formulas, lemmas, rho
+from ..bounds.adversary import adversarial_ratio
+from ..core.power import PowerFunction
+from ..qbss import avrq, bkpq, clairvoyant, crad, crcd, crp2d
+from ..qbss.randomized import solve_game
+from ..workloads import generators
+from .ratios import measure, never_query_offline
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One verified claim: description, expectation, observation, verdict."""
+
+    id: str
+    description: str
+    observed: float
+    threshold: float
+    comparison: str  # "<=" or ">="
+    ok: bool
+
+
+def _check(
+    claim_id: str, description: str, observed: float, threshold: float, cmp: str
+) -> Claim:
+    slack = 1e-6 * max(1.0, abs(threshold))
+    if cmp == "<=":
+        ok = observed <= threshold + slack
+    elif cmp == ">=":
+        ok = observed >= threshold - slack
+    else:
+        raise ValueError(f"unknown comparison {cmp!r}")
+    return Claim(claim_id, description, observed, threshold, cmp, ok)
+
+
+def verify_reproduction(
+    alpha: float = 3.0, n: int = 12, seed: int = 0
+) -> List[Claim]:
+    """Run the condensed reproduction check-list (seconds, not minutes)."""
+    claims: List[Claim] = []
+    power = PowerFunction(alpha)
+
+    # -- upper bounds on random instances ------------------------------------
+    specs = [
+        (
+            "crcd-ub",
+            "CRCD energy <= min{2^(a-1) phi^a, 2^a} x OPT (Thm 4.6)",
+            crcd,
+            generators.common_deadline_instance(n, seed=seed),
+            formulas.crcd_ub_energy(alpha),
+        ),
+        (
+            "crp2d-ub",
+            "CRP2D energy <= (4 phi)^a x OPT (Thm 4.13)",
+            crp2d,
+            generators.power_of_two_instance(n, seed=seed),
+            formulas.crp2d_ub_energy(alpha),
+        ),
+        (
+            "crad-ub",
+            "CRAD energy <= (8 phi)^a x OPT (Cor 4.15)",
+            crad,
+            generators.common_release_instance(n, seed=seed),
+            formulas.crad_ub_energy(alpha),
+        ),
+        (
+            "avrq-ub",
+            "AVRQ energy <= 2^(2a-1) a^a x OPT (Cor 5.3)",
+            avrq,
+            generators.online_instance(n, seed=seed),
+            formulas.avrq_ub_energy(alpha),
+        ),
+        (
+            "bkpq-ub",
+            "BKPQ energy <= (2+phi)^a 2(a/(a-1))^a e^a x OPT (Cor 5.5)",
+            bkpq,
+            generators.online_instance(n, seed=seed),
+            formulas.bkpq_ub_energy(alpha),
+        ),
+    ]
+    for cid, desc, algo, inst, bound in specs:
+        m = measure(algo, inst, alpha)
+        claims.append(_check(cid, desc, m.energy_ratio, bound, "<="))
+
+    # max-speed guarantees
+    m = measure(crcd, generators.common_deadline_instance(n, seed=seed), alpha)
+    claims.append(
+        _check(
+            "crcd-speed",
+            "CRCD max speed <= 2 x OPT (Thm 4.6)",
+            m.max_speed_ratio,
+            2.0,
+            "<=",
+        )
+    )
+    m = measure(bkpq, generators.online_instance(n, seed=seed), alpha)
+    claims.append(
+        _check(
+            "bkpq-speed",
+            "BKPQ max speed <= (2+phi) e x OPT (Cor 5.5)",
+            m.max_speed_ratio,
+            formulas.bkpq_ub_max_speed(),
+            "<=",
+        )
+    )
+
+    # -- lower bounds achieved against the real implementations ---------------
+    out = adversarial_ratio(crcd, 1.0, 2.0, alpha, "energy")
+    claims.append(
+        _check(
+            "lemma43-energy",
+            "adversary extracts >= 2^(a-1) from CRCD on (c=1, w=2) (Lemma 4.3)",
+            out.ratio,
+            formulas.deterministic_lb_energy(alpha),
+            ">=",
+        )
+    )
+    out = adversarial_ratio(crcd, 1.0, 2.0, alpha, "max_speed")
+    claims.append(
+        _check(
+            "lemma43-speed",
+            "adversary extracts speed ratio >= 2 from CRCD (Lemma 4.3)",
+            out.ratio,
+            2.0,
+            ">=",
+        )
+    )
+    m = measure(never_query_offline, lemmas.lemma41_instance(0.05), alpha)
+    claims.append(
+        _check(
+            "lemma41",
+            "never-query pays >= (1/(2 eps))^a at eps = 0.05 (Lemma 4.1)",
+            m.energy_ratio,
+            (1.0 / 0.1) ** alpha,
+            ">=",
+        )
+    )
+    s_lb, e_lb = lemmas.lemma45_equal_window_lower_bounds(1e-6, alpha)
+    claims.append(
+        _check(
+            "lemma45",
+            "equal-window construction reaches 3^(a-1) (Lemma 4.5)",
+            e_lb,
+            formulas.equal_window_lb_energy(alpha),
+            ">=",
+        )
+    )
+    sol = solve_game(alpha, "max_speed")
+    claims.append(
+        _check(
+            "lemma44",
+            "randomized game value >= 4/3 for max speed (Lemma 4.4)",
+            sol.value,
+            4.0 / 3.0,
+            ">=",
+        )
+    )
+
+    # -- the rho table --------------------------------------------------------
+    worst_cell_err = 0.0
+    for row, p1, p2, p3 in zip(
+        rho.rho_table(), rho.PAPER_RHO1, rho.PAPER_RHO2, rho.PAPER_RHO3
+    ):
+        worst_cell_err = max(
+            worst_cell_err,
+            abs(row.rho1 - p1) / max(p1, 1.0),
+            abs(row.rho2 - p2) / max(p2, 1.0),
+            (abs(row.rho3 - p3) / max(p3, 1.0)) if row.rho3 is not None else 0.0,
+        )
+    claims.append(
+        _check(
+            "rho-table",
+            "Sec. 4.2 rho table matches the paper (max relative cell error)",
+            worst_cell_err,
+            0.015,
+            "<=",
+        )
+    )
+
+    # -- clairvoyant sanity -----------------------------------------------------
+    qi = generators.online_instance(n, seed=seed)
+    base = clairvoyant(qi, alpha)
+    claims.append(
+        _check(
+            "opt-sanity",
+            "clairvoyant optimum is positive and finite on a random instance",
+            base.energy_value,
+            0.0,
+            ">=",
+        )
+    )
+    return claims
+
+
+def all_ok(claims: List[Claim]) -> bool:
+    return all(c.ok for c in claims)
+
+
+def render_claims(claims: List[Claim]) -> str:
+    """Human-readable checklist."""
+    lines = []
+    for c in claims:
+        mark = "PASS" if c.ok else "FAIL"
+        lines.append(
+            f"[{mark}] {c.id}: {c.description} "
+            f"(observed {c.observed:.4g} {c.comparison} {c.threshold:.4g})"
+        )
+    n_ok = sum(c.ok for c in claims)
+    lines.append(f"{n_ok}/{len(claims)} claims verified")
+    return "\n".join(lines)

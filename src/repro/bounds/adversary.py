@@ -1,0 +1,190 @@
+"""The single-job adversarial game (Lemmas 4.1–4.3).
+
+All of the paper's deterministic lower bounds are games on a single job
+``(r=0, d=1, c, w, w*)``: the algorithm commits to a decision (query or not,
+and a split ``x``) seeing only ``(c, w)``; the adversary then picks the
+worst ``w* in [0, w]``.  This module plays that game two ways:
+
+* **closed form** — :func:`game_value` evaluates a decision analytically;
+* **against real code** — :func:`adversarial_ratio` probes an actual
+  algorithm (e.g. :func:`repro.qbss.crcd.crcd`) with a throwaway instance,
+  reads the decision it logged, picks the adversarial ``w*``, re-runs the
+  algorithm on the real instance, and measures the realised ratio against
+  the clairvoyant optimum.  This is the strongest form of reproduction: the
+  lower bound is exercised against the shipped implementation, not a model
+  of it.
+
+Deterministic algorithms decide from the known attributes only, so the probe
+run and the final run take identical decisions; this is asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Literal, Optional, Tuple
+
+import numpy as np
+
+from ..core.instance import QBSSInstance
+from ..core.power import PowerFunction
+from ..core.qjob import QJob
+from ..qbss.clairvoyant import clairvoyant
+from ..qbss.result import QBSSResult
+
+Objective = Literal["energy", "max_speed"]
+
+Algorithm = Callable[[QBSSInstance], QBSSResult]
+
+
+# -- closed-form game --------------------------------------------------------------
+
+
+def algorithm_value(
+    query: bool,
+    x: Optional[float],
+    c: float,
+    w: float,
+    wstar: float,
+    alpha: float,
+    objective: Objective,
+) -> float:
+    """Objective value of a committed decision on the unit-window job.
+
+    No query: constant speed ``w``.  Query with split ``x``: speed ``c/x``
+    on ``(0, x]`` and ``w*/(1-x)`` on ``(x, 1]`` (constant speeds are optimal
+    within each part by convexity).
+    """
+    if not query:
+        return w**alpha if objective == "energy" else w
+    if x is None or not 0 < x < 1:
+        raise ValueError(f"query decision needs x in (0,1), got {x}")
+    s1 = c / x
+    s2 = wstar / (1.0 - x)
+    if objective == "energy":
+        return x * s1**alpha + (1.0 - x) * s2**alpha
+    return max(s1, s2)
+
+
+def optimal_value(
+    c: float, w: float, wstar: float, alpha: float, objective: Objective
+) -> float:
+    """Clairvoyant value: constant speed ``p* = min(w, c + w*)``."""
+    p = min(w, c + wstar)
+    return p**alpha if objective == "energy" else p
+
+
+def game_value(
+    query: bool,
+    x: Optional[float],
+    c: float,
+    w: float,
+    alpha: float,
+    objective: Objective,
+    grid: int = 257,
+) -> Tuple[float, float]:
+    """Adversary's best response: ``(worst ratio, maximising w*)``.
+
+    The ratio is piecewise monotone in ``w*`` with kinks at ``w* = w - c``
+    (where the optimum saturates); extremes plus a safety grid are checked.
+    """
+    candidates: List[float] = [0.0, w, max(0.0, w - c)]
+    candidates.extend(np.linspace(0.0, w, grid))
+    best_ratio, best_wstar = -1.0, 0.0
+    for ws in candidates:
+        opt = optimal_value(c, w, ws, alpha, objective)
+        if opt <= 0:
+            continue
+        ratio = algorithm_value(query, x, c, w, ws, alpha, objective) / opt
+        if ratio > best_ratio:
+            best_ratio, best_wstar = ratio, float(ws)
+    return best_ratio, best_wstar
+
+
+def best_deterministic_decision(
+    c: float, w: float, alpha: float, objective: Objective, x_grid: int = 257
+) -> Tuple[float, bool, Optional[float]]:
+    """The decision minimising the worst-case ratio: ``(value, query, x)``.
+
+    Searching over "no query" and a grid of split points; this is the
+    benchmark for how well *any* deterministic algorithm can do on the
+    single job — Lemma 4.3 says the value is at least 2 (max speed) /
+    ``2^{alpha-1}`` (energy) for the instance ``c=1, w=2``.
+    """
+    best = (game_value(False, None, c, w, alpha, objective)[0], False, None)
+    for x in np.linspace(1e-3, 1 - 1e-3, x_grid):
+        val = game_value(True, float(x), c, w, alpha, objective)[0]
+        if val < best[0]:
+            best = (val, True, float(x))
+    return best
+
+
+# -- the game against real implementations --------------------------------------------
+
+
+@dataclass
+class AdversarialOutcome:
+    """Result of running the adversary against a real algorithm."""
+
+    ratio: float
+    wstar: float
+    queried: bool
+    split: Optional[float]
+    objective: Objective
+
+
+def _measure(result: QBSSResult, alpha: float, objective: Objective) -> float:
+    if objective == "energy":
+        return result.energy(PowerFunction(alpha))
+    return result.max_speed()
+
+
+def adversarial_ratio(
+    algorithm: Algorithm,
+    c: float,
+    w: float,
+    alpha: float,
+    objective: Objective,
+    deadline: float = 1.0,
+    grid: int = 33,
+) -> AdversarialOutcome:
+    """Play the single-job game against a real algorithm implementation.
+
+    1. probe with ``w* = 0`` and read the logged decision;
+    2. for every candidate ``w*`` (extremes, kink, grid), re-run the
+       algorithm on the instance with that exact load and measure the true
+       ratio versus the clairvoyant optimum;
+    3. return the worst case, asserting the decision never changed (it
+       cannot, for a deterministic algorithm that honours the information
+       constraints — a change would mean ``w*`` leaked).
+    """
+    def make(wstar: float) -> QBSSInstance:
+        return QBSSInstance([QJob(0.0, deadline, c, w, wstar, "adv")])
+
+    probe = algorithm(make(0.0))
+    decision = probe.decisions["adv"]
+
+    candidates: List[float] = sorted(
+        {0.0, w, max(0.0, w - c), *np.linspace(0.0, w, grid)}
+    )
+    worst = AdversarialOutcome(-1.0, 0.0, decision.query, decision.split, objective)
+    for ws in candidates:
+        inst = make(float(ws))
+        res = algorithm(inst)
+        again = res.decisions["adv"]
+        if (again.query, again.split) != (decision.query, decision.split):
+            raise AssertionError(
+                f"algorithm changed its decision with w*: {decision} -> {again}; "
+                "the exact load leaked before the query completed"
+            )
+        opt = clairvoyant(inst, alpha)
+        denom = (
+            opt.energy_value if objective == "energy" else opt.max_speed_value
+        )
+        if denom <= 0:
+            continue
+        ratio = _measure(res, alpha, objective) / denom
+        if ratio > worst.ratio:
+            worst = AdversarialOutcome(
+                float(ratio), float(ws), decision.query, decision.split, objective
+            )
+    return worst

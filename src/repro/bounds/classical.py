@@ -1,0 +1,124 @@
+"""Classical speed-scaling lower-bound families.
+
+Lemma 5.1's ``(2 alpha)^alpha`` bound for AVRQ "extends the lower bound for
+AVR proposed in [13]" — i.e. it rides on how bad plain AVR can get.  This
+module provides the classical adversarial families those arguments build
+on, as parametric instance generators plus a small search helper:
+
+* :func:`avr_tower_instance` — one-sided nested windows with the
+  ``W(x) = x^{1-1/alpha}`` work profile; drives AVR towards ``alpha^alpha``
+  (the marginal-divergence choice: AVR speed ~ (alpha-1) t^{-1/alpha}
+  versus the optimal staircase ~ t^{-1/alpha} / ... per shell);
+* :func:`avr_two_sided_instance` — the symmetric version (windows centred
+  on a common point), which is how Bansal, Bunde, Chan and Pruhs push AVR
+  towards ``((2-delta) alpha)^alpha / 2``;
+* :func:`oa_staircase_instance` — arrival staircase with a common deadline
+  that makes OA perpetually under-commit, approaching ``alpha^alpha``;
+* :func:`maximize_family_ratio` — grid search over a family parameter.
+
+These families are *finite* truncations of asymptotic constructions: the
+benches report trajectories, not attained constants.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from ..core.job import Job
+from ..core.power import PowerFunction
+from ..speed_scaling.yds import yds_profile
+
+
+def _shell_works(levels: int, alpha: float, shrink: float) -> List[Tuple[float, float]]:
+    """(deadline, work) pairs for the W(x) = x^{1-1/alpha} shell profile."""
+    beta = 1.0 - 1.0 / alpha
+    out = []
+    for i in range(levels):
+        d = shrink**i
+        inner = shrink ** (i + 1) if i < levels - 1 else 0.0
+        w = d**beta - inner**beta
+        out.append((d, max(w, 1e-12)))
+    return out
+
+
+def avr_tower_instance(levels: int, alpha: float, shrink: float = 0.5) -> List[Job]:
+    """Nested windows ``(0, shrink^i]`` with shell works (one-sided family)."""
+    if levels < 1:
+        raise ValueError("need at least one level")
+    if not 0.0 < shrink < 1.0:
+        raise ValueError("shrink must be in (0, 1)")
+    return [
+        Job(0.0, d, w, f"tower-{i}")
+        for i, (d, w) in enumerate(_shell_works(levels, alpha, shrink))
+    ]
+
+
+def avr_two_sided_instance(
+    levels: int, alpha: float, shrink: float = 0.5, center: float = 1.0
+) -> List[Job]:
+    """Symmetric windows ``(center - L_i, center + L_i]`` (two-sided family).
+
+    Each level contributes its shell work on *both* sides of the centre, so
+    AVR's density pile-up at the centre doubles relative to the one-sided
+    tower while the optimum still spreads each shell across its full
+    window — the mechanism behind the stronger two-sided bound.
+    """
+    if levels < 1:
+        raise ValueError("need at least one level")
+    jobs = []
+    for i, (d, w) in enumerate(_shell_works(levels, alpha, shrink)):
+        jobs.append(Job(center - d, center + d, 2.0 * w, f"sym-{i}"))
+    return jobs
+
+
+def oa_staircase_instance(
+    steps: int, alpha: float, horizon: float = 1.0
+) -> List[Job]:
+    """Arrival staircase with a common deadline, the OA adversary's shape.
+
+    Work arrives at times ``t_i = horizon * (1 - q^i)`` in amounts that keep
+    OA's replanned speed rising: each new batch is exactly what makes the
+    remaining-work density grow geometrically.  As ``steps`` grows OA's
+    energy approaches ``alpha^alpha`` times the optimum (classical result of
+    Bansal, Kimbrel, Pruhs).
+    """
+    if steps < 1:
+        raise ValueError("need at least one step")
+    q = (alpha - 1.0) / alpha
+    jobs = []
+    for i in range(steps):
+        t = horizon * (1.0 - q**i)
+        remaining = horizon - t
+        # arrival sized so the replanned density rises by the factor 1/q
+        work = remaining * (q ** -(i * (1.0 / alpha)) - (1.0 if i == 0 else 0.0))
+        work = abs(work)
+        jobs.append(Job(t, horizon, max(work, 1e-12), f"stair-{i}"))
+    return jobs
+
+
+def family_ratio(
+    jobs: Sequence[Job],
+    profile_fn: Callable[[Sequence[Job]], object],
+    alpha: float,
+) -> float:
+    """Energy ratio of an online profile against the offline optimum."""
+    power = PowerFunction(alpha)
+    opt = yds_profile(jobs).energy(power)
+    if opt <= 0:
+        raise ValueError("optimum has zero energy; degenerate family instance")
+    return profile_fn(jobs).energy(power) / opt  # type: ignore[union-attr]
+
+
+def maximize_family_ratio(
+    family: Callable[[float], Sequence[Job]],
+    params: Sequence[float],
+    profile_fn: Callable[[Sequence[Job]], object],
+    alpha: float,
+) -> Tuple[float, float]:
+    """Grid search: ``(best parameter, best ratio)`` over ``params``."""
+    best_p, best_r = params[0], -1.0
+    for p in params:
+        r = family_ratio(family(p), profile_fn, alpha)
+        if r > best_r:
+            best_p, best_r = p, r
+    return best_p, best_r

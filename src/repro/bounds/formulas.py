@@ -1,0 +1,192 @@
+"""Closed-form bounds from the paper, as functions of alpha.
+
+Everything in Table 1 (plus the classical bounds the QBSS results build on)
+lives here so benches, tests and docs never re-type a formula.  Names follow
+``<algorithm>_<lb|ub>_<objective>``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.constants import PHI
+
+
+def _check_alpha(alpha: float) -> None:
+    if not alpha > 1.0:
+        raise ValueError(f"alpha must be > 1, got {alpha}")
+
+
+# -- classical speed scaling (substrate) -------------------------------------------
+
+
+def avr_ub_energy(alpha: float) -> float:
+    """AVR is ``2^{alpha-1} alpha^alpha``-competitive (Yao et al. 1995)."""
+    _check_alpha(alpha)
+    return 2.0 ** (alpha - 1.0) * alpha**alpha
+
+
+def oa_ub_energy(alpha: float) -> float:
+    """OA is exactly ``alpha^alpha``-competitive (Bansal et al. 2007)."""
+    _check_alpha(alpha)
+    return alpha**alpha
+
+
+def bkp_ub_energy(alpha: float) -> float:
+    """BKP is ``2 (alpha/(alpha-1))^alpha e^alpha``-competitive."""
+    _check_alpha(alpha)
+    return 2.0 * (alpha / (alpha - 1.0)) ** alpha * math.e**alpha
+
+
+BKP_UB_MAX_SPEED: float = math.e  # e-competitive, optimal deterministically
+
+
+def avr_m_ub_energy(alpha: float) -> float:
+    """AVR(m) is ``2^{alpha-1} alpha^alpha + 1``-competitive (Albers et al.)."""
+    _check_alpha(alpha)
+    return 2.0 ** (alpha - 1.0) * alpha**alpha + 1.0
+
+
+# -- QBSS offline (Table 1, top half) ------------------------------------------------
+
+
+def oracle_lb_energy(alpha: float) -> float:
+    """Lemma 4.2: no ``(phi^alpha - eps)``-approximation, even with an oracle."""
+    _check_alpha(alpha)
+    return PHI**alpha
+
+
+ORACLE_LB_MAX_SPEED: float = PHI  # Lemma 4.2
+
+
+def deterministic_lb_energy(alpha: float) -> float:
+    """Lemma 4.3: no ``(2^{alpha-1} - eps)``-approximation deterministically."""
+    _check_alpha(alpha)
+    return 2.0 ** (alpha - 1.0)
+
+
+DETERMINISTIC_LB_MAX_SPEED: float = 2.0  # Lemma 4.3
+
+
+def offline_lb_energy(alpha: float) -> float:
+    """Table 1's offline row: ``max{phi^alpha, 2^{alpha-1}}``."""
+    return max(oracle_lb_energy(alpha), deterministic_lb_energy(alpha))
+
+
+def equal_window_lb_energy(alpha: float) -> float:
+    """Lemma 4.5: equal-window algorithms lose at least ``3^{alpha-1}``."""
+    _check_alpha(alpha)
+    return 3.0 ** (alpha - 1.0)
+
+
+EQUAL_WINDOW_LB_MAX_SPEED: float = 3.0  # Lemma 4.5
+
+
+def randomized_lb_energy(alpha: float) -> float:
+    """Lemma 4.4: randomized algorithms lose at least ``(1 + phi^alpha)/2``."""
+    _check_alpha(alpha)
+    return 0.5 * (1.0 + PHI**alpha)
+
+
+RANDOMIZED_LB_MAX_SPEED: float = 4.0 / 3.0  # Lemma 4.4
+
+
+def crcd_ub_energy(alpha: float) -> float:
+    """Theorem 4.6: CRCD is ``min{2^{alpha-1} phi^alpha, 2^alpha}``-approximate."""
+    _check_alpha(alpha)
+    return min(2.0 ** (alpha - 1.0) * PHI**alpha, 2.0**alpha)
+
+
+CRCD_UB_MAX_SPEED: float = 2.0  # Theorem 4.6
+
+
+def crp2d_ub_energy(alpha: float) -> float:
+    """Theorem 4.13: CRP2D is ``(4 phi)^alpha``-approximate for energy."""
+    _check_alpha(alpha)
+    return (4.0 * PHI) ** alpha
+
+
+def crad_ub_energy(alpha: float) -> float:
+    """Corollary 4.15: CRAD is ``(8 phi)^alpha``-approximate for energy."""
+    _check_alpha(alpha)
+    return (8.0 * PHI) ** alpha
+
+
+# -- QBSS online (Table 1, bottom half) -----------------------------------------------
+
+
+def avrq_lb_energy(alpha: float) -> float:
+    """Lemma 5.1: AVRQ is at least ``(2 alpha)^alpha``-competitive."""
+    _check_alpha(alpha)
+    return (2.0 * alpha) ** alpha
+
+
+def avrq_ub_energy(alpha: float) -> float:
+    """Corollary 5.3: AVRQ is ``2^{2 alpha - 1} alpha^alpha``-competitive."""
+    _check_alpha(alpha)
+    return 2.0**alpha * avr_ub_energy(alpha)
+
+
+def bkpq_lb_energy(alpha: float) -> float:
+    """Table 1: BKPQ loses at least ``3^{alpha-1}`` (equal-window bound)."""
+    return equal_window_lb_energy(alpha)
+
+
+def bkpq_ub_energy(alpha: float) -> float:
+    """Corollary 5.5: ``(2+phi)^alpha * 2 (alpha/(alpha-1))^alpha e^alpha``."""
+    _check_alpha(alpha)
+    return (2.0 + PHI) ** alpha * bkp_ub_energy(alpha)
+
+
+def bkpq_ub_max_speed() -> float:
+    """Corollary 5.5: BKPQ is ``(2 + phi) e``-competitive for max speed."""
+    return (2.0 + PHI) * math.e
+
+
+def avrq_m_lb_energy(alpha: float) -> float:
+    """Table 1: AVRQ(m) inherits the ``(2 alpha)^alpha`` lower bound."""
+    return avrq_lb_energy(alpha)
+
+
+def avrq_m_ub_energy(alpha: float) -> float:
+    """Corollary 6.4: AVRQ(m) is ``2^alpha (2^{alpha-1} alpha^alpha + 1)``."""
+    _check_alpha(alpha)
+    return 2.0**alpha * avr_m_ub_energy(alpha)
+
+
+# -- Table 1 as data -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1 (energy objective)."""
+
+    setting: str  # "offline" / "online"
+    name: str
+    lower: Optional[Callable[[float], float]]
+    upper: Optional[Callable[[float], float]]
+
+
+TABLE1_ROWS: List[Table1Row] = [
+    Table1Row("offline", "Oracle", oracle_lb_energy, None),
+    Table1Row("offline", "CRCD", offline_lb_energy, crcd_ub_energy),
+    Table1Row("offline", "CRP2D", offline_lb_energy, crp2d_ub_energy),
+    Table1Row("offline", "CRAD", offline_lb_energy, crad_ub_energy),
+    Table1Row("online", "AVRQ", avrq_lb_energy, avrq_ub_energy),
+    Table1Row("online", "BKPQ", bkpq_lb_energy, bkpq_ub_energy),
+    Table1Row("online", "AVRQ(m)", avrq_m_lb_energy, avrq_m_ub_energy),
+]
+
+
+def table1_values(alpha: float) -> Dict[str, Dict[str, Optional[float]]]:
+    """Evaluate every Table 1 row at ``alpha``."""
+    return {
+        row.name: {
+            "setting": row.setting,
+            "lower": row.lower(alpha) if row.lower else None,
+            "upper": row.upper(alpha) if row.upper else None,
+        }
+        for row in TABLE1_ROWS
+    }

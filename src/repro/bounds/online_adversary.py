@@ -1,0 +1,132 @@
+"""Adaptive adversarial search against the online QBSS algorithms.
+
+Random workloads rarely stress an online algorithm; the paper's lower
+bounds come from *adaptive* adversaries.  This module automates a greedy
+version of that adversary: starting from an empty instance, repeatedly try
+appending each candidate job from a menu (releases strictly non-decreasing,
+so the process is a legal online arrival sequence), run the *real*
+algorithm on each extension, and keep the one that maximises the energy
+ratio against the clairvoyant optimum.
+
+This is a search heuristic, not a proof device — its value is empirical:
+it reliably finds instances several times worse than random sampling (the
+worst instances found are recorded by the ``adaptive-adversary`` bench and
+can be serialized for regression hunting).
+
+Determinism: the menu and the tie-breaking are fixed, so a given
+(algorithm, menu, steps) triple always reproduces the same instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.instance import QBSSInstance
+from ..core.power import PowerFunction
+from ..core.qjob import QJob
+from ..qbss.clairvoyant import clairvoyant
+from ..qbss.result import QBSSResult
+
+Algorithm = Callable[[QBSSInstance], QBSSResult]
+
+
+@dataclass(frozen=True)
+class JobTemplate:
+    """A candidate job shape the adversary may release.
+
+    ``wstar_choices`` are the exact loads the adversary may pick for it
+    (it will try each); window length and loads are fixed per template.
+    """
+
+    span: float
+    query_cost: float
+    work_upper: float
+    wstar_choices: Tuple[float, ...]
+
+    def instantiate(self, release: float, wstar: float, idx: int) -> QJob:
+        return QJob(
+            release,
+            release + self.span,
+            self.query_cost,
+            self.work_upper,
+            wstar,
+            f"adv-{idx}",
+        )
+
+
+def default_menu(scale: float = 1.0) -> List[JobTemplate]:
+    """A small expressive menu: cheap/dear queries, short/long windows."""
+    return [
+        JobTemplate(1.0 * scale, 0.1 * scale, 1.0 * scale, (0.0, 1.0 * scale)),
+        JobTemplate(1.0 * scale, 0.5 * scale, 1.0 * scale, (0.0, 1.0 * scale)),
+        JobTemplate(2.0 * scale, 0.2 * scale, 2.0 * scale, (0.0, 2.0 * scale)),
+        JobTemplate(0.5 * scale, 0.2 * scale, 2.0 * scale, (0.0, 2.0 * scale)),
+        JobTemplate(4.0 * scale, 0.4 * scale, 1.0 * scale, (0.0, 1.0 * scale)),
+    ]
+
+
+@dataclass
+class AdversarySearchResult:
+    """The worst instance found and its measured ratio."""
+
+    instance: QBSSInstance
+    ratio: float
+    trace: List[str]  # description of each accepted step
+
+
+def _ratio(algorithm: Algorithm, qi: QBSSInstance, alpha: float) -> float:
+    power = PowerFunction(alpha)
+    base = clairvoyant(qi, alpha)
+    if base.energy_value <= 0:
+        return 0.0
+    result = algorithm(qi)
+    return result.energy(power) / base.energy_value
+
+
+def adaptive_online_search(
+    algorithm: Algorithm,
+    alpha: float = 3.0,
+    steps: int = 6,
+    menu: Optional[Sequence[JobTemplate]] = None,
+    release_offsets: Sequence[float] = (0.0, 0.25, 0.5, 1.0),
+) -> AdversarySearchResult:
+    """Greedy adaptive construction of a bad instance (see module docstring).
+
+    At each step the adversary considers every (template, release offset,
+    w* choice) extension of the current instance — releases move forward by
+    the offset from the previous release — and keeps the extension with the
+    highest ratio; it stops early when no extension improves.
+    """
+    templates = list(menu) if menu is not None else default_menu()
+    jobs: List[QJob] = []
+    trace: List[str] = []
+    best_ratio = 0.0
+    last_release = 0.0
+
+    for step in range(steps):
+        best_ext: Optional[Tuple[QJob, float, str]] = None
+        for t_idx, template in enumerate(templates):
+            for off in release_offsets:
+                release = last_release + off
+                for wstar in template.wstar_choices:
+                    candidate = template.instantiate(release, wstar, len(jobs))
+                    qi = QBSSInstance(jobs + [candidate])
+                    ratio = _ratio(algorithm, qi, alpha)
+                    if best_ext is None or ratio > best_ext[1]:
+                        best_ext = (
+                            candidate,
+                            ratio,
+                            f"step {step}: template {t_idx} at t={release:g} "
+                            f"w*={wstar:g} -> ratio {ratio:.3f}",
+                        )
+        assert best_ext is not None
+        candidate, ratio, desc = best_ext
+        if ratio <= best_ratio + 1e-9 and jobs:
+            break  # no extension makes things worse for the algorithm
+        jobs.append(candidate)
+        last_release = candidate.release
+        best_ratio = ratio
+        trace.append(desc)
+
+    return AdversarySearchResult(QBSSInstance(jobs), best_ratio, trace)

@@ -1,0 +1,101 @@
+"""``qbss-report`` — regenerate the paper's tables and figures from the CLI.
+
+Examples::
+
+    qbss-report rho                 # the Sec. 4.2 rho table
+    qbss-report table1 --alpha 2.5  # Table 1 at alpha = 2.5
+    qbss-report all                 # every registered experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.experiments import REGISTRY
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qbss-report",
+        description=(
+            "Regenerate the evaluation artifacts of 'Speed Scaling with "
+            "Explorable Uncertainty' (SPAA 2021)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(REGISTRY) + ["all", "verify"],
+        help=(
+            "which paper artifact to regenerate; 'verify' runs the "
+            "condensed reproduction check-list"
+        ),
+    )
+    parser.add_argument(
+        "--alpha",
+        type=float,
+        default=None,
+        help="power exponent (where the experiment takes one; default 3.0)",
+    )
+    parser.add_argument(
+        "--n",
+        type=int,
+        default=None,
+        help="jobs per random instance (where applicable)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        help="number of random seeds (where applicable)",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a markdown document instead of ASCII tables",
+    )
+    return parser
+
+
+def _kwargs_for(name: str, args: argparse.Namespace) -> dict:
+    import inspect
+
+    fn = REGISTRY[name]
+    sig = inspect.signature(fn)
+    kwargs = {}
+    if args.alpha is not None and "alpha" in sig.parameters:
+        kwargs["alpha"] = args.alpha
+    if args.n is not None and "n" in sig.parameters:
+        kwargs["n"] = args.n
+    if args.seeds is not None and "seeds" in sig.parameters:
+        kwargs["seeds"] = tuple(range(args.seeds))
+    return kwargs
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "verify":
+        from .analysis.verification import all_ok, render_claims, verify_reproduction
+
+        claims = verify_reproduction(
+            alpha=args.alpha or 3.0, n=args.n or 12
+        )
+        print(render_claims(claims))
+        return 0 if all_ok(claims) else 1
+    names = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
+    if args.markdown:
+        from .analysis.report import generate_markdown
+
+        overrides = {name: _kwargs_for(name, args) for name in names}
+        print(generate_markdown(names, overrides))
+        return 0
+    for name in names:
+        report = REGISTRY[name](**_kwargs_for(name, args))
+        print(report.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

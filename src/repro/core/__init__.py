@@ -1,0 +1,51 @@
+"""Core substrate: jobs, instances, speed profiles, schedules, execution.
+
+Everything above this package (classical algorithms, QBSS algorithms,
+analysis) is written in terms of these primitives.
+"""
+
+from .constants import DEFAULT_ALPHA, EPS, PHI, feq, fge, fle
+from .edf import EDFResult, profile_feasible_for, run_edf
+from .events import Arrival, OnlineStream
+from .feasibility import (
+    FeasibilityReport,
+    InfeasibleScheduleError,
+    check_feasible,
+)
+from .instance import Instance, QBSSInstance
+from .job import Job
+from .power import PowerFunction
+from .profile import Segment, SpeedProfile, max_profiles, sum_profiles
+from .qjob import QJob, QJobView, QueryNotCompleted
+from .schedule import Schedule, Slice, merge_schedules
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "EPS",
+    "PHI",
+    "feq",
+    "fge",
+    "fle",
+    "EDFResult",
+    "profile_feasible_for",
+    "run_edf",
+    "Arrival",
+    "OnlineStream",
+    "FeasibilityReport",
+    "InfeasibleScheduleError",
+    "check_feasible",
+    "Instance",
+    "QBSSInstance",
+    "Job",
+    "PowerFunction",
+    "Segment",
+    "SpeedProfile",
+    "max_profiles",
+    "sum_profiles",
+    "QJob",
+    "QJobView",
+    "QueryNotCompleted",
+    "Schedule",
+    "Slice",
+    "merge_schedules",
+]

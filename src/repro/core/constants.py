@@ -1,0 +1,49 @@
+"""Numeric constants shared across the library.
+
+The golden ratio :data:`PHI` plays a central role in the QBSS model: the
+query-decision rule of Lemma 3.1 queries a job exactly when ``c_j <= w_j / PHI``,
+which guarantees that the load executed by the algorithm is at most ``PHI``
+times the load executed by the clairvoyant optimum.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: The golden ratio phi = (1 + sqrt(5)) / 2 ~= 1.6180339887.
+#: Satisfies ``PHI**2 == PHI + 1`` which is what makes the threshold rule tight.
+PHI: float = (1.0 + math.sqrt(5.0)) / 2.0
+
+#: Euler's number, the speed multiplier of the BKP algorithm.
+E_CONST: float = math.e
+
+#: Default exponent of the power function ``P(s) = s**alpha``.  The paper uses
+#: the general ``alpha > 1``; CMOS technology is classically modelled with 3.
+DEFAULT_ALPHA: float = 3.0
+
+#: Absolute tolerance used throughout for floating-point comparisons of times,
+#: work amounts and speeds.
+EPS: float = 1e-9
+
+#: Looser relative tolerance for comparisons of aggregated quantities such as
+#: energies, which accumulate error over many segments.
+REL_TOL: float = 1e-6
+
+
+def feq(a: float, b: float, tol: float = EPS) -> bool:
+    """Return ``True`` when ``a`` and ``b`` are equal up to tolerance.
+
+    Uses a combined absolute/relative criterion so it behaves sensibly both
+    for values near zero (times, works) and for large aggregates (energies).
+    """
+    return abs(a - b) <= tol + REL_TOL * max(abs(a), abs(b))
+
+
+def fle(a: float, b: float, tol: float = EPS) -> bool:
+    """Return ``True`` when ``a <= b`` up to tolerance."""
+    return a <= b + tol + REL_TOL * max(abs(a), abs(b))
+
+
+def fge(a: float, b: float, tol: float = EPS) -> bool:
+    """Return ``True`` when ``a >= b`` up to tolerance."""
+    return fle(b, a, tol)

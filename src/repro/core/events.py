@@ -1,0 +1,72 @@
+"""Online arrival streams.
+
+The online setting of the paper reveals a job (without its exact load) at its
+release time.  An :class:`OnlineStream` is the ordered sequence of such
+arrival events; online algorithms consume it through :meth:`OnlineStream.play`
+or by iterating arrival times, and must never look at a job before its
+arrival.  The QBSS simulator (:mod:`repro.qbss.simulation`) layers query
+completions on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterator, List, Sequence, Tuple, TypeVar
+
+from .job import Job
+from .timeline import dedupe_times
+
+J = TypeVar("J")
+
+
+@dataclass(frozen=True)
+class Arrival(Generic[J]):
+    """A job becoming known to the algorithm at ``time``."""
+
+    time: float
+    job: J
+
+
+class OnlineStream(Generic[J]):
+    """An ordered, replayable stream of job arrivals.
+
+    Arrival order is by time, ties broken by insertion order, which makes
+    online runs deterministic.
+    """
+
+    def __init__(self, arrivals: Sequence[Arrival[J]] = ()) -> None:
+        self._arrivals: List[Arrival[J]] = sorted(
+            arrivals, key=lambda a: a.time
+        )
+
+    @classmethod
+    def from_jobs(cls, jobs: Sequence[Job]) -> "OnlineStream[Job]":
+        """Stream where each classical job arrives at its release time."""
+        return OnlineStream([Arrival(j.release, j) for j in jobs])
+
+    def add(self, time: float, job: J) -> None:
+        """Insert an arrival, keeping the stream sorted."""
+        self._arrivals.append(Arrival(time, job))
+        self._arrivals.sort(key=lambda a: a.time)
+
+    def __iter__(self) -> Iterator[Arrival[J]]:
+        return iter(self._arrivals)
+
+    def __len__(self) -> int:
+        return len(self._arrivals)
+
+    @property
+    def arrivals(self) -> Tuple[Arrival[J], ...]:
+        return tuple(self._arrivals)
+
+    def arrival_times(self) -> List[float]:
+        return dedupe_times(a.time for a in self._arrivals)
+
+    def jobs_arrived_by(self, t: float) -> List[J]:
+        """All jobs with arrival time <= t (what an online algorithm knows)."""
+        return [a.job for a in self._arrivals if a.time <= t]
+
+    def play(self, on_arrival: Callable[[float, J], None]) -> None:
+        """Deliver every arrival, in order, to ``on_arrival(time, job)``."""
+        for a in self._arrivals:
+            on_arrival(a.time, a.job)

@@ -1,0 +1,172 @@
+"""Instance containers for classical and QBSS scheduling problems.
+
+An :class:`Instance` is a validated collection of classical jobs; a
+:class:`QBSSInstance` holds QBSS jobs plus the machine count, and knows how
+to produce the derived classical instances of the paper's analysis
+(``I*`` — the clairvoyant instance — lives here; the ``I'`` and ``I'_1/2``
+constructions of Figure 1 live in :mod:`repro.qbss.transform`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from .constants import EPS
+from .job import Job
+from .qjob import QJob, QJobView
+
+
+@dataclass(frozen=True)
+class Instance:
+    """A classical speed-scaling instance: jobs plus number of machines."""
+
+    jobs: Tuple[Job, ...]
+    machines: int = 1
+
+    def __init__(self, jobs: Sequence[Job], machines: int = 1) -> None:
+        if machines < 1:
+            raise ValueError(f"machines must be >= 1, got {machines}")
+        ids = [j.id for j in jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("job ids must be unique within an instance")
+        object.__setattr__(self, "jobs", tuple(jobs))
+        object.__setattr__(self, "machines", machines)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def span(self) -> Tuple[float, float]:
+        """``(min release, max deadline)`` over all jobs."""
+        if not self.jobs:
+            return (0.0, 0.0)
+        return (
+            min(j.release for j in self.jobs),
+            max(j.deadline for j in self.jobs),
+        )
+
+    def total_work(self) -> float:
+        return sum(j.work for j in self.jobs)
+
+    def breakpoints(self) -> List[float]:
+        """All releases and deadlines, sorted and deduplicated."""
+        raw = sorted(
+            {j.release for j in self.jobs} | {j.deadline for j in self.jobs}
+        )
+        pts: List[float] = []
+        for t in raw:
+            if not pts or t - pts[-1] > EPS:
+                pts.append(t)
+        return pts
+
+    def active_jobs(self, t: float) -> List[Job]:
+        """Jobs whose active interval contains time ``t`` (``r < t <= d``)."""
+        return [j for j in self.jobs if j.active_at(t)]
+
+    def jobs_within(self, start: float, end: float) -> List[Job]:
+        """Jobs whose whole window lies inside ``[start, end]``."""
+        return [j for j in self.jobs if start <= j.release and j.deadline <= end]
+
+    def with_machines(self, machines: int) -> "Instance":
+        return Instance(self.jobs, machines)
+
+
+@dataclass(frozen=True)
+class QBSSInstance:
+    """A QBSS instance: uncertain jobs plus number of machines.
+
+    The container owns the ground truth (the ``w*`` values).  Algorithms
+    receive :meth:`views`, which hide the exact loads behind the query
+    protocol of :class:`repro.core.qjob.QJobView`.
+    """
+
+    jobs: Tuple[QJob, ...]
+    machines: int = 1
+
+    def __init__(self, jobs: Sequence[QJob], machines: int = 1) -> None:
+        if machines < 1:
+            raise ValueError(f"machines must be >= 1, got {machines}")
+        ids = [j.id for j in jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("job ids must be unique within an instance")
+        object.__setattr__(self, "jobs", tuple(jobs))
+        object.__setattr__(self, "machines", machines)
+
+    def __iter__(self) -> Iterator[QJob]:
+        return iter(self.jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def span(self) -> Tuple[float, float]:
+        if not self.jobs:
+            return (0.0, 0.0)
+        return (
+            min(j.release for j in self.jobs),
+            max(j.deadline for j in self.jobs),
+        )
+
+    # -- structural properties used to dispatch offline algorithms -----------
+
+    @property
+    def common_release(self) -> bool:
+        """All jobs released at the same time (Sections 4.2-4.4 assume 0)."""
+        return len({j.release for j in self.jobs}) <= 1
+
+    @property
+    def common_deadline(self) -> bool:
+        """All jobs share one deadline (Section 4.2, CRCD)."""
+        return len({j.deadline for j in self.jobs}) <= 1
+
+    @property
+    def power_of_two_deadlines(self) -> bool:
+        """All deadlines are exact powers of two (Section 4.3, CRP2D)."""
+        for j in self.jobs:
+            if j.deadline <= 0:
+                return False
+            lg = math.log2(j.deadline)
+            if abs(lg - round(lg)) > 1e-9:
+                return False
+        return True
+
+    # -- derived instances ------------------------------------------------------
+
+    def views(self) -> List[QJobView]:
+        """Fresh information-restricted views, one per job."""
+        return [j.view() for j in self.jobs]
+
+    def clairvoyant_instance(self) -> Instance:
+        """The instance ``I*``: classical jobs ``(r_j, d_j, p*_j)`` (Sec. 3)."""
+        return Instance([j.clairvoyant_job() for j in self.jobs], self.machines)
+
+    def upper_bound_instance(self) -> Instance:
+        """Classical jobs ``(r_j, d_j, w_j)`` — the never-query reduction."""
+        return Instance([j.as_upper_bound_job() for j in self.jobs], self.machines)
+
+    def with_machines(self, machines: int) -> "QBSSInstance":
+        return QBSSInstance(self.jobs, machines)
+
+    def rounded_down_deadlines(self) -> "QBSSInstance":
+        """The CRAD preprocessing: round every deadline down to a power of 2.
+
+        Requires every window to still be non-empty afterwards, which holds
+        whenever ``d_j > r_j = 0`` and ``d_j >= smallest representable power``;
+        the caller (CRAD) validates common release at 0.
+        """
+        rounded = []
+        for j in self.jobs:
+            if j.deadline <= 0:
+                raise ValueError("rounding requires positive deadlines")
+            d = 2.0 ** math.floor(math.log2(j.deadline))
+            rounded.append(
+                QJob(j.release, d, j.query_cost, j.work_upper, j.work_true, j.id)
+            )
+        return QBSSInstance(rounded, self.machines)
+
+

@@ -1,0 +1,87 @@
+"""Classical speed-scaling jobs.
+
+A classical job is the triple ``(r_j, d_j, w_j)`` of Yao, Demers and Shenker:
+``w_j`` units of work to be executed preemptively inside the active interval
+``(r_j, d_j]``.  QBSS algorithms reduce their uncertain jobs to classical
+jobs (queries, revealed loads, upper bounds) and feed them to the classical
+machinery, so this type is the lingua franca of the whole library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+_AUTO_ID = count()
+
+
+def _next_id() -> str:
+    return f"job-{next(_AUTO_ID)}"
+
+
+@dataclass(frozen=True)
+class Job:
+    """An immutable classical speed-scaling job ``(release, deadline, work)``.
+
+    Attributes
+    ----------
+    release:
+        Time the job becomes available (``r_j``).
+    deadline:
+        Time by which all of its work must be finished (``d_j``); the active
+        interval is ``(release, deadline]``.
+    work:
+        Amount of work ``w_j >= 0``.  Zero-work jobs are allowed (they arise
+        naturally in QBSS when a query reveals ``w* = 0``) and are trivially
+        complete.
+    id:
+        Stable identifier.  Auto-generated when not provided.  Derived jobs
+        (e.g. the query part of a QBSS job) conventionally suffix the parent
+        id, such as ``"j3:query"``.
+    """
+
+    release: float
+    deadline: float
+    work: float
+    id: str = field(default_factory=_next_id)
+
+    def __post_init__(self) -> None:
+        if not self.deadline > self.release:
+            raise ValueError(
+                f"deadline ({self.deadline}) must exceed release ({self.release})"
+            )
+        if self.work < 0:
+            raise ValueError(f"work must be non-negative, got {self.work}")
+
+    @property
+    def span(self) -> float:
+        """Length of the active interval ``d_j - r_j``."""
+        return self.deadline - self.release
+
+    @property
+    def density(self) -> float:
+        """The density ``delta_j = w_j / (d_j - r_j)``.
+
+        The density is the constant speed at which the job alone would be
+        executed across its full window; it is the basic quantity of the AVR
+        family of algorithms.
+        """
+        return self.work / self.span
+
+    def active_at(self, t: float) -> bool:
+        """Whether ``t`` lies in the half-open active interval ``(r_j, d_j]``.
+
+        The paper uses intervals open on the left; for a job released at
+        ``r_j``, work can be processed at any time ``t`` with
+        ``r_j < t <= d_j``.  For piecewise-constant profiles we treat a job
+        as active on segments ``[a, b)`` with ``r_j <= a`` and ``b <= d_j``.
+        """
+        return self.release < t <= self.deadline
+
+    def contains_interval(self, start: float, end: float) -> bool:
+        """Whether ``[start, end]`` is inside the active window."""
+        return self.release <= start and end <= self.deadline
+
+    def with_work(self, work: float, suffix: str = "") -> "Job":
+        """Copy of this job with different work (and optional id suffix)."""
+        return Job(self.release, self.deadline, work, self.id + suffix)

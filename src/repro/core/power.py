@@ -1,0 +1,74 @@
+"""The speed-scaling power model ``P(s) = s**alpha``.
+
+Energy is ``E = integral P(s(t)) dt``.  All algorithms in the library are
+parameterised by a :class:`PowerFunction`, which also centralises the
+convexity facts the analyses rely on (e.g. running at constant speed over an
+interval is optimal for a fixed amount of work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .constants import DEFAULT_ALPHA
+
+
+@dataclass(frozen=True)
+class PowerFunction:
+    """Power model ``P(s) = s**alpha`` with ``alpha > 1``.
+
+    Parameters
+    ----------
+    alpha:
+        Exponent of the power function.  Must be strictly greater than 1;
+        the classical CMOS value is 3.
+
+    Examples
+    --------
+    >>> p = PowerFunction(3.0)
+    >>> p.power(2.0)
+    8.0
+    >>> p.energy(speed=2.0, duration=0.5)
+    4.0
+    >>> p.energy_for_work(work=4.0, duration=2.0)  # constant speed 2
+    16.0
+    """
+
+    alpha: float = DEFAULT_ALPHA
+
+    def __post_init__(self) -> None:
+        if not self.alpha > 1.0:
+            raise ValueError(f"alpha must be > 1, got {self.alpha}")
+
+    def power(self, speed: float) -> float:
+        """Instantaneous power drawn while running at ``speed``."""
+        if speed < 0:
+            raise ValueError(f"speed must be non-negative, got {speed}")
+        return speed**self.alpha
+
+    def energy(self, speed: float, duration: float) -> float:
+        """Energy consumed running at constant ``speed`` for ``duration``."""
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        return self.power(speed) * duration
+
+    def energy_for_work(self, work: float, duration: float) -> float:
+        """Minimum energy to execute ``work`` within ``duration`` time.
+
+        By convexity of ``s**alpha`` the optimum runs at the constant speed
+        ``work / duration`` for the whole interval, hence
+        ``E = duration * (work / duration)**alpha``.
+        """
+        if work < 0:
+            raise ValueError(f"work must be non-negative, got {work}")
+        if work == 0:
+            return 0.0
+        if duration <= 0:
+            raise ValueError("positive work requires positive duration")
+        return self.energy(work / duration, duration)
+
+    def speed_for_energy(self, energy_budget: float, duration: float) -> float:
+        """Constant speed sustainable for ``duration`` with ``energy_budget``."""
+        if energy_budget < 0 or duration <= 0:
+            raise ValueError("need non-negative budget and positive duration")
+        return (energy_budget / duration) ** (1.0 / self.alpha)

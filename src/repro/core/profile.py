@@ -1,0 +1,295 @@
+"""Piecewise-constant speed profiles.
+
+A :class:`SpeedProfile` is the function ``s(t)`` a speed-scaling algorithm
+commits to: a finite sequence of half-open segments ``[start, end)`` with a
+constant speed each, and speed zero elsewhere.  Every algorithm in the
+library produces one (per machine), and every analysis quantity — energy,
+maximum speed, work available to EDF on an interval — is computed from it.
+
+The class supports the algebra the paper's constructions need:
+
+* pointwise addition (CRP2D adds the revealed-load speed on top of the YDS
+  speed, Algorithm 2 line 12);
+* scaling (the ``phi``- and ``2``-speed-up arguments of Lemmas 4.9/4.10);
+* restriction and work-in-interval queries (critical-interval reasoning).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from .constants import EPS
+from .power import PowerFunction
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A constant-speed segment ``[start, end)`` at ``speed >= 0``."""
+
+    start: float
+    end: float
+    speed: float
+
+    def __post_init__(self) -> None:
+        if not self.end > self.start:
+            raise ValueError(f"segment end {self.end} must exceed start {self.start}")
+        if self.speed < 0:
+            raise ValueError(f"segment speed must be >= 0, got {self.speed}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def work(self) -> float:
+        return self.speed * self.duration
+
+
+class SpeedProfile:
+    """An immutable piecewise-constant speed function.
+
+    Construction normalises the segments: sorts them, verifies they do not
+    overlap, drops zero-speed segments and merges adjacent segments with
+    equal speed.  ``s(t) = 0`` outside all segments.
+
+    Examples
+    --------
+    >>> prof = SpeedProfile([Segment(0.0, 1.0, 2.0), Segment(1.0, 3.0, 1.0)])
+    >>> prof.speed_at(0.5)
+    2.0
+    >>> prof.total_work()
+    4.0
+    >>> from repro.core.power import PowerFunction
+    >>> prof.energy(PowerFunction(3.0))  # 1*8 + 2*1
+    10.0
+    >>> (prof + SpeedProfile.constant(0.0, 3.0, 1.0)).speed_at(2.0)
+    2.0
+    """
+
+    __slots__ = ("_segments", "_starts")
+
+    def __init__(self, segments: Iterable[Segment] = ()) -> None:
+        cleaned: List[Segment] = [s for s in segments if s.speed > 0.0]
+        cleaned.sort(key=lambda s: s.start)
+        for prev, nxt in zip(cleaned, cleaned[1:]):
+            if nxt.start < prev.end - EPS:
+                raise ValueError(
+                    f"overlapping segments: [{prev.start}, {prev.end}) and "
+                    f"[{nxt.start}, {nxt.end})"
+                )
+        merged: List[Segment] = []
+        for seg in cleaned:
+            if (
+                merged
+                and abs(merged[-1].end - seg.start) <= EPS
+                and abs(merged[-1].speed - seg.speed) <= EPS
+            ):
+                merged[-1] = Segment(merged[-1].start, seg.end, merged[-1].speed)
+            else:
+                merged.append(seg)
+        self._segments: Tuple[Segment, ...] = tuple(merged)
+        self._starts: List[float] = [s.start for s in merged]
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def constant(cls, start: float, end: float, speed: float) -> "SpeedProfile":
+        """Profile running at ``speed`` on ``[start, end)`` and 0 elsewhere."""
+        if speed == 0:
+            return cls()
+        return cls([Segment(start, end, speed)])
+
+    @classmethod
+    def from_breakpoints(
+        cls, breakpoints: Sequence[float], speeds: Sequence[float]
+    ) -> "SpeedProfile":
+        """Profile with ``speeds[i]`` on ``[breakpoints[i], breakpoints[i+1])``."""
+        if len(speeds) != len(breakpoints) - 1:
+            raise ValueError("need exactly one speed per consecutive breakpoint pair")
+        segs = [
+            Segment(a, b, v)
+            for a, b, v in zip(breakpoints, breakpoints[1:], speeds)
+            if v > 0
+        ]
+        return cls(segs)
+
+    # -- basic queries ---------------------------------------------------------
+
+    @property
+    def segments(self) -> Tuple[Segment, ...]:
+        return self._segments
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self._segments)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpeedProfile):
+            return NotImplemented
+        if len(self._segments) != len(other._segments):
+            return False
+        return all(
+            abs(a.start - b.start) <= EPS
+            and abs(a.end - b.end) <= EPS
+            and abs(a.speed - b.speed) <= EPS
+            for a, b in zip(self._segments, other._segments)
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"[{s.start:g},{s.end:g})@{s.speed:g}" for s in self._segments
+        )
+        return f"SpeedProfile({inner})"
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._segments
+
+    @property
+    def start(self) -> float:
+        """Earliest positive-speed time (0.0 for the empty profile)."""
+        return self._segments[0].start if self._segments else 0.0
+
+    @property
+    def end(self) -> float:
+        """Latest positive-speed time (0.0 for the empty profile)."""
+        return self._segments[-1].end if self._segments else 0.0
+
+    def speed_at(self, t: float) -> float:
+        """Speed at time ``t`` (segments are closed-left, open-right)."""
+        i = bisect.bisect_right(self._starts, t) - 1
+        if i >= 0:
+            seg = self._segments[i]
+            if seg.start <= t < seg.end:
+                return seg.speed
+        return 0.0
+
+    def breakpoints(self) -> List[float]:
+        """Sorted, deduplicated list of all segment boundaries."""
+        raw = sorted(
+            {seg.start for seg in self._segments}
+            | {seg.end for seg in self._segments}
+        )
+        pts: List[float] = []
+        for t in raw:
+            if not pts or t - pts[-1] > EPS:
+                pts.append(t)
+        return pts
+
+    # -- aggregates -------------------------------------------------------------
+
+    def total_work(self) -> float:
+        """Total work ``integral s(t) dt``."""
+        return sum(seg.work for seg in self._segments)
+
+    def work_in(self, start: float, end: float) -> float:
+        """Work available in ``[start, end)``: ``integral_start^end s(t) dt``."""
+        if end <= start:
+            return 0.0
+        total = 0.0
+        for seg in self._segments:
+            lo = max(seg.start, start)
+            hi = min(seg.end, end)
+            if hi > lo:
+                total += seg.speed * (hi - lo)
+        return total
+
+    def max_speed(self) -> float:
+        """Peak speed (0 for the empty profile)."""
+        return max((seg.speed for seg in self._segments), default=0.0)
+
+    def energy(self, power: PowerFunction) -> float:
+        """Total energy ``integral s(t)**alpha dt`` under ``power``."""
+        return sum(power.energy(seg.speed, seg.duration) for seg in self._segments)
+
+    # -- algebra -------------------------------------------------------------
+
+    def scale(self, factor: float) -> "SpeedProfile":
+        """Pointwise speed scaling ``t -> factor * s(t)``."""
+        if factor < 0:
+            raise ValueError(f"scale factor must be >= 0, got {factor}")
+        return SpeedProfile(
+            Segment(s.start, s.end, factor * s.speed) for s in self._segments
+        )
+
+    def restrict(self, start: float, end: float) -> "SpeedProfile":
+        """Profile equal to this one on ``[start, end)`` and 0 elsewhere."""
+        segs = []
+        for seg in self._segments:
+            lo = max(seg.start, start)
+            hi = min(seg.end, end)
+            if hi > lo:
+                segs.append(Segment(lo, hi, seg.speed))
+        return SpeedProfile(segs)
+
+    def shift(self, delta: float) -> "SpeedProfile":
+        """Profile translated in time by ``delta``."""
+        return SpeedProfile(
+            Segment(s.start + delta, s.end + delta, s.speed) for s in self._segments
+        )
+
+    def __add__(self, other: "SpeedProfile") -> "SpeedProfile":
+        """Pointwise sum of two profiles."""
+        if not isinstance(other, SpeedProfile):
+            return NotImplemented
+        return sum_profiles([self, other])
+
+    def dominates(self, other: "SpeedProfile", tol: float = EPS) -> bool:
+        """Whether ``self(t) >= other(t)`` for all ``t`` (up to tolerance)."""
+        pts = sorted(set(self.breakpoints()) | set(other.breakpoints()))
+        for a, b in zip(pts, pts[1:]):
+            mid = 0.5 * (a + b)
+            if self.speed_at(mid) < other.speed_at(mid) - tol:
+                return False
+        return True
+
+
+def sum_profiles(profiles: Sequence[SpeedProfile]) -> SpeedProfile:
+    """Pointwise sum of many profiles (used by AVR: sum of densities)."""
+    pts: List[float] = []
+    for p in profiles:
+        for seg in p.segments:
+            pts.append(seg.start)
+            pts.append(seg.end)
+    if not pts:
+        return SpeedProfile()
+    uniq = sorted(set(pts))
+    # collapse numerically-equal points
+    collapsed: List[float] = [uniq[0]]
+    for t in uniq[1:]:
+        if t - collapsed[-1] > EPS:
+            collapsed.append(t)
+    segs = []
+    for a, b in zip(collapsed, collapsed[1:]):
+        mid = 0.5 * (a + b)
+        speed = sum(p.speed_at(mid) for p in profiles)
+        if speed > 0:
+            segs.append(Segment(a, b, speed))
+    return SpeedProfile(segs)
+
+
+def max_profiles(profiles: Sequence[SpeedProfile]) -> SpeedProfile:
+    """Pointwise maximum of many profiles."""
+    pts: List[float] = []
+    for p in profiles:
+        for seg in p.segments:
+            pts.append(seg.start)
+            pts.append(seg.end)
+    if not pts:
+        return SpeedProfile()
+    uniq = sorted(set(pts))
+    collapsed: List[float] = [uniq[0]]
+    for t in uniq[1:]:
+        if t - collapsed[-1] > EPS:
+            collapsed.append(t)
+    segs = []
+    for a, b in zip(collapsed, collapsed[1:]):
+        mid = 0.5 * (a + b)
+        speed = max((p.speed_at(mid) for p in profiles), default=0.0)
+        if speed > 0:
+            segs.append(Segment(a, b, speed))
+    return SpeedProfile(segs)

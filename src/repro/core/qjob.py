@@ -1,0 +1,235 @@
+"""Jobs with explorable uncertainty (the QBSS quintuple).
+
+A QBSS job is ``(r_j, d_j, c_j, w_j, w*_j)``: executing the *query* (an extra
+load of ``c_j``) reveals the exact load ``w*_j <= w_j``; skipping the query
+forces execution of the full upper bound ``w_j``.
+
+The exact load must not leak to algorithms before the query completes.  We
+enforce this *structurally*: :class:`QJob` stores the truth, while algorithms
+receive a :class:`QJobView`, which exposes everything except ``w*`` and
+provides :meth:`QJobView.reveal` that (a) records the query in an audit trail
+and (b) only answers after the declared query-completion time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Optional
+
+from .job import Job
+
+_AUTO_ID = count()
+
+
+def _next_id() -> str:
+    return f"qjob-{next(_AUTO_ID)}"
+
+
+@dataclass(frozen=True)
+class QJob:
+    """Immutable QBSS job ``(release, deadline, query_cost, work_upper, work_true)``.
+
+    Attributes
+    ----------
+    release, deadline:
+        The active interval ``(r_j, d_j]``; the query *and* the revealed load
+        must both complete inside it.
+    query_cost:
+        The extra load ``c_j`` of the query, with ``0 < c_j <= w_j``.
+    work_upper:
+        The known upper bound ``w_j`` on the workload.
+    work_true:
+        The hidden exact load ``w*_j`` with ``0 <= w*_j <= w_j``.  Only the
+        adversary/instance layer and the clairvoyant baseline may read it
+        directly; online/offline algorithms must go through :class:`QJobView`.
+
+    Examples
+    --------
+    >>> job = QJob(release=0.0, deadline=4.0, query_cost=0.5,
+    ...            work_upper=3.0, work_true=1.0)
+    >>> job.optimal_load           # p* = min(w, c + w*)
+    1.5
+    >>> job.query_worthwhile
+    True
+    >>> view = job.view()
+    >>> hasattr(view, "work_true")  # algorithms cannot see w*
+    False
+    >>> view.reveal(2.0)            # ... until the query completes
+    1.0
+    """
+
+    release: float
+    deadline: float
+    query_cost: float
+    work_upper: float
+    work_true: float
+    id: str = field(default_factory=_next_id)
+
+    def __post_init__(self) -> None:
+        if not self.deadline > self.release:
+            raise ValueError(
+                f"deadline ({self.deadline}) must exceed release ({self.release})"
+            )
+        if self.work_upper < 0:
+            raise ValueError(f"work_upper must be >= 0, got {self.work_upper}")
+        # The paper requires c_j in (0, w_j].
+        if not (0 < self.query_cost <= self.work_upper):
+            raise ValueError(
+                "query_cost must satisfy 0 < c_j <= w_j "
+                f"(got c={self.query_cost}, w={self.work_upper})"
+            )
+        if not 0 <= self.work_true <= self.work_upper:
+            raise ValueError(
+                "work_true must satisfy 0 <= w* <= w "
+                f"(got w*={self.work_true}, w={self.work_upper})"
+            )
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def span(self) -> float:
+        """Window length ``d_j - r_j``."""
+        return self.deadline - self.release
+
+    @property
+    def midpoint(self) -> float:
+        """The equal-window splitting point ``(r_j + d_j) / 2``."""
+        return 0.5 * (self.release + self.deadline)
+
+    @property
+    def optimal_load(self) -> float:
+        """``p*_j = min{w_j, c_j + w*_j}`` — the load the clairvoyant executes."""
+        return min(self.work_upper, self.query_cost + self.work_true)
+
+    @property
+    def query_worthwhile(self) -> bool:
+        """Whether the clairvoyant queries: ``c_j + w*_j < w_j`` (strict)."""
+        return self.query_cost + self.work_true < self.work_upper
+
+    def split_point(self, fraction: float) -> float:
+        """Splitting point ``tau_j = r_j + x (d_j - r_j)`` for ``x = fraction``."""
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"split fraction must be in (0, 1), got {fraction}")
+        return self.release + fraction * self.span
+
+    # -- conversions to classical jobs ---------------------------------------
+
+    def as_upper_bound_job(self) -> Job:
+        """Classical job executing ``w_j`` without a query: ``(r, d, w)``."""
+        return Job(self.release, self.deadline, self.work_upper, self.id + ":full")
+
+    def query_job(self, split_fraction: float = 0.5) -> Job:
+        """Classical job for the query part: ``(r, tau, c)``."""
+        tau = self.split_point(split_fraction)
+        return Job(self.release, tau, self.query_cost, self.id + ":query")
+
+    def revealed_job(self, split_fraction: float = 0.5) -> Job:
+        """Classical job for the exact load: ``(tau, d, w*)``.
+
+        Only the simulation/analysis layer should call this; algorithm code
+        obtains the same job through :meth:`QJobView.reveal`.
+        """
+        tau = self.split_point(split_fraction)
+        return Job(tau, self.deadline, self.work_true, self.id + ":work")
+
+    def clairvoyant_job(self) -> Job:
+        """Classical job ``(r, d, p*)`` used by the optimal baseline (Sec. 3)."""
+        return Job(self.release, self.deadline, self.optimal_load, self.id + ":opt")
+
+    def view(self) -> "QJobView":
+        """Information-restricted view handed to algorithms."""
+        return QJobView(self)
+
+
+class QueryNotCompleted(RuntimeError):
+    """Raised when an algorithm reads ``w*`` before its query has completed."""
+
+
+@dataclass
+class QJobView:
+    """What an algorithm is allowed to see of a :class:`QJob`.
+
+    Exposes ``release``, ``deadline``, ``query_cost`` and ``work_upper``.
+    The exact load is obtainable only through :meth:`reveal`, which records
+    the query-completion time and refuses inconsistent accesses.  The audit
+    trail (``queried``, ``revealed_at``) is used by the simulator to charge
+    the query load and by tests to assert no information leaks.
+    """
+
+    _job: QJob
+    revealed_at: Optional[float] = None
+
+    # -- public (known) attributes -------------------------------------------
+
+    @property
+    def id(self) -> str:
+        return self._job.id
+
+    @property
+    def release(self) -> float:
+        return self._job.release
+
+    @property
+    def deadline(self) -> float:
+        return self._job.deadline
+
+    @property
+    def query_cost(self) -> float:
+        return self._job.query_cost
+
+    @property
+    def work_upper(self) -> float:
+        return self._job.work_upper
+
+    @property
+    def span(self) -> float:
+        return self._job.span
+
+    @property
+    def midpoint(self) -> float:
+        return self._job.midpoint
+
+    @property
+    def queried(self) -> bool:
+        """Whether :meth:`reveal` has been called."""
+        return self.revealed_at is not None
+
+    # -- the query -----------------------------------------------------------
+
+    def reveal(self, completion_time: float) -> float:
+        """Return ``w*`` after the query completed at ``completion_time``.
+
+        The completion time must lie inside the job's active interval (the
+        query is itself load executed inside ``(r_j, d_j]``).  Calling twice
+        is allowed and idempotent (returns the same value) as long as the
+        claimed completion time does not move earlier, which would indicate
+        an information leak in the calling algorithm.
+        """
+        if completion_time <= self._job.release:
+            raise QueryNotCompleted(
+                f"query for {self.id} cannot complete at {completion_time} "
+                f"<= release {self._job.release}"
+            )
+        if completion_time > self._job.deadline:
+            raise QueryNotCompleted(
+                f"query for {self.id} completes at {completion_time} after "
+                f"deadline {self._job.deadline}; the schedule is infeasible"
+            )
+        if self.revealed_at is not None and completion_time < self.revealed_at:
+            raise QueryNotCompleted(
+                f"query completion for {self.id} moved earlier "
+                f"({completion_time} < {self.revealed_at})"
+            )
+        if self.revealed_at is None:
+            self.revealed_at = completion_time
+        return self._job.work_true
+
+    def split_point(self, fraction: float) -> float:
+        return self._job.split_point(fraction)
+
+    def as_upper_bound_job(self) -> Job:
+        return self._job.as_upper_bound_job()
+
+    def query_job(self, split_fraction: float = 0.5) -> Job:
+        return self._job.query_job(split_fraction)

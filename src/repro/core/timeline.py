@@ -1,0 +1,34 @@
+"""Breakpoint and interval helpers shared by the simulators."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from .constants import EPS
+
+
+def dedupe_times(times: Iterable[float], tol: float = EPS) -> List[float]:
+    """Sort and collapse numerically-equal time points."""
+    out: List[float] = []
+    for t in sorted(times):
+        if not out or t - out[-1] > tol:
+            out.append(t)
+    return out
+
+
+def elementary_intervals(times: Iterable[float], tol: float = EPS) -> List[Tuple[float, float]]:
+    """Consecutive pairs of the deduplicated time points."""
+    pts = dedupe_times(times, tol)
+    return list(zip(pts, pts[1:]))
+
+
+def interval_index(intervals: Sequence[Tuple[float, float]], t: float) -> int:
+    """Index of the elementary interval whose midpoint-open range contains t.
+
+    Returns -1 when ``t`` is outside all intervals.  Intervals are treated as
+    ``[a, b)`` which matches the segment convention of speed profiles.
+    """
+    for i, (a, b) in enumerate(intervals):
+        if a <= t < b:
+            return i
+    return -1

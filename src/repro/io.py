@@ -1,0 +1,207 @@
+"""JSON serialization for instances, schedules and results.
+
+Lets experiments be archived and replayed: instances round-trip exactly
+(including the hidden exact loads — a serialized instance is ground truth,
+so treat the files accordingly), and schedules/profiles serialize enough to
+recompute energies and validate feasibility offline.
+
+The format is versioned plain JSON; no pickle anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .core.instance import Instance, QBSSInstance
+from .core.job import Job
+from .core.profile import Segment, SpeedProfile
+from .core.qjob import QJob
+from .core.schedule import Schedule
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+# -- encoding -----------------------------------------------------------------------
+
+
+def job_to_dict(job: Job) -> Dict[str, Any]:
+    return {
+        "id": job.id,
+        "release": job.release,
+        "deadline": job.deadline,
+        "work": job.work,
+    }
+
+
+def qjob_to_dict(job: QJob) -> Dict[str, Any]:
+    return {
+        "id": job.id,
+        "release": job.release,
+        "deadline": job.deadline,
+        "query_cost": job.query_cost,
+        "work_upper": job.work_upper,
+        "work_true": job.work_true,
+    }
+
+
+def instance_to_dict(instance: Instance) -> Dict[str, Any]:
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "classical",
+        "machines": instance.machines,
+        "jobs": [job_to_dict(j) for j in instance.jobs],
+    }
+
+
+def qbss_instance_to_dict(instance: QBSSInstance) -> Dict[str, Any]:
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "qbss",
+        "machines": instance.machines,
+        "jobs": [qjob_to_dict(j) for j in instance.jobs],
+    }
+
+
+def profile_to_dict(profile: SpeedProfile) -> Dict[str, Any]:
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "profile",
+        "segments": [
+            {"start": s.start, "end": s.end, "speed": s.speed} for s in profile
+        ],
+    }
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "schedule",
+        "machines": schedule.machines,
+        "slices": [
+            {
+                "machine": m,
+                "start": s.start,
+                "end": s.end,
+                "speed": s.speed,
+                "job_id": s.job_id,
+            }
+            for m in range(schedule.machines)
+            for s in schedule.slices(m)
+        ],
+    }
+
+
+# -- decoding -----------------------------------------------------------------------
+
+
+class FormatError(ValueError):
+    """Raised on malformed or wrong-kind documents."""
+
+
+def _expect(data: Dict[str, Any], kind: str) -> None:
+    if not isinstance(data, dict):
+        raise FormatError(f"expected a JSON object, got {type(data).__name__}")
+    if data.get("version") != FORMAT_VERSION:
+        raise FormatError(
+            f"unsupported format version {data.get('version')!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    if data.get("kind") != kind:
+        raise FormatError(f"expected kind {kind!r}, got {data.get('kind')!r}")
+
+
+def job_from_dict(data: Dict[str, Any]) -> Job:
+    return Job(
+        release=float(data["release"]),
+        deadline=float(data["deadline"]),
+        work=float(data["work"]),
+        id=str(data["id"]),
+    )
+
+
+def qjob_from_dict(data: Dict[str, Any]) -> QJob:
+    return QJob(
+        release=float(data["release"]),
+        deadline=float(data["deadline"]),
+        query_cost=float(data["query_cost"]),
+        work_upper=float(data["work_upper"]),
+        work_true=float(data["work_true"]),
+        id=str(data["id"]),
+    )
+
+
+def instance_from_dict(data: Dict[str, Any]) -> Instance:
+    _expect(data, "classical")
+    return Instance(
+        [job_from_dict(j) for j in data["jobs"]], machines=int(data["machines"])
+    )
+
+
+def qbss_instance_from_dict(data: Dict[str, Any]) -> QBSSInstance:
+    _expect(data, "qbss")
+    return QBSSInstance(
+        [qjob_from_dict(j) for j in data["jobs"]], machines=int(data["machines"])
+    )
+
+
+def profile_from_dict(data: Dict[str, Any]) -> SpeedProfile:
+    _expect(data, "profile")
+    return SpeedProfile(
+        Segment(float(s["start"]), float(s["end"]), float(s["speed"]))
+        for s in data["segments"]
+    )
+
+
+def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
+    _expect(data, "schedule")
+    schedule = Schedule(int(data["machines"]))
+    for s in data["slices"]:
+        schedule.add(
+            float(s["start"]),
+            float(s["end"]),
+            float(s["speed"]),
+            str(s["job_id"]),
+            int(s["machine"]),
+        )
+    return schedule
+
+
+# -- file helpers -------------------------------------------------------------------
+
+_SAVERS = {
+    Instance: instance_to_dict,
+    QBSSInstance: qbss_instance_to_dict,
+    SpeedProfile: profile_to_dict,
+    Schedule: schedule_to_dict,
+}
+
+
+def save(obj, path: PathLike) -> None:
+    """Serialize a supported object to a JSON file."""
+    encoder = _SAVERS.get(type(obj))
+    if encoder is None:
+        raise TypeError(f"cannot serialize objects of type {type(obj).__name__}")
+    Path(path).write_text(json.dumps(encoder(obj), indent=2, sort_keys=True))
+
+
+_LOADERS = {
+    "classical": instance_from_dict,
+    "qbss": qbss_instance_from_dict,
+    "profile": profile_from_dict,
+    "schedule": schedule_from_dict,
+}
+
+
+def load(path: PathLike):
+    """Load any supported object from a JSON file (dispatch on 'kind')."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or "kind" not in data:
+        raise FormatError("not a repro document (missing 'kind')")
+    loader = _LOADERS.get(data["kind"])
+    if loader is None:
+        raise FormatError(f"unknown kind {data['kind']!r}")
+    return loader(data)

@@ -1,0 +1,83 @@
+"""The QBSS algorithms — the paper's contribution.
+
+Offline (common release): CRCD, CRP2D, CRAD.
+Online: AVRQ, BKPQ, OAQ (extension), AVRQ(m).
+Plus the clairvoyant baseline, query/split policies, derived-instance
+transformations and the randomized single-job game of Lemma 4.4.
+"""
+
+from .avrq import avrq, check_queries_complete
+from .bkpq import bkpq
+from .clairvoyant import ClairvoyantBaseline, clairvoyant, optimal_energy, optimal_max_speed
+from .crad import crad
+from .crcd import crcd, crcd_tuned
+from .crp2d import crp2d, max_deadline_exponent
+from .decisions import NO_QUERY, DecisionLog, QueryDecision, equal_window
+from .multi import avrq_m
+from .nonmigratory import avrq_nm
+from .oaq import oaq
+from .oaq_m import oaq_m
+from .simulation import incremental_profile, verify_causality
+from .policies import (
+    AlwaysQuery,
+    EqualWindowSplit,
+    FixedSplit,
+    NeverQuery,
+    OracleQuery,
+    OracleSplit,
+    ProportionalSplit,
+    RandomizedQuery,
+    ThresholdQuery,
+    golden_ratio_policy,
+)
+from .result import QBSSResult
+from .transform import (
+    DerivedOnline,
+    derive_online,
+    instance_prime,
+    instance_prime_half,
+    instance_star,
+    partition_golden,
+)
+
+__all__ = [
+    "avrq",
+    "check_queries_complete",
+    "bkpq",
+    "ClairvoyantBaseline",
+    "clairvoyant",
+    "optimal_energy",
+    "optimal_max_speed",
+    "crad",
+    "crcd",
+    "crcd_tuned",
+    "crp2d",
+    "max_deadline_exponent",
+    "NO_QUERY",
+    "DecisionLog",
+    "QueryDecision",
+    "equal_window",
+    "avrq_m",
+    "avrq_nm",
+    "oaq",
+    "oaq_m",
+    "incremental_profile",
+    "verify_causality",
+    "AlwaysQuery",
+    "EqualWindowSplit",
+    "FixedSplit",
+    "NeverQuery",
+    "OracleQuery",
+    "OracleSplit",
+    "ProportionalSplit",
+    "RandomizedQuery",
+    "ThresholdQuery",
+    "golden_ratio_policy",
+    "QBSSResult",
+    "DerivedOnline",
+    "derive_online",
+    "instance_prime",
+    "instance_prime_half",
+    "instance_star",
+    "partition_golden",
+]

@@ -1,0 +1,67 @@
+"""Per-job decisions in the QBSS model.
+
+For every uncertain job an algorithm answers two questions (paper Sec. 1):
+whether to run the query, and — if so — where to place the *splitting point*
+``tau_j = r_j + x (d_j - r_j)`` separating the query (before) from the
+revealed load (after).  A :class:`QueryDecision` records one such answer;
+algorithms accumulate them so tests and the adversary harness can inspect
+exactly what was decided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class QueryDecision:
+    """The answer for one job: query or not, and the split fraction ``x``."""
+
+    query: bool
+    split: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.query:
+            if self.split is None or not (0.0 < self.split < 1.0):
+                raise ValueError(
+                    f"a queried job needs a split fraction in (0, 1), got {self.split}"
+                )
+        elif self.split is not None:
+            raise ValueError("a non-queried job has no split point")
+
+
+#: Decision used by algorithms that skip the query.
+NO_QUERY = QueryDecision(query=False)
+
+
+def equal_window(query: bool = True) -> QueryDecision:
+    """The paper's *equal window* decision: split at ``x = 1/2``."""
+    return QueryDecision(query=query, split=0.5) if query else NO_QUERY
+
+
+@dataclass
+class DecisionLog:
+    """Mapping from job id to the decision an algorithm took."""
+
+    decisions: Dict[str, QueryDecision]
+
+    def __init__(self) -> None:
+        self.decisions = {}
+
+    def record(self, job_id: str, decision: QueryDecision) -> None:
+        if job_id in self.decisions:
+            raise ValueError(f"duplicate decision for job {job_id}")
+        self.decisions[job_id] = decision
+
+    def __getitem__(self, job_id: str) -> QueryDecision:
+        return self.decisions[job_id]
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self.decisions
+
+    def queried_ids(self) -> list:
+        return sorted(j for j, d in self.decisions.items() if d.query)
+
+    def unqueried_ids(self) -> list:
+        return sorted(j for j, d in self.decisions.items() if not d.query)

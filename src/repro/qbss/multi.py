@@ -1,0 +1,36 @@
+"""AVRQ(m) — Average Rate with Queries on m parallel machines (Sec. 6).
+
+Like AVRQ, every job is queried with the equal-window split: each arriving
+job spawns ``zeta(j) = (r, (r+d)/2, c)`` and, at the midpoint,
+``zeta'(j) = ((r+d)/2, d, w*)``.  AVR(m) — the Albers et al. multi-machine
+Average Rate algorithm — runs over the derived stream.
+
+Guarantee (Theorem 6.3 + Corollary 6.4): machine-by-machine
+``s_i^{AVRQ(m)}(t) <= 2 s_i^{AVR*(m)}(t)``, hence
+``2^alpha (2^{alpha-1} alpha^alpha + 1)``-competitive for energy.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import QBSSInstance
+from ..speed_scaling.multi.avr_m import AVRmResult, avr_m
+from .avrq import check_queries_complete
+from .policies import AlwaysQuery, EqualWindowSplit
+from .result import QBSSResult
+from .transform import derive_online
+
+
+def avrq_m(qinstance: QBSSInstance) -> QBSSResult:
+    """Run AVRQ(m) on the instance's ``machines`` parallel machines."""
+    m = qinstance.machines
+    derived = derive_online(qinstance, AlwaysQuery(), EqualWindowSplit())
+    result: AVRmResult = avr_m(derived.jobs, m)
+    check_queries_complete(derived, result.schedule)
+    return QBSSResult(
+        result.schedule,
+        result.profiles,
+        derived.instance(m),
+        derived.decisions,
+        qinstance,
+        f"AVRQ({m})",
+    )

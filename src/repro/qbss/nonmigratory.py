@@ -1,0 +1,82 @@
+"""AVRQ-NM: the non-migratory QBSS variant (paper Sec. 7 remark).
+
+Every job is queried with the equal-window split, exactly as AVRQ(m), but
+both derived pieces of a job (query + revealed load) are pinned to one
+machine chosen at *arrival* — the natural non-migratory reading: the query
+learns the job's true size on the machine that will run it.
+
+The per-machine scheduler is AVR over the machine's own derived jobs, so
+the guarantee structure mirrors Theorem 6.3 machine-by-machine against the
+non-migratory AVR baseline; the ablation bench quantifies the energy cost
+of forbidding migration versus AVRQ(m).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.constants import EPS
+from ..core.edf import run_edf
+from ..core.instance import QBSSInstance
+from ..core.job import Job
+from ..speed_scaling.avr import avr_profile
+from .avrq import check_queries_complete
+from .policies import AlwaysQuery, EqualWindowSplit
+from .result import QBSSResult
+from .transform import derive_online
+
+
+def avrq_nm(qinstance: QBSSInstance) -> QBSSResult:
+    """Run the non-migratory AVRQ variant on the instance's machines."""
+    m = qinstance.machines
+    derived = derive_online(qinstance, AlwaysQuery(), EqualWindowSplit())
+
+    # Pin each original job to a machine at its arrival: least overlapping
+    # assigned density over the job's window (arrival order = release order).
+    assignment: Dict[str, int] = {}
+    pinned: List[List[Job]] = [[] for _ in range(m)]
+
+    def overlap_density(machine_jobs: List[Job], lo: float, hi: float) -> float:
+        total = 0.0
+        for other in machine_jobs:
+            a, b = max(other.release, lo), min(other.deadline, hi)
+            if b > a:
+                total += other.density * (b - a) / max(hi - lo, EPS)
+        return total
+
+    derived_by_source: Dict[str, List[Job]] = {}
+    for job in derived.jobs:
+        derived_by_source.setdefault(job.id.rsplit(":", 1)[0], []).append(job)
+
+    for view in sorted(derived.views, key=lambda v: (v.release, v.id)):
+        best = min(
+            range(m),
+            key=lambda mi: (
+                overlap_density(pinned[mi], view.release, view.deadline),
+                mi,
+            ),
+        )
+        assignment[view.id] = best
+        pinned[best].extend(derived_by_source[view.id])
+
+    # Per-machine AVR over the pinned derived jobs.
+    from ..core.schedule import Schedule
+
+    schedule = Schedule(m)
+    profiles = []
+    for mi in range(m):
+        profile = avr_profile(pinned[mi])
+        profiles.append(profile)
+        edf = run_edf(pinned[mi], profile, machine=mi, machines=m)
+        if not edf.feasible:  # pragma: no cover - AVR per machine is feasible
+            raise RuntimeError(
+                f"AVRQ-NM internal error on machine {mi}: {edf.unfinished}"
+            )
+        for s in edf.schedule.slices(mi):
+            schedule.add(s.start, s.end, s.speed, s.job_id, mi)
+
+    check_queries_complete(derived, schedule)
+    return QBSSResult(
+        schedule, profiles, derived.instance(m), derived.decisions,
+        qinstance, f"AVRQ-NM({m})",
+    )

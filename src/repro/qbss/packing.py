@@ -1,0 +1,46 @@
+"""Sequential packing of work onto a single machine at a given speed.
+
+CRCD and CRP2D describe their schedules as "execute the jobs in an arbitrary
+order during the interval using speed s".  This helper realises that: given
+``(job_id, work)`` pairs, an interval and a constant speed, it lays the jobs
+head-to-tail.  The caller guarantees the interval has enough capacity; any
+slack is left idle at the end of the interval.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.constants import EPS
+from ..core.schedule import Slice
+
+
+def pack_sequential(
+    works: Sequence[Tuple[str, float]],
+    start: float,
+    end: float,
+    speed: float,
+) -> List[Slice]:
+    """Lay ``works`` head-to-tail in ``[start, end)`` at constant ``speed``."""
+    duration = end - start
+    if duration <= 0:
+        raise ValueError("packing interval must have positive duration")
+    total = sum(w for _, w in works)
+    if total <= EPS:
+        return []
+    if speed <= 0:
+        raise ValueError("positive work needs positive speed")
+    capacity = speed * duration
+    if total > capacity * (1 + 1e-9) + EPS:
+        raise ValueError(
+            f"interval capacity {capacity} too small for total work {total}"
+        )
+    out: List[Slice] = []
+    t = start
+    for job_id, w in works:
+        if w <= EPS:
+            continue
+        t2 = min(t + w / speed, end)
+        out.append(Slice(t, t2, speed, job_id))
+        t = t2
+    return out

@@ -1,0 +1,191 @@
+"""Query and split policies.
+
+The paper's algorithms differ only in two pluggable choices:
+
+* a **query policy** — whether to query a job given its *known* attributes
+  ``(r, d, c, w)``.  The central one is the golden-ratio rule of Lemma 3.1:
+  query exactly when ``c_j <= w_j / phi``, which guarantees
+  ``p_j <= phi * p*_j`` per job.  AVRQ always queries; the never-query
+  baseline is unboundedly bad (Lemma 4.1).
+* a **split policy** — the fraction ``x`` of the window given to the query.
+  The paper's algorithms all use the *equal window* ``x = 1/2`` (motivated
+  by Lemma 4.3: any other fixed split worsens the single-job lower bound);
+  the ablation benches sweep ``x``.
+
+Policies see only :class:`~repro.core.qjob.QJobView`s — they cannot read the
+exact load.  The *oracle* variants, which do peek at ``w*``, take the raw
+:class:`~repro.core.qjob.QJob` and exist purely as analysis baselines
+(the "oracle model" of Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Union
+
+import numpy as np
+
+from ..core.constants import PHI
+from ..core.qjob import QJob, QJobView
+
+
+class QueryPolicy(Protocol):
+    """Decides whether to query a job from its known attributes."""
+
+    def should_query(self, job: QJobView) -> bool: ...
+
+
+class SplitPolicy(Protocol):
+    """Chooses the split fraction ``x`` in ``(0, 1)`` for a queried job."""
+
+    def split_fraction(self, job: QJobView) -> float: ...
+
+
+# -- query policies --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AlwaysQuery:
+    """Query every job (the AVRQ choice)."""
+
+    def should_query(self, job: QJobView) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class NeverQuery:
+    """Never query — the unboundedly bad baseline of Lemma 4.1."""
+
+    def should_query(self, job: QJobView) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class ThresholdQuery:
+    """Query when ``c_j <= w_j / threshold``.
+
+    ``threshold = PHI`` reproduces the golden-ratio rule; other values are
+    used by the query-policy ablation bench.
+    """
+
+    threshold: float = PHI
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError(f"threshold must be > 0, got {self.threshold}")
+
+    def should_query(self, job: QJobView) -> bool:
+        return job.query_cost <= job.work_upper / self.threshold
+
+
+def golden_ratio_policy() -> ThresholdQuery:
+    """The Lemma 3.1 rule: query iff ``c_j <= w_j / phi``."""
+    return ThresholdQuery(PHI)
+
+
+@dataclass
+class RandomizedQuery:
+    """Query with probability ``rho`` (used in the Lemma 4.4 analysis)."""
+
+    rho: float
+    rng: np.random.Generator
+
+    def __init__(self, rho: float, rng: Union[np.random.Generator, int, None] = None):
+        if not 0.0 <= rho <= 1.0:
+            raise ValueError(f"rho must be in [0, 1], got {rho}")
+        self.rho = rho
+        self.rng = (
+            rng
+            if isinstance(rng, np.random.Generator)
+            else np.random.default_rng(rng)
+        )
+
+    def should_query(self, job: QJobView) -> bool:
+        return bool(self.rng.random() < self.rho)
+
+
+@dataclass(frozen=True)
+class OracleQuery:
+    """Analysis-only: queries exactly when the clairvoyant would.
+
+    Takes raw :class:`QJob`s — reading ``w*`` is the whole point — and must
+    never be wired into an online algorithm under test.
+    """
+
+    def should_query_true(self, job: QJob) -> bool:
+        return job.query_cost + job.work_true < job.work_upper
+
+    def should_query(self, job: QJobView) -> bool:  # pragma: no cover
+        raise TypeError("OracleQuery needs the raw QJob; use should_query_true")
+
+
+# -- split policies --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EqualWindowSplit:
+    """The paper's split: query in the first half, revealed load in the second."""
+
+    def split_fraction(self, job: QJobView) -> float:
+        return 0.5
+
+
+@dataclass(frozen=True)
+class FixedSplit:
+    """Constant split fraction ``x`` (ablation bench)."""
+
+    x: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.x < 1.0:
+            raise ValueError(f"split fraction must be in (0, 1), got {self.x}")
+
+    def split_fraction(self, job: QJobView) -> float:
+        return self.x
+
+
+@dataclass(frozen=True)
+class ProportionalSplit:
+    """Uninformed heuristic split: ``x = c / (c + beta * w)``.
+
+    Motivated by the oracle split ``x = c/(c + w*)``: not knowing ``w*``,
+    assume it will be ``beta * w`` (default: half the upper bound).  Gives
+    small queries small phase-1 windows instead of always half.  Compared
+    against the equal window in the split-point ablation — a smarter
+    uninformed split can win on distributions while the equal window
+    remains the worst-case-safe choice (Lemma 4.3).
+    """
+
+    beta: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0:
+            raise ValueError(f"beta must be > 0, got {self.beta}")
+
+    def split_fraction(self, job: QJobView) -> float:
+        x = job.query_cost / (job.query_cost + self.beta * job.work_upper)
+        return min(max(x, 1e-6), 1.0 - 1e-6)
+
+
+@dataclass(frozen=True)
+class OracleSplit:
+    """Analysis-only: the split an oracle would pick (Sec. 4.1 oracle model).
+
+    Knowing ``w*``, the energy- and max-speed-optimal split runs the whole
+    window at one constant speed: ``x = c / (c + w*)`` (any ``x`` works when
+    ``w* = 0`` and the query is still mandatory to *know* that; we then put
+    the query across the whole window minus nothing, i.e. ``x -> 1``, capped
+    for numeric sanity).
+    """
+
+    cap: float = 1.0 - 1e-9
+
+    def split_fraction_true(self, job: QJob) -> float:
+        denom = job.query_cost + job.work_true
+        x = job.query_cost / denom if denom > 0 else self.cap
+        return min(max(x, 1e-9), self.cap)
+
+    def split_fraction(self, job: QJobView) -> float:  # pragma: no cover
+        raise TypeError(
+            "OracleSplit needs the raw QJob; use split_fraction_true"
+        )

@@ -1,0 +1,71 @@
+"""Common result object for QBSS algorithm runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.feasibility import FeasibilityReport, check_feasible
+from ..core.instance import Instance, QBSSInstance
+from ..core.power import PowerFunction
+from ..core.profile import SpeedProfile
+from ..core.schedule import Schedule
+from .decisions import DecisionLog
+
+
+@dataclass
+class QBSSResult:
+    """What every QBSS algorithm returns.
+
+    Attributes
+    ----------
+    schedule:
+        Concrete executed schedule over the derived classical jobs.
+    profiles:
+        Per-machine speed profiles (length 1 on a single machine).
+    derived:
+        The derived classical instance actually executed (query jobs,
+        revealed-load jobs, full-workload jobs).
+    decisions:
+        Which original jobs were queried and where they were split.
+    source:
+        The QBSS instance the run was made on.
+    algorithm:
+        Human-readable algorithm name (for reports).
+    """
+
+    schedule: Schedule
+    profiles: List[SpeedProfile]
+    derived: Instance
+    decisions: DecisionLog
+    source: QBSSInstance
+    algorithm: str = ""
+
+    @property
+    def profile(self) -> SpeedProfile:
+        """The single-machine profile (raises on multi-machine results)."""
+        if len(self.profiles) != 1:
+            raise ValueError(
+                f"run has {len(self.profiles)} machine profiles; use .profiles"
+            )
+        return self.profiles[0]
+
+    def energy(self, power: PowerFunction) -> float:
+        """Total energy across machines."""
+        return sum(p.energy(power) for p in self.profiles)
+
+    def max_speed(self) -> float:
+        """Peak speed across machines."""
+        return max((p.max_speed() for p in self.profiles), default=0.0)
+
+    def validate(self, tol: float = 1e-6) -> FeasibilityReport:
+        """Check the schedule is feasible for the derived instance."""
+        return check_feasible(self.schedule, self.derived, tol=tol)
+
+    def executed_load(self, job_id: str) -> float:
+        """Total load executed for an original QBSS job (query + work)."""
+        total = 0.0
+        for jid, w in self.schedule.work_by_job().items():
+            if jid == job_id or jid.rsplit(":", 1)[0] == job_id:
+                total += w
+        return total

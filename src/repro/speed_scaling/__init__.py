@@ -1,0 +1,48 @@
+"""Classical speed-scaling algorithms (the substrate the paper builds on).
+
+Single machine: YDS (optimal offline), AVR, OA and BKP (online).
+Parallel machines: AVR(m), the pooled lower bound, and a convex-programming
+optimum for small instances.
+"""
+
+from .avr import AVRResult, avr, avr_profile, avr_profile_online_replay
+from .bkp import BKPResult, bkp, bkp_intensity_at, bkp_profile
+from .discrete import (
+    SpeedLadder,
+    discretization_penalty,
+    discretize_profile,
+    worst_case_penalty,
+)
+from .oa import OAResult, oa, oa_profile
+from .yds import (
+    CriticalInterval,
+    YDSResult,
+    optimal_energy,
+    optimal_max_speed,
+    yds,
+    yds_profile,
+)
+
+__all__ = [
+    "AVRResult",
+    "avr",
+    "avr_profile",
+    "avr_profile_online_replay",
+    "BKPResult",
+    "bkp",
+    "bkp_intensity_at",
+    "bkp_profile",
+    "SpeedLadder",
+    "discretization_penalty",
+    "discretize_profile",
+    "worst_case_penalty",
+    "OAResult",
+    "oa",
+    "oa_profile",
+    "CriticalInterval",
+    "YDSResult",
+    "optimal_energy",
+    "optimal_max_speed",
+    "yds",
+    "yds_profile",
+]

@@ -1,0 +1,59 @@
+"""Multi-machine speed scaling: AVR(m), slot allocation, bounds, optimum."""
+
+from .allocation import SlotAllocation, allocate_slot
+from .avr_m import AVRmResult, avr_m
+from .bounds import max_speed_lower_bound, pooled_lower_bound
+from .flow import (
+    MinMaxSpeedResult,
+    feasible_with_cap,
+    max_flow_allocation,
+    min_max_speed,
+    min_max_speed_schedule,
+)
+from .mcnaughton import mcnaughton_slot
+from .oa_m import OAmResult, oa_m
+from .nonmigratory import (
+    NonMigratoryResult,
+    assign_arrival_least_density,
+    assign_greedy_energy,
+    assign_least_density,
+    assign_round_robin,
+    non_migratory,
+    optimal_non_migratory,
+)
+from .optimal import (
+    convex_optimal_energy,
+    elementary_grid,
+    optimal_allocation,
+    optimal_schedule,
+    slot_energy,
+)
+
+__all__ = [
+    "MinMaxSpeedResult",
+    "feasible_with_cap",
+    "max_flow_allocation",
+    "min_max_speed",
+    "min_max_speed_schedule",
+    "OAmResult",
+    "oa_m",
+    "NonMigratoryResult",
+    "assign_arrival_least_density",
+    "assign_greedy_energy",
+    "assign_least_density",
+    "assign_round_robin",
+    "non_migratory",
+    "optimal_non_migratory",
+    "SlotAllocation",
+    "allocate_slot",
+    "AVRmResult",
+    "avr_m",
+    "max_speed_lower_bound",
+    "pooled_lower_bound",
+    "mcnaughton_slot",
+    "convex_optimal_energy",
+    "elementary_grid",
+    "optimal_allocation",
+    "optimal_schedule",
+    "slot_energy",
+]

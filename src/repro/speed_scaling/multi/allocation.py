@@ -1,0 +1,99 @@
+"""The AVR(m) per-slot allocation rule (Albers, Antoniadis, Greiner 2015).
+
+Within a time slot, AVR(m) must place one density ``delta_j`` of work-rate
+per active job onto ``m`` identical machines.  The rule, restated from the
+paper (Sec. 6): iteratively take the densest unassigned job ``j*``; if its
+density exceeds the average density over the remaining machines
+(``delta_{j*} > Delta / |R|``), it is *big* — it gets the lowest-indexed
+remaining machine all to itself at speed ``delta_{j*}``; otherwise all
+remaining jobs are *small* and share the remaining machines at the common
+speed ``Delta / |R|``.
+
+The resulting machine-speed vector is non-increasing in the machine index,
+the property Lemma 6.2 exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class SlotAllocation:
+    """Result of allocating rates to machines within one slot.
+
+    Attributes
+    ----------
+    big:
+        ``(item_index, machine, speed)`` for each big job, machines in
+        increasing index order and speeds non-increasing.
+    small_indices:
+        Indices (into the input sequence) of the small jobs.
+    small_machines:
+        Machines shared by the small jobs (all machines after the big ones).
+    small_speed:
+        The common speed of the shared machines (0 when no small jobs).
+    machine_speeds:
+        Speed of every machine, non-increasing in machine index.
+    """
+
+    big: Tuple[Tuple[int, int, float], ...]
+    small_indices: Tuple[int, ...]
+    small_machines: Tuple[int, ...]
+    small_speed: float
+    machine_speeds: Tuple[float, ...]
+
+
+def allocate_slot(densities: Sequence[float], machines: int) -> SlotAllocation:
+    """Apply the big/small rule to ``densities`` on ``machines`` machines.
+
+    Zero densities are treated as absent jobs.  Raises when the jobs cannot
+    fit (more big jobs than machines can only happen if ``machines < 1``).
+    """
+    if machines < 1:
+        raise ValueError(f"machines must be >= 1, got {machines}")
+
+    order = sorted(
+        (i for i, d in enumerate(densities) if d > 0),
+        key=lambda i: -densities[i],
+    )
+    total = sum(densities[i] for i in order)
+
+    big: List[Tuple[int, int, float]] = []
+    next_machine = 0
+    remaining = machines
+    k = 0  # how many of `order` are big
+    while k < len(order):
+        if remaining == 0:
+            raise ValueError(
+                "more big jobs than machines — instance is infeasible for "
+                "the fluid AVR(m) allocation"
+            )
+        dens = densities[order[k]]
+        if dens > total / remaining:
+            big.append((order[k], next_machine, dens))
+            next_machine += 1
+            remaining -= 1
+            total -= dens
+            k += 1
+        else:
+            break
+
+    small = tuple(order[k:])
+    small_speed = (total / remaining) if small else 0.0
+    small_machines = tuple(range(next_machine, machines)) if small else ()
+
+    speeds = [0.0] * machines
+    for _, mach, dens in big:
+        speeds[mach] = dens
+    for mach in small_machines:
+        speeds[mach] = small_speed
+
+    return SlotAllocation(
+        big=tuple(big),
+        small_indices=small,
+        small_machines=small_machines,
+        small_speed=small_speed,
+        machine_speeds=tuple(speeds),
+    )

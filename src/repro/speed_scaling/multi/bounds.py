@@ -1,0 +1,48 @@
+"""Lower bounds on the optimal multi-machine energy.
+
+The *pooled relaxation* drops the no-self-parallelism constraint: a set of
+``m`` machines becomes one fluid resource whose aggregate speed ``S(t)`` is
+split equally across machines (optimal by convexity of ``s**alpha``), so the
+power drawn at aggregate speed ``S`` is ``m * (S/m)**alpha``.  The function
+``S -> m (S/m)**alpha`` is convex, and the YDS profile minimises the
+integral of *every* convex function of the aggregate speed subject to the
+deadline constraints; hence
+
+    OPT_m(I)  >=  sum over YDS segments of  m * (s_seg / m)**alpha * dur.
+
+This bound is exact when no single job forces a machine above the average
+(no "big" jobs in the optimal solution), and is within a factor of the true
+optimum otherwise; the convex-programming optimum in
+:mod:`repro.speed_scaling.multi.optimal` closes the gap for small instances.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...core.job import Job
+from ...core.power import PowerFunction
+from ..yds import yds_profile
+
+
+def pooled_lower_bound(jobs: Sequence[Job], machines: int, alpha: float) -> float:
+    """Energy lower bound for ``jobs`` on ``machines`` machines."""
+    if machines < 1:
+        raise ValueError(f"machines must be >= 1, got {machines}")
+    power = PowerFunction(alpha)
+    profile = yds_profile(jobs)
+    return sum(
+        machines * power.energy(seg.speed / machines, seg.duration)
+        for seg in profile
+    )
+
+
+def max_speed_lower_bound(jobs: Sequence[Job], machines: int) -> float:
+    """Max-speed lower bound: the larger of the pooled intensity and the
+    largest single-job density (a job cannot run parallel to itself)."""
+    if machines < 1:
+        raise ValueError(f"machines must be >= 1, got {machines}")
+    profile = yds_profile(jobs)
+    pooled = profile.max_speed() / machines
+    solo = max((j.density for j in jobs if j.work > 0), default=0.0)
+    return max(pooled, solo)

@@ -1,0 +1,75 @@
+"""McNaughton's wrap-around rule.
+
+Realises a fluid slot allocation — each job owes ``x_j`` units of work in a
+slot ``[a, b)`` on a pool of machines running at a common speed ``s`` — as a
+concrete migratory schedule: fill machine after machine left to right, and
+when a job crosses the slot boundary, wrap its remainder onto the next
+machine starting again at ``a``.  Because every ``x_j <= s * (b - a)``, the
+wrapped pieces of one job never overlap in time, so no job runs parallel to
+itself (the classical McNaughton argument).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ...core.constants import EPS
+from ...core.schedule import Slice
+
+
+def mcnaughton_slot(
+    works: Sequence[Tuple[str, float]],
+    start: float,
+    end: float,
+    speed: float,
+    machines: Sequence[int],
+) -> List[Tuple[int, Slice]]:
+    """Pack ``works = [(job_id, x_j), ...]`` into the slot.
+
+    Returns ``(machine, slice)`` pairs.  Raises when the total work exceeds
+    pool capacity or any single job exceeds per-machine capacity (both would
+    make the fluid allocation bogus).
+    """
+    duration = end - start
+    if duration <= 0:
+        raise ValueError("slot must have positive duration")
+    if speed <= 0:
+        if any(x > EPS for _, x in works):
+            raise ValueError("positive work in a zero-speed slot")
+        return []
+
+    cap = speed * duration
+    total = sum(x for _, x in works)
+    scale = max(1.0, abs(cap))
+    if total > len(machines) * cap + EPS * scale * max(1, len(machines)):
+        raise ValueError(
+            f"slot overloaded: work {total} > capacity {len(machines) * cap}"
+        )
+
+    out: List[Tuple[int, Slice]] = []
+    mi = 0  # index into machines
+    t = start
+    for job_id, x in works:
+        if x <= EPS * scale:
+            continue
+        if x > cap + EPS * scale:
+            raise ValueError(
+                f"job {job_id} work {x} exceeds per-machine slot capacity {cap}"
+            )
+        remaining = x
+        while remaining > EPS * scale:
+            if mi >= len(machines):
+                raise ValueError("ran out of machines packing the slot")
+            room = (end - t) * speed
+            piece = min(remaining, room)
+            if piece > EPS * scale:
+                t2 = t + piece / speed
+                out.append(
+                    (machines[mi], Slice(t, min(t2, end), speed, job_id))
+                )
+                remaining -= piece
+                t = t2
+            if t >= end - EPS:
+                mi += 1
+                t = start
+    return out

@@ -1,0 +1,221 @@
+"""Preemptive *non-migratory* multi-machine speed scaling.
+
+The paper's conclusion notes its approach "can directly be applied to the
+preemptive-non-migratory variant" (Greiner, Nonner, Souza 2014): jobs may
+be preempted but every piece of one job must run on a single machine.  A
+non-migratory schedule is an *assignment* of jobs to machines followed by
+an independent single-machine problem per machine — optimal per machine is
+just YDS, so the whole difficulty is the assignment.
+
+This module provides the assignment strategies and the two-level runner:
+
+* :func:`assign_least_density` — list scheduling by density (sort jobs by
+  density descending, place each on the machine with the least density
+  already assigned over the job's window) — the natural online-compatible
+  heuristic;
+* :func:`assign_round_robin` — the baseline strawman;
+* :func:`assign_greedy_energy` — offline greedy: place each job where it
+  increases the YDS energy least (O(n * m) YDS calls, small n only);
+* :func:`non_migratory` — run an assignment, then YDS per machine.
+
+Greiner et al. show the gap between migratory and non-migratory optima is
+bounded (the "Bell is ringing" bound B_alpha-related constant); the
+ablation bench measures the empirical gap against AVR(m) and the pooled
+lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ...core.constants import EPS
+from ...core.job import Job
+from ...core.power import PowerFunction
+from ...core.profile import SpeedProfile
+from ...core.schedule import Schedule
+from ..yds import yds
+
+Assignment = Dict[str, int]  # job id -> machine
+Assigner = Callable[[Sequence[Job], int], Assignment]
+
+
+def assign_round_robin(jobs: Sequence[Job], machines: int) -> Assignment:
+    """Jobs to machines in arrival order, round robin."""
+    ordered = sorted(jobs, key=lambda j: (j.release, j.id))
+    return {j.id: i % machines for i, j in enumerate(ordered)}
+
+
+def assign_least_density(jobs: Sequence[Job], machines: int) -> Assignment:
+    """List scheduling by density.
+
+    Jobs are placed densest-first on the machine whose already-assigned
+    density overlapping the job's window is smallest — the classical
+    makespan-style heuristic transplanted to density space.  Processing
+    jobs in arrival order instead (online mode) is what
+    :func:`repro.qbss.nonmigratory.avrq_nm` uses.
+    """
+    assignment: Assignment = {}
+    loads: List[List[Job]] = [[] for _ in range(machines)]
+
+    def overlap_density(machine_jobs: List[Job], job: Job) -> float:
+        total = 0.0
+        for other in machine_jobs:
+            lo = max(other.release, job.release)
+            hi = min(other.deadline, job.deadline)
+            if hi > lo:
+                total += other.density * (hi - lo) / job.span
+        return total
+
+    for job in sorted(jobs, key=lambda j: (-j.density, j.id)):
+        best = min(
+            range(machines), key=lambda m: (overlap_density(loads[m], job), m)
+        )
+        assignment[job.id] = best
+        loads[best].append(job)
+    return assignment
+
+
+def assign_arrival_least_density(jobs: Sequence[Job], machines: int) -> Assignment:
+    """Online-compatible variant: assign in arrival order, least overlap."""
+    assignment: Assignment = {}
+    loads: List[List[Job]] = [[] for _ in range(machines)]
+
+    def overlap_density(machine_jobs: List[Job], job: Job) -> float:
+        total = 0.0
+        for other in machine_jobs:
+            lo = max(other.release, job.release)
+            hi = min(other.deadline, job.deadline)
+            if hi > lo:
+                total += other.density * (hi - lo) / job.span
+        return total
+
+    for job in sorted(jobs, key=lambda j: (j.release, j.id)):
+        best = min(
+            range(machines), key=lambda m: (overlap_density(loads[m], job), m)
+        )
+        assignment[job.id] = best
+        loads[best].append(job)
+    return assignment
+
+
+def assign_greedy_energy(
+    jobs: Sequence[Job], machines: int, alpha: float = 3.0
+) -> Assignment:
+    """Offline greedy: place each job (densest first) where the increase in
+    per-machine YDS energy is smallest.  Exact energies, so O(n m) YDS runs
+    — intended for small instances and as an upper reference for the
+    cheaper heuristics."""
+    power = PowerFunction(alpha)
+    assignment: Assignment = {}
+    per_machine: List[List[Job]] = [[] for _ in range(machines)]
+    energies = [0.0] * machines
+
+    for job in sorted(jobs, key=lambda j: (-j.density, j.id)):
+        best_m, best_delta, best_energy = 0, float("inf"), 0.0
+        for m in range(machines):
+            candidate = per_machine[m] + [job]
+            e = yds(candidate).profile.energy(power)
+            delta = e - energies[m]
+            if delta < best_delta - EPS:
+                best_m, best_delta, best_energy = m, delta, e
+        assignment[job.id] = best_m
+        per_machine[best_m].append(job)
+        energies[best_m] = best_energy
+    return assignment
+
+
+@dataclass
+class NonMigratoryResult:
+    """Per-machine YDS schedules under a fixed assignment."""
+
+    assignment: Assignment
+    profiles: List[SpeedProfile]
+    schedule: Schedule
+
+    def energy(self, power: PowerFunction) -> float:
+        return sum(p.energy(power) for p in self.profiles)
+
+    def max_speed(self) -> float:
+        return max((p.max_speed() for p in self.profiles), default=0.0)
+
+
+def optimal_non_migratory(
+    jobs: Sequence[Job],
+    machines: int,
+    alpha: float,
+    max_jobs: int = 9,
+) -> NonMigratoryResult:
+    """The exact non-migratory optimum by assignment enumeration (tiny n).
+
+    Tries every one of the ``machines**n`` assignments (deduplicated by
+    machine symmetry via canonical first-use ordering) and keeps the one
+    whose per-machine YDS energies sum lowest.  With the exact migratory
+    optimum (:func:`repro.speed_scaling.multi.optimal.convex_optimal_energy`)
+    this measures the true migration gap on small instances.
+    """
+    live = [j for j in jobs if j.work > EPS]
+    if len(live) > max_jobs:
+        raise ValueError(
+            f"exact enumeration is machines**n; got n={len(live)} > {max_jobs}"
+        )
+    if not live:
+        return non_migratory(jobs, machines)
+
+    power = PowerFunction(alpha)
+    ordered = sorted(live, key=lambda j: j.id)
+    best_energy = float("inf")
+    best_assignment: Assignment = {}
+
+    def recurse(idx: int, assignment: List[int], used: int) -> None:
+        nonlocal best_energy, best_assignment
+        if idx == len(ordered):
+            energy = 0.0
+            for m in range(machines):
+                mine = [
+                    ordered[i] for i, mm in enumerate(assignment) if mm == m
+                ]
+                if mine:
+                    energy += yds(mine).profile.energy(power)
+                if energy >= best_energy:
+                    return
+            best_energy = energy
+            best_assignment = {
+                ordered[i].id: m for i, m in enumerate(assignment)
+            }
+            return
+        # canonical symmetry breaking: a job may open at most one new machine
+        for m in range(min(used + 1, machines)):
+            assignment.append(m)
+            recurse(idx + 1, assignment, max(used, m + 1))
+            assignment.pop()
+
+    recurse(0, [], 0)
+    return non_migratory(
+        jobs, machines, assigner=lambda js, m: dict(best_assignment)
+    )
+
+
+def non_migratory(
+    jobs: Sequence[Job],
+    machines: int,
+    assigner: Assigner = assign_least_density,
+) -> NonMigratoryResult:
+    """Assign jobs, then schedule each machine optimally with YDS."""
+    if machines < 1:
+        raise ValueError(f"machines must be >= 1, got {machines}")
+    live = [j for j in jobs if j.work > EPS]
+    assignment = assigner(live, machines)
+    missing = {j.id for j in live} - set(assignment)
+    if missing:
+        raise ValueError(f"assigner left jobs unassigned: {sorted(missing)}")
+
+    schedule = Schedule(machines)
+    profiles: List[SpeedProfile] = []
+    for m in range(machines):
+        mine = [j for j in live if assignment[j.id] == m]
+        result = yds(mine)
+        profiles.append(result.profile)
+        for s in result.schedule.slices(0):
+            schedule.add(s.start, s.end, s.speed, s.job_id, m)
+    return NonMigratoryResult(assignment, profiles, schedule)

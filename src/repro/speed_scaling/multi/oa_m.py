@@ -1,0 +1,127 @@
+"""OA(m): Optimal Available on m parallel machines (Albers et al. 2015).
+
+The multi-machine replanning strategy: at every arrival, compute the
+energy-optimal *migratory* schedule for all remaining work assuming no
+further arrivals, and follow it until the next arrival.  Albers,
+Antoniadis and Greiner prove OA(m) is ``alpha^alpha``-competitive, like
+its single-machine parent.
+
+The per-arrival plan is the convex program of
+:mod:`repro.speed_scaling.multi.optimal` (exact but small-n); following the
+plan means executing, per elementary interval, the planned per-job works
+with the big/small machine split and McNaughton packing.  Intended for the
+experiment sizes of this library (tens of jobs); the value is an exact
+multi-machine replanning baseline for OAQ(m).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ...core.constants import EPS
+from ...core.job import Job
+from ...core.power import PowerFunction
+from ...core.profile import Segment, SpeedProfile
+from ...core.schedule import Schedule
+from ...core.timeline import dedupe_times
+from .allocation import allocate_slot
+from .mcnaughton import mcnaughton_slot
+from .optimal import elementary_grid, optimal_allocation
+
+
+
+
+@dataclass
+class OAmResult:
+    """Per-machine profiles and the realised schedule of an OA(m) run."""
+
+    profiles: List[SpeedProfile]
+    schedule: Schedule
+    unfinished: Dict[str, float]
+
+    @property
+    def feasible(self) -> bool:
+        return not self.unfinished
+
+    def energy(self, power: PowerFunction) -> float:
+        return sum(p.energy(power) for p in self.profiles)
+
+    def max_speed(self) -> float:
+        return max((p.max_speed() for p in self.profiles), default=0.0)
+
+
+def oa_m(jobs: Sequence[Job], machines: int, alpha: float = 3.0) -> OAmResult:
+    """Run OA(m): replan the convex optimum at every arrival and follow it."""
+    if machines < 1:
+        raise ValueError(f"machines must be >= 1, got {machines}")
+    live = [j for j in jobs if j.work > EPS]
+    schedule = Schedule(machines)
+    per_machine: List[List[Segment]] = [[] for _ in range(machines)]
+    if not live:
+        return OAmResult([SpeedProfile() for _ in range(machines)], schedule, {})
+
+    arrivals = dedupe_times(j.release for j in live)
+    horizon = max(j.deadline for j in live)
+    remaining = {j.id: j.work for j in live}
+    by_id = {j.id: j for j in live}
+
+    for idx, t in enumerate(arrivals):
+        until = arrivals[idx + 1] if idx + 1 < len(arrivals) else horizon
+        if until <= t + EPS:
+            continue
+        plan_jobs = [
+            Job(max(by_id[jid].release, t), by_id[jid].deadline, rem, jid)
+            for jid, rem in remaining.items()
+            if rem > EPS and by_id[jid].release <= t + EPS
+        ]
+        if not plan_jobs:
+            continue
+        alloc = optimal_allocation(plan_jobs, machines, alpha)
+        grid = elementary_grid(plan_jobs)
+
+        # follow the plan on [t, until): execute each planned interval's
+        # works (pro-rated when `until` cuts an interval) with the big/small
+        # split and McNaughton packing
+        for gi, (a, b) in enumerate(grid):
+            lo, hi = max(a, t), min(b, until)
+            if hi <= lo + EPS:
+                continue
+            frac = (hi - lo) / (b - a)
+            works = []
+            for jid, per in alloc.items():
+                x = per.get(gi, 0.0) * frac
+                if x > EPS:
+                    works.append((jid, x))
+            if not works:
+                continue
+            densities = [w / (hi - lo) for _, w in works]
+            slot = allocate_slot(densities, machines)
+            for item_idx, mach, dens in slot.big:
+                jid = works[item_idx][0]
+                schedule.add(lo, hi, dens, jid, mach)
+                per_machine[mach].append(Segment(lo, hi, dens))
+                remaining[jid] = max(0.0, remaining[jid] - dens * (hi - lo))
+            if slot.small_indices:
+                small_works = [works[i] for i in slot.small_indices]
+                pieces = mcnaughton_slot(
+                    small_works, lo, hi, slot.small_speed, slot.small_machines
+                )
+                for mach, sl in pieces:
+                    schedule.add(sl.start, sl.end, sl.speed, sl.job_id, mach)
+                    remaining[sl.job_id] = max(
+                        0.0, remaining[sl.job_id] - sl.work
+                    )
+                for mach in slot.small_machines:
+                    per_machine[mach].append(
+                        Segment(lo, hi, slot.small_speed)
+                    )
+
+    dust = 1e-6
+    unfinished = {
+        jid: rem
+        for jid, rem in remaining.items()
+        if rem > dust * max(1.0, by_id[jid].work)
+    }
+    profiles = [SpeedProfile(segs) for segs in per_machine]
+    return OAmResult(profiles, schedule, unfinished)

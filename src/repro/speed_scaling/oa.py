@@ -1,0 +1,88 @@
+"""The Optimal Available (OA) online heuristic.
+
+Introduced (unanalysed) by Yao, Demers and Shenker 1995 and shown to be
+exactly ``alpha^alpha``-competitive for energy by Bansal, Kimbrel and Pruhs
+2007.  OA is the natural replanning strategy: whenever a job arrives,
+recompute the optimal (YDS) schedule for all *remaining* work, assuming no
+further arrivals, and follow it until the next arrival.
+
+The paper's conclusion (Sec. 7) asks whether OA extends to the QBSS model —
+our :mod:`repro.qbss.oaq` explores that extension empirically, on top of
+this implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.constants import EPS
+from ..core.job import Job
+from ..core.profile import Segment, SpeedProfile
+from ..core.schedule import Schedule
+from ..core.timeline import dedupe_times
+from .yds import yds
+
+
+@dataclass
+class OAResult:
+    """Profile and schedule of an OA run."""
+
+    profile: SpeedProfile
+    schedule: Schedule
+    unfinished: Dict[str, float]
+
+    @property
+    def feasible(self) -> bool:
+        return not self.unfinished
+
+
+def oa(jobs: Sequence[Job]) -> OAResult:
+    """Run OA over ``jobs`` (each arriving at its release time).
+
+    Between consecutive arrival times the algorithm follows the current YDS
+    plan for the remaining work; at each arrival the plan is recomputed.
+    OA never misses deadlines (each plan is feasible for the remaining work,
+    and following a feasible plan keeps the residual instance feasible).
+    """
+    live = [j for j in jobs if j.work > EPS]
+    schedule = Schedule(1)
+    segments: List[Segment] = []
+    if not live:
+        return OAResult(SpeedProfile(), schedule, {})
+
+    arrivals = dedupe_times(j.release for j in live)
+    horizon = max(j.deadline for j in live)
+    remaining: Dict[str, float] = {j.id: j.work for j in live}
+    by_id = {j.id: j for j in live}
+
+    for idx, t in enumerate(arrivals):
+        until = arrivals[idx + 1] if idx + 1 < len(arrivals) else horizon
+        if until <= t + EPS:
+            continue
+        # Replan: YDS on remaining work of arrived jobs, windows clipped to t.
+        plan_jobs = [
+            Job(max(by_id[jid].release, t), by_id[jid].deadline, rem, jid)
+            for jid, rem in remaining.items()
+            if rem > EPS and by_id[jid].release <= t + EPS
+        ]
+        if not plan_jobs:
+            continue
+        plan = yds(plan_jobs)
+        # Follow the plan on [t, until): copy its slices, debit the work.
+        for s in plan.schedule.slices(0):
+            lo, hi = max(s.start, t), min(s.end, until)
+            if hi <= lo + EPS:
+                continue
+            schedule.add(lo, hi, s.speed, s.job_id)
+            segments.append(Segment(lo, hi, s.speed))
+            executed = s.speed * (hi - lo)
+            remaining[s.job_id] = max(0.0, remaining[s.job_id] - executed)
+
+    unfinished = {jid: rem for jid, rem in remaining.items() if rem > 1e-6}
+    return OAResult(SpeedProfile(segments), schedule, unfinished)
+
+
+def oa_profile(jobs: Sequence[Job]) -> SpeedProfile:
+    """The OA speed profile only (convenience wrapper)."""
+    return oa(jobs).profile

@@ -1,0 +1,156 @@
+"""Static power and race-to-idle (speed scaling with a sleep state).
+
+The paper's model charges ``P(s) = s^alpha`` — zero power when idle.  Real
+platforms burn static (leakage) power whenever awake, which changes the
+calculus: running slowly for a long time keeps the platform awake longer.
+The classical treatment (Irani, Shukla, Gupta 2003; Albers, Antoniadis
+2014): with awake power ``P(s) = s^alpha + p_static`` and the ability to
+sleep when idle, it never pays to run below the *critical speed*
+
+    s_crit = argmin_s (s^alpha + p_static) / s
+           = (p_static / (alpha - 1)) ** (1 / alpha),
+
+the speed minimising energy per unit of work.  *Race-to-idle* reshapes any
+continuous-model schedule: every segment slower than ``s_crit`` is executed
+at ``s_crit`` (same work, shorter busy time) and the remainder of the
+segment sleeps.  Speeds only increase and per-segment work is preserved, so
+window-aligned feasibility is untouched.
+
+This module provides the extended power model, the reshaping, and the
+energy accounting with and without reshaping, feeding the ``sleep``
+ablation experiment (how much race-to-idle saves for the QBSS algorithms
+as leakage grows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.constants import EPS
+from ..core.profile import Segment, SpeedProfile
+
+
+@dataclass(frozen=True)
+class StaticPowerModel:
+    """Awake power ``P(s) = s^alpha + p_static``; sleeping draws zero.
+
+    ``wake_cost`` charges a fixed energy per sleep-to-awake transition
+    (0 by default — transitions free, the pure race-to-idle setting).
+    """
+
+    alpha: float
+    p_static: float
+    wake_cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.alpha > 1.0:
+            raise ValueError(f"alpha must be > 1, got {self.alpha}")
+        if self.p_static < 0 or self.wake_cost < 0:
+            raise ValueError("static power and wake cost must be >= 0")
+
+    @property
+    def critical_speed(self) -> float:
+        """The energy-per-work-optimal speed ``(p_static/(alpha-1))^(1/alpha)``."""
+        if self.p_static == 0:
+            return 0.0
+        return (self.p_static / (self.alpha - 1.0)) ** (1.0 / self.alpha)
+
+    def awake_power(self, speed: float) -> float:
+        if speed < 0:
+            raise ValueError("speed must be >= 0")
+        return speed**self.alpha + self.p_static
+
+    def energy_per_work(self, speed: float) -> float:
+        """Awake energy per executed work unit at constant ``speed > 0``."""
+        if speed <= 0:
+            raise ValueError("need positive speed")
+        return self.awake_power(speed) / speed
+
+
+def profile_energy_always_awake(
+    profile: SpeedProfile, model: StaticPowerModel, horizon_end: float | None = None
+) -> float:
+    """Energy when the platform never sleeps between profile start and end.
+
+    Static power is paid over the whole span ``[profile.start, horizon]``
+    (including idle gaps) — the no-sleep baseline.
+    """
+    if profile.is_empty:
+        return 0.0
+    end = horizon_end if horizon_end is not None else profile.end
+    dynamic = sum(
+        seg.speed**model.alpha * seg.duration for seg in profile
+    )
+    return dynamic + model.p_static * (end - profile.start)
+
+
+def race_to_idle(
+    profile: SpeedProfile, model: StaticPowerModel
+) -> SpeedProfile:
+    """Raise every sub-critical segment to the critical speed, then sleep.
+
+    Each segment ``[a, b) @ s`` with ``0 < s < s_crit`` becomes
+    ``[a, a + work/s_crit) @ s_crit`` followed by sleep.  Work per segment
+    is preserved and speeds never decrease, so EDF feasibility for any job
+    set whose windows align with segment boundaries is preserved.
+    """
+    s_crit = model.critical_speed
+    out: List[Segment] = []
+    for seg in profile:
+        if seg.speed >= s_crit - EPS:
+            out.append(seg)
+            continue
+        busy = seg.work / s_crit
+        if busy > EPS:
+            out.append(Segment(seg.start, seg.start + busy, s_crit))
+    return SpeedProfile(out)
+
+
+def profile_energy_with_sleep(
+    profile: SpeedProfile, model: StaticPowerModel
+) -> float:
+    """Energy when the platform sleeps during every idle gap.
+
+    Awake exactly on the profile's positive-speed segments; each maximal
+    awake period costs one ``wake_cost``.
+    """
+    if profile.is_empty:
+        return 0.0
+    energy = sum(
+        model.awake_power(seg.speed) * seg.duration for seg in profile
+    )
+    # count maximal awake periods (merged adjacent segments already are)
+    wakeups = 1
+    for prev, nxt in zip(profile.segments, profile.segments[1:]):
+        if nxt.start > prev.end + EPS:
+            wakeups += 1
+    return energy + model.wake_cost * wakeups
+
+
+@dataclass(frozen=True)
+class SleepSavings:
+    """Outcome of applying race-to-idle to one profile."""
+
+    energy_no_sleep: float
+    energy_race_to_idle: float
+    critical_speed: float
+
+    @property
+    def savings_ratio(self) -> float:
+        """``no_sleep / race_to_idle`` (>= 1 whenever reshaping is valid)."""
+        if self.energy_race_to_idle <= 0:
+            return 1.0
+        return self.energy_no_sleep / self.energy_race_to_idle
+
+
+def evaluate_race_to_idle(
+    profile: SpeedProfile, model: StaticPowerModel
+) -> SleepSavings:
+    """Compare never-sleeping against the race-to-idle reshaping."""
+    reshaped = race_to_idle(profile, model)
+    return SleepSavings(
+        energy_no_sleep=profile_energy_always_awake(profile, model),
+        energy_race_to_idle=profile_energy_with_sleep(reshaped, model),
+        critical_speed=model.critical_speed,
+    )

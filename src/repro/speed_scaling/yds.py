@@ -1,0 +1,251 @@
+"""The YDS optimal offline algorithm (Yao, Demers, Shenker 1995).
+
+YDS repeatedly finds the *critical interval* — the interval ``[a, b]``
+maximising the intensity ``g(a, b) = (sum of work of jobs whose windows lie
+inside [a, b]) / (b - a)`` — schedules exactly those jobs at constant speed
+``g`` inside it (EDF order), removes them, excises the interval from the
+timeline, and recurses.  The result is the minimum-energy preemptive
+single-machine schedule for any convex power function, and simultaneously
+minimises the maximum speed.
+
+The excision is implemented with an explicit compressed-time coordinate
+system (:class:`TimelineCompressor`): each iteration works in compressed
+coordinates, and scheduled slices are mapped back to original time, where a
+later critical interval may interleave *around* earlier ones.
+
+This is the workhorse of the whole library: the clairvoyant baseline of
+every QBSS experiment is YDS on the jobs ``(r_j, d_j, p*_j)`` (paper Sec. 3),
+and CRP2D calls YDS as a subroutine (Algorithm 2, line 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.constants import EPS
+from ..core.edf import run_edf
+from ..core.job import Job
+from ..core.profile import Segment, SpeedProfile
+from ..core.schedule import Schedule
+from ..core.timeline import dedupe_times
+
+
+class TimelineCompressor:
+    """Tracks excised original-time intervals and maps between coordinates.
+
+    Compressed time is original time with all cut intervals removed:
+    ``comp(t) = |[t0, t] \\ cuts|`` where ``t0`` is the global origin.
+    """
+
+    def __init__(self, origin: float) -> None:
+        self.origin = origin
+        self._cuts: List[Tuple[float, float]] = []  # disjoint, sorted, merged
+
+    @property
+    def cuts(self) -> List[Tuple[float, float]]:
+        return list(self._cuts)
+
+    def compress(self, t: float) -> float:
+        """Map original time ``t`` to compressed time."""
+        removed = 0.0
+        for a, b in self._cuts:
+            if b <= t:
+                removed += b - a
+            elif a < t:
+                removed += t - a
+            else:
+                break
+        return (t - self.origin) - removed
+
+    def expand_interval(self, c1: float, c2: float) -> List[Tuple[float, float]]:
+        """Map compressed interval ``[c1, c2)`` back to original time.
+
+        The image is a union of intervals, one per maximal gap between cuts.
+        """
+        if c2 <= c1:
+            return []
+        out: List[Tuple[float, float]] = []
+        pos = 0.0  # compressed time at cursor
+        cursor = self.origin  # original time
+        remaining_start = c1
+        for a, b in self._cuts + [(float("inf"), float("inf"))]:
+            gap = a - cursor  # length of un-cut original time before next cut
+            if gap > 0:
+                lo = max(remaining_start, pos)
+                hi = min(c2, pos + gap)
+                o1, o2 = cursor + (lo - pos), cursor + (hi - pos)
+                # guard against zero-length intervals born of float rounding
+                if hi > lo and o2 > o1 + EPS * max(1.0, abs(o1)) * 1e-3:
+                    out.append((o1, o2))
+                pos += gap
+                if pos >= c2 - EPS:
+                    break
+            cursor = b
+        return out
+
+    def cut(self, intervals: Sequence[Tuple[float, float]]) -> None:
+        """Excise original-time ``intervals`` (merging with existing cuts)."""
+        merged = sorted(self._cuts + [(a, b) for a, b in intervals if b > a])
+        out: List[Tuple[float, float]] = []
+        for a, b in merged:
+            if out and a <= out[-1][1] + EPS:
+                out[-1] = (out[-1][0], max(out[-1][1], b))
+            else:
+                out.append((a, b))
+        self._cuts = out
+
+
+@dataclass(frozen=True)
+class CriticalInterval:
+    """One YDS iteration: jobs run at ``speed`` in ``original_intervals``."""
+
+    speed: float
+    compressed: Tuple[float, float]
+    original_intervals: Tuple[Tuple[float, float], ...]
+    job_ids: Tuple[str, ...]
+
+
+@dataclass
+class YDSResult:
+    """Schedule, speed profile and the critical-interval decomposition."""
+
+    schedule: Schedule
+    profile: SpeedProfile
+    critical_intervals: List[CriticalInterval]
+
+
+def _max_intensity(
+    jobs: Sequence[Job], compressor: TimelineCompressor
+) -> Optional[Tuple[float, float, float, List[Job]]]:
+    """Find the compressed interval of maximum intensity.
+
+    Returns ``(intensity, c_start, c_end, critical_jobs)`` or ``None`` when
+    no positive-work interval exists.  Vectorised over all candidate
+    (release, deadline) pairs — this is the hot loop of YDS.
+    """
+    import numpy as np
+
+    comp_r = np.array([compressor.compress(j.release) for j in jobs])
+    comp_d = np.array([compressor.compress(j.deadline) for j in jobs])
+    works = np.array([j.work for j in jobs])
+
+    starts = np.array(dedupe_times(comp_r))
+    ends = np.array(dedupe_times(comp_d))
+
+    # in_start[i, j] : job j's compressed window starts at or after starts[i]
+    in_start = comp_r[None, :] >= starts[:, None] - EPS
+    # in_end[k, j] : job j's compressed window ends at or before ends[k]
+    in_end = comp_d[None, :] <= ends[:, None] + EPS
+
+    # work_matrix[i, k] = total work of jobs inside [starts[i], ends[k]]
+    work_matrix = (in_start * works[None, :]) @ in_end.T.astype(float)
+
+    lengths = ends[None, :] - starts[:, None]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        intensity = np.where(lengths > EPS, work_matrix / lengths, -np.inf)
+    intensity[work_matrix <= 0] = -np.inf
+
+    flat = int(np.argmax(intensity))
+    i, k = divmod(flat, intensity.shape[1])
+    if not np.isfinite(intensity[i, k]):
+        return None
+    a, b = float(starts[i]), float(ends[k])
+    inside = [
+        j
+        for j, r, d in zip(jobs, comp_r, comp_d)
+        if r >= a - EPS and d <= b + EPS
+    ]
+    return (float(intensity[i, k]), a, b, inside)
+
+
+def yds(jobs: Sequence[Job]) -> YDSResult:
+    """Compute the optimal offline single-machine schedule.
+
+    Zero-work jobs are trivially complete and are ignored.  Returns the
+    concrete schedule, the optimal speed profile and the critical-interval
+    decomposition (in discovery order, i.e. non-increasing speeds).
+    """
+    pending = [j for j in jobs if j.work > EPS]
+    schedule = Schedule(1)
+    criticals: List[CriticalInterval] = []
+
+    if not pending:
+        return YDSResult(schedule, SpeedProfile(), criticals)
+
+    origin = min(j.release for j in pending)
+    compressor = TimelineCompressor(origin)
+
+    while pending:
+        found = _max_intensity(pending, compressor)
+        if found is None:
+            break
+        speed, c1, c2, critical_jobs = found
+
+        # EDF inside the compressed critical interval with compressed windows.
+        comp_jobs = [
+            Job(
+                max(compressor.compress(j.release), c1),
+                min(compressor.compress(j.deadline), c2),
+                j.work,
+                j.id,
+            )
+            for j in critical_jobs
+        ]
+        comp_profile = SpeedProfile.constant(c1, c2, speed)
+        result = run_edf(comp_jobs, comp_profile)
+        if not result.feasible:  # pragma: no cover - guaranteed by YDS theory
+            raise RuntimeError(
+                "internal error: EDF infeasible inside a critical interval "
+                f"({result.unfinished})"
+            )
+
+        # Map compressed slices back to (possibly split) original time.
+        original_cover = compressor.expand_interval(c1, c2)
+        for s in result.schedule.slices(0):
+            for (o1, o2) in _map_slice(compressor, s.start, s.end):
+                schedule.add(o1, o2, speed, s.job_id)
+
+        criticals.append(
+            CriticalInterval(
+                speed=speed,
+                compressed=(c1, c2),
+                original_intervals=tuple(original_cover),
+                job_ids=tuple(sorted(j.id for j in critical_jobs)),
+            )
+        )
+
+        compressor.cut(original_cover)
+        scheduled_ids = {j.id for j in critical_jobs}
+        pending = [j for j in pending if j.id not in scheduled_ids]
+
+    profile = SpeedProfile(
+        Segment(a, b, ci.speed)
+        for ci in criticals
+        for (a, b) in ci.original_intervals
+    )
+    return YDSResult(schedule, profile, criticals)
+
+
+def _map_slice(
+    compressor: TimelineCompressor, c1: float, c2: float
+) -> List[Tuple[float, float]]:
+    """Map one compressed slice back to original-time intervals."""
+    return compressor.expand_interval(c1, c2)
+
+
+def yds_profile(jobs: Sequence[Job]) -> SpeedProfile:
+    """The optimal speed profile only (convenience wrapper)."""
+    return yds(jobs).profile
+
+
+def optimal_energy(jobs: Sequence[Job], alpha: float) -> float:
+    """Minimum energy for ``jobs`` on one machine under ``P(s) = s**alpha``."""
+    from ..core.power import PowerFunction
+
+    return yds_profile(jobs).energy(PowerFunction(alpha))
+
+
+def optimal_max_speed(jobs: Sequence[Job]) -> float:
+    """Minimum possible maximum speed (the top critical-interval intensity)."""
+    return yds_profile(jobs).max_speed()

@@ -1,0 +1,121 @@
+"""Plain-text visualisation of profiles and schedules.
+
+Terminal-friendly (no plotting dependencies): speed-profile "skylines" and
+per-machine Gantt charts built from unicode block characters.  Used by the
+examples and handy in a REPL when debugging an algorithm's behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .core.profile import SpeedProfile
+from .core.schedule import Schedule
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def profile_skyline(
+    profile: SpeedProfile,
+    width: int = 72,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    max_speed: Optional[float] = None,
+) -> str:
+    """Render a speed profile as one line of block characters.
+
+    Each column shows the speed at the column's midpoint, quantised to
+    eight levels against ``max_speed`` (default: the profile's own peak).
+    """
+    if profile.is_empty:
+        return " " * width
+    lo = profile.start if start is None else start
+    hi = profile.end if end is None else end
+    if hi <= lo:
+        raise ValueError("end must exceed start")
+    peak = max_speed if max_speed is not None else profile.max_speed()
+    if peak <= 0:
+        return " " * width
+    cols = []
+    step = (hi - lo) / width
+    for i in range(width):
+        s = profile.speed_at(lo + (i + 0.5) * step)
+        level = min(int(round(s / peak * (len(_BLOCKS) - 1))), len(_BLOCKS) - 1)
+        cols.append(_BLOCKS[level])
+    return "".join(cols)
+
+
+def profile_chart(
+    profiles: Sequence[SpeedProfile],
+    labels: Optional[Sequence[str]] = None,
+    width: int = 72,
+) -> str:
+    """Stack several skylines on a shared time axis and speed scale."""
+    live = [p for p in profiles if not p.is_empty]
+    if not live:
+        return "(all profiles empty)"
+    lo = min(p.start for p in live)
+    hi = max(p.end for p in live)
+    peak = max(p.max_speed() for p in live)
+    labels = list(labels or [f"profile {i}" for i in range(len(profiles))])
+    label_w = max(len(s) for s in labels)
+    lines = []
+    for label, profile in zip(labels, profiles):
+        sky = profile_skyline(profile, width, lo, hi, peak)
+        lines.append(f"{label.rjust(label_w)} |{sky}|")
+    axis = f"{'':>{label_w}} +{'-' * width}+"
+    scale = (
+        f"{'':>{label_w}}  t = [{lo:g}, {hi:g}]   "
+        f"full block = speed {peak:.3g}"
+    )
+    return "\n".join(lines + [axis, scale])
+
+
+def gantt(
+    schedule: Schedule,
+    width: int = 72,
+    job_symbols: Optional[Dict[str, str]] = None,
+) -> str:
+    """Per-machine Gantt chart: one row per machine, one symbol per job.
+
+    Columns are time buckets; the symbol shown is the job occupying the
+    bucket's midpoint ('.' for idle, lowercase letters assigned to jobs in
+    first-seen order unless ``job_symbols`` overrides).
+    """
+    lo, hi = schedule.span()
+    if hi <= lo:
+        return "(empty schedule)"
+    symbols = dict(job_symbols or {})
+    alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    next_sym = 0
+
+    def symbol_for(job_id: str) -> str:
+        nonlocal next_sym
+        if job_id not in symbols:
+            symbols[job_id] = (
+                alphabet[next_sym] if next_sym < len(alphabet) else "?"
+            )
+            next_sym += 1
+        return symbols[job_id]
+
+    step = (hi - lo) / width
+    lines = []
+    for m in range(schedule.machines):
+        row = []
+        slices = schedule.slices(m)
+        for i in range(width):
+            t = lo + (i + 0.5) * step
+            sym = "."
+            for s in slices:
+                if s.start <= t < s.end:
+                    sym = symbol_for(s.job_id)
+                    break
+            row.append(sym)
+        lines.append(f"m{m} |{''.join(row)}|")
+    lines.append(f"   +{'-' * width}+  t = [{lo:g}, {hi:g}]")
+    legend = "   " + "  ".join(
+        f"{sym}={job}" for job, sym in sorted(symbols.items(), key=lambda kv: kv[1])
+    )
+    if symbols:
+        lines.append(legend)
+    return "\n".join(lines)

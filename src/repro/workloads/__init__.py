@@ -1,0 +1,37 @@
+"""Synthetic workloads: random generators and the paper's motivating scenarios."""
+
+from .generators import (
+    DEFAULT_UNCERTAINTY,
+    UncertaintyModel,
+    bursty_online_instance,
+    common_deadline_instance,
+    common_release_instance,
+    diurnal_trace_instance,
+    multi_machine_instance,
+    online_instance,
+    power_of_two_instance,
+)
+from .scenarios import (
+    DEFAULT_FILE_CLASSES,
+    FileClass,
+    code_optimizer_scenario,
+    datacenter_batch_scenario,
+    file_compression_scenario,
+)
+
+__all__ = [
+    "DEFAULT_UNCERTAINTY",
+    "UncertaintyModel",
+    "bursty_online_instance",
+    "common_deadline_instance",
+    "common_release_instance",
+    "diurnal_trace_instance",
+    "multi_machine_instance",
+    "online_instance",
+    "power_of_two_instance",
+    "DEFAULT_FILE_CLASSES",
+    "FileClass",
+    "code_optimizer_scenario",
+    "datacenter_batch_scenario",
+    "file_compression_scenario",
+]

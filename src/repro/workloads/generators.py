@@ -1,0 +1,222 @@
+"""Random QBSS instance generators.
+
+Each generator matches one of the paper's structural settings:
+
+* :func:`common_deadline_instance` — Sec. 4.2 (CRCD);
+* :func:`power_of_two_instance` — Sec. 4.3 (CRP2D);
+* :func:`common_release_instance` — Sec. 4.4 (CRAD, arbitrary deadlines);
+* :func:`online_instance` — Sec. 5 (arbitrary releases and deadlines);
+* plus :func:`multi_machine_instance` which sizes an online instance so
+  ``m`` machines are meaningfully loaded (Sec. 6).
+
+All generators are deterministic given the ``rng`` / ``seed`` argument.
+The triple ``(c_j, w_j, w*_j)`` is drawn so that both sides of the golden
+threshold occur: ``c_j`` uniform in ``(0, w_j]`` and ``w*_j`` a random
+compression of ``w_j`` (see :class:`UncertaintyModel`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..core.instance import QBSSInstance
+from ..core.qjob import QJob
+
+RngLike = Union[np.random.Generator, int, None]
+
+
+def _rng(seed: RngLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+@dataclass(frozen=True)
+class UncertaintyModel:
+    """How ``(c_j, w*_j)`` relate to the upper bound ``w_j``.
+
+    Attributes
+    ----------
+    query_frac_low / query_frac_high:
+        ``c_j`` is ``w_j`` times a uniform draw from this range (clipped to
+        the model constraint ``c_j in (0, w_j]``).
+    compression_beta_a / compression_beta_b:
+        ``w*_j = w_j * Beta(a, b)`` — the Beta's mass controls how often
+        queries pay off.  The default (a=1, b=2) skews towards strong
+        compression, i.e. queries frequently worthwhile.
+    """
+
+    query_frac_low: float = 0.05
+    query_frac_high: float = 1.0
+    compression_beta_a: float = 1.0
+    compression_beta_b: float = 2.0
+
+    def draw(self, rng: np.random.Generator, work_upper: float) -> tuple:
+        frac = rng.uniform(self.query_frac_low, self.query_frac_high)
+        c = float(np.clip(frac * work_upper, 1e-9, work_upper))
+        wstar = float(
+            work_upper
+            * rng.beta(self.compression_beta_a, self.compression_beta_b)
+        )
+        return c, min(wstar, work_upper)
+
+
+DEFAULT_UNCERTAINTY = UncertaintyModel()
+
+
+def common_deadline_instance(
+    n: int,
+    deadline: float = 1.0,
+    seed: RngLike = None,
+    uncertainty: UncertaintyModel = DEFAULT_UNCERTAINTY,
+    work_scale: float = 1.0,
+) -> QBSSInstance:
+    """All jobs released at 0 with the same ``deadline`` (CRCD's setting)."""
+    rng = _rng(seed)
+    jobs = []
+    for i in range(n):
+        w = float(work_scale * rng.lognormal(mean=0.0, sigma=0.75))
+        c, wstar = uncertainty.draw(rng, w)
+        jobs.append(QJob(0.0, deadline, c, w, wstar, f"cd-{i}"))
+    return QBSSInstance(jobs)
+
+
+def power_of_two_instance(
+    n: int,
+    max_exponent: int = 4,
+    seed: RngLike = None,
+    uncertainty: UncertaintyModel = DEFAULT_UNCERTAINTY,
+    work_scale: float = 1.0,
+) -> QBSSInstance:
+    """Common release 0, deadlines in ``{2^0, ..., 2^max_exponent}``."""
+    rng = _rng(seed)
+    jobs = []
+    for i in range(n):
+        d = float(2.0 ** rng.integers(0, max_exponent + 1))
+        w = float(work_scale * rng.lognormal(mean=0.0, sigma=0.75))
+        c, wstar = uncertainty.draw(rng, w)
+        jobs.append(QJob(0.0, d, c, w, wstar, f"p2-{i}"))
+    return QBSSInstance(jobs)
+
+
+def common_release_instance(
+    n: int,
+    max_deadline: float = 16.0,
+    seed: RngLike = None,
+    uncertainty: UncertaintyModel = DEFAULT_UNCERTAINTY,
+    work_scale: float = 1.0,
+) -> QBSSInstance:
+    """Common release 0, arbitrary deadlines in ``(1, max_deadline]``."""
+    rng = _rng(seed)
+    jobs = []
+    for i in range(n):
+        d = float(rng.uniform(1.0, max_deadline))
+        w = float(work_scale * rng.lognormal(mean=0.0, sigma=0.75))
+        c, wstar = uncertainty.draw(rng, w)
+        jobs.append(QJob(0.0, d, c, w, wstar, f"cr-{i}"))
+    return QBSSInstance(jobs)
+
+
+def online_instance(
+    n: int,
+    horizon: float = 10.0,
+    min_window: float = 0.5,
+    max_window: float = 4.0,
+    seed: RngLike = None,
+    uncertainty: UncertaintyModel = DEFAULT_UNCERTAINTY,
+    work_scale: float = 1.0,
+    machines: int = 1,
+) -> QBSSInstance:
+    """Jobs arriving over ``[0, horizon)`` with random windows (Sec. 5)."""
+    rng = _rng(seed)
+    jobs = []
+    for i in range(n):
+        r = float(rng.uniform(0.0, horizon))
+        span = float(rng.uniform(min_window, max_window))
+        w = float(work_scale * rng.lognormal(mean=0.0, sigma=0.75))
+        c, wstar = uncertainty.draw(rng, w)
+        jobs.append(QJob(r, r + span, c, w, wstar, f"on-{i}"))
+    return QBSSInstance(jobs, machines)
+
+
+def multi_machine_instance(
+    n: int,
+    machines: int,
+    seed: RngLike = None,
+    uncertainty: UncertaintyModel = DEFAULT_UNCERTAINTY,
+) -> QBSSInstance:
+    """Online instance scaled so ``machines`` machines stay busy.
+
+    Work scales with ``machines`` so the big/small split of AVR(m) is
+    exercised (a few dense jobs become "big").
+    """
+    rng = _rng(seed)
+    base = online_instance(
+        n,
+        horizon=8.0,
+        seed=rng,
+        uncertainty=uncertainty,
+        work_scale=float(machines),
+        machines=machines,
+    )
+    return base
+
+
+def diurnal_trace_instance(
+    n: int,
+    days: float = 1.0,
+    day_length: float = 24.0,
+    peak_hour: float = 14.0,
+    seed: RngLike = None,
+    uncertainty: UncertaintyModel = DEFAULT_UNCERTAINTY,
+    machines: int = 1,
+) -> QBSSInstance:
+    """A synthetic daily trace: sinusoidal arrival intensity.
+
+    Arrival times are drawn by rejection from the rate
+    ``1 + sin`` curve peaking at ``peak_hour``; windows are a few hours.
+    This is the stand-in for a production arrival trace — it exercises the
+    online algorithms' behaviour under load that swells and ebbs rather
+    than the uniform arrivals of :func:`online_instance`.
+    """
+    rng = _rng(seed)
+    horizon = days * day_length
+    jobs = []
+    two_pi = 2.0 * math.pi
+    while len(jobs) < n:
+        t = float(rng.uniform(0.0, horizon))
+        intensity = 0.5 * (
+            1.0 + math.sin(two_pi * (t - peak_hour + day_length / 4) / day_length)
+        )
+        if rng.random() > intensity:
+            continue
+        span = float(rng.uniform(1.0, 6.0))
+        w = float(rng.lognormal(mean=0.0, sigma=0.75))
+        c, wstar = uncertainty.draw(rng, w)
+        jobs.append(QJob(t, t + span, c, w, wstar, f"tr-{len(jobs)}"))
+    return QBSSInstance(jobs, machines)
+
+
+def bursty_online_instance(
+    bursts: int,
+    jobs_per_burst: int,
+    seed: RngLike = None,
+    burst_gap: float = 4.0,
+    uncertainty: UncertaintyModel = DEFAULT_UNCERTAINTY,
+) -> QBSSInstance:
+    """Arrival bursts — stresses online algorithms' reaction to spikes."""
+    rng = _rng(seed)
+    jobs = []
+    for b in range(bursts):
+        t0 = b * burst_gap
+        for i in range(jobs_per_burst):
+            r = t0 + float(rng.uniform(0.0, 0.2))
+            span = float(rng.uniform(0.5, burst_gap))
+            w = float(rng.lognormal(mean=0.0, sigma=0.5))
+            c, wstar = uncertainty.draw(rng, w)
+            jobs.append(QJob(r, r + span, c, w, wstar, f"b{b}-{i}"))
+    return QBSSInstance(jobs)

@@ -1,0 +1,16 @@
+"""Shared non-fixture helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.core import Job
+
+
+def random_classical_jobs(rng, n, horizon=8.0):
+    """Seeded random classical jobs used across many test modules."""
+    jobs = []
+    for i in range(n):
+        r = float(rng.uniform(0, horizon))
+        span = float(rng.uniform(0.3, 3.0))
+        w = float(rng.uniform(0.1, 4.0))
+        jobs.append(Job(r, r + span, w, f"r{i}"))
+    return jobs

@@ -1,0 +1,51 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Instance, Job, PowerFunction, QBSSInstance, QJob
+
+
+@pytest.fixture
+def power3() -> PowerFunction:
+    return PowerFunction(3.0)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def simple_jobs():
+    """Three classical jobs with overlapping windows."""
+    return [
+        Job(0.0, 1.0, 2.0, "a"),
+        Job(0.0, 2.0, 1.0, "b"),
+        Job(1.5, 3.0, 4.0, "c"),
+    ]
+
+
+@pytest.fixture
+def simple_instance(simple_jobs) -> Instance:
+    return Instance(simple_jobs)
+
+
+@pytest.fixture
+def qjob() -> QJob:
+    return QJob(0.0, 4.0, 0.5, 3.0, 1.0, "q")
+
+
+@pytest.fixture
+def common_window_qinstance() -> QBSSInstance:
+    """Four QBSS jobs sharing the window (0, 8]."""
+    triples = [(1.0, 4.0, 2.0), (3.0, 4.0, 4.0), (0.5, 5.0, 0.2), (2.0, 2.5, 1.0)]
+    return QBSSInstance(
+        [QJob(0.0, 8.0, c, w, ws, f"j{i}") for i, (c, w, ws) in enumerate(triples)]
+    )
+
+
+# shared non-fixture helpers live in tests/_testutil.py (unique module name
+# so running tests/ and benchmarks/ in one pytest session cannot collide)

@@ -1,0 +1,92 @@
+"""The single-job adversarial game and its use against real algorithms."""
+
+import math
+
+import pytest
+
+from repro.bounds.adversary import (
+    adversarial_ratio,
+    algorithm_value,
+    best_deterministic_decision,
+    game_value,
+    optimal_value,
+)
+from repro.core.constants import PHI
+from repro.qbss.crcd import crcd
+
+
+class TestClosedForm:
+    def test_optimal_value(self):
+        assert optimal_value(1.0, 2.0, 0.0, 3.0, "max_speed") == 1.0
+        assert optimal_value(1.0, 2.0, 2.0, 3.0, "max_speed") == 2.0
+        assert optimal_value(1.0, 2.0, 0.5, 3.0, "energy") == 1.5**3
+
+    def test_algorithm_value_no_query(self):
+        assert algorithm_value(False, None, 1.0, 2.0, 0.0, 3.0, "max_speed") == 2.0
+        assert algorithm_value(False, None, 1.0, 2.0, 0.0, 3.0, "energy") == 8.0
+
+    def test_algorithm_value_query_speeds(self):
+        # x = 0.5: query speed 2c, work speed 2w*
+        v = algorithm_value(True, 0.5, 1.0, 2.0, 1.5, 3.0, "max_speed")
+        assert math.isclose(v, 3.0)  # max(2, 3)
+
+    def test_algorithm_value_query_energy(self):
+        v = algorithm_value(True, 0.5, 1.0, 2.0, 1.0, 3.0, "energy")
+        assert math.isclose(v, 0.5 * 8 + 0.5 * 8)
+
+    def test_query_requires_valid_split(self):
+        with pytest.raises(ValueError):
+            algorithm_value(True, None, 1.0, 2.0, 0.0, 3.0, "energy")
+
+    def test_game_value_lemma43_no_query(self):
+        # skipping on (c=1, w=2): adversary sets w*=0 -> speed ratio 2
+        ratio, wstar = game_value(False, None, 1.0, 2.0, 3.0, "max_speed")
+        assert math.isclose(ratio, 2.0)
+        assert wstar == 0.0
+
+    def test_game_value_lemma43_query_left_half(self):
+        # x <= 1/2: adversary sets w*=0; energy ratio = x^{1-a}
+        for x in (0.25, 0.5):
+            ratio, wstar = game_value(True, x, 1.0, 2.0, 3.0, "energy")
+            assert ratio >= x ** (1 - 3.0) - 1e-9
+
+    def test_best_decision_meets_lemma43(self):
+        val_s, _, _ = best_deterministic_decision(1.0, 2.0, 3.0, "max_speed")
+        val_e, _, _ = best_deterministic_decision(1.0, 2.0, 3.0, "energy")
+        assert val_s >= 2.0 - 1e-6
+        assert val_e >= 2.0 ** (3.0 - 1.0) - 1e-6
+
+    def test_best_decision_meets_lemma42_on_phi_instance(self):
+        # without an oracle the value is at least phi (speed) / phi^a (energy)
+        val_s, _, _ = best_deterministic_decision(1.0, PHI, 2.0, "max_speed")
+        val_e, _, _ = best_deterministic_decision(1.0, PHI, 2.0, "energy")
+        assert val_s >= PHI - 1e-6
+        assert val_e >= PHI**2.0 - 1e-6
+
+
+class TestAgainstRealAlgorithms:
+    def test_crcd_meets_speed_lower_bound(self):
+        out = adversarial_ratio(crcd, 1.0, 2.0, 3.0, "max_speed")
+        assert out.ratio >= 2.0 - 1e-9
+        assert out.queried  # golden rule fires: 1 <= 2/phi
+
+    def test_crcd_energy_against_adversary(self):
+        out = adversarial_ratio(crcd, 1.0, 2.0, 3.0, "energy")
+        # at least the deterministic LB, at most the CRCD UB
+        assert 2.0 ** (3.0 - 1.0) - 1e-9 <= out.ratio <= 8.0 + 1e-9
+
+    def test_never_query_baseline_unbounded(self):
+        from repro.analysis.ratios import never_query_offline
+
+        out = adversarial_ratio(
+            never_query_offline, 0.01, 1.0, 3.0, "max_speed"
+        )
+        # adversary sets w* = 0: ratio w / c = 100
+        assert out.ratio >= 100.0 - 1e-6
+        assert not out.queried
+
+    def test_decision_recorded(self):
+        out = adversarial_ratio(crcd, 1.9, 2.0, 3.0, "energy")
+        # c = 1.9 > 2/phi = 1.236: golden rule skips the query
+        assert not out.queried
+        assert out.split is None

@@ -1,0 +1,124 @@
+"""The measurement harness: ratios, sweeps, tables."""
+
+import math
+
+import pytest
+
+from repro.analysis.ratios import (
+    always_query_equal_window_offline,
+    measure,
+    measure_many,
+    never_query_offline,
+)
+from repro.analysis.sweep import (
+    alpha_sweep,
+    best_point,
+    parameter_sweep,
+    size_sweep,
+    worst_point,
+)
+from repro.analysis.tables import format_cell, render_table
+from repro.core.instance import QBSSInstance
+from repro.core.qjob import QJob
+from repro.qbss.avrq import avrq
+from repro.qbss.crcd import crcd
+from repro.workloads.generators import common_deadline_instance, online_instance
+
+
+class TestMeasure:
+    def test_ratio_at_least_one_for_exact_baseline(self):
+        qi = common_deadline_instance(8, seed=0)
+        m = measure(crcd, qi, 3.0)
+        assert m.energy_ratio >= 1.0 - 1e-9
+        assert m.max_speed_ratio >= 1.0 - 1e-9
+        assert m.exact_baseline
+
+    def test_never_query_ratio_formula(self):
+        # single job: never-query executes w; opt executes c + w*
+        qi = QBSSInstance([QJob(0, 1, 0.1, 1.0, 0.1, "x")])
+        m = measure(never_query_offline, qi, 3.0)
+        assert math.isclose(m.max_speed_ratio, 1.0 / 0.2)
+        assert math.isclose(m.energy_ratio, 5.0**3)
+
+    def test_equal_window_baseline_feasible(self):
+        qi = common_deadline_instance(6, seed=1)
+        m = measure(always_query_equal_window_offline, qi, 3.0)
+        assert m.energy_ratio >= 1.0 - 1e-9
+
+    def test_measure_many_aggregates(self):
+        instances = [common_deadline_instance(6, seed=s) for s in range(4)]
+        summary = measure_many(crcd, instances, 3.0)
+        assert summary.count == 4
+        assert summary.max_energy_ratio >= summary.mean_energy_ratio
+
+    def test_measure_many_requires_instances(self):
+        with pytest.raises(ValueError):
+            measure_many(crcd, [], 3.0)
+
+
+class TestSweeps:
+    def test_alpha_sweep_ordering(self):
+        instances = [online_instance(6, seed=s) for s in (0, 1)]
+        points = alpha_sweep(avrq, instances, [2.0, 3.0])
+        assert [p.parameter for p in points] == [2.0, 3.0]
+
+    def test_size_sweep(self):
+        points = size_sweep(
+            crcd,
+            lambda n, s: common_deadline_instance(n, seed=s),
+            [4, 8],
+            3.0,
+            seeds=(0,),
+        )
+        assert [p.parameter for p in points] == [4.0, 8.0]
+
+    def test_parameter_sweep_and_extremes(self):
+        from repro.qbss.policies import FixedSplit
+
+        instances = [online_instance(6, seed=s) for s in (0, 1)]
+        points = parameter_sweep(
+            lambda x: (lambda qi: avrq(qi, split_policy=FixedSplit(x))),
+            instances,
+            [0.2, 0.5, 0.8],
+            3.0,
+        )
+        w, b = worst_point(points), best_point(points)
+        assert w.summary.max_energy_ratio >= b.summary.max_energy_ratio
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(None) == "--"
+        assert format_cell(True) == "yes"
+        assert format_cell(1.23456) == "1.235"
+        assert format_cell("x") == "x"
+        assert format_cell(float("inf")) == "inf"
+        assert format_cell(float("nan")) == "nan"
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1.0, "long-cell"], [2.0, "x"]], title="T")
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        # all rows padded to the same header structure
+        assert "long-cell" in out and "1.000" in out
+
+    def test_render_latex_tabular(self):
+        from repro.analysis.tables import render_latex
+
+        out = render_latex(["alg", "ratio"], [["CRCD", 1.5], ["AVR_Q", None]])
+        assert out.startswith(r"\begin{tabular}{ll}")
+        assert r"CRCD & 1.500 \\" in out
+        assert r"AVR\_Q & -- \\" in out  # escaping + None cell
+        assert r"\end{tabular}" in out
+        assert r"\begin{table}" not in out  # no caption -> bare tabular
+
+    def test_render_latex_with_caption(self):
+        from repro.analysis.tables import render_latex
+
+        out = render_latex(
+            ["x"], [[1]], caption="50% better", label="tab:x"
+        )
+        assert r"\caption{50\% better}" in out
+        assert r"\label{tab:x}" in out
+        assert out.rstrip().endswith(r"\end{table}")

@@ -1,0 +1,73 @@
+"""AVR: density-sum profile, feasibility, competitiveness, causality."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounds.formulas import avr_ub_energy
+from repro.core.feasibility import check_feasible
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.power import PowerFunction
+from repro.speed_scaling.avr import avr, avr_profile, avr_profile_online_replay
+from repro.speed_scaling.yds import optimal_energy
+
+from _testutil import random_classical_jobs
+
+
+def test_profile_is_sum_of_densities(simple_jobs):
+    prof = avr_profile(simple_jobs)
+    # at t = 0.5: jobs a (density 2) and b (density 0.5)
+    assert math.isclose(prof.speed_at(0.5), 2.5)
+    # at t = 1.7: b (0.5) and c (4/1.5)
+    assert math.isclose(prof.speed_at(1.7), 0.5 + 4.0 / 1.5)
+    # outside all windows
+    assert prof.speed_at(5.0) == 0.0
+
+
+def test_total_work_preserved(simple_jobs):
+    assert math.isclose(avr_profile(simple_jobs).total_work(), 7.0)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_always_feasible(seed):
+    rng = np.random.default_rng(seed)
+    jobs = random_classical_jobs(rng, 15)
+    result = avr(jobs)
+    assert result.feasible, result.edf.unfinished
+    report = check_feasible(result.schedule, Instance(jobs))
+    assert report.ok, report.violations
+
+
+@pytest.mark.parametrize("alpha", [1.5, 2.0, 3.0])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_energy_within_paper_bound(alpha, seed):
+    """AVR <= 2^{a-1} a^a x OPT (only asserted for a >= 2 where proven)."""
+    rng = np.random.default_rng(seed)
+    jobs = random_classical_jobs(rng, 10)
+    ratio = avr_profile(jobs).energy(PowerFunction(alpha)) / optimal_energy(jobs, alpha)
+    assert ratio >= 1.0 - 1e-9
+    if alpha >= 2.0:
+        assert ratio <= avr_ub_energy(alpha) * (1 + 1e-9)
+
+
+def test_single_job_is_optimal():
+    jobs = [Job(0, 2, 4, "a")]
+    assert math.isclose(
+        avr_profile(jobs).energy(PowerFunction(3.0)), optimal_energy(jobs, 3.0)
+    )
+
+
+def test_online_replay_causality(rng):
+    """The profile before the next arrival never depends on future jobs."""
+    jobs = sorted(random_classical_jobs(rng, 8), key=lambda j: j.release)
+    prefixes = avr_profile_online_replay(jobs)
+    full = avr_profile(jobs)
+    for i, prefix in enumerate(prefixes):
+        upto = jobs[i + 1].release if i + 1 < len(jobs) else float("inf")
+        for t in np.linspace(jobs[0].release, min(upto, jobs[-1].deadline), 7):
+            if t < upto:
+                assert math.isclose(
+                    prefix.speed_at(t), full.speed_at(t), abs_tol=1e-9
+                )

@@ -1,0 +1,80 @@
+"""AVRQ: derivation, Theorem 5.2's pointwise bound, competitiveness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounds.formulas import avrq_ub_energy
+from repro.core.power import PowerFunction
+from repro.qbss.avrq import avrq
+from repro.qbss.clairvoyant import clairvoyant
+from repro.qbss.policies import FixedSplit
+from repro.speed_scaling.avr import avr_profile
+from repro.workloads.generators import online_instance
+
+
+def test_queries_every_job():
+    qi = online_instance(8, seed=0)
+    result = avrq(qi)
+    assert all(d.query for d in result.decisions.decisions.values())
+    assert all(d.split == 0.5 for d in result.decisions.decisions.values())
+
+
+def test_rejects_multi_machine():
+    qi = online_instance(4, seed=0, machines=2)
+    with pytest.raises(ValueError):
+        avrq(qi)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_schedule_feasible(seed):
+    qi = online_instance(12, seed=seed)
+    result = avrq(qi)
+    report = result.validate()
+    assert report.ok, report.violations
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_theorem_52_pointwise(seed):
+    """s_AVRQ(t) <= 2 s_AVR*(t) at every time."""
+    qi = online_instance(10, seed=seed)
+    result = avrq(qi)
+    star_profile = avr_profile([j.clairvoyant_job() for j in qi])
+    pts = sorted(set(result.profile.breakpoints()) | set(star_profile.breakpoints()))
+    for a, b in zip(pts, pts[1:]):
+        mid = 0.5 * (a + b)
+        assert result.profile.speed_at(mid) <= 2.0 * star_profile.speed_at(mid) + 1e-9
+
+
+@pytest.mark.parametrize("alpha", [2.0, 3.0])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_corollary_53_energy(alpha, seed):
+    qi = online_instance(10, seed=seed)
+    result = avrq(qi)
+    opt = clairvoyant(qi, alpha).energy_value
+    assert result.energy(PowerFunction(alpha)) <= avrq_ub_energy(alpha) * opt * (
+        1 + 1e-9
+    )
+
+
+def test_queries_complete_by_midpoint():
+    qi = online_instance(10, seed=5)
+    result = avrq(qi)
+    for qjob in qi:
+        done = result.schedule.completion_time(qjob.id + ":query")
+        assert done <= qjob.midpoint + 1e-9
+
+
+def test_split_policy_injection():
+    qi = online_instance(6, seed=1)
+    result = avrq(qi, split_policy=FixedSplit(0.25))
+    assert all(d.split == 0.25 for d in result.decisions.decisions.values())
+    assert result.validate().ok
+
+
+def test_derived_work_conservation():
+    qi = online_instance(8, seed=2)
+    result = avrq(qi)
+    expected = sum(j.query_cost + j.work_true for j in qi)
+    assert math.isclose(result.profile.total_work(), expected, rel_tol=1e-6)

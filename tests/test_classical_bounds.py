@@ -1,0 +1,73 @@
+"""Classical lower-bound families (the substrate of Lemma 5.1)."""
+
+import pytest
+
+from repro.bounds.classical import (
+    avr_tower_instance,
+    avr_two_sided_instance,
+    family_ratio,
+    maximize_family_ratio,
+    oa_staircase_instance,
+)
+from repro.bounds.formulas import avr_ub_energy, oa_ub_energy
+from repro.speed_scaling.avr import avr_profile
+from repro.speed_scaling.oa import oa_profile
+
+
+class TestAVRFamilies:
+    def test_tower_ratio_grows_with_depth(self):
+        ratios = [
+            family_ratio(avr_tower_instance(k, 3.0), avr_profile, 3.0)
+            for k in (4, 8, 16)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_tower_below_avr_upper_bound(self):
+        for k in (8, 16):
+            r = family_ratio(avr_tower_instance(k, 3.0), avr_profile, 3.0)
+            assert r <= avr_ub_energy(3.0)
+
+    def test_two_sided_eventually_beats_one_sided(self):
+        k = 32
+        one = family_ratio(avr_tower_instance(k, 3.0), avr_profile, 3.0)
+        two = family_ratio(avr_two_sided_instance(k, 3.0), avr_profile, 3.0)
+        assert two >= one - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            avr_tower_instance(0, 3.0)
+        with pytest.raises(ValueError):
+            avr_tower_instance(4, 3.0, shrink=1.5)
+        with pytest.raises(ValueError):
+            avr_two_sided_instance(0, 3.0)
+
+
+class TestOAFamily:
+    def test_staircase_ratio_grows(self):
+        ratios = [
+            family_ratio(oa_staircase_instance(k, 3.0), oa_profile, 3.0)
+            for k in (4, 8, 16)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_staircase_bounded_by_alpha_alpha(self):
+        r = family_ratio(oa_staircase_instance(16, 3.0), oa_profile, 3.0)
+        assert r <= oa_ub_energy(3.0) * (1 + 1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            oa_staircase_instance(0, 3.0)
+
+
+def test_maximize_family_ratio_picks_the_best_shrink():
+    best_p, best_r = maximize_family_ratio(
+        lambda q: avr_tower_instance(12, 3.0, shrink=q),
+        [0.3, 0.5, 0.7],
+        avr_profile,
+        3.0,
+    )
+    assert best_p in (0.3, 0.5, 0.7)
+    for q in (0.3, 0.5, 0.7):
+        assert best_r >= family_ratio(
+            avr_tower_instance(12, 3.0, shrink=q), avr_profile, 3.0
+        ) - 1e-12

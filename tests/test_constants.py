@@ -1,0 +1,42 @@
+"""The golden ratio and float-comparison helpers."""
+
+import math
+
+from repro.core.constants import E_CONST, EPS, PHI, feq, fge, fle
+
+
+def test_phi_value():
+    assert math.isclose(PHI, (1 + math.sqrt(5)) / 2)
+
+
+def test_phi_golden_identity():
+    # phi^2 = phi + 1 is what makes the threshold rule of Lemma 3.1 tight
+    assert math.isclose(PHI * PHI, PHI + 1.0)
+
+
+def test_phi_reciprocal_identity():
+    # 1/phi = phi - 1
+    assert math.isclose(1.0 / PHI, PHI - 1.0)
+
+
+def test_e_const():
+    assert math.isclose(E_CONST, math.e)
+
+
+def test_feq_near_zero():
+    assert feq(0.0, EPS / 2)
+    assert not feq(0.0, 1e-3)
+
+
+def test_feq_large_values_relative():
+    assert feq(1e9, 1e9 * (1 + 1e-8))
+    assert not feq(1e9, 1e9 * 1.01)
+
+
+def test_fle_and_fge():
+    assert fle(1.0, 1.0)
+    assert fle(1.0, 1.0 + 1e-12)
+    assert fle(1.0 + 1e-12, 1.0)  # within tolerance
+    assert not fle(1.1, 1.0)
+    assert fge(2.0, 1.0)
+    assert not fge(1.0, 2.0)

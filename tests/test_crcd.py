@@ -1,0 +1,119 @@
+"""CRCD (Algorithm 1): structure, guarantees, adversarial behaviour."""
+
+import math
+
+import pytest
+
+from repro.bounds.formulas import CRCD_UB_MAX_SPEED, crcd_ub_energy
+from repro.core.constants import PHI
+from repro.core.instance import QBSSInstance
+from repro.core.power import PowerFunction
+from repro.core.qjob import QJob
+from repro.qbss.clairvoyant import clairvoyant
+from repro.qbss.crcd import crcd
+from repro.qbss.policies import AlwaysQuery, NeverQuery
+from repro.workloads.generators import common_deadline_instance
+
+
+def test_requires_common_window():
+    qi = QBSSInstance([QJob(0, 1, 0.5, 1, 0, "a"), QJob(0, 2, 0.5, 1, 0, "b")])
+    with pytest.raises(ValueError):
+        crcd(qi)
+    qi2 = QBSSInstance([QJob(0, 2, 0.5, 1, 0, "a"), QJob(1, 2, 0.5, 1, 0, "b")])
+    with pytest.raises(ValueError):
+        crcd(qi2)
+
+
+def test_rejects_multi_machine(common_window_qinstance):
+    with pytest.raises(ValueError):
+        crcd(common_window_qinstance.with_machines(2))
+
+
+def test_empty_instance():
+    result = crcd(QBSSInstance([]))
+    assert result.energy(PowerFunction(3.0)) == 0.0
+
+
+def test_two_phase_speeds_match_paper(common_window_qinstance):
+    """s1 = sum_A w/D + sum_B 2c/D ; s2 = sum_A w/D + sum_B 2w*/D."""
+    result = crcd(common_window_qinstance)
+    d = 8.0
+    # golden partition: B = {j0 (c=1,w=4), j2 (c=.5,w=5)}; A = {j1, j3}
+    assert result.decisions["j0"].query
+    assert result.decisions["j2"].query
+    assert not result.decisions["j1"].query
+    assert not result.decisions["j3"].query
+    s1_expected = (4.0 + 2.5) / d + 2 * (1.0 + 0.5) / d
+    s2_expected = (4.0 + 2.5) / d + 2 * (2.0 + 0.2) / d
+    assert math.isclose(result.profile.speed_at(1.0), s1_expected)
+    assert math.isclose(result.profile.speed_at(5.0), s2_expected)
+
+
+def test_schedule_feasible(common_window_qinstance):
+    result = crcd(common_window_qinstance)
+    report = result.validate()
+    assert report.ok, report.violations
+
+
+def test_queries_complete_in_first_half(common_window_qinstance):
+    result = crcd(common_window_qinstance)
+    for job_id in ("j0", "j2"):
+        assert result.schedule.completion_time(job_id + ":query") <= 4.0 + 1e-9
+
+
+def test_executed_load_bounded_by_phi_times_optimal(common_window_qinstance):
+    """Lemma 3.1 consequence: the load run per job is <= phi p*."""
+    result = crcd(common_window_qinstance)
+    for qjob in common_window_qinstance:
+        executed = result.executed_load(qjob.id)
+        assert executed <= PHI * qjob.optimal_load + 1e-9
+
+
+@pytest.mark.parametrize("alpha", [1.25, 1.5, 2.0, 3.0])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_energy_within_theorem_46(alpha, seed):
+    qi = common_deadline_instance(12, seed=seed)
+    result = crcd(qi)
+    opt = clairvoyant(qi, alpha).energy_value
+    assert result.energy(PowerFunction(alpha)) <= crcd_ub_energy(alpha) * opt * (
+        1 + 1e-9
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_max_speed_within_2x(seed):
+    qi = common_deadline_instance(12, seed=seed)
+    result = crcd(qi)
+    opt = clairvoyant(qi, 3.0).max_speed_value
+    assert result.max_speed() <= CRCD_UB_MAX_SPEED * opt * (1 + 1e-9)
+
+
+def test_adversarial_instance_energy_exact():
+    """On (c=1, w=2, w*=0) CRCD pays exactly 2^{a-1} x OPT (Lemma 4.3 tight)."""
+    qi = QBSSInstance([QJob(0, 1, 1.0, 2.0, 0.0, "adv")])
+    alpha = 3.0
+    result = crcd(qi)
+    opt = clairvoyant(qi, alpha).energy_value
+    assert math.isclose(result.energy(PowerFunction(alpha)) / opt, 2.0 ** (alpha - 1))
+
+
+def test_policy_injection_never_query(common_window_qinstance):
+    result = crcd(common_window_qinstance, query_policy=NeverQuery())
+    assert not any(d.query for d in result.decisions.decisions.values())
+    # both halves run the same speed: sum of w/D
+    total_w = sum(j.work_upper for j in common_window_qinstance)
+    assert math.isclose(result.profile.speed_at(1.0), total_w / 8.0)
+    assert math.isclose(result.profile.speed_at(7.0), total_w / 8.0)
+
+
+def test_policy_injection_always_query(common_window_qinstance):
+    result = crcd(common_window_qinstance, query_policy=AlwaysQuery())
+    assert all(d.query for d in result.decisions.decisions.values())
+    assert result.validate().ok
+
+
+def test_zero_true_work_second_half_can_be_idle():
+    qi = QBSSInstance([QJob(0, 2, 0.5, 2.0, 0.0, "z")])
+    result = crcd(qi)
+    assert result.validate().ok
+    assert result.profile.speed_at(1.5) == 0.0

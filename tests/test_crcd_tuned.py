@@ -1,0 +1,88 @@
+"""crcd_tuned: the opened-up CRCD design space."""
+
+import math
+
+import pytest
+
+from repro.core.instance import QBSSInstance
+from repro.core.power import PowerFunction
+from repro.core.qjob import QJob
+from repro.qbss.clairvoyant import clairvoyant
+from repro.qbss.crcd import crcd, crcd_tuned
+from repro.workloads.generators import common_deadline_instance
+
+
+def test_default_point_is_crcd():
+    qi = common_deadline_instance(10, seed=0)
+    p = PowerFunction(3.0)
+    assert math.isclose(
+        crcd_tuned(qi, 0.5, 0.5).energy(p), crcd(qi).energy(p), rel_tol=1e-12
+    )
+
+
+def test_parameter_validation():
+    qi = common_deadline_instance(4, seed=0)
+    with pytest.raises(ValueError):
+        crcd_tuned(qi, x=0.0)
+    with pytest.raises(ValueError):
+        crcd_tuned(qi, x=1.0)
+    with pytest.raises(ValueError):
+        crcd_tuned(qi, lam=-0.1)
+    with pytest.raises(ValueError):
+        crcd_tuned(qi, lam=1.1)
+
+
+@pytest.mark.parametrize("x", [0.2, 0.5, 0.8])
+@pytest.mark.parametrize("lam", [0.0, 0.5, 1.0])
+def test_feasible_across_the_plane(x, lam):
+    qi = common_deadline_instance(8, seed=1)
+    result = crcd_tuned(qi, x, lam)
+    report = result.validate()
+    assert report.ok, report.violations
+
+
+def test_queries_complete_by_split_point():
+    qi = common_deadline_instance(8, seed=2)
+    result = crcd_tuned(qi, x=0.3)
+    for job_id in result.decisions.queried_ids():
+        done = result.schedule.completion_time(job_id + ":query")
+        split = qi.jobs[0].release + 0.3 * qi.jobs[0].span
+        assert done <= split + 1e-9
+
+
+def test_lam_zero_defers_all_unqueried_work():
+    """With lam = 0 every unqueried workload runs entirely in phase 2."""
+    jobs = [QJob(0, 4, 3.9, 4.0, 1.0, "a")]  # c > w/phi: not queried
+    result = crcd_tuned(QBSSInstance(jobs), x=0.5, lam=0.0)
+    assert result.profile.speed_at(1.0) == 0.0
+    assert result.profile.speed_at(3.0) > 0.0
+    assert result.validate().ok
+
+
+def test_lam_one_frontloads_all_unqueried_work():
+    jobs = [QJob(0, 4, 3.9, 4.0, 1.0, "a")]
+    result = crcd_tuned(QBSSInstance(jobs), x=0.5, lam=1.0)
+    assert result.profile.speed_at(1.0) > 0.0
+    assert result.profile.speed_at(3.0) == 0.0
+
+
+def test_tuned_point_can_beat_default_on_instance():
+    """The minimax finding made concrete: on a mixed pair a tuned (x, lam)
+    achieves a lower worst-case-measured energy than (1/2, 1/2)."""
+    jobs = [
+        QJob(0, 1, 0.3, 2.0, 2.0, "cheap-query"),  # adversarial w* = w
+        QJob(0, 1, 1.5, 2.0, 0.0, "dear-query"),
+    ]
+    qi = QBSSInstance(jobs)
+    p = PowerFunction(3.0)
+    opt = clairvoyant(qi, 3.0).energy_value
+    default = crcd(qi).energy(p) / opt
+    tuned = crcd_tuned(qi, x=0.2, lam=0.1).energy(p) / opt
+    assert tuned < default
+
+
+def test_split_fraction_recorded():
+    qi = common_deadline_instance(6, seed=3)
+    result = crcd_tuned(qi, x=0.25)
+    for jid in result.decisions.queried_ids():
+        assert result.decisions[jid].split == 0.25

@@ -1,0 +1,138 @@
+"""CRP2D (Algorithm 2) and CRAD (deadline rounding)."""
+
+import math
+
+import pytest
+
+from repro.bounds.formulas import crad_ub_energy, crp2d_ub_energy
+from repro.core.instance import QBSSInstance
+from repro.core.power import PowerFunction
+from repro.core.qjob import QJob
+from repro.qbss.clairvoyant import clairvoyant
+from repro.qbss.crad import crad
+from repro.qbss.crp2d import crp2d, max_deadline_exponent
+from repro.workloads.generators import (
+    common_release_instance,
+    power_of_two_instance,
+)
+
+
+@pytest.fixture
+def p2_instance():
+    quads = [(1, 0.2, 1.0, 0.1), (2, 1.0, 3.0, 0.5), (4, 2.0, 2.5, 2.0), (8, 0.5, 6.0, 1.0)]
+    return QBSSInstance(
+        [QJob(0, d, c, w, ws, f"k{i}") for i, (d, c, w, ws) in enumerate(quads)]
+    )
+
+
+class TestCRP2D:
+    def test_shape_requirements(self):
+        with pytest.raises(ValueError):
+            crp2d(QBSSInstance([QJob(0, 3, 0.5, 1, 0, "a")]))  # not a power of 2
+        with pytest.raises(ValueError):
+            crp2d(QBSSInstance([QJob(1, 2, 0.5, 1, 0, "a")]))  # release != 0
+        with pytest.raises(ValueError):
+            crp2d(QBSSInstance([QJob(0, 2, 0.5, 1, 0, "a")], machines=2))
+
+    def test_empty(self):
+        assert crp2d(QBSSInstance([])).energy(PowerFunction(3.0)) == 0.0
+
+    def test_schedule_feasible(self, p2_instance):
+        result = crp2d(p2_instance)
+        report = result.validate()
+        assert report.ok, report.violations
+
+    def test_queries_complete_by_half_deadline(self, p2_instance):
+        result = crp2d(p2_instance)
+        for qjob in p2_instance:
+            if result.decisions[qjob.id].query:
+                done = result.schedule.completion_time(qjob.id + ":query")
+                assert done <= qjob.deadline / 2 + 1e-9
+
+    def test_revealed_loads_in_second_half(self, p2_instance):
+        result = crp2d(p2_instance)
+        for qjob in p2_instance:
+            if result.decisions[qjob.id].query:
+                for s in result.schedule.slices():
+                    if s.job_id == qjob.id + ":work":
+                        assert s.start >= qjob.deadline / 2 - 1e-9
+                        assert s.end <= qjob.deadline + 1e-9
+
+    def test_golden_partition_used(self, p2_instance):
+        result = crp2d(p2_instance)
+        # k2: c=2.0 > 2.5/phi=1.545 -> no query; others query
+        assert not result.decisions["k2"].query
+        for jid in ("k0", "k1", "k3"):
+            assert result.decisions[jid].query
+
+    @pytest.mark.parametrize("alpha", [1.5, 2.0, 3.0])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_energy_within_theorem_413(self, alpha, seed):
+        qi = power_of_two_instance(10, seed=seed)
+        result = crp2d(qi)
+        opt = clairvoyant(qi, alpha).energy_value
+        assert result.energy(PowerFunction(alpha)) <= crp2d_ub_energy(alpha) * opt * (
+            1 + 1e-9
+        )
+
+    def test_max_deadline_exponent(self, p2_instance):
+        assert max_deadline_exponent(p2_instance) == 3
+
+    def test_single_deadline_class_reduces_sensibly(self):
+        """With one deadline class CRP2D behaves like a two-phase schedule."""
+        qi = QBSSInstance(
+            [QJob(0, 4, 0.5, 2.0, 1.0, "a"), QJob(0, 4, 0.3, 1.0, 0.2, "b")]
+        )
+        result = crp2d(qi)
+        assert result.validate().ok
+        # all queries in (0, 2], all revealed work in (2, 4]
+        for s in result.schedule.slices():
+            if s.job_id.endswith(":query"):
+                assert s.end <= 2.0 + 1e-9
+            if s.job_id.endswith(":work"):
+                assert s.start >= 2.0 - 1e-9
+
+
+class TestCRAD:
+    def test_requires_common_release_zero(self):
+        with pytest.raises(ValueError):
+            crad(QBSSInstance([QJob(1, 3, 0.5, 1, 0, "a")]))
+
+    def test_rounds_down_then_schedules(self):
+        qi = QBSSInstance([QJob(0, 5.5, 0.5, 2.0, 1.0, "a")])
+        result = crad(qi)
+        assert result.validate().ok
+        # everything finishes by the rounded deadline 4
+        assert result.schedule.span()[1] <= 4.0 + 1e-9
+
+    def test_feasible_for_original_windows(self):
+        qi = QBSSInstance(
+            [
+                QJob(0, 5.5, 0.5, 2.0, 1.0, "a"),
+                QJob(0, 3.7, 0.3, 1.5, 0.2, "b"),
+                QJob(0, 9.1, 1.0, 4.0, 3.0, "c"),
+            ]
+        )
+        result = crad(qi)
+        # every slice lies inside the ORIGINAL window of its source job
+        deadlines = {j.id: j.deadline for j in qi}
+        for s in result.schedule.slices():
+            source = s.job_id.rsplit(":", 1)[0]
+            assert s.end <= deadlines[source] + 1e-9
+
+    @pytest.mark.parametrize("alpha", [2.0, 3.0])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_energy_within_corollary_415(self, alpha, seed):
+        qi = common_release_instance(10, seed=seed)
+        result = crad(qi)
+        opt = clairvoyant(qi, alpha).energy_value
+        assert result.energy(PowerFunction(alpha)) <= crad_ub_energy(alpha) * opt * (
+            1 + 1e-9
+        )
+
+    def test_power_of_two_input_unchanged(self):
+        """On already-rounded instances CRAD == CRP2D."""
+        qi = power_of_two_instance(8, seed=3)
+        e_crad = crad(qi).energy(PowerFunction(3.0))
+        e_crp2d = crp2d(qi).energy(PowerFunction(3.0))
+        assert math.isclose(e_crad, e_crp2d, rel_tol=1e-9)

@@ -1,0 +1,141 @@
+"""Discrete speed levels (DVFS)."""
+
+import math
+
+import pytest
+
+from repro.core.edf import run_edf
+from repro.core.job import Job
+from repro.core.power import PowerFunction
+from repro.core.profile import Segment, SpeedProfile
+from repro.speed_scaling.discrete import (
+    SpeedLadder,
+    discretization_penalty,
+    discretize_profile,
+    worst_case_penalty,
+)
+from repro.speed_scaling.yds import yds_profile
+
+from _testutil import random_classical_jobs
+
+
+class TestLadder:
+    def test_sorted_deduplicated(self):
+        ladder = SpeedLadder([2.0, 1.0, 2.0, 0.5])
+        assert ladder.levels == (0.5, 1.0, 2.0)
+
+    def test_requires_positive_level(self):
+        with pytest.raises(ValueError):
+            SpeedLadder([0.0])
+        with pytest.raises(ValueError):
+            SpeedLadder([])
+
+    def test_geometric_ladder(self):
+        ladder = SpeedLadder.geometric(1.0, 8.0, 4)
+        assert ladder.levels == pytest.approx((1.0, 2.0, 4.0, 8.0))
+        assert SpeedLadder.geometric(3.0, 3.0, 1).levels == (3.0,)
+
+    def test_bracket_between_levels(self):
+        ladder = SpeedLadder([1.0, 2.0, 4.0])
+        assert ladder.bracket(3.0) == (2.0, 4.0)
+        assert ladder.bracket(1.5) == (1.0, 2.0)
+
+    def test_bracket_exact_level(self):
+        ladder = SpeedLadder([1.0, 2.0])
+        assert ladder.bracket(2.0) == (2.0, 2.0)
+
+    def test_bracket_below_lowest_idles(self):
+        ladder = SpeedLadder([1.0, 2.0])
+        assert ladder.bracket(0.5) == (0.0, 1.0)
+
+    def test_bracket_above_top_rejected(self):
+        with pytest.raises(ValueError):
+            SpeedLadder([1.0]).bracket(2.0)
+
+
+class TestDiscretize:
+    def test_work_preserved_per_segment(self):
+        prof = SpeedProfile([Segment(0, 2, 1.5), Segment(2, 3, 3.0)])
+        ladder = SpeedLadder([1.0, 2.0, 4.0])
+        disc = discretize_profile(prof, ladder)
+        assert math.isclose(disc.total_work(), prof.total_work(), rel_tol=1e-9)
+        assert math.isclose(disc.work_in(0, 2), prof.work_in(0, 2), rel_tol=1e-9)
+        assert math.isclose(disc.work_in(2, 3), prof.work_in(2, 3), rel_tol=1e-9)
+
+    def test_only_ladder_speeds_used(self):
+        prof = SpeedProfile([Segment(0, 1, 1.7), Segment(1, 2, 0.4)])
+        ladder = SpeedLadder([0.5, 1.0, 2.0])
+        disc = discretize_profile(prof, ladder)
+        for seg in disc:
+            assert any(
+                math.isclose(seg.speed, lvl, rel_tol=1e-12)
+                for lvl in ladder.levels
+            )
+
+    def test_exact_level_passthrough(self):
+        prof = SpeedProfile.constant(0, 1, 2.0)
+        disc = discretize_profile(prof, SpeedLadder([1.0, 2.0]))
+        assert disc == prof
+
+    def test_energy_never_below_continuous(self):
+        """Convexity: emulating s with two levels can only cost more."""
+        prof = SpeedProfile([Segment(0, 1, 1.3), Segment(1, 3, 2.6)])
+        ladder = SpeedLadder.geometric(0.5, 4.0, 4)
+        assert discretization_penalty(prof, ladder, 3.0) >= 1.0 - 1e-12
+
+    def test_discretized_yds_still_edf_feasible(self, rng):
+        """Window-aligned work preservation keeps EDF feasibility."""
+        jobs = random_classical_jobs(rng, 10)
+        prof = yds_profile(jobs)
+        ladder = SpeedLadder.geometric(
+            prof.max_speed() / 16, prof.max_speed(), 6
+        )
+        disc = discretize_profile(prof, ladder)
+        assert run_edf(jobs, disc).feasible
+
+    def test_penalty_shrinks_with_more_levels(self, rng):
+        jobs = random_classical_jobs(rng, 8)
+        prof = yds_profile(jobs)
+        top = prof.max_speed()
+        p_few = discretization_penalty(
+            prof, SpeedLadder.geometric(top / 8, top, 3), 3.0
+        )
+        p_many = discretization_penalty(
+            prof, SpeedLadder.geometric(top / 8, top, 12), 3.0
+        )
+        assert p_many <= p_few + 1e-9
+
+    def test_penalty_bounded_by_worst_case(self, rng):
+        jobs = random_classical_jobs(rng, 8)
+        prof = yds_profile(jobs)
+        top = prof.max_speed()
+        count = 5
+        ladder = SpeedLadder.geometric(top / 16, top, count)
+        q = (16.0) ** (1.0 / (count - 1))
+        measured = discretization_penalty(prof, ladder, 3.0)
+        # segments below the lowest level pay the idle bracket instead, so
+        # only assert the rung bound when every speed is inside the ladder
+        if all(seg.speed >= ladder.levels[0] for seg in prof):
+            assert measured <= worst_case_penalty(q, 3.0) * (1 + 1e-9)
+
+
+class TestWorstCase:
+    def test_limits(self):
+        # tight rungs: penalty -> 1
+        assert worst_case_penalty(1.0001, 3.0) < 1.001
+        # coarse rungs hurt more
+        assert worst_case_penalty(4.0, 3.0) > worst_case_penalty(2.0, 3.0)
+
+    def test_alpha_monotonicity(self):
+        assert worst_case_penalty(2.0, 3.0) > worst_case_penalty(2.0, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            worst_case_penalty(1.0, 3.0)
+        with pytest.raises(ValueError):
+            worst_case_penalty(2.0, 1.0)
+
+    def test_endpoints_are_penalty_free(self):
+        """theta in {0, 1} runs exactly at a level: ratio 1."""
+        q, alpha = 2.0, 3.0
+        assert worst_case_penalty(q, alpha) >= 1.0

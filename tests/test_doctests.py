@@ -1,0 +1,18 @@
+"""Run the doctest examples embedded in the core docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.power
+import repro.core.profile
+import repro.core.qjob
+
+MODULES = [repro.core.power, repro.core.profile, repro.core.qjob]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests collected from {module.__name__}"

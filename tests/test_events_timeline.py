@@ -1,0 +1,52 @@
+"""OnlineStream and timeline helpers."""
+
+from repro.core.events import Arrival, OnlineStream
+from repro.core.job import Job
+from repro.core.timeline import dedupe_times, elementary_intervals, interval_index
+
+
+class TestOnlineStream:
+    def test_sorted_by_time(self):
+        s = OnlineStream([Arrival(2.0, "b"), Arrival(1.0, "a")])
+        assert [a.job for a in s] == ["a", "b"]
+
+    def test_from_jobs_uses_release(self):
+        jobs = [Job(3, 4, 1, "x"), Job(1, 2, 1, "y")]
+        s = OnlineStream.from_jobs(jobs)
+        assert [a.job.id for a in s] == ["y", "x"]
+        assert [a.time for a in s] == [1, 3]
+
+    def test_add_keeps_order(self):
+        s = OnlineStream([Arrival(2.0, "b")])
+        s.add(1.0, "a")
+        assert [a.job for a in s] == ["a", "b"]
+
+    def test_jobs_arrived_by(self):
+        s = OnlineStream([Arrival(1.0, "a"), Arrival(2.0, "b")])
+        assert s.jobs_arrived_by(1.5) == ["a"]
+        assert s.jobs_arrived_by(2.0) == ["a", "b"]
+        assert s.jobs_arrived_by(0.5) == []
+
+    def test_play_delivers_in_order(self):
+        s = OnlineStream([Arrival(2.0, "b"), Arrival(1.0, "a")])
+        seen = []
+        s.play(lambda t, j: seen.append((t, j)))
+        assert seen == [(1.0, "a"), (2.0, "b")]
+
+    def test_arrival_times_deduplicated(self):
+        s = OnlineStream([Arrival(1.0, "a"), Arrival(1.0, "b"), Arrival(2.0, "c")])
+        assert s.arrival_times() == [1.0, 2.0]
+
+
+class TestTimeline:
+    def test_dedupe_times(self):
+        assert dedupe_times([3.0, 1.0, 1.0 + 1e-12, 2.0]) == [1.0, 2.0, 3.0]
+
+    def test_elementary_intervals(self):
+        assert elementary_intervals([0, 2, 1]) == [(0, 1), (1, 2)]
+
+    def test_interval_index(self):
+        ivs = [(0.0, 1.0), (1.0, 2.0)]
+        assert interval_index(ivs, 0.5) == 0
+        assert interval_index(ivs, 1.0) == 1
+        assert interval_index(ivs, 2.5) == -1

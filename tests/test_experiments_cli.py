@@ -1,0 +1,96 @@
+"""The experiment registry and the qbss-report CLI."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    REGISTRY,
+    experiment_figure1,
+    experiment_lemma43,
+    experiment_lemma44,
+    experiment_online,
+    experiment_rho,
+    experiment_table1,
+)
+from repro.cli import build_parser, main
+
+
+class TestExperiments:
+    def test_registry_covers_all_artifacts(self):
+        expected = {
+            "table1",
+            "rho",
+            "figure1",
+            "lemma41",
+            "lemma42",
+            "lemma43",
+            "lemma44",
+            "lemma45",
+            "lemma51",
+            "online",
+            "multi",
+            "ablation-split",
+            "ablation-query",
+            "ablation-migration",
+            "classical-lb",
+            "oaq",
+            "oaq-multi",
+            "randomized-policy",
+            "dvfs",
+            "minimax",
+            "sleep",
+            "slack",
+            "crcd-design-space",
+            "adaptive-adversary",
+        }
+        assert expected == set(REGISTRY)
+
+    def test_rho_all_match(self):
+        report = experiment_rho()
+        assert all(row[-1] for row in report.rows)  # 'match' column
+
+    def test_figure1_chain_holds(self):
+        report = experiment_figure1(alpha=3.0, n=8, seed=1)
+        assert "True" in report.notes[0]
+
+    def test_table1_within_bounds(self, *, _seeds=(0, 1)):
+        report = experiment_table1(alpha=3.0, n=8, seeds=_seeds)
+        assert all(row[-1] for row in report.rows)  # 'within UB'
+
+    def test_lemma43_achieves_bounds(self):
+        report = experiment_lemma43(alpha=3.0)
+        for row in report.rows:
+            claimed, best_value = row[1], row[2]
+            assert best_value >= claimed - 1e-6
+
+    def test_lemma44_achieves_bounds(self):
+        report = experiment_lemma44(alpha=3.0)
+        assert all(row[-1] for row in report.rows)
+
+    def test_online_within_bounds(self):
+        report = experiment_online(alpha=3.0, n=8, seeds=(0, 1))
+        assert all(row[-1] for row in report.rows)
+
+    def test_reports_render(self):
+        report = experiment_rho()
+        text = report.render()
+        assert "[RHO]" in text
+        assert "alpha" in text
+
+
+class TestCLI:
+    def test_parser_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["rho"])
+        assert args.experiment == "rho"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["nonsense"])
+
+    def test_main_runs_rho(self, capsys):
+        assert main(["rho"]) == 0
+        out = capsys.readouterr().out
+        assert "[RHO]" in out
+
+    def test_main_passes_alpha(self, capsys):
+        assert main(["lemma42", "--alpha", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha=2.0" in out

@@ -1,0 +1,115 @@
+"""The schedule validator: every violation class must be caught."""
+
+import pytest
+
+from repro.core.feasibility import InfeasibleScheduleError, check_feasible
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.schedule import Schedule
+
+
+def make(jobs, machines=1):
+    return Instance(jobs, machines)
+
+
+def test_valid_schedule_passes(simple_instance):
+    s = Schedule(1)
+    s.add(0.0, 1.0, 2.0, "a")
+    s.add(1.0, 2.0, 1.0, "b")
+    s.add(2.0, 3.0, 4.0, "c")
+    report = check_feasible(s, simple_instance)
+    assert report.ok, report.violations
+
+
+def test_window_violation_before_release():
+    inst = make([Job(1.0, 2.0, 1.0, "a")])
+    s = Schedule(1)
+    s.add(0.5, 1.5, 1.0, "a")
+    report = check_feasible(s, inst)
+    assert not report.ok
+    assert any("outside window" in v for v in report.violations)
+
+
+def test_window_violation_after_deadline():
+    inst = make([Job(0.0, 1.0, 1.0, "a")])
+    s = Schedule(1)
+    s.add(0.5, 1.5, 1.0, "a")
+    assert not check_feasible(s, inst).ok
+
+
+def test_machine_overlap_detected():
+    inst = make([Job(0, 2, 1, "a"), Job(0, 2, 1, "b")])
+    s = Schedule(1)
+    s.add(0.0, 1.5, 1.0, "a")
+    s.add(1.0, 2.0, 1.0, "b")
+    report = check_feasible(s, inst)
+    assert any("overlap" in v for v in report.violations)
+
+
+def test_self_parallelism_detected():
+    inst = make([Job(0, 2, 4, "a")], machines=2)
+    s = Schedule(2)
+    s.add(0.0, 1.0, 2.0, "a", 0)
+    s.add(0.5, 1.5, 2.0, "a", 1)
+    report = check_feasible(s, inst)
+    assert any("self-parallel" in v for v in report.violations)
+
+
+def test_migration_without_overlap_is_fine():
+    inst = make([Job(0, 2, 2, "a")], machines=2)
+    s = Schedule(2)
+    s.add(0.0, 1.0, 1.0, "a", 0)
+    s.add(1.0, 2.0, 1.0, "a", 1)
+    assert check_feasible(s, inst).ok
+
+
+def test_under_execution_detected():
+    inst = make([Job(0, 1, 2, "a")])
+    s = Schedule(1)
+    s.add(0.0, 1.0, 1.0, "a")
+    report = check_feasible(s, inst)
+    assert any("under-executed" in v for v in report.violations)
+
+
+def test_over_execution_detected():
+    inst = make([Job(0, 1, 1, "a")])
+    s = Schedule(1)
+    s.add(0.0, 1.0, 2.0, "a")
+    report = check_feasible(s, inst)
+    assert any("over-executed" in v for v in report.violations)
+
+
+def test_require_all_work_false_allows_partial():
+    inst = make([Job(0, 1, 2, "a")])
+    s = Schedule(1)
+    s.add(0.0, 0.5, 1.0, "a")
+    assert check_feasible(s, inst, require_all_work=False).ok
+
+
+def test_unknown_job_detected():
+    inst = make([Job(0, 1, 1, "a")])
+    s = Schedule(1)
+    s.add(0.0, 1.0, 1.0, "ghost")
+    report = check_feasible(s, inst)
+    assert any("unknown job" in v for v in report.violations)
+
+
+def test_too_many_machines_detected():
+    inst = make([Job(0, 1, 1, "a")], machines=1)
+    s = Schedule(2)
+    s.add(0.0, 1.0, 1.0, "a", 1)
+    report = check_feasible(s, inst)
+    assert any("machines" in v for v in report.violations)
+
+
+def test_raise_if_infeasible():
+    inst = make([Job(0, 1, 2, "a")])
+    s = Schedule(1)
+    report = check_feasible(s, inst)
+    with pytest.raises(InfeasibleScheduleError):
+        report.raise_if_infeasible()
+
+
+def test_zero_work_job_needs_no_slices():
+    inst = make([Job(0, 1, 0, "a")])
+    assert check_feasible(Schedule(1), inst).ok

@@ -1,0 +1,149 @@
+"""Flow-based feasibility / min-max-speed and OA(m) / OAQ(m)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.feasibility import check_feasible
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.power import PowerFunction
+from repro.qbss.oaq_m import oaq_m
+from repro.speed_scaling.multi.bounds import max_speed_lower_bound, pooled_lower_bound
+from repro.speed_scaling.multi.flow import (
+    feasible_with_cap,
+    max_flow_allocation,
+    min_max_speed,
+    min_max_speed_schedule,
+)
+from repro.speed_scaling.multi.oa_m import oa_m
+from repro.speed_scaling.multi.optimal import convex_optimal_energy
+from repro.speed_scaling.yds import optimal_max_speed
+from repro.workloads.generators import multi_machine_instance
+
+from _testutil import random_classical_jobs
+
+
+class TestFeasibility:
+    def test_single_machine_matches_yds_peak(self, rng):
+        """On one machine the minimal cap is exactly the YDS max speed."""
+        jobs = random_classical_jobs(rng, 8)
+        assert math.isclose(
+            min_max_speed(jobs, 1), optimal_max_speed(jobs), rel_tol=1e-6
+        )
+
+    def test_cap_monotonicity(self, rng):
+        jobs = random_classical_jobs(rng, 8)
+        s = min_max_speed(jobs, 2)
+        assert not feasible_with_cap(jobs, 2, s * 0.95)
+        assert feasible_with_cap(jobs, 2, s * 1.05)
+
+    def test_single_dense_job_dictates_cap(self):
+        jobs = [Job(0, 1, 5, "dense"), Job(0, 10, 1, "light")]
+        # even 8 machines can't beat the job's own density
+        assert math.isclose(min_max_speed(jobs, 8), 5.0, rel_tol=1e-6)
+
+    def test_more_machines_never_raise_cap(self, rng):
+        jobs = random_classical_jobs(rng, 10)
+        s2 = min_max_speed(jobs, 2)
+        s4 = min_max_speed(jobs, 4)
+        assert s4 <= s2 * (1 + 1e-6)
+
+    def test_cap_at_least_lower_bound(self, rng):
+        jobs = random_classical_jobs(rng, 10)
+        for m in (2, 3):
+            assert min_max_speed(jobs, m) >= max_speed_lower_bound(jobs, m) - 1e-6
+
+    def test_allocation_respects_windows(self, rng):
+        jobs = random_classical_jobs(rng, 6)
+        s = min_max_speed(jobs, 2)
+        _, alloc = max_flow_allocation(jobs, 2, s * 1.01)
+        from repro.speed_scaling.multi.flow import _grid
+
+        grid = _grid([j for j in jobs if j.work > 0])
+        by_id = {j.id: j for j in jobs}
+        for jid, per in alloc.items():
+            for gi in per:
+                a, b = grid[gi]
+                assert by_id[jid].release <= a + 1e-9
+                assert b <= by_id[jid].deadline + 1e-9
+
+    def test_empty(self):
+        assert min_max_speed([], 3) == 0.0
+        assert feasible_with_cap([], 2, 0.0)
+
+
+class TestWitnessSchedule:
+    @pytest.mark.parametrize("m", [2, 3])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_witness_feasible_at_optimal_peak(self, m, seed):
+        rng = np.random.default_rng(seed)
+        jobs = random_classical_jobs(rng, 8)
+        result = min_max_speed_schedule(jobs, m)
+        report = check_feasible(result.schedule, Instance(jobs, m))
+        assert report.ok, report.violations
+        # the witness runs (numerically) at the optimal peak
+        assert result.schedule.max_speed() <= result.speed * (1 + 1e-5)
+
+
+class TestOAm:
+    def test_m1_matches_oa(self, rng):
+        from repro.speed_scaling.oa import oa
+
+        jobs = random_classical_jobs(rng, 6)
+        p = PowerFunction(3.0)
+        e_m = oa_m(jobs, 1, 3.0).energy(p)
+        e_1 = oa(jobs).profile.energy(p)
+        assert e_m <= e_1 * 1.05 and e_1 <= e_m * 1.05
+
+    @pytest.mark.parametrize("m", [2, 3])
+    def test_feasible_schedule(self, m):
+        rng = np.random.default_rng(m)
+        jobs = random_classical_jobs(rng, 8)
+        result = oa_m(jobs, m, 3.0)
+        assert result.feasible, result.unfinished
+        report = check_feasible(result.schedule, Instance(jobs, m))
+        assert report.ok, report.violations
+
+    def test_common_release_near_optimal(self):
+        """Single arrival batch: OA(m) follows one optimal plan throughout."""
+        jobs = [Job(0, 2, 2, "a"), Job(0, 2, 1, "b"), Job(0, 4, 3, "c")]
+        e = oa_m(jobs, 2, 3.0).energy(PowerFunction(3.0))
+        opt = convex_optimal_energy(jobs, 2, 3.0)
+        assert e <= opt * 1.05
+
+    def test_energy_at_least_pooled_lb(self, rng):
+        jobs = random_classical_jobs(rng, 8)
+        e = oa_m(jobs, 2, 3.0).energy(PowerFunction(3.0))
+        assert e >= pooled_lower_bound(jobs, 2, 3.0) * (1 - 1e-6)
+
+
+class TestOAQm:
+    @pytest.mark.parametrize("m", [2, 3])
+    def test_feasible(self, m):
+        qi = multi_machine_instance(8, m, seed=m)
+        result = oaq_m(qi)
+        report = result.validate()
+        assert report.ok, report.violations
+
+    def test_golden_rule_applied(self):
+        qi = multi_machine_instance(10, 2, seed=5)
+        result = oaq_m(qi)
+        from repro.core.constants import PHI
+
+        for qjob in qi:
+            expected = qjob.query_cost <= qjob.work_upper / PHI
+            assert result.decisions[qjob.id].query == expected
+
+    def test_usually_beats_avrq_m(self):
+        """Recorded empirical claim: the replanner wins on random batches."""
+        from repro.qbss import avrq_m
+
+        p = PowerFunction(3.0)
+        wins = 0
+        for seed in range(4):
+            qi = multi_machine_instance(8, 2, seed=seed)
+            if oaq_m(qi).energy(p) <= avrq_m(qi).energy(p) * (1 + 1e-9):
+                wins += 1
+        assert wins >= 3

@@ -1,0 +1,100 @@
+"""Closed-form bounds: spot values and structural relations."""
+
+import math
+
+import pytest
+
+from repro.bounds import formulas
+from repro.core.constants import PHI
+
+
+def test_alpha_validation():
+    with pytest.raises(ValueError):
+        formulas.crcd_ub_energy(1.0)
+
+
+def test_crcd_min_of_two_analyses():
+    # at alpha = 3: min(4 phi^3, 8) = 8
+    assert math.isclose(formulas.crcd_ub_energy(3.0), 8.0)
+    # at alpha = 1.25 the phi analysis wins
+    assert math.isclose(
+        formulas.crcd_ub_energy(1.25), 2.0**0.25 * PHI**1.25
+    )
+
+
+def test_crp2d_and_crad_values():
+    assert math.isclose(formulas.crp2d_ub_energy(2.0), (4 * PHI) ** 2)
+    assert math.isclose(formulas.crad_ub_energy(2.0), (8 * PHI) ** 2)
+    # CRAD pays exactly 2^alpha more than CRP2D
+    for a in (1.5, 2.0, 3.0):
+        assert math.isclose(
+            formulas.crad_ub_energy(a) / formulas.crp2d_ub_energy(a), 2.0**a
+        )
+
+
+def test_avrq_is_2_alpha_times_avr():
+    for a in (1.5, 2.0, 3.0):
+        assert math.isclose(
+            formulas.avrq_ub_energy(a), 2.0**a * formulas.avr_ub_energy(a)
+        )
+
+
+def test_avrq_lb_below_ub():
+    for a in (2.0, 2.5, 3.0):
+        assert formulas.avrq_lb_energy(a) <= formulas.avrq_ub_energy(a)
+
+
+def test_bkpq_is_2phi_alpha_times_bkp():
+    for a in (1.5, 2.0, 3.0):
+        assert math.isclose(
+            formulas.bkpq_ub_energy(a), (2 + PHI) ** a * formulas.bkp_ub_energy(a)
+        )
+
+
+def test_bkpq_max_speed():
+    assert math.isclose(formulas.bkpq_ub_max_speed(), (2 + PHI) * math.e)
+
+
+def test_avrq_m_is_2_alpha_times_avr_m():
+    for a in (2.0, 3.0):
+        assert math.isclose(
+            formulas.avrq_m_ub_energy(a), 2.0**a * formulas.avr_m_ub_energy(a)
+        )
+
+
+def test_offline_lb_transitions_at_phi_dominance():
+    """max{phi^a, 2^{a-1}}: phi^a dominates for small alpha."""
+    # phi^a > 2^{a-1}  <=>  a < ln2 / ln(2/phi) ~ 3.27
+    assert formulas.offline_lb_energy(2.0) == formulas.oracle_lb_energy(2.0)
+    assert formulas.offline_lb_energy(5.0) == formulas.deterministic_lb_energy(5.0)
+
+
+def test_randomized_lb_energy():
+    assert math.isclose(formulas.randomized_lb_energy(3.0), 0.5 * (1 + PHI**3))
+
+
+def test_all_bounds_monotone_in_alpha():
+    grid = [1.5, 2.0, 2.5, 3.0, 3.5]
+    for fn in (
+        formulas.crcd_ub_energy,
+        formulas.crp2d_ub_energy,
+        formulas.crad_ub_energy,
+        formulas.avrq_ub_energy,
+        formulas.avrq_m_ub_energy,
+        formulas.oracle_lb_energy,
+        formulas.deterministic_lb_energy,
+        formulas.equal_window_lb_energy,
+    ):
+        vals = [fn(a) for a in grid]
+        assert all(x < y for x, y in zip(vals, vals[1:])), fn.__name__
+
+
+def test_table1_values_complete():
+    table = formulas.table1_values(3.0)
+    assert set(table) == {"Oracle", "CRCD", "CRP2D", "CRAD", "AVRQ", "BKPQ", "AVRQ(m)"}
+    assert table["Oracle"]["upper"] is None
+    assert table["CRCD"]["upper"] == formulas.crcd_ub_energy(3.0)
+    # every algorithm's UB dominates the corresponding LB
+    for name, row in table.items():
+        if row["lower"] is not None and row["upper"] is not None:
+            assert row["upper"] >= row["lower"], name

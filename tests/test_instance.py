@@ -1,0 +1,88 @@
+"""Instance and QBSSInstance containers."""
+
+import pytest
+
+from repro.core.instance import Instance, QBSSInstance
+from repro.core.job import Job
+from repro.core.qjob import QJob
+
+
+class TestInstance:
+    def test_unique_ids_required(self):
+        with pytest.raises(ValueError):
+            Instance([Job(0, 1, 1, "x"), Job(0, 2, 1, "x")])
+
+    def test_machines_validated(self):
+        with pytest.raises(ValueError):
+            Instance([], machines=0)
+
+    def test_span(self, simple_instance):
+        assert simple_instance.span == (0.0, 3.0)
+
+    def test_span_empty(self):
+        assert Instance([]).span == (0.0, 0.0)
+
+    def test_total_work(self, simple_instance):
+        assert simple_instance.total_work() == 7.0
+
+    def test_breakpoints(self, simple_instance):
+        assert simple_instance.breakpoints() == [0.0, 1.0, 1.5, 2.0, 3.0]
+
+    def test_active_jobs(self, simple_instance):
+        ids = {j.id for j in simple_instance.active_jobs(1.0)}
+        assert ids == {"a", "b"}  # c starts at 1.5; a is active at its deadline
+
+    def test_jobs_within(self, simple_instance):
+        ids = {j.id for j in simple_instance.jobs_within(0.0, 2.0)}
+        assert ids == {"a", "b"}
+
+    def test_with_machines(self, simple_instance):
+        assert simple_instance.with_machines(4).machines == 4
+
+
+class TestQBSSInstance:
+    def test_structure_flags_common_everything(self):
+        qi = QBSSInstance([QJob(0, 8, 1, 2, 1, "a"), QJob(0, 8, 1, 3, 0, "b")])
+        assert qi.common_release and qi.common_deadline
+        assert qi.power_of_two_deadlines  # 8 == 2^3
+
+    def test_structure_flags_mixed(self):
+        qi = QBSSInstance([QJob(0, 3, 1, 2, 1, "a"), QJob(1, 8, 1, 3, 0, "b")])
+        assert not qi.common_release
+        assert not qi.common_deadline
+        assert not qi.power_of_two_deadlines  # 3 is not a power of two
+
+    def test_power_of_two_accepts_fractional_powers(self):
+        qi = QBSSInstance([QJob(0, 0.5, 0.1, 1, 0, "a")])
+        assert qi.power_of_two_deadlines  # 2^-1
+
+    def test_clairvoyant_instance_loads(self, common_window_qinstance):
+        star = common_window_qinstance.clairvoyant_instance()
+        loads = {j.id.rsplit(":", 1)[0]: j.work for j in star.jobs}
+        # p* = min(w, c + w*)
+        assert loads["j0"] == 3.0  # min(4, 1+2)
+        assert loads["j1"] == 4.0  # min(4, 3+4)
+        assert loads["j2"] == 0.7  # min(5, 0.5+0.2)
+        assert loads["j3"] == 2.5  # min(2.5, 2+1) = 2.5 (tie -> w)
+
+    def test_upper_bound_instance(self, common_window_qinstance):
+        ub = common_window_qinstance.upper_bound_instance()
+        assert sorted(j.work for j in ub.jobs) == [2.5, 4.0, 4.0, 5.0]
+
+    def test_views_fresh_each_call(self, common_window_qinstance):
+        v1 = common_window_qinstance.views()
+        v1[0].reveal(4.0)
+        v2 = common_window_qinstance.views()
+        assert not v2[0].queried
+
+    def test_rounded_down_deadlines(self):
+        qi = QBSSInstance([QJob(0, 5.5, 1, 2, 1, "a"), QJob(0, 4.0, 1, 2, 0, "b")])
+        rounded = qi.rounded_down_deadlines()
+        by_id = {j.id: j.deadline for j in rounded}
+        assert by_id == {"a": 4.0, "b": 4.0}
+        assert rounded.power_of_two_deadlines
+
+    def test_rounding_preserves_other_fields(self):
+        qi = QBSSInstance([QJob(0, 5.5, 1.0, 2.0, 1.5, "a")])
+        j = qi.rounded_down_deadlines().jobs[0]
+        assert (j.query_cost, j.work_upper, j.work_true) == (1.0, 2.0, 1.5)

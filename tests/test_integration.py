@@ -1,0 +1,100 @@
+"""End-to-end pipelines across modules."""
+
+import math
+
+import pytest
+
+from repro.analysis.ratios import measure
+from repro.core.power import PowerFunction
+from repro.qbss import avrq, avrq_m, bkpq, clairvoyant, crad, crcd, crp2d, oaq
+from repro.workloads import (
+    code_optimizer_scenario,
+    common_deadline_instance,
+    datacenter_batch_scenario,
+    file_compression_scenario,
+    power_of_two_instance,
+)
+
+
+ONLINE_ALGOS = [avrq, bkpq, oaq]
+
+
+@pytest.mark.parametrize("algo", ONLINE_ALGOS)
+def test_scenarios_run_end_to_end(algo):
+    """Both motivating scenarios drive every online algorithm cleanly."""
+    for make in (code_optimizer_scenario, file_compression_scenario):
+        qi = make(15, seed=11)
+        m = measure(algo, qi, 3.0)
+        assert m.feasible
+        assert m.energy_ratio >= 1.0 - 1e-9
+
+
+def test_energy_accounting_consistent_profile_vs_schedule():
+    """Profile energy == schedule energy for single-machine runs."""
+    p = PowerFunction(3.0)
+    qi = common_deadline_instance(10, seed=3)
+    result = crcd(qi)
+    assert math.isclose(
+        result.energy(p), result.schedule.energy(p), rel_tol=1e-6
+    )
+    qi2 = power_of_two_instance(10, seed=3)
+    result2 = crp2d(qi2)
+    assert math.isclose(
+        result2.energy(p), result2.schedule.energy(p), rel_tol=1e-6
+    )
+
+
+def test_offline_algorithms_agree_on_their_common_domain():
+    """A common-deadline power-of-2 instance is valid input to all three
+    offline algorithms; all must be feasible and within their bounds."""
+    from repro.bounds.formulas import crad_ub_energy, crcd_ub_energy, crp2d_ub_energy
+
+    qi = common_deadline_instance(10, deadline=8.0, seed=5)
+    opt = clairvoyant(qi, 3.0).energy_value
+    p = PowerFunction(3.0)
+    for algo, bound in ((crcd, crcd_ub_energy), (crp2d, crp2d_ub_energy), (crad, crad_ub_energy)):
+        res = algo(qi)
+        assert res.validate().ok
+        assert res.energy(p) <= bound(3.0) * opt * (1 + 1e-9)
+
+
+def test_datacenter_multi_machine_pipeline():
+    qi = datacenter_batch_scenario(12, machines=4, seed=2)
+    result = avrq_m(qi)
+    report = result.validate()
+    assert report.ok, report.violations
+    base = clairvoyant(qi, 3.0)
+    assert result.energy(PowerFunction(3.0)) >= base.energy_value * (1 - 1e-9)
+
+
+def test_decisions_consistent_with_derived_jobs():
+    """Every queried job contributes exactly a query job and a work job."""
+    qi = code_optimizer_scenario(12, seed=9)
+    result = bkpq(qi)
+    derived_ids = {j.id for j in result.derived.jobs}
+    for qjob in qi:
+        if result.decisions[qjob.id].query:
+            assert qjob.id + ":query" in derived_ids
+            assert qjob.id + ":work" in derived_ids
+        else:
+            assert qjob.id + ":full" in derived_ids
+
+
+def test_executed_load_matches_decision():
+    qi = common_deadline_instance(8, seed=13)
+    result = crcd(qi)
+    for qjob in qi:
+        executed = result.executed_load(qjob.id)
+        if result.decisions[qjob.id].query:
+            expected = qjob.query_cost + qjob.work_true
+        else:
+            expected = qjob.work_upper
+        assert math.isclose(executed, expected, rel_tol=1e-6, abs_tol=1e-9)
+
+
+def test_alpha_consistency_across_objectives():
+    """Max-speed ratios are alpha-independent; energy ratios grow with it."""
+    qi = common_deadline_instance(10, seed=1)
+    m2 = measure(crcd, qi, 2.0)
+    m3 = measure(crcd, qi, 3.0)
+    assert math.isclose(m2.max_speed_ratio, m3.max_speed_ratio, rel_tol=1e-9)

@@ -1,0 +1,118 @@
+"""JSON serialization round-trips."""
+
+import json
+import math
+
+import pytest
+
+from repro import io as rio
+from repro.core.instance import Instance, QBSSInstance
+from repro.core.job import Job
+from repro.core.power import PowerFunction
+from repro.core.profile import Segment, SpeedProfile
+from repro.core.qjob import QJob
+from repro.core.schedule import Schedule
+
+
+@pytest.fixture
+def qinstance():
+    return QBSSInstance(
+        [QJob(0.0, 4.0, 0.5, 3.0, 1.0, "a"), QJob(1.0, 5.0, 1.0, 2.0, 0.0, "b")],
+        machines=2,
+    )
+
+
+def test_qbss_instance_roundtrip(tmp_path, qinstance):
+    path = tmp_path / "inst.json"
+    rio.save(qinstance, path)
+    loaded = rio.load(path)
+    assert isinstance(loaded, QBSSInstance)
+    assert loaded.machines == 2
+    for a, b in zip(loaded.jobs, qinstance.jobs):
+        assert (a.release, a.deadline, a.query_cost, a.work_upper, a.work_true, a.id) == (
+            b.release,
+            b.deadline,
+            b.query_cost,
+            b.work_upper,
+            b.work_true,
+            b.id,
+        )
+
+
+def test_classical_instance_roundtrip(tmp_path, simple_instance):
+    path = tmp_path / "classical.json"
+    rio.save(simple_instance, path)
+    loaded = rio.load(path)
+    assert isinstance(loaded, Instance)
+    assert loaded.total_work() == simple_instance.total_work()
+
+
+def test_profile_roundtrip_preserves_energy(tmp_path):
+    prof = SpeedProfile([Segment(0, 1, 2.0), Segment(1, 3, 0.5)])
+    path = tmp_path / "prof.json"
+    rio.save(prof, path)
+    loaded = rio.load(path)
+    p = PowerFunction(3.0)
+    assert math.isclose(loaded.energy(p), prof.energy(p))
+    assert loaded == prof
+
+
+def test_schedule_roundtrip(tmp_path):
+    s = Schedule(2)
+    s.add(0, 1, 2.0, "a", 0)
+    s.add(0.5, 1.5, 1.0, "b", 1)
+    path = tmp_path / "sched.json"
+    rio.save(s, path)
+    loaded = rio.load(path)
+    assert loaded.machines == 2
+    assert loaded.work_by_job() == s.work_by_job()
+
+
+def test_file_is_plain_versioned_json(tmp_path, qinstance):
+    path = tmp_path / "inst.json"
+    rio.save(qinstance, path)
+    data = json.loads(path.read_text())
+    assert data["version"] == rio.FORMAT_VERSION
+    assert data["kind"] == "qbss"
+
+
+def test_unsupported_type_rejected(tmp_path):
+    with pytest.raises(TypeError):
+        rio.save({"not": "supported"}, tmp_path / "x.json")
+
+
+def test_wrong_kind_rejected(tmp_path, qinstance):
+    path = tmp_path / "inst.json"
+    rio.save(qinstance, path)
+    data = json.loads(path.read_text())
+    with pytest.raises(rio.FormatError):
+        rio.instance_from_dict(data)  # classical loader on a qbss doc
+
+
+def test_wrong_version_rejected(tmp_path, qinstance):
+    path = tmp_path / "inst.json"
+    rio.save(qinstance, path)
+    data = json.loads(path.read_text())
+    data["version"] = 99
+    with pytest.raises(rio.FormatError):
+        rio.qbss_instance_from_dict(data)
+
+
+def test_not_a_document_rejected(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text('{"hello": 1}')
+    with pytest.raises(rio.FormatError):
+        rio.load(path)
+
+
+def test_roundtrip_through_algorithms(tmp_path, qinstance):
+    """A saved instance replays to the identical result."""
+    from repro.qbss import avrq
+
+    path = tmp_path / "inst.json"
+    rio.save(qinstance.with_machines(1), path)
+    loaded = rio.load(path)
+    p = PowerFunction(3.0)
+    assert math.isclose(
+        avrq(loaded).energy(p), avrq(qinstance.with_machines(1)).energy(p)
+    )

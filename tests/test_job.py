@@ -1,0 +1,67 @@
+"""Classical Job semantics."""
+
+import math
+
+import pytest
+
+from repro.core.job import Job
+
+
+def test_rejects_empty_window():
+    with pytest.raises(ValueError):
+        Job(1.0, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        Job(2.0, 1.0, 1.0)
+
+
+def test_rejects_negative_work():
+    with pytest.raises(ValueError):
+        Job(0.0, 1.0, -0.1)
+
+
+def test_zero_work_allowed():
+    # w* = 0 after a query is a legitimate outcome
+    j = Job(0.0, 1.0, 0.0)
+    assert j.work == 0.0
+    assert j.density == 0.0
+
+
+def test_density():
+    assert math.isclose(Job(1.0, 3.0, 4.0).density, 2.0)
+
+
+def test_span():
+    assert Job(0.5, 2.5, 1.0).span == 2.0
+
+
+def test_active_interval_half_open():
+    j = Job(1.0, 2.0, 1.0)
+    assert not j.active_at(1.0)  # open on the left
+    assert j.active_at(1.5)
+    assert j.active_at(2.0)  # closed on the right
+    assert not j.active_at(2.1)
+
+
+def test_contains_interval():
+    j = Job(1.0, 3.0, 1.0)
+    assert j.contains_interval(1.0, 3.0)
+    assert j.contains_interval(1.5, 2.0)
+    assert not j.contains_interval(0.5, 2.0)
+    assert not j.contains_interval(2.0, 3.5)
+
+
+def test_auto_ids_unique():
+    a, b = Job(0, 1, 1), Job(0, 1, 1)
+    assert a.id != b.id
+
+
+def test_with_work_keeps_window_and_suffixes_id():
+    j = Job(0.0, 2.0, 3.0, "x")
+    k = j.with_work(1.0, ":half")
+    assert (k.release, k.deadline, k.work, k.id) == (0.0, 2.0, 1.0, "x:half")
+
+
+def test_frozen():
+    j = Job(0, 1, 1)
+    with pytest.raises(Exception):
+        j.work = 5.0

@@ -1,0 +1,98 @@
+"""Executable lower-bound lemmas."""
+
+import math
+
+import pytest
+
+from repro.bounds import lemmas
+from repro.core.constants import PHI
+from repro.core.power import PowerFunction
+from repro.qbss.avrq import avrq
+from repro.qbss.clairvoyant import clairvoyant
+
+
+class TestLemma41:
+    def test_instance_shape(self):
+        qi = lemmas.lemma41_instance(0.1)
+        j = qi.jobs[0]
+        assert j.query_cost == j.work_true == 0.1
+
+    def test_eps_validated(self):
+        with pytest.raises(ValueError):
+            lemmas.lemma41_instance(0.6)
+
+    def test_ratio_diverges(self):
+        r1 = lemmas.lemma41_expected_ratio(0.1, 3.0, "energy")
+        r2 = lemmas.lemma41_expected_ratio(0.01, 3.0, "energy")
+        assert r2 > r1 > 1.0
+        assert math.isclose(
+            lemmas.lemma41_expected_ratio(0.1, 3.0, "max_speed"), 5.0
+        )
+
+
+class TestLemma42:
+    def test_bounds(self):
+        s, e = lemmas.lemma42_bounds(3.0)
+        assert math.isclose(s, PHI)
+        assert math.isclose(e, PHI**3)
+
+    def test_instance_adversary_both_branches(self):
+        """Whatever the algorithm does, the adversary's answer costs phi."""
+        # algorithm queries -> adversary sets w* = w: alg = c + w = 1 + phi
+        qi_q = lemmas.lemma42_instance(wstar_if_query=True)
+        j = qi_q.jobs[0]
+        assert math.isclose((j.query_cost + j.work_true) / j.optimal_load, PHI)
+        # algorithm skips -> adversary sets w* = 0: alg = w = phi, opt = c = 1
+        qi_n = lemmas.lemma42_instance(wstar_if_query=False)
+        k = qi_n.jobs[0]
+        assert math.isclose(k.work_upper / k.optimal_load, PHI)
+
+
+class TestLemma45:
+    def test_construction_reaches_3(self):
+        s_lb, e_lb = lemmas.lemma45_equal_window_lower_bounds(1e-6, 3.0)
+        assert s_lb >= 3.0 - 1e-3
+        assert e_lb >= 9.0 - 1e-2
+
+    def test_avrq_realises_the_bound(self):
+        qi = lemmas.lemma45_instance(1e-6)
+        m_speed = avrq(qi).max_speed() / clairvoyant(qi, 3.0).max_speed_value
+        assert m_speed >= 3.0 - 1e-3
+
+    def test_both_jobs_queried_by_golden_rule(self):
+        qi = lemmas.lemma45_instance(1e-4)
+        for j in qi:
+            assert j.query_cost <= j.work_upper / PHI
+
+    def test_optimum_also_queries(self):
+        """The paper's remark: the bound holds even when OPT queries both."""
+        qi = lemmas.lemma45_instance(1e-4)
+        k = next(j for j in qi if j.id == "L45-k")
+        assert k.query_worthwhile  # c + 0 < w
+
+    def test_energy_bound_scales_with_alpha(self):
+        for alpha in (2.0, 2.5, 3.0):
+            _, e_lb = lemmas.lemma45_equal_window_lower_bounds(1e-6, alpha)
+            assert e_lb >= 3.0 ** (alpha - 1.0) - 1e-2
+
+
+class TestLemma51Tower:
+    def test_ratio_grows_with_levels(self):
+        p = PowerFunction(3.0)
+        ratios = []
+        for k in (2, 6, 12):
+            qi = lemmas.lemma51_tower_instance(k, 3.0)
+            r = avrq(qi).energy(p) / clairvoyant(qi, 3.0).energy_value
+            ratios.append(r)
+        assert ratios[0] < ratios[1] < ratios[2]
+
+    def test_stays_below_upper_bound(self):
+        from repro.bounds.formulas import avrq_ub_energy
+
+        qi = lemmas.lemma51_tower_instance(16, 3.0)
+        r = avrq(qi).energy(PowerFunction(3.0)) / clairvoyant(qi, 3.0).energy_value
+        assert r <= avrq_ub_energy(3.0)
+
+    def test_levels_validated(self):
+        with pytest.raises(ValueError):
+            lemmas.lemma51_tower_instance(0, 3.0)

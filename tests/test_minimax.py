@@ -1,0 +1,94 @@
+"""The common-window minimax game."""
+
+import math
+
+import pytest
+
+from repro.bounds.minimax import (
+    CommonWindowJob,
+    crcd_policy_value,
+    minimax_common_window,
+)
+from repro.core.constants import PHI
+
+
+def test_job_validation():
+    with pytest.raises(ValueError):
+        CommonWindowJob(0.0, 1.0)
+    with pytest.raises(ValueError):
+        CommonWindowJob(2.0, 1.0)
+
+
+def test_input_validation():
+    with pytest.raises(ValueError):
+        minimax_common_window([], 3.0)
+    with pytest.raises(ValueError):
+        minimax_common_window([CommonWindowJob(0.5, 1.0)] * 7, 3.0)
+
+
+def test_lemma43_instance_minimax_at_least_claimed_bound():
+    """No two-phase policy beats Lemma 4.3's 2^{alpha-1} on (c=1, w=2)."""
+    mm = minimax_common_window([CommonWindowJob(1.0, 2.0)], 3.0)
+    assert mm.value >= 2.0 ** (3.0 - 1.0) - 1e-6
+
+
+def test_lemma43_crcd_is_near_minimax():
+    """CRCD's value on the Lemma 4.3 instance is within grid slack of the
+    minimax optimum (both choose to query and split near the middle)."""
+    jobs = [CommonWindowJob(1.0, 2.0)]
+    mm = minimax_common_window(jobs, 3.0)
+    crcd_val, crcd_q = crcd_policy_value(jobs, 3.0)
+    assert crcd_q == (0,)
+    assert crcd_val <= mm.value * 1.1
+    assert mm.query_set == (0,)
+
+
+def test_golden_instance_value_phi_alpha():
+    """On (c=1, w=phi) the minimax value is at least phi^alpha (Lemma 4.2)."""
+    mm = minimax_common_window([CommonWindowJob(1.0, PHI)], 3.0)
+    assert mm.value >= PHI**3.0 - 1e-6
+
+
+def test_minimax_never_exceeds_crcd():
+    """CRCD is one point of the design space: minimax <= CRCD everywhere."""
+    cases = [
+        [CommonWindowJob(0.3, 2.0), CommonWindowJob(1.5, 2.0)],
+        [CommonWindowJob(0.1, 1.0), CommonWindowJob(0.2, 3.0)],
+        [CommonWindowJob(0.9, 1.0), CommonWindowJob(1.8, 2.0)],
+    ]
+    for jobs in cases:
+        mm = minimax_common_window(jobs, 3.0)
+        crcd_val, _ = crcd_policy_value(jobs, 3.0)
+        # grid slack: minimax's x grid may miss CRCD's exact 0.5 point
+        assert mm.value <= crcd_val * (1 + 1e-6)
+
+
+def test_adversary_prefers_extremes_single_job():
+    """On (c=1, w=2) the worst w* for the query policy is w itself."""
+    mm = minimax_common_window(
+        [CommonWindowJob(1.0, 2.0)], 3.0, x_grid=[0.5]
+    )
+    assert mm.worst_wstar == (2.0,)
+
+
+def test_cheap_queries_get_queried():
+    jobs = [CommonWindowJob(0.05, 1.0), CommonWindowJob(0.05, 2.0)]
+    mm = minimax_common_window(jobs, 3.0)
+    assert mm.query_set == (0, 1)
+
+
+def test_expensive_queries_not_queried():
+    jobs = [CommonWindowJob(0.99, 1.0), CommonWindowJob(1.98, 2.0)]
+    mm = minimax_common_window(jobs, 3.0)
+    assert mm.query_set == ()
+
+
+def test_no_query_policy_value_closed_form():
+    """With Q empty the value is (sum w / sum min(w, c))^alpha, balanced."""
+    jobs = [CommonWindowJob(0.5, 1.0)]
+    mm = minimax_common_window(
+        jobs, 2.0, x_grid=[0.5], lam_grid=[0.5]
+    )
+    # forced no-query comparison: ratio = (w / c)^alpha = 4 when not querying;
+    # the solver may still prefer querying, so just check the bound holds
+    assert mm.value <= 4.0 + 1e-9

@@ -1,0 +1,215 @@
+"""Multi-machine substrate: allocation rule, McNaughton, AVR(m), bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounds.formulas import avr_m_ub_energy
+from repro.core.feasibility import check_feasible
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.power import PowerFunction
+from repro.speed_scaling.multi.allocation import allocate_slot
+from repro.speed_scaling.multi.avr_m import avr_m
+from repro.speed_scaling.multi.bounds import max_speed_lower_bound, pooled_lower_bound
+from repro.speed_scaling.multi.mcnaughton import mcnaughton_slot
+from repro.speed_scaling.multi.optimal import convex_optimal_energy, slot_energy
+from repro.speed_scaling.yds import optimal_energy
+
+from _testutil import random_classical_jobs
+
+
+class TestAllocation:
+    def test_one_big_job(self):
+        # densities [10, 1, 1] on 2 machines: 10 > 12/2 -> big
+        alloc = allocate_slot([10.0, 1.0, 1.0], 2)
+        assert alloc.big == ((0, 0, 10.0),)
+        assert set(alloc.small_indices) == {1, 2}
+        assert alloc.small_machines == (1,)
+        assert math.isclose(alloc.small_speed, 2.0)
+
+    def test_all_small(self):
+        alloc = allocate_slot([1.0, 1.0, 1.0, 1.0], 2)
+        assert alloc.big == ()
+        assert math.isclose(alloc.small_speed, 2.0)
+        assert alloc.machine_speeds == (2.0, 2.0)
+
+    def test_each_job_own_machine(self):
+        alloc = allocate_slot([3.0, 2.0], 4)
+        # 3 > 5/4 big; then 2 > 2/3 big
+        assert len(alloc.big) == 2
+        assert alloc.small_indices == ()
+
+    def test_machine_speeds_non_increasing(self):
+        alloc = allocate_slot([5.0, 3.0, 1.0, 0.5, 0.25], 3)
+        speeds = alloc.machine_speeds
+        assert all(a >= b - 1e-12 for a, b in zip(speeds, speeds[1:]))
+
+    def test_zero_densities_ignored(self):
+        alloc = allocate_slot([0.0, 2.0, 0.0], 2)
+        assert alloc.big == () or alloc.big[0][0] == 1
+
+    def test_invalid_machines(self):
+        with pytest.raises(ValueError):
+            allocate_slot([1.0], 0)
+
+
+class TestMcNaughton:
+    def test_simple_pack(self):
+        pieces = mcnaughton_slot([("a", 1.0), ("b", 1.0)], 0.0, 1.0, 2.0, [0])
+        assert len(pieces) == 2
+        assert all(m == 0 for m, _ in pieces)
+
+    def test_wrap_around_no_self_overlap(self):
+        # slot capacity per machine = 1.0; job "b" wraps across machines
+        pieces = mcnaughton_slot(
+            [("a", 0.6), ("b", 0.8), ("c", 0.6)], 0.0, 1.0, 1.0, [0, 1]
+        )
+        by_job = {}
+        for mach, sl in pieces:
+            by_job.setdefault(sl.job_id, []).append((mach, sl))
+        b_pieces = by_job["b"]
+        assert len(b_pieces) == 2
+        (m1, s1), (m2, s2) = sorted(b_pieces, key=lambda x: x[1].start)
+        assert m1 != m2
+        # wrapped pieces of one job must not overlap in time
+        assert s2.end <= s1.start + 1e-9 or s1.end <= s2.start + 1e-9
+
+    def test_overload_rejected(self):
+        with pytest.raises(ValueError):
+            mcnaughton_slot([("a", 3.0)], 0.0, 1.0, 1.0, [0, 1])
+
+    def test_total_work_preserved(self):
+        works = [("a", 0.5), ("b", 0.9), ("c", 0.6)]
+        pieces = mcnaughton_slot(works, 0.0, 1.0, 1.0, [0, 1])
+        done = sum(sl.work for _, sl in pieces)
+        assert math.isclose(done, 2.0, rel_tol=1e-9)
+
+    def test_zero_speed_slot(self):
+        assert mcnaughton_slot([], 0.0, 1.0, 0.0, [0]) == []
+        with pytest.raises(ValueError):
+            mcnaughton_slot([("a", 1.0)], 0.0, 1.0, 0.0, [0])
+
+
+class TestAVRm:
+    @pytest.mark.parametrize("m", [1, 2, 4])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_schedule_feasible(self, m, seed):
+        rng = np.random.default_rng(seed)
+        jobs = random_classical_jobs(rng, 10)
+        result = avr_m(jobs, m)
+        report = check_feasible(result.schedule, Instance(jobs, m))
+        assert report.ok, report.violations
+
+    def test_m1_equals_avr_energy(self, rng, power3):
+        from repro.speed_scaling.avr import avr_profile
+
+        jobs = random_classical_jobs(rng, 8)
+        assert math.isclose(
+            avr_m(jobs, 1).energy(power3),
+            avr_profile(jobs).energy(power3),
+            rel_tol=1e-9,
+        )
+
+    @pytest.mark.parametrize("m", [2, 4])
+    def test_energy_within_bound_of_pooled_lb(self, m, rng, power3):
+        jobs = random_classical_jobs(rng, 10)
+        energy = avr_m(jobs, m).energy(power3)
+        lb = pooled_lower_bound(jobs, m, 3.0)
+        assert energy >= lb * (1 - 1e-9)
+
+    def test_more_machines_never_hurt(self, rng, power3):
+        jobs = random_classical_jobs(rng, 10)
+        e2 = avr_m(jobs, 2).energy(power3)
+        e4 = avr_m(jobs, 4).energy(power3)
+        assert e4 <= e2 * (1 + 1e-9)
+
+
+class TestBoundsAndOptimal:
+    def test_pooled_lb_m1_is_yds(self, rng):
+        jobs = random_classical_jobs(rng, 8)
+        assert math.isclose(
+            pooled_lower_bound(jobs, 1, 3.0), optimal_energy(jobs, 3.0), rel_tol=1e-9
+        )
+
+    def test_pooled_lb_decreases_with_machines(self, rng):
+        jobs = random_classical_jobs(rng, 8)
+        assert pooled_lower_bound(jobs, 4, 3.0) < pooled_lower_bound(jobs, 2, 3.0)
+
+    def test_max_speed_lb_respects_single_job_density(self):
+        jobs = [Job(0, 1, 5, "dense"), Job(0, 10, 1, "light")]
+        assert max_speed_lower_bound(jobs, 8) >= 5.0
+
+    def test_slot_energy_all_small(self):
+        # 2 machines, works [1, 1], length 1 -> shared speed 1 each
+        assert math.isclose(slot_energy(np.array([1.0, 1.0]), 1.0, 2, 3.0), 2.0)
+
+    def test_slot_energy_big_job(self):
+        # works [3, 1] on 2 machines: 3 > 4/2 -> big at speed 3, small at 1
+        e = slot_energy(np.array([3.0, 1.0]), 1.0, 2, 3.0)
+        assert math.isclose(e, 27.0 + 1.0)
+
+    def test_slot_energy_equals_pooled_when_no_big_jobs(self):
+        """With no dominant job, sharing everything equally is optimal."""
+        works = np.array([2.0, 1.0, 1.0])
+        e = slot_energy(works, 1.0, 2, 3.0)
+        pooled = 2 * (works.sum() / 2) ** 3
+        assert math.isclose(e, pooled)
+
+    def test_slot_energy_exceeds_pooled_with_big_job(self):
+        """A job above per-machine average forces energy above the pooled
+        relaxation (which illegally parallelises the job with itself)."""
+        works = np.array([4.0, 1.0, 1.0])
+        e = slot_energy(works, 1.0, 2, 3.0)
+        pooled = 2 * (works.sum() / 2) ** 3
+        assert e > pooled
+        # and matches the hand-computed optimum: big at 4, shared at 2
+        assert math.isclose(e, 4.0**3 + 2.0**3)
+
+    @pytest.mark.parametrize("m", [2, 3])
+    def test_convex_optimum_between_lb_and_avr_m(self, m):
+        rng = np.random.default_rng(3)
+        jobs = random_classical_jobs(rng, 5, horizon=4.0)
+        opt = convex_optimal_energy(jobs, m, 3.0)
+        lb = pooled_lower_bound(jobs, m, 3.0)
+        ub = avr_m(jobs, m).energy(PowerFunction(3.0))
+        assert lb * (1 - 1e-6) <= opt <= ub * (1 + 1e-6)
+
+    def test_avr_m_within_paper_bound_of_exact_optimum(self):
+        rng = np.random.default_rng(5)
+        jobs = random_classical_jobs(rng, 5, horizon=4.0)
+        opt = convex_optimal_energy(jobs, 2, 3.0)
+        energy = avr_m(jobs, 2).energy(PowerFunction(3.0))
+        assert energy <= avr_m_ub_energy(3.0) * opt * (1 + 1e-6)
+
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_optimal_schedule_realises_the_optimum(self, m):
+        """The constructed schedule is feasible and matches the convex value."""
+        from repro.core.feasibility import check_feasible
+        from repro.core.instance import Instance
+        from repro.speed_scaling.multi.optimal import optimal_schedule
+
+        rng = np.random.default_rng(11)
+        jobs = random_classical_jobs(rng, 5, horizon=4.0)
+        schedule = optimal_schedule(jobs, m, 3.0)
+        report = check_feasible(schedule, Instance(jobs, m), tol=1e-5)
+        assert report.ok, report.violations
+        value = convex_optimal_energy(jobs, m, 3.0)
+        assert schedule.energy(PowerFunction(3.0)) <= value * (1 + 1e-3)
+
+    def test_optimal_schedule_empty(self):
+        from repro.speed_scaling.multi.optimal import optimal_schedule
+
+        assert optimal_schedule([], 2, 3.0).slices() == []
+
+    def test_optimal_allocation_conserves_work(self):
+        from repro.speed_scaling.multi.optimal import optimal_allocation
+
+        rng = np.random.default_rng(13)
+        jobs = random_classical_jobs(rng, 5, horizon=4.0)
+        alloc = optimal_allocation(jobs, 2, 3.0)
+        for j in jobs:
+            assert sum(alloc.get(j.id, {}).values()) == pytest.approx(
+                j.work, rel=1e-6
+            )

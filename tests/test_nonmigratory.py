@@ -1,0 +1,200 @@
+"""The non-migratory variant (paper Sec. 7 remark)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.feasibility import check_feasible
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.power import PowerFunction
+from repro.qbss.nonmigratory import avrq_nm
+from repro.speed_scaling.multi.avr_m import avr_m
+from repro.speed_scaling.multi.bounds import pooled_lower_bound
+from repro.speed_scaling.multi.nonmigratory import (
+    assign_arrival_least_density,
+    assign_greedy_energy,
+    assign_least_density,
+    assign_round_robin,
+    non_migratory,
+)
+from repro.speed_scaling.yds import optimal_energy
+from repro.workloads.generators import multi_machine_instance, online_instance
+
+from _testutil import random_classical_jobs
+
+
+class TestAssigners:
+    def test_round_robin_spreads(self):
+        jobs = [Job(0, 1, 1, f"j{i}") for i in range(6)]
+        assignment = assign_round_robin(jobs, 3)
+        counts = [list(assignment.values()).count(m) for m in range(3)]
+        assert counts == [2, 2, 2]
+
+    def test_least_density_separates_overlapping_jobs(self):
+        # two identical overlapping heavy jobs should land on two machines
+        jobs = [Job(0, 1, 5, "a"), Job(0, 1, 5, "b"), Job(2, 3, 0.1, "c")]
+        assignment = assign_least_density(jobs, 2)
+        assert assignment["a"] != assignment["b"]
+
+    def test_least_density_colocates_disjoint_jobs(self):
+        # disjoint windows have no overlap cost: both can share machine 0
+        jobs = [Job(0, 1, 5, "a"), Job(2, 3, 5, "b")]
+        assignment = assign_least_density(jobs, 2)
+        assert assignment["a"] == assignment["b"] == 0
+
+    @pytest.mark.parametrize(
+        "assigner",
+        [assign_round_robin, assign_least_density, assign_arrival_least_density],
+    )
+    def test_all_jobs_assigned_valid_machines(self, assigner, rng):
+        jobs = random_classical_jobs(rng, 12)
+        assignment = assigner(jobs, 3)
+        assert set(assignment) == {j.id for j in jobs}
+        assert all(0 <= m < 3 for m in assignment.values())
+
+    def test_greedy_energy_not_worse_than_round_robin(self):
+        rng = np.random.default_rng(4)
+        jobs = random_classical_jobs(rng, 8)
+        p = PowerFunction(3.0)
+        e_greedy = non_migratory(jobs, 2, assign_greedy_energy).energy(p)
+        e_rr = non_migratory(jobs, 2, assign_round_robin).energy(p)
+        assert e_greedy <= e_rr * (1 + 1e-9)
+
+
+class TestNonMigratory:
+    @pytest.mark.parametrize("m", [1, 2, 4])
+    def test_schedule_feasible_and_stays_on_one_machine(self, m, rng):
+        jobs = random_classical_jobs(rng, 10)
+        result = non_migratory(jobs, m)
+        report = check_feasible(result.schedule, Instance(jobs, m))
+        assert report.ok, report.violations
+        # non-migratory: every job's slices on exactly one machine
+        for job in jobs:
+            machines_used = {
+                mi
+                for mi in range(m)
+                for s in result.schedule.slices(mi)
+                if s.job_id == job.id
+            }
+            assert len(machines_used) <= 1
+
+    def test_m1_equals_yds(self, rng):
+        jobs = random_classical_jobs(rng, 8)
+        result = non_migratory(jobs, 1)
+        assert math.isclose(
+            result.energy(PowerFunction(3.0)),
+            optimal_energy(jobs, 3.0),
+            rel_tol=1e-9,
+        )
+
+    def test_bounded_by_pooled_lb_and_beats_single_machine(self, rng):
+        """No migration costs energy versus the migratory relaxation but a
+        second machine still beats one machine."""
+        jobs = random_classical_jobs(rng, 10)
+        p = PowerFunction(3.0)
+        e_nm = non_migratory(jobs, 2).energy(p)
+        assert e_nm >= pooled_lower_bound(jobs, 2, 3.0) * (1 - 1e-9)
+        assert e_nm <= optimal_energy(jobs, 3.0) * (1 + 1e-9)
+
+    def test_migration_gap_vs_avr_m(self, rng):
+        """Offline non-migratory YDS beats online migratory AVR(m) here —
+        an empirical regression guard for the assignment quality."""
+        jobs = random_classical_jobs(rng, 10)
+        p = PowerFunction(3.0)
+        e_nm = non_migratory(jobs, 3).energy(p)
+        e_avr = avr_m(jobs, 3).energy(p)
+        assert e_nm <= e_avr * (1 + 1e-9)
+
+
+class TestExactNonMigratory:
+    def test_rejects_large_instances(self, rng):
+        from repro.speed_scaling.multi.nonmigratory import optimal_non_migratory
+
+        jobs = random_classical_jobs(rng, 12)
+        with pytest.raises(ValueError):
+            optimal_non_migratory(jobs, 2, 3.0)
+
+    def test_beats_every_heuristic(self):
+        from repro.speed_scaling.multi.nonmigratory import optimal_non_migratory
+
+        rng = np.random.default_rng(9)
+        jobs = random_classical_jobs(rng, 6)
+        p = PowerFunction(3.0)
+        exact = optimal_non_migratory(jobs, 2, 3.0).energy(p)
+        for assigner in (
+            assign_round_robin,
+            assign_least_density,
+            assign_greedy_energy,
+        ):
+            heur = non_migratory(jobs, 2, assigner).energy(p)
+            assert exact <= heur * (1 + 1e-9)
+
+    def test_at_least_migratory_optimum(self):
+        from repro.speed_scaling.multi.nonmigratory import optimal_non_migratory
+        from repro.speed_scaling.multi.optimal import convex_optimal_energy
+
+        rng = np.random.default_rng(10)
+        jobs = random_classical_jobs(rng, 6)
+        exact_nm = optimal_non_migratory(jobs, 2, 3.0).energy(PowerFunction(3.0))
+        migratory = convex_optimal_energy(jobs, 2, 3.0)
+        assert exact_nm >= migratory * (1 - 1e-4)
+
+    def test_schedule_feasible_and_pinned(self):
+        from repro.speed_scaling.multi.nonmigratory import optimal_non_migratory
+
+        rng = np.random.default_rng(11)
+        jobs = random_classical_jobs(rng, 6)
+        result = optimal_non_migratory(jobs, 3, 3.0)
+        report = check_feasible(result.schedule, Instance(jobs, 3))
+        assert report.ok, report.violations
+        for job in jobs:
+            machines_used = {
+                mi
+                for mi in range(3)
+                for s in result.schedule.slices(mi)
+                if s.job_id == job.id
+            }
+            assert len(machines_used) <= 1
+
+    def test_empty(self):
+        from repro.speed_scaling.multi.nonmigratory import optimal_non_migratory
+
+        result = optimal_non_migratory([], 2, 3.0)
+        assert result.energy(PowerFunction(3.0)) == 0.0
+
+
+class TestAVRQNM:
+    @pytest.mark.parametrize("m", [2, 3])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_feasible(self, m, seed):
+        qi = multi_machine_instance(10, m, seed=seed)
+        result = avrq_nm(qi)
+        report = result.validate()
+        assert report.ok, report.violations
+
+    def test_query_and_work_pinned_together(self):
+        qi = multi_machine_instance(8, 3, seed=2)
+        result = avrq_nm(qi)
+        for qjob in qi:
+            machines_used = set()
+            for mi in range(3):
+                for s in result.schedule.slices(mi):
+                    if s.job_id.rsplit(":", 1)[0] == qjob.id:
+                        machines_used.add(mi)
+            assert len(machines_used) <= 1
+
+    def test_m1_equals_avrq(self):
+        from repro.qbss.avrq import avrq
+
+        qi = online_instance(8, seed=3)
+        p = PowerFunction(3.0)
+        assert math.isclose(
+            avrq_nm(qi).energy(p), avrq(qi).energy(p), rel_tol=1e-9
+        )
+
+    def test_queries_all_jobs(self):
+        qi = multi_machine_instance(6, 2, seed=0)
+        result = avrq_nm(qi)
+        assert all(d.query for d in result.decisions.decisions.values())

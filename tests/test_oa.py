@@ -1,0 +1,67 @@
+"""OA: replanning correctness and the alpha^alpha bound."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bounds.formulas import oa_ub_energy
+from repro.core.feasibility import check_feasible
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.power import PowerFunction
+from repro.speed_scaling.oa import oa, oa_profile
+from repro.speed_scaling.yds import optimal_energy, yds_profile
+
+from _testutil import random_classical_jobs
+
+
+def test_common_release_equals_yds():
+    """With a single arrival batch OA never replans: it IS the optimum."""
+    jobs = [Job(0, 2, 2, "a"), Job(0, 4, 1, "b"), Job(0, 1, 1, "c")]
+    assert math.isclose(
+        oa_profile(jobs).energy(PowerFunction(3.0)),
+        yds_profile(jobs).energy(PowerFunction(3.0)),
+        rel_tol=1e-9,
+    )
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_always_feasible(seed):
+    rng = np.random.default_rng(seed)
+    jobs = random_classical_jobs(rng, 12)
+    result = oa(jobs)
+    assert result.feasible, result.unfinished
+    report = check_feasible(result.schedule, Instance(jobs))
+    assert report.ok, report.violations
+
+
+@pytest.mark.parametrize("alpha", [2.0, 3.0])
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_energy_within_alpha_alpha(alpha, seed):
+    rng = np.random.default_rng(seed)
+    jobs = random_classical_jobs(rng, 10)
+    ratio = oa_profile(jobs).energy(PowerFunction(alpha)) / optimal_energy(jobs, alpha)
+    assert 1.0 - 1e-9 <= ratio <= oa_ub_energy(alpha) * (1 + 1e-9)
+
+
+def test_oa_replans_on_arrival():
+    """A late heavy arrival raises the speed only after it arrives."""
+    jobs = [Job(0, 4, 2, "early"), Job(2, 4, 6, "late")]
+    prof = oa_profile(jobs)
+    assert prof.speed_at(1.0) == pytest.approx(0.5)  # plan: 2 work over (0,4]
+    assert prof.speed_at(3.0) > prof.speed_at(1.0)  # replanned upward
+
+
+def test_oa_never_worse_than_avr_here(rng):
+    """Not a theorem in general, but holds on these random instances and
+    guards against pathological regressions in the replanner."""
+    from repro.speed_scaling.avr import avr_profile
+
+    jobs = random_classical_jobs(rng, 10)
+    p = PowerFunction(3.0)
+    assert oa_profile(jobs).energy(p) <= avr_profile(jobs).energy(p) * 1.05
+
+
+def test_empty():
+    assert oa([]).profile.is_empty

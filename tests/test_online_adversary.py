@@ -1,0 +1,63 @@
+"""The adaptive online adversary search."""
+
+import pytest
+
+from repro.bounds.online_adversary import (
+    JobTemplate,
+    adaptive_online_search,
+    default_menu,
+)
+from repro.qbss import avrq
+
+
+def test_template_instantiation():
+    t = JobTemplate(2.0, 0.5, 1.0, (0.0, 1.0))
+    j = t.instantiate(3.0, 1.0, 7)
+    assert (j.release, j.deadline, j.query_cost, j.work_upper, j.work_true) == (
+        3.0,
+        5.0,
+        0.5,
+        1.0,
+        1.0,
+    )
+    assert j.id == "adv-7"
+
+
+def test_default_menu_scales():
+    base = default_menu(1.0)
+    scaled = default_menu(2.0)
+    assert len(base) == len(scaled)
+    assert scaled[0].work_upper == 2 * base[0].work_upper
+
+
+def test_search_is_deterministic():
+    a = adaptive_online_search(avrq, steps=3)
+    b = adaptive_online_search(avrq, steps=3)
+    assert a.ratio == b.ratio
+    assert [j.release for j in a.instance] == [j.release for j in b.instance]
+
+
+def test_search_beats_single_job_game():
+    """Three adaptive steps already exceed the single-job worst case."""
+    res = adaptive_online_search(avrq, steps=3)
+    assert res.ratio > 4.5  # the single-job (c=1, w=2) value for CRCD/AVRQ
+    assert len(res.trace) == len(res.instance)
+
+
+def test_search_monotone_in_steps():
+    r3 = adaptive_online_search(avrq, steps=3).ratio
+    r5 = adaptive_online_search(avrq, steps=5).ratio
+    assert r5 >= r3 - 1e-9
+
+
+def test_found_instances_stay_below_paper_bound():
+    from repro.bounds.formulas import avrq_ub_energy
+
+    res = adaptive_online_search(avrq, steps=5)
+    assert res.ratio <= avrq_ub_energy(3.0) * (1 + 1e-9)
+
+
+def test_releases_non_decreasing():
+    res = adaptive_online_search(avrq, steps=5)
+    releases = [j.release for j in res.instance]
+    assert releases == sorted(releases)

@@ -1,0 +1,154 @@
+"""Query/split policies and decision records."""
+
+import math
+
+import pytest
+
+from repro.core.constants import PHI
+from repro.core.qjob import QJob
+from repro.qbss.decisions import NO_QUERY, DecisionLog, QueryDecision, equal_window
+from repro.qbss.policies import (
+    AlwaysQuery,
+    EqualWindowSplit,
+    FixedSplit,
+    NeverQuery,
+    OracleQuery,
+    OracleSplit,
+    RandomizedQuery,
+    ThresholdQuery,
+    golden_ratio_policy,
+)
+
+
+def view(c, w, wstar=0.0, r=0.0, d=1.0):
+    return QJob(r, d, c, w, wstar).view()
+
+
+class TestQueryPolicies:
+    def test_always_and_never(self):
+        v = view(0.5, 1.0)
+        assert AlwaysQuery().should_query(v)
+        assert not NeverQuery().should_query(v)
+
+    def test_golden_threshold_boundary(self):
+        # query iff c <= w / phi
+        w = 1.0
+        just_below = view(w / PHI - 1e-9, w)
+        just_above = view(w / PHI + 1e-9, w)
+        pol = golden_ratio_policy()
+        assert pol.should_query(just_below)
+        assert not pol.should_query(just_above)
+
+    def test_golden_exact_boundary_queries(self):
+        pol = golden_ratio_policy()
+        assert pol.should_query(view(1.0 / PHI, 1.0))
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdQuery(0.0)
+
+    def test_randomized_seeded_reproducible(self):
+        a = RandomizedQuery(0.5, rng=42)
+        b = RandomizedQuery(0.5, rng=42)
+        v = view(0.5, 1.0)
+        assert [a.should_query(v) for _ in range(20)] == [
+            b.should_query(v) for _ in range(20)
+        ]
+
+    def test_randomized_extremes(self):
+        v = view(0.5, 1.0)
+        assert all(RandomizedQuery(1.0, rng=0).should_query(v) for _ in range(10))
+        assert not any(RandomizedQuery(0.0, rng=0).should_query(v) for _ in range(10))
+
+    def test_randomized_rho_validated(self):
+        with pytest.raises(ValueError):
+            RandomizedQuery(1.5)
+
+    def test_oracle_query_uses_truth(self):
+        pol = OracleQuery()
+        assert pol.should_query_true(QJob(0, 1, 0.2, 1.0, 0.1))  # 0.3 < 1
+        assert not pol.should_query_true(QJob(0, 1, 0.5, 1.0, 0.9))  # 1.4 >= 1
+
+    def test_oracle_rejects_views(self):
+        with pytest.raises(TypeError):
+            OracleQuery().should_query(view(0.5, 1.0))
+
+
+class TestSplitPolicies:
+    def test_equal_window(self):
+        assert EqualWindowSplit().split_fraction(view(0.5, 1.0)) == 0.5
+
+    def test_fixed_split_validated(self):
+        with pytest.raises(ValueError):
+            FixedSplit(0.0)
+        with pytest.raises(ValueError):
+            FixedSplit(1.0)
+        assert FixedSplit(0.3).split_fraction(view(0.5, 1.0)) == 0.3
+
+    def test_proportional_split_tracks_query_share(self):
+        from repro.qbss.policies import ProportionalSplit
+
+        pol = ProportionalSplit()  # beta = 0.5
+        # c = 1, w = 4: x = 1 / (1 + 2) = 1/3
+        assert math.isclose(pol.split_fraction(view(1.0, 4.0)), 1.0 / 3.0)
+        # tiny query -> tiny phase-1 window
+        assert pol.split_fraction(view(0.01, 4.0)) < 0.01
+
+    def test_proportional_split_stays_in_unit_interval(self):
+        from repro.qbss.policies import ProportionalSplit
+
+        pol = ProportionalSplit(beta=1e-9)
+        x = pol.split_fraction(view(1.0, 1.0))
+        assert 0.0 < x < 1.0
+
+    def test_proportional_split_beta_validated(self):
+        from repro.qbss.policies import ProportionalSplit
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            ProportionalSplit(beta=0.0)
+
+    def test_oracle_split_balances_speed(self):
+        j = QJob(0, 1, 1.0, 4.0, 3.0)
+        x = OracleSplit().split_fraction_true(j)
+        # constant speed: c/x == w*/(1-x)  =>  x = c/(c+w*) = 0.25
+        assert math.isclose(x, 0.25)
+
+    def test_oracle_split_zero_true_work(self):
+        j = QJob(0, 1, 1.0, 4.0, 0.0)
+        x = OracleSplit().split_fraction_true(j)
+        assert 0.0 < x < 1.0  # capped, still a valid split
+
+    def test_oracle_split_rejects_views(self):
+        with pytest.raises(TypeError):
+            OracleSplit().split_fraction(view(0.5, 1.0))
+
+
+class TestDecisions:
+    def test_query_needs_split(self):
+        with pytest.raises(ValueError):
+            QueryDecision(True, None)
+        with pytest.raises(ValueError):
+            QueryDecision(True, 1.0)
+
+    def test_no_query_forbids_split(self):
+        with pytest.raises(ValueError):
+            QueryDecision(False, 0.5)
+
+    def test_equal_window_helper(self):
+        assert equal_window() == QueryDecision(True, 0.5)
+        assert equal_window(False) == NO_QUERY
+
+    def test_log_rejects_duplicates(self):
+        log = DecisionLog()
+        log.record("a", NO_QUERY)
+        with pytest.raises(ValueError):
+            log.record("a", NO_QUERY)
+
+    def test_log_partitions(self):
+        log = DecisionLog()
+        log.record("a", QueryDecision(True, 0.5))
+        log.record("b", NO_QUERY)
+        assert log.queried_ids() == ["a"]
+        assert log.unqueried_ids() == ["b"]
+        assert "a" in log and log["a"].query

@@ -1,0 +1,69 @@
+"""PowerFunction: the P(s) = s^alpha model."""
+
+import math
+
+import pytest
+
+from repro.core.power import PowerFunction
+
+
+def test_alpha_must_exceed_one():
+    with pytest.raises(ValueError):
+        PowerFunction(1.0)
+    with pytest.raises(ValueError):
+        PowerFunction(0.5)
+
+
+def test_power_cubic():
+    p = PowerFunction(3.0)
+    assert p.power(2.0) == 8.0
+
+
+def test_power_rejects_negative_speed():
+    with pytest.raises(ValueError):
+        PowerFunction(2.0).power(-1.0)
+
+
+def test_energy_constant_speed():
+    p = PowerFunction(2.0)
+    assert p.energy(3.0, 2.0) == 18.0
+
+
+def test_energy_rejects_negative_duration():
+    with pytest.raises(ValueError):
+        PowerFunction(2.0).energy(1.0, -1.0)
+
+
+def test_energy_for_work_constant_speed_value():
+    p = PowerFunction(3.0)
+    # 6 units in 2 time -> speed 3 -> energy 2 * 27 = 54
+    assert math.isclose(p.energy_for_work(6.0, 2.0), 54.0)
+
+
+def test_energy_for_work_zero_work():
+    assert PowerFunction(3.0).energy_for_work(0.0, 0.0) == 0.0
+
+
+def test_energy_for_work_requires_duration():
+    with pytest.raises(ValueError):
+        PowerFunction(3.0).energy_for_work(1.0, 0.0)
+
+
+def test_energy_for_work_convexity():
+    """Splitting work unevenly across two halves costs more than evenly."""
+    p = PowerFunction(2.5)
+    even = 2 * p.energy_for_work(1.0, 1.0)
+    uneven = p.energy_for_work(1.5, 1.0) + p.energy_for_work(0.5, 1.0)
+    assert even < uneven
+
+
+def test_speed_for_energy_roundtrip():
+    p = PowerFunction(3.0)
+    s = p.speed_for_energy(54.0, 2.0)
+    assert math.isclose(p.energy(s, 2.0), 54.0)
+
+
+def test_higher_alpha_penalises_speed_more():
+    e2 = PowerFunction(2.0).energy(3.0, 1.0)
+    e3 = PowerFunction(3.0).energy(3.0, 1.0)
+    assert e3 > e2

@@ -1,0 +1,108 @@
+"""Property-based tests for the YDS timeline compressor.
+
+The compressed-coordinate machinery is the subtlest part of YDS; these
+properties pin the invariants docs/design_notes.md documents.
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.speed_scaling.yds import TimelineCompressor
+
+
+@st.composite
+def cut_lists(draw, max_cuts=4):
+    """Disjoint, sorted cut intervals inside [0, 20]."""
+    n = draw(st.integers(min_value=0, max_value=max_cuts))
+    cuts = []
+    t = 0.0
+    for _ in range(n):
+        gap = draw(st.floats(min_value=0.1, max_value=3.0))
+        length = draw(st.floats(min_value=0.1, max_value=3.0))
+        cuts.append((t + gap, t + gap + length))
+        t = t + gap + length
+    return cuts
+
+
+@given(cut_lists(), st.floats(min_value=0.0, max_value=40.0))
+def test_compress_monotone(cuts, t):
+    c = TimelineCompressor(0.0)
+    c.cut(cuts)
+    t2 = t + 1.0
+    assert c.compress(t) <= c.compress(t2) + 1e-12
+
+
+@given(cut_lists(), st.floats(min_value=0.0, max_value=40.0))
+def test_compress_bounded_by_identity(cuts, t):
+    c = TimelineCompressor(0.0)
+    c.cut(cuts)
+    assert c.compress(t) <= t + 1e-12
+
+
+@given(cut_lists())
+def test_compress_constant_inside_cuts(cuts):
+    c = TimelineCompressor(0.0)
+    c.cut(cuts)
+    for a, b in cuts:
+        assert math.isclose(c.compress(a), c.compress(b), abs_tol=1e-12)
+        mid = 0.5 * (a + b)
+        assert math.isclose(c.compress(mid), c.compress(a), abs_tol=1e-12)
+
+
+@given(
+    cut_lists(),
+    st.floats(min_value=0.0, max_value=15.0),
+    st.floats(min_value=0.05, max_value=10.0),
+)
+def test_expand_measure_preserved(cuts, c1, length):
+    """The original image of a compressed interval has the same measure."""
+    c = TimelineCompressor(0.0)
+    c.cut(cuts)
+    total_uncut = 40.0 - sum(b - a for a, b in cuts)
+    assume(c1 + length <= total_uncut)
+    pieces = c.expand_interval(c1, c1 + length)
+    assert math.isclose(
+        sum(b - a for a, b in pieces), length, rel_tol=1e-9, abs_tol=1e-9
+    )
+
+
+@given(
+    cut_lists(),
+    st.floats(min_value=0.0, max_value=15.0),
+    st.floats(min_value=0.05, max_value=10.0),
+)
+def test_expand_avoids_cuts(cuts, c1, length):
+    c = TimelineCompressor(0.0)
+    c.cut(cuts)
+    for lo, hi in c.expand_interval(c1, c1 + length):
+        mid = 0.5 * (lo + hi)
+        for a, b in cuts:
+            assert not (a + 1e-12 < mid < b - 1e-12)
+
+
+@given(
+    cut_lists(),
+    st.floats(min_value=0.0, max_value=15.0),
+    st.floats(min_value=0.05, max_value=10.0),
+)
+def test_expand_compress_roundtrip(cuts, c1, length):
+    """Compressing any point of the expanded image lands back inside."""
+    c = TimelineCompressor(0.0)
+    c.cut(cuts)
+    for lo, hi in c.expand_interval(c1, c1 + length):
+        mid = 0.5 * (lo + hi)
+        comp = c.compress(mid)
+        assert c1 - 1e-9 <= comp <= c1 + length + 1e-9
+
+
+@given(cut_lists(), cut_lists())
+def test_cut_merging_keeps_disjoint_sorted(cuts_a, cuts_b):
+    c = TimelineCompressor(0.0)
+    c.cut(cuts_a)
+    c.cut(cuts_b)
+    merged = c.cuts
+    for (a1, b1), (a2, b2) in zip(merged, merged[1:]):
+        assert b1 < a2 + 1e-12
+        assert a1 < b1 and a2 < b2

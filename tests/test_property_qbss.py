@@ -1,0 +1,178 @@
+"""Second property-based suite: QBSS-level invariants.
+
+Where ``test_property_based.py`` covers the substrate, this suite covers
+the QBSS layer: CRCD's structure, the online derivation, the adversary
+game's internal consistency, serialization round-trips, McNaughton safety
+and the non-migratory pinning invariant.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import io as rio
+from repro.bounds.adversary import algorithm_value, game_value, optimal_value
+from repro.core.constants import PHI
+from repro.core.instance import QBSSInstance
+from repro.core.power import PowerFunction
+from repro.core.qjob import QJob
+from repro.qbss.crcd import crcd
+from repro.qbss.policies import AlwaysQuery, EqualWindowSplit
+from repro.qbss.transform import derive_online
+
+
+@st.composite
+def qjob_batches(draw, max_jobs=5, common_window=False):
+    n = draw(st.integers(min_value=1, max_value=max_jobs))
+    jobs = []
+    for i in range(n):
+        if common_window:
+            r, d = 0.0, 8.0
+        else:
+            r = draw(st.floats(min_value=0.0, max_value=6.0))
+            d = r + draw(st.floats(min_value=0.5, max_value=6.0))
+        w = draw(st.floats(min_value=0.1, max_value=10.0))
+        c = draw(st.floats(min_value=0.01, max_value=1.0)) * w
+        wstar = draw(st.floats(min_value=0.0, max_value=1.0)) * w
+        jobs.append(QJob(r, d, c, w, min(wstar, w), f"pq{i}"))
+    return QBSSInstance(jobs)
+
+
+# -- CRCD invariants ----------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(qjob_batches(common_window=True))
+def test_crcd_profile_has_at_most_two_speeds(qi):
+    result = crcd(qi)
+    speeds = {round(seg.speed, 9) for seg in result.profile}
+    assert len(speeds) <= 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(qjob_batches(common_window=True))
+def test_crcd_schedule_always_feasible(qi):
+    result = crcd(qi)
+    report = result.validate()
+    assert report.ok, report.violations
+
+
+@settings(max_examples=40, deadline=None)
+@given(qjob_batches(common_window=True))
+def test_crcd_total_work_is_golden_selection(qi):
+    """Executed load per job is w (A-set) or c + w* (B-set), never mixed."""
+    result = crcd(qi)
+    for qjob in qi:
+        executed = result.executed_load(qjob.id)
+        if qjob.query_cost <= qjob.work_upper / PHI:
+            expected = qjob.query_cost + qjob.work_true
+        else:
+            expected = qjob.work_upper
+        assert math.isclose(executed, expected, rel_tol=1e-6, abs_tol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(qjob_batches(common_window=True), st.floats(min_value=1.5, max_value=3.5))
+def test_crcd_within_paper_bound(qi, alpha):
+    from repro.bounds.formulas import crcd_ub_energy
+    from repro.qbss.clairvoyant import clairvoyant
+
+    result = crcd(qi)
+    opt = clairvoyant(qi, alpha).energy_value
+    if opt > 1e-12:
+        ratio = result.energy(PowerFunction(alpha)) / opt
+        assert ratio <= crcd_ub_energy(alpha) * (1 + 1e-6)
+
+
+# -- online derivation invariants ------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(qjob_batches())
+def test_derivation_work_identity(qi):
+    """Derived total work == sum over jobs of (c + w*) when all queried."""
+    derived = derive_online(qi, AlwaysQuery(), EqualWindowSplit())
+    total = sum(j.work for j in derived.jobs)
+    expected = sum(j.query_cost + j.work_true for j in qi)
+    assert math.isclose(total, expected, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(qjob_batches())
+def test_derivation_windows_partition_original(qi):
+    derived = derive_online(qi, AlwaysQuery(), EqualWindowSplit())
+    by_src = {}
+    for job in derived.jobs:
+        by_src.setdefault(job.id.rsplit(":", 1)[0], []).append(job)
+    for qjob in qi:
+        parts = sorted(by_src[qjob.id], key=lambda j: j.release)
+        assert len(parts) == 2
+        q, w = parts
+        assert math.isclose(q.release, qjob.release)
+        assert math.isclose(q.deadline, qjob.midpoint)
+        assert math.isclose(w.release, qjob.midpoint)
+        assert math.isclose(w.deadline, qjob.deadline)
+
+
+@settings(max_examples=40, deadline=None)
+@given(qjob_batches())
+def test_reveal_audit_trail_complete(qi):
+    derived = derive_online(qi, AlwaysQuery(), EqualWindowSplit())
+    for view in derived.views:
+        assert view.queried
+        assert math.isclose(view.revealed_at, view.midpoint)
+
+
+# -- adversary game consistency ---------------------------------------------------------
+
+
+@given(
+    st.floats(min_value=0.05, max_value=1.0),
+    st.floats(min_value=1.0, max_value=4.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=1.5, max_value=3.5),
+)
+def test_adversary_values_dominate_optimum(c_frac, w, wstar_frac, alpha):
+    """Any decision's value is at least the clairvoyant's on every w*."""
+    c = c_frac * w
+    wstar = wstar_frac * w
+    opt = optimal_value(c, w, wstar, alpha, "energy")
+    no_query = algorithm_value(False, None, c, w, wstar, alpha, "energy")
+    query_half = algorithm_value(True, 0.5, c, w, wstar, alpha, "energy")
+    assert no_query >= opt - 1e-9 * max(1.0, opt)
+    assert query_half >= opt - 1e-9 * max(1.0, opt)
+
+
+@given(
+    st.floats(min_value=0.05, max_value=1.0),
+    st.floats(min_value=1.0, max_value=4.0),
+    st.floats(min_value=1.5, max_value=3.5),
+)
+def test_game_value_at_least_one(c_frac, w, alpha):
+    c = c_frac * w
+    for query, x in ((False, None), (True, 0.3), (True, 0.5)):
+        value, _ = game_value(query, x, c, w, alpha, "energy")
+        assert value >= 1.0 - 1e-9
+
+
+# -- serialization round-trip ------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(qjob_batches())
+def test_io_roundtrip_property(qi):
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as d:
+        path = Path(d) / "inst.json"
+        rio.save(qi, path)
+        loaded = rio.load(path)
+    assert len(loaded) == len(qi)
+    for a, b in zip(loaded.jobs, qi.jobs):
+        assert a.release == b.release
+        assert a.deadline == b.deadline
+        assert a.query_cost == b.query_cost
+        assert a.work_upper == b.work_upper
+        assert a.work_true == b.work_true

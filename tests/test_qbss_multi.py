@@ -1,0 +1,70 @@
+"""AVRQ(m): Theorem 6.3's per-machine bound and Corollary 6.4."""
+
+import math
+
+import pytest
+
+from repro.bounds.formulas import avrq_m_ub_energy
+from repro.core.power import PowerFunction
+from repro.qbss.clairvoyant import clairvoyant
+from repro.qbss.multi import avrq_m
+from repro.speed_scaling.multi.avr_m import avr_m
+from repro.workloads.generators import multi_machine_instance, online_instance
+
+
+@pytest.mark.parametrize("m", [2, 4])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_schedule_feasible(m, seed):
+    qi = multi_machine_instance(10, m, seed=seed)
+    result = avrq_m(qi)
+    report = result.validate()
+    assert report.ok, report.violations
+
+
+@pytest.mark.parametrize("m", [2, 3])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_theorem_63_per_machine_pointwise(m, seed):
+    """s_i^{AVRQ(m)}(t) <= 2 s_i^{AVR*(m)}(t) for every machine i and time t."""
+    qi = multi_machine_instance(8, m, seed=seed)
+    result = avrq_m(qi)
+    star = avr_m([j.clairvoyant_job() for j in qi], m)
+    pts = set()
+    for p in result.profiles + star.profiles:
+        pts.update(p.breakpoints())
+    pts = sorted(pts)
+    for i in range(m):
+        for a, b in zip(pts, pts[1:]):
+            mid = 0.5 * (a + b)
+            assert result.profiles[i].speed_at(mid) <= 2.0 * star.profiles[
+                i
+            ].speed_at(mid) + 1e-9
+
+
+@pytest.mark.parametrize("m", [2, 4])
+def test_corollary_64_energy_vs_exact_optimum(m):
+    """Small instance so the convex optimum is computable exactly."""
+    qi = multi_machine_instance(5, m, seed=7)
+    result = avrq_m(qi)
+    opt = clairvoyant(qi, 3.0, exact_multi=True).energy_value
+    assert result.energy(PowerFunction(3.0)) <= avrq_m_ub_energy(3.0) * opt * (
+        1 + 1e-6
+    )
+
+
+def test_m1_matches_avrq():
+    from repro.qbss.avrq import avrq
+
+    qi = online_instance(8, seed=2)
+    p = PowerFunction(3.0)
+    assert math.isclose(avrq_m(qi).energy(p), avrq(qi).energy(p), rel_tol=1e-9)
+
+
+def test_queries_all_jobs():
+    qi = multi_machine_instance(6, 2, seed=1)
+    result = avrq_m(qi)
+    assert all(d.query for d in result.decisions.decisions.values())
+
+
+def test_algorithm_name_includes_machines():
+    qi = multi_machine_instance(4, 3, seed=0)
+    assert avrq_m(qi).algorithm == "AVRQ(3)"

@@ -1,0 +1,111 @@
+"""QJob and the information-hiding view protocol."""
+
+import math
+
+import pytest
+
+from repro.core.qjob import QJob, QueryNotCompleted
+
+
+class TestValidation:
+    def test_query_cost_bounds(self):
+        with pytest.raises(ValueError):
+            QJob(0, 1, 0.0, 1.0, 0.5)  # c must be > 0
+        with pytest.raises(ValueError):
+            QJob(0, 1, 1.5, 1.0, 0.5)  # c must be <= w
+
+    def test_true_work_bounds(self):
+        with pytest.raises(ValueError):
+            QJob(0, 1, 0.5, 1.0, 1.5)  # w* <= w
+        with pytest.raises(ValueError):
+            QJob(0, 1, 0.5, 1.0, -0.1)
+
+    def test_window_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            QJob(1, 1, 0.5, 1.0, 0.5)
+
+    def test_boundary_values_allowed(self):
+        QJob(0, 1, 1.0, 1.0, 1.0)  # c == w, w* == w
+        QJob(0, 1, 0.5, 1.0, 0.0)  # w* == 0
+
+
+class TestDerived:
+    def test_optimal_load_query_wins(self, qjob):
+        # c=0.5, w=3, w*=1 -> p* = min(3, 1.5) = 1.5
+        assert qjob.optimal_load == 1.5
+        assert qjob.query_worthwhile
+
+    def test_optimal_load_skip_wins(self):
+        j = QJob(0, 1, 0.9, 1.0, 0.8)
+        assert j.optimal_load == 1.0
+        assert not j.query_worthwhile
+
+    def test_midpoint(self, qjob):
+        assert qjob.midpoint == 2.0
+
+    def test_split_point(self, qjob):
+        assert math.isclose(qjob.split_point(0.25), 1.0)
+        with pytest.raises(ValueError):
+            qjob.split_point(0.0)
+        with pytest.raises(ValueError):
+            qjob.split_point(1.0)
+
+    def test_query_and_revealed_jobs(self, qjob):
+        q = qjob.query_job(0.5)
+        w = qjob.revealed_job(0.5)
+        assert (q.release, q.deadline, q.work) == (0.0, 2.0, 0.5)
+        assert (w.release, w.deadline, w.work) == (2.0, 4.0, 1.0)
+        assert q.id.endswith(":query")
+        assert w.id.endswith(":work")
+
+    def test_clairvoyant_job(self, qjob):
+        c = qjob.clairvoyant_job()
+        assert (c.release, c.deadline, c.work) == (0.0, 4.0, 1.5)
+
+    def test_upper_bound_job(self, qjob):
+        u = qjob.as_upper_bound_job()
+        assert u.work == 3.0
+
+
+class TestViewProtocol:
+    def test_view_exposes_known_attributes(self, qjob):
+        v = qjob.view()
+        assert v.release == 0.0
+        assert v.deadline == 4.0
+        assert v.query_cost == 0.5
+        assert v.work_upper == 3.0
+
+    def test_view_hides_true_work(self, qjob):
+        v = qjob.view()
+        assert not hasattr(v, "work_true")
+
+    def test_reveal_returns_true_work_and_records_time(self, qjob):
+        v = qjob.view()
+        assert not v.queried
+        assert v.reveal(2.0) == 1.0
+        assert v.queried
+        assert v.revealed_at == 2.0
+
+    def test_reveal_idempotent_at_later_time(self, qjob):
+        v = qjob.view()
+        v.reveal(2.0)
+        assert v.reveal(3.0) == 1.0
+        assert v.revealed_at == 2.0  # first stamp wins
+
+    def test_reveal_cannot_move_earlier(self, qjob):
+        v = qjob.view()
+        v.reveal(2.0)
+        with pytest.raises(QueryNotCompleted):
+            v.reveal(1.0)
+
+    def test_reveal_rejects_times_outside_window(self, qjob):
+        v = qjob.view()
+        with pytest.raises(QueryNotCompleted):
+            v.reveal(0.0)  # at/before release
+        with pytest.raises(QueryNotCompleted):
+            v.reveal(5.0)  # after deadline
+
+    def test_views_are_independent(self, qjob):
+        v1, v2 = qjob.view(), qjob.view()
+        v1.reveal(2.0)
+        assert not v2.queried

@@ -1,0 +1,84 @@
+"""The Lemma 4.4 randomized single-job game."""
+
+import math
+
+import pytest
+
+from repro.core.constants import PHI
+from repro.qbss.randomized import (
+    LEMMA44_MAX_SPEED_BOUND,
+    best_rho,
+    branch_values,
+    expected_ratio,
+    lemma44_energy_bound,
+    randomized_lower_bound,
+    solve_game,
+    worst_case_ratio,
+)
+
+
+def test_branch_values_energy():
+    q, nq, opt = branch_values(1.0, 2.0, 0.5, 3.0, "energy")
+    assert math.isclose(q, 1.5**3)
+    assert math.isclose(nq, 8.0)
+    assert math.isclose(opt, 1.5**3)
+
+
+def test_branch_values_validation():
+    with pytest.raises(ValueError):
+        branch_values(0.0, 1.0, 0.5, 2.0, "energy")
+    with pytest.raises(ValueError):
+        branch_values(0.5, 1.0, 1.5, 2.0, "energy")
+
+
+def test_expected_ratio_extremes():
+    # rho = 1: pure querying; adversary w* = w makes it (c+w)/w
+    r = expected_ratio(1.0, 1.0, 2.0, 2.0, 1.0 + 1e-9, "max_speed")
+    assert math.isclose(r, 1.5, rel_tol=1e-6)
+    # rho = 0: pure skipping; adversary w* = 0 makes it w/c
+    r0 = expected_ratio(0.0, 1.0, 2.0, 0.0, 2.0, "max_speed")
+    assert math.isclose(r0, 2.0)
+
+
+def test_worst_case_at_extremes():
+    """The adversary's optimum is at w* = 0 or w* = w."""
+    for rho in (0.0, 0.3, 0.7, 1.0):
+        worst = worst_case_ratio(rho, 1.0, 2.0, 3.0, "energy")
+        at_zero = expected_ratio(rho, 1.0, 2.0, 0.0, 3.0, "energy")
+        at_w = expected_ratio(rho, 1.0, 2.0, 2.0, 3.0, "energy")
+        assert math.isclose(worst, max(at_zero, at_w), rel_tol=1e-6)
+
+
+def test_best_rho_beats_pure_strategies():
+    rho, value = best_rho(1.0, 2.0, 3.0, "max_speed")
+    assert 0.0 < rho < 1.0
+    assert value <= worst_case_ratio(0.0, 1.0, 2.0, 3.0, "max_speed") + 1e-9
+    assert value <= worst_case_ratio(1.0, 1.0, 2.0, 3.0, "max_speed") + 1e-9
+
+
+def test_max_speed_game_matches_lemma():
+    """Game value 4/3 at theta = 2 with rho = 2/3."""
+    theta, value = randomized_lower_bound(3.0, "max_speed")
+    assert math.isclose(theta, 2.0, abs_tol=1e-3)
+    assert math.isclose(value, 4.0 / 3.0, rel_tol=1e-6)
+
+
+@pytest.mark.parametrize("alpha", [2.0, 3.0])
+def test_energy_game_at_least_claimed(alpha):
+    _, value = randomized_lower_bound(alpha, "energy")
+    assert value >= lemma44_energy_bound(alpha) - 1e-6
+
+
+def test_energy_value_at_phi_equals_claim():
+    """At theta = phi the equalized value is exactly (1 + phi^a)/2."""
+    alpha = 3.0
+    _, value = best_rho(1.0, PHI, alpha, "energy")
+    assert math.isclose(value, 0.5 * (1 + PHI**alpha), rel_tol=1e-6)
+
+
+def test_solve_game_reports():
+    sol = solve_game(3.0, "max_speed")
+    assert sol.claimed == LEMMA44_MAX_SPEED_BOUND
+    assert sol.value >= sol.claimed - 1e-9
+    sol_e = solve_game(2.0, "energy")
+    assert sol_e.claimed == lemma44_energy_bound(2.0)

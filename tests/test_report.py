@@ -1,0 +1,49 @@
+"""Markdown report generation and the --markdown CLI path."""
+
+import pytest
+
+from repro.analysis.experiments import ExperimentReport, experiment_rho
+from repro.analysis.report import generate_markdown, report_to_markdown
+from repro.cli import main
+
+
+def test_report_to_markdown_structure():
+    report = ExperimentReport(
+        id="X",
+        title="demo",
+        headers=["a", "b"],
+        rows=[[1.0, "x"], [None, True]],
+        notes=["a note"],
+    )
+    md = report_to_markdown(report)
+    lines = md.split("\n")
+    assert lines[0] == "## X — demo"
+    assert "| a | b |" in md
+    assert "| 1.000 | x |" in md
+    assert "| -- | yes |" in md
+    assert "*a note*" in md
+
+
+def test_generate_markdown_selected():
+    md = generate_markdown(["rho"])
+    assert md.startswith("# QBSS reproduction report")
+    assert "## RHO" in md
+    # the rho table's paper values appear
+    assert "16.944" in md
+
+
+def test_generate_markdown_unknown_rejected():
+    with pytest.raises(KeyError):
+        generate_markdown(["no-such-experiment"])
+
+
+def test_generate_markdown_overrides():
+    md = generate_markdown(["lemma42"], overrides={"lemma42": {"alpha": 2.0}})
+    assert "alpha=2.0" in md
+
+
+def test_cli_markdown_flag(capsys):
+    assert main(["rho", "--markdown"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("# QBSS reproduction report")
+    assert "## RHO" in out

@@ -1,0 +1,156 @@
+"""Edge cases across the QBSS result type, CRP2D classes, CLI plumbing."""
+
+import math
+
+import pytest
+
+from repro.core.instance import QBSSInstance
+from repro.core.power import PowerFunction
+from repro.core.qjob import QJob
+from repro.qbss.crp2d import crp2d
+from repro.qbss.result import QBSSResult
+from repro.workloads.generators import multi_machine_instance, online_instance
+
+
+class TestQBSSResult:
+    def test_profile_property_raises_on_multi(self):
+        from repro.qbss.multi import avrq_m
+
+        qi = multi_machine_instance(4, 2, seed=0)
+        result = avrq_m(qi)
+        with pytest.raises(ValueError):
+            _ = result.profile
+        assert len(result.profiles) == 2
+
+    def test_executed_load_ignores_other_jobs(self):
+        from repro.qbss.avrq import avrq
+
+        qi = online_instance(5, seed=0)
+        result = avrq(qi)
+        total = sum(result.executed_load(j.id) for j in qi)
+        expected = sum(j.query_cost + j.work_true for j in qi)
+        assert math.isclose(total, expected, rel_tol=1e-6)
+
+    def test_energy_zero_for_empty(self):
+        from repro.core.instance import Instance
+        from repro.core.schedule import Schedule
+        from repro.core.profile import SpeedProfile
+        from repro.qbss.decisions import DecisionLog
+
+        res = QBSSResult(
+            Schedule(1), [SpeedProfile()], Instance([]), DecisionLog(),
+            QBSSInstance([]), "x",
+        )
+        assert res.energy(PowerFunction(2.0)) == 0.0
+        assert res.max_speed() == 0.0
+
+
+class TestCRP2DClasses:
+    def test_all_unqueried_reduces_to_yds(self):
+        """Pure A-set instance: CRP2D == YDS on the upper bounds."""
+        from repro.speed_scaling.yds import optimal_energy
+
+        jobs = [
+            QJob(0, 4, 3.9, 4.0, 1.0, "a"),  # c > w/phi
+            QJob(0, 2, 1.9, 2.0, 0.5, "b"),
+        ]
+        qi = QBSSInstance(jobs)
+        result = crp2d(qi)
+        assert not any(d.query for d in result.decisions.decisions.values())
+        e = result.energy(PowerFunction(3.0))
+        e_yds = optimal_energy(
+            [j.as_upper_bound_job() for j in jobs], 3.0
+        )
+        assert math.isclose(e, e_yds, rel_tol=1e-9)
+
+    def test_all_queried_single_class(self):
+        jobs = [QJob(0, 4, 0.2, 4.0, 1.0, "a"), QJob(0, 4, 0.3, 3.0, 0.0, "b")]
+        result = crp2d(QBSSInstance(jobs))
+        assert all(d.query for d in result.decisions.decisions.values())
+        assert result.validate().ok
+
+    def test_fractional_power_of_two_deadlines(self):
+        jobs = [QJob(0, 0.5, 0.1, 1.0, 0.4, "a"), QJob(0, 2.0, 0.2, 2.0, 0.1, "b")]
+        result = crp2d(QBSSInstance(jobs))
+        assert result.validate().ok
+        # the 0.5-deadline job's query finishes by 0.25
+        assert result.schedule.completion_time("a:query") <= 0.25 + 1e-9
+
+    def test_many_deadline_classes_additions_disjoint(self):
+        jobs = [
+            QJob(0, 2.0**k, 0.1, 1.0, 0.5, f"c{k}") for k in range(4)
+        ]
+        result = crp2d(QBSSInstance(jobs))
+        assert result.validate().ok
+        # revealed load of class 2^k is scheduled within (2^{k-1}, 2^k]
+        for k in range(4):
+            for s in result.schedule.slices():
+                if s.job_id == f"c{k}:work":
+                    assert s.start >= 2.0**k / 2 - 1e-9
+                    assert s.end <= 2.0**k + 1e-9
+
+
+class TestCLIPlumbing:
+    def test_n_and_seeds_forwarded(self, capsys):
+        from repro.cli import main
+
+        assert main(["online", "--n", "6", "--seeds", "2", "--alpha", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "n=6" in out
+        assert "alpha=2.0" in out
+
+    def test_irrelevant_kwargs_not_forwarded(self, capsys):
+        from repro.cli import main
+
+        # rho takes no alpha/n/seeds; flags must be ignored gracefully
+        assert main(["rho", "--alpha", "2.0", "--n", "5", "--seeds", "3"]) == 0
+        assert "[RHO]" in capsys.readouterr().out
+
+
+class TestVizEdges:
+    def test_skyline_invalid_range(self):
+        from repro.core.profile import SpeedProfile
+        from repro.viz import profile_skyline
+
+        prof = SpeedProfile.constant(0, 1, 1.0)
+        with pytest.raises(ValueError):
+            profile_skyline(prof, start=2.0, end=1.0)
+
+    def test_gantt_symbol_override(self):
+        from repro.core.schedule import Schedule
+        from repro.viz import gantt
+
+        s = Schedule(1)
+        s.add(0, 1, 1.0, "job-x")
+        out = gantt(s, width=4, job_symbols={"job-x": "X"})
+        assert "X" in out.split("\n")[0]
+
+    def test_profile_chart_all_empty(self):
+        from repro.core.profile import SpeedProfile
+        from repro.viz import profile_chart
+
+        assert profile_chart([SpeedProfile()]) == "(all profiles empty)"
+
+
+class TestAllocationEdges:
+    def test_more_machines_than_jobs(self):
+        from repro.speed_scaling.multi.allocation import allocate_slot
+
+        alloc = allocate_slot([2.0, 1.0], 5)
+        # both become big (own machines), remaining machines idle
+        assert len(alloc.big) == 2
+        assert alloc.small_indices == ()
+        assert alloc.machine_speeds[2:] == (0.0, 0.0, 0.0)
+
+    def test_empty_slot(self):
+        from repro.speed_scaling.multi.allocation import allocate_slot
+
+        alloc = allocate_slot([], 3)
+        assert alloc.machine_speeds == (0.0, 0.0, 0.0)
+
+    def test_oa_m_empty(self):
+        from repro.speed_scaling.multi.oa_m import oa_m
+
+        result = oa_m([], 2, 3.0)
+        assert result.feasible
+        assert result.energy(PowerFunction(3.0)) == 0.0

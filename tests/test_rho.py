@@ -1,0 +1,80 @@
+"""The Sec. 4.2 rho ratios."""
+
+import math
+
+import pytest
+
+from repro.bounds import rho
+
+
+def test_rho1_rho2_closed_forms():
+    phi = (1 + 5**0.5) / 2
+    assert math.isclose(rho.rho2(3.0), 8.0)
+    assert math.isclose(rho.rho1(2.0), 2.0 * phi**2)
+
+
+def test_f1_decreasing_f2_limits():
+    a = 2.5
+    assert rho.f1(1.0, a) > rho.f1(2.0, a) > rho.f1(10.0, a)
+    # f1 tends to 2^{a-1}
+    assert math.isclose(rho.f1(1e9, a), 2 ** (a - 1), rel_tol=1e-6)
+    # f2 tends to rho1
+    assert math.isclose(rho.f2(1e9, a), rho.rho1(a), rel_tol=1e-3)
+
+
+def test_rho3_requires_alpha_ge_2():
+    with pytest.raises(ValueError):
+        rho.rho3(1.5)
+
+
+@pytest.mark.parametrize(
+    "alpha,paper",
+    list(zip(rho.PAPER_ALPHA_GRID[3:], rho.PAPER_RHO3[3:])),
+)
+def test_rho3_matches_paper(alpha, paper):
+    assert abs(rho.rho3(alpha) - paper) <= 0.015 * paper
+
+
+@pytest.mark.parametrize(
+    "alpha,paper", list(zip(rho.PAPER_ALPHA_GRID, rho.PAPER_RHO1))
+)
+def test_rho1_matches_paper(alpha, paper):
+    assert abs(rho.rho1(alpha) - paper) <= 0.015 * paper
+
+
+@pytest.mark.parametrize(
+    "alpha,paper", list(zip(rho.PAPER_ALPHA_GRID, rho.PAPER_RHO2))
+)
+def test_rho2_matches_paper(alpha, paper):
+    assert abs(rho.rho2(alpha) - paper) <= 0.015 * paper
+
+
+def test_rho3_never_exceeds_rho1_or_rho2():
+    for a in (2.0, 2.25, 2.5, 3.0, 4.0):
+        r3 = rho.rho3(a)
+        assert r3 <= rho.rho1(a) + 1e-9
+        assert r3 <= rho.rho2(a) + 1e-9
+
+
+def test_regimes_match_paper_claims():
+    assert rho.best_regime(1.3) == "rho1"
+    assert rho.best_regime(1.7) == "rho2"
+    assert rho.best_regime(2.25) == "rho3"
+    # the paper's 1.44 crossover between rho1 and rho2
+    assert rho.rho1(1.43) < rho.rho2(1.43)
+    assert rho.rho1(1.45) > rho.rho2(1.45)
+
+
+def test_best_ratio_is_min():
+    for a in (1.25, 1.75, 2.5):
+        candidates = [rho.rho1(a), rho.rho2(a)]
+        if a >= 2:
+            candidates.append(rho.rho3(a))
+        assert math.isclose(rho.best_ratio(a), min(candidates))
+
+
+def test_rho_table_shape():
+    rows = rho.rho_table()
+    assert len(rows) == len(rho.PAPER_ALPHA_GRID)
+    assert rows[0].rho3 is None
+    assert rows[-1].rho3 is not None

@@ -1,0 +1,120 @@
+"""Schedule and Slice containers."""
+
+import math
+
+import pytest
+
+from repro.core.power import PowerFunction
+from repro.core.schedule import Schedule, Slice, merge_schedules
+
+
+def test_slice_validation():
+    with pytest.raises(ValueError):
+        Slice(1.0, 1.0, 1.0, "x")
+    with pytest.raises(ValueError):
+        Slice(0.0, 1.0, -1.0, "x")
+
+
+def test_add_and_sorted_slices():
+    s = Schedule(1)
+    s.add(2.0, 3.0, 1.0, "b")
+    s.add(0.0, 1.0, 2.0, "a")
+    assert [sl.job_id for sl in s.slices()] == ["a", "b"]
+
+
+def test_zero_speed_slices_dropped():
+    s = Schedule(1)
+    s.add(0.0, 1.0, 0.0, "a")
+    assert s.slices() == []
+
+
+def test_machine_bounds_checked():
+    s = Schedule(2)
+    with pytest.raises(ValueError):
+        s.add(0, 1, 1, "a", machine=2)
+
+
+def test_work_of_accumulates_across_machines():
+    s = Schedule(2)
+    s.add(0, 1, 2.0, "a", 0)
+    s.add(2, 3, 1.0, "a", 1)
+    assert s.work_of("a") == 3.0
+    assert s.work_of("missing") == 0.0
+
+
+def test_work_by_job():
+    s = Schedule(1)
+    s.add(0, 1, 1.0, "a")
+    s.add(1, 2, 2.0, "b")
+    assert s.work_by_job() == {"a": 1.0, "b": 2.0}
+
+
+def test_completion_time():
+    s = Schedule(1)
+    s.add(0, 1, 1.0, "a")
+    s.add(3, 4, 1.0, "a")
+    assert s.completion_time("a") == 4.0
+    assert s.completion_time("zzz") == float("-inf")
+
+
+def test_energy_and_max_speed(power3):
+    s = Schedule(2)
+    s.add(0, 1, 2.0, "a", 0)
+    s.add(0, 2, 1.0, "b", 1)
+    assert math.isclose(s.energy(power3), 8.0 + 2.0)
+    assert s.max_speed() == 2.0
+
+
+def test_machine_profile():
+    s = Schedule(2)
+    s.add(0, 1, 2.0, "a", 0)
+    s.add(1, 2, 2.0, "b", 0)
+    prof = s.machine_profile(0)
+    assert prof.total_work() == 4.0
+    assert len(prof) == 1  # merged equal-speed adjacency
+
+
+def test_span():
+    s = Schedule(1)
+    assert s.span() == (0.0, 0.0)
+    s.add(1, 2, 1.0, "a")
+    s.add(4, 5, 1.0, "b")
+    assert s.span() == (1.0, 5.0)
+
+
+def test_merge_schedules():
+    a = Schedule(1)
+    a.add(0, 1, 1.0, "x")
+    b = Schedule(2)
+    b.add(1, 2, 2.0, "y", 1)
+    merged = merge_schedules([a, b])
+    assert merged.machines == 2
+    assert merged.work_of("x") == 1.0
+    assert merged.work_of("y") == 2.0
+
+
+def test_merge_empty():
+    assert merge_schedules([]).machines == 1
+
+
+def test_busy_time_and_utilization():
+    s = Schedule(2)
+    s.add(0, 1, 1.0, "a", 0)
+    s.add(2, 3, 1.0, "b", 0)
+    s.add(0, 4, 1.0, "c", 1)
+    assert s.busy_time(0) == 2.0
+    assert s.busy_time(1) == 4.0
+    # span is [0, 4]
+    assert s.utilization(0) == 0.5
+    assert s.utilization(1) == 1.0
+    assert s.utilization(0, horizon=(0.0, 8.0)) == 0.25
+
+
+def test_busy_time_bounds_checked():
+    s = Schedule(1)
+    with pytest.raises(ValueError):
+        s.busy_time(1)
+
+
+def test_utilization_empty_schedule():
+    assert Schedule(1).utilization(0) == 0.0

@@ -1,0 +1,65 @@
+"""Event-driven replay vs batch construction (information faithfulness)."""
+
+import pytest
+
+from repro.core.instance import QBSSInstance
+from repro.core.qjob import QJob
+from repro.qbss.simulation import incremental_profile, verify_causality
+from repro.workloads.generators import online_instance
+from repro.workloads.scenarios import code_optimizer_scenario
+
+
+@pytest.mark.parametrize("algorithm", ["avrq", "bkpq"])
+@pytest.mark.parametrize("seed", range(5))
+def test_replay_matches_batch(algorithm, seed):
+    qi = online_instance(10, seed=seed)
+    assert verify_causality(qi, algorithm)
+
+
+@pytest.mark.parametrize("algorithm", ["avrq", "bkpq"])
+def test_replay_matches_batch_on_scenario(algorithm):
+    qi = code_optimizer_scenario(12, seed=3)
+    assert verify_causality(qi, algorithm)
+
+
+def test_unknown_algorithm_rejected():
+    qi = online_instance(3, seed=0)
+    with pytest.raises(ValueError):
+        incremental_profile(qi, "nope")
+
+
+def test_steps_expose_knowledge_growth():
+    qi = QBSSInstance(
+        [
+            QJob(0.0, 4.0, 0.5, 2.0, 1.0, "first"),
+            QJob(1.0, 5.0, 0.5, 2.0, 0.5, "second"),
+        ]
+    )
+    replay = incremental_profile(qi, "avrq")
+    # before t=1 only the first job's query is known
+    step0 = replay.steps[0]
+    assert step0.known_jobs == ["first:query"]
+    # knowledge only grows
+    for a, b in zip(replay.steps, replay.steps[1:]):
+        assert set(a.known_jobs) <= set(b.known_jobs)
+    # the revealed loads appear exactly at the midpoints
+    all_known = replay.steps[-1].known_jobs
+    assert "first:work" in all_known and "second:work" in all_known
+
+
+def test_revelations_stamped_at_split_points():
+    qi = QBSSInstance([QJob(0.0, 4.0, 0.5, 2.0, 1.0, "j")])
+    replay = incremental_profile(qi, "avrq")
+    # the work job becomes known in the step starting at the midpoint (2.0)
+    for step in replay.steps:
+        if step.start < 2.0:
+            assert "j:work" not in step.known_jobs
+        else:
+            assert "j:work" in step.known_jobs
+
+
+def test_work_conservation_in_replay():
+    qi = online_instance(8, seed=7)
+    replay = incremental_profile(qi, "avrq")
+    expected = sum(j.query_cost + j.work_true for j in qi)
+    assert replay.profile.total_work() == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,120 @@
+"""Static power, critical speed and race-to-idle."""
+
+import math
+
+import pytest
+
+from repro.core.edf import run_edf
+from repro.core.profile import Segment, SpeedProfile
+from repro.speed_scaling.sleep import (
+    SleepSavings,
+    StaticPowerModel,
+    evaluate_race_to_idle,
+    profile_energy_always_awake,
+    profile_energy_with_sleep,
+    race_to_idle,
+)
+from repro.speed_scaling.yds import yds_profile
+
+from _testutil import random_classical_jobs
+
+
+class TestModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StaticPowerModel(1.0, 1.0)
+        with pytest.raises(ValueError):
+            StaticPowerModel(3.0, -1.0)
+
+    def test_critical_speed_closed_form(self):
+        model = StaticPowerModel(3.0, 2.0)
+        assert math.isclose(model.critical_speed, 1.0)  # (2/2)^(1/3)
+        assert StaticPowerModel(3.0, 0.0).critical_speed == 0.0
+
+    def test_critical_speed_minimises_energy_per_work(self):
+        model = StaticPowerModel(2.5, 1.7)
+        sc = model.critical_speed
+        for s in (0.5 * sc, 0.9 * sc, 1.1 * sc, 2 * sc):
+            assert model.energy_per_work(sc) <= model.energy_per_work(s) + 1e-12
+
+    def test_awake_power(self):
+        model = StaticPowerModel(3.0, 0.5)
+        assert model.awake_power(2.0) == 8.5
+
+
+class TestRaceToIdle:
+    def test_subcritical_segment_compressed(self):
+        model = StaticPowerModel(3.0, 2.0)  # s_crit = 1
+        prof = SpeedProfile.constant(0, 4, 0.5)  # work 2 at half speed
+        reshaped = race_to_idle(prof, model)
+        assert math.isclose(reshaped.total_work(), 2.0, rel_tol=1e-9)
+        assert math.isclose(reshaped.max_speed(), 1.0)
+        assert math.isclose(reshaped.end, 2.0)  # busy for work/s_crit
+
+    def test_supercritical_untouched(self):
+        model = StaticPowerModel(3.0, 2.0)
+        prof = SpeedProfile.constant(0, 2, 3.0)
+        assert race_to_idle(prof, model) == prof
+
+    def test_work_preserved_per_segment(self):
+        model = StaticPowerModel(3.0, 8.0)
+        prof = SpeedProfile([Segment(0, 2, 0.5), Segment(2, 3, 4.0)])
+        reshaped = race_to_idle(prof, model)
+        assert math.isclose(reshaped.work_in(0, 2), 1.0, rel_tol=1e-9)
+        assert math.isclose(reshaped.work_in(2, 3), 4.0, rel_tol=1e-9)
+
+    def test_feasibility_preserved_for_yds(self, rng):
+        jobs = random_classical_jobs(rng, 8)
+        prof = yds_profile(jobs)
+        model = StaticPowerModel(3.0, prof.max_speed() ** 3)  # high leakage
+        reshaped = race_to_idle(prof, model)
+        assert run_edf(jobs, reshaped).feasible
+
+
+class TestEnergyAccounting:
+    def test_always_awake_includes_idle_static(self):
+        model = StaticPowerModel(3.0, 1.0)
+        prof = SpeedProfile([Segment(0, 1, 1.0), Segment(3, 4, 1.0)])
+        # dynamic 2 x 1, static over the whole [0, 4] span
+        assert math.isclose(
+            profile_energy_always_awake(prof, model), 2.0 + 4.0
+        )
+
+    def test_with_sleep_only_busy_time(self):
+        model = StaticPowerModel(3.0, 1.0)
+        prof = SpeedProfile([Segment(0, 1, 1.0), Segment(3, 4, 1.0)])
+        assert math.isclose(profile_energy_with_sleep(prof, model), 2.0 + 2.0)
+
+    def test_wake_cost_counted_per_awake_period(self):
+        model = StaticPowerModel(3.0, 0.0, wake_cost=5.0)
+        prof = SpeedProfile([Segment(0, 1, 1.0), Segment(3, 4, 1.0)])
+        assert math.isclose(
+            profile_energy_with_sleep(prof, model), 2.0 + 2 * 5.0
+        )
+
+    def test_empty_profile(self):
+        model = StaticPowerModel(3.0, 1.0)
+        assert profile_energy_always_awake(SpeedProfile(), model) == 0.0
+        assert profile_energy_with_sleep(SpeedProfile(), model) == 0.0
+
+
+class TestSavings:
+    def test_race_to_idle_always_helps_with_leakage(self, rng):
+        jobs = random_classical_jobs(rng, 8)
+        prof = yds_profile(jobs)
+        model = StaticPowerModel(3.0, 1.0)
+        savings = evaluate_race_to_idle(prof, model)
+        assert savings.savings_ratio >= 1.0 - 1e-9
+
+    def test_savings_grow_with_leakage(self, rng):
+        jobs = random_classical_jobs(rng, 8)
+        prof = yds_profile(jobs)
+        low = evaluate_race_to_idle(prof, StaticPowerModel(3.0, 0.1))
+        high = evaluate_race_to_idle(prof, StaticPowerModel(3.0, 10.0))
+        assert high.savings_ratio >= low.savings_ratio - 1e-9
+
+    def test_zero_leakage_no_op(self, rng):
+        jobs = random_classical_jobs(rng, 6)
+        prof = yds_profile(jobs)
+        savings = evaluate_race_to_idle(prof, StaticPowerModel(3.0, 0.0))
+        assert math.isclose(savings.savings_ratio, 1.0, rel_tol=1e-9)

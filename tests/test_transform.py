@@ -1,0 +1,102 @@
+"""Derived-instance transformations (I*, I', I'_1/2, online derivation)."""
+
+import math
+
+import pytest
+
+from repro.core.constants import PHI
+from repro.core.instance import QBSSInstance
+from repro.core.qjob import QJob
+from repro.qbss.policies import AlwaysQuery, EqualWindowSplit, FixedSplit, NeverQuery
+from repro.qbss.transform import (
+    derive_online,
+    instance_prime,
+    instance_prime_half,
+    instance_star,
+    partition_golden,
+)
+
+
+@pytest.fixture
+def qi():
+    return QBSSInstance(
+        [
+            QJob(0.0, 4.0, 0.5, 3.0, 1.0, "cheap"),  # c << w: queried by golden
+            QJob(0.0, 4.0, 2.5, 3.0, 2.0, "dear"),  # c > w/phi: not queried
+        ]
+    )
+
+
+def queried_by_golden(j):
+    return j.query_cost <= j.work_upper / PHI
+
+
+class TestAnalysisInstances:
+    def test_star_loads(self, qi):
+        star = instance_star(qi)
+        works = sorted(j.work for j in star.jobs)
+        # cheap: min(3, 1.5) = 1.5 ; dear: min(3, 4.5) = 3
+        assert works == [1.5, 3.0]
+
+    def test_prime_splits_queried_jobs(self, qi):
+        prime = instance_prime(qi, queried_by_golden)
+        by_id = {j.id: j for j in prime.jobs}
+        assert set(by_id) == {"cheap:q", "cheap:w", "dear:full"}
+        assert by_id["cheap:q"].work == 0.5
+        assert by_id["cheap:w"].work == 1.0
+        assert by_id["dear:full"].work == 3.0
+        # windows unchanged in I'
+        assert by_id["cheap:q"].deadline == 4.0
+        assert by_id["cheap:w"].release == 0.0
+
+    def test_prime_half_halves_windows(self, qi):
+        half = instance_prime_half(qi, queried_by_golden)
+        by_id = {j.id: j for j in half.jobs}
+        assert by_id["cheap:q"].deadline == 2.0
+        assert by_id["cheap:w"].release == 2.0
+        assert by_id["cheap:w"].deadline == 4.0
+        assert by_id["dear:full"].deadline == 4.0
+
+    def test_partition_golden(self, qi):
+        a_set, b_set = partition_golden(qi)
+        assert [j.id for j in a_set] == ["dear"]
+        assert [j.id for j in b_set] == ["cheap"]
+
+
+class TestDeriveOnline:
+    def test_always_query_derivation(self, qi):
+        derived = derive_online(qi, AlwaysQuery(), EqualWindowSplit())
+        ids = {j.id for j in derived.jobs}
+        assert ids == {"cheap:query", "cheap:work", "dear:query", "dear:work"}
+        # arrivals: query at release, work at midpoint
+        times = {a.job.id: a.time for a in derived.stream}
+        assert times["cheap:query"] == 0.0
+        assert times["cheap:work"] == 2.0
+
+    def test_never_query_derivation(self, qi):
+        derived = derive_online(qi, NeverQuery(), EqualWindowSplit())
+        assert {j.id for j in derived.jobs} == {"cheap:full", "dear:full"}
+        assert all(not d.query for d in derived.decisions.decisions.values())
+
+    def test_reveal_stamped_at_split_point(self, qi):
+        derived = derive_online(qi, AlwaysQuery(), FixedSplit(0.25))
+        for v in derived.views:
+            assert v.revealed_at == pytest.approx(1.0)  # 0 + 0.25 * 4
+
+    def test_revealed_work_is_true_load(self, qi):
+        derived = derive_online(qi, AlwaysQuery(), EqualWindowSplit())
+        works = {j.id: j.work for j in derived.jobs}
+        assert works["cheap:work"] == 1.0
+        assert works["dear:work"] == 2.0
+
+    def test_decision_log_matches_policy(self, qi):
+        from repro.qbss.policies import golden_ratio_policy
+
+        derived = derive_online(qi, golden_ratio_policy(), EqualWindowSplit())
+        assert derived.decisions["cheap"].query
+        assert not derived.decisions["dear"].query
+
+    def test_derived_instance_roundtrip(self, qi):
+        derived = derive_online(qi, AlwaysQuery(), EqualWindowSplit())
+        inst = derived.instance()
+        assert len(inst) == 4

@@ -1,0 +1,57 @@
+"""The one-call reproduction verifier."""
+
+import pytest
+
+from repro.analysis.verification import (
+    Claim,
+    _check,
+    all_ok,
+    render_claims,
+    verify_reproduction,
+)
+
+
+def test_all_claims_pass_default():
+    claims = verify_reproduction()
+    assert all_ok(claims), render_claims(claims)
+    assert len(claims) >= 12
+
+
+def test_claims_pass_at_alpha_2():
+    claims = verify_reproduction(alpha=2.0, n=8)
+    assert all_ok(claims), render_claims(claims)
+
+
+def test_check_comparisons():
+    assert _check("x", "d", 1.0, 2.0, "<=").ok
+    assert not _check("x", "d", 3.0, 2.0, "<=").ok
+    assert _check("x", "d", 3.0, 2.0, ">=").ok
+    assert not _check("x", "d", 1.0, 2.0, ">=").ok
+    with pytest.raises(ValueError):
+        _check("x", "d", 1.0, 2.0, "==")
+
+
+def test_check_tolerates_float_slack():
+    assert _check("x", "d", 2.0 + 1e-9, 2.0, "<=").ok
+
+
+def test_render_claims_format():
+    claims = [Claim("a", "desc", 1.0, 2.0, "<=", True)]
+    out = render_claims(claims)
+    assert "[PASS] a:" in out
+    assert "1/1 claims verified" in out
+
+
+def test_cli_verify_exits_zero(capsys):
+    from repro.cli import main
+
+    assert main(["verify", "--n", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "claims verified" in out
+    assert "FAIL" not in out
+
+
+def test_claim_ids_unique():
+    claims = verify_reproduction(n=6)
+    ids = [c.id for c in claims]
+    assert len(set(ids)) == len(ids)

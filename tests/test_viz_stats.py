@@ -1,0 +1,103 @@
+"""Text visualisation and ratio statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import RatioStats, bootstrap_ci, paired_improvement
+from repro.core.profile import Segment, SpeedProfile
+from repro.core.schedule import Schedule
+from repro.viz import gantt, profile_chart, profile_skyline
+
+
+class TestViz:
+    def test_skyline_levels(self):
+        prof = SpeedProfile([Segment(0, 1, 1.0), Segment(1, 2, 2.0)])
+        sky = profile_skyline(prof, width=4)
+        assert len(sky) == 4
+        # second half at peak speed uses the full block
+        assert sky[3] == "█"
+        # first half at half speed uses a mid block
+        assert sky[0] not in (" ", "█")
+
+    def test_skyline_empty(self):
+        assert profile_skyline(SpeedProfile(), width=10) == " " * 10
+
+    def test_skyline_shared_scale(self):
+        prof = SpeedProfile.constant(0, 1, 1.0)
+        sky = profile_skyline(prof, width=4, max_speed=2.0)
+        assert "█" not in sky  # only half the shared peak
+
+    def test_profile_chart_stacks(self):
+        a = SpeedProfile.constant(0, 2, 1.0)
+        b = SpeedProfile.constant(1, 3, 2.0)
+        out = profile_chart([a, b], ["first", "second"], width=12)
+        lines = out.split("\n")
+        assert lines[0].startswith(" first |")
+        assert lines[1].startswith("second |")
+        assert "t = [0, 3]" in out
+
+    def test_gantt_rows_and_legend(self):
+        s = Schedule(2)
+        s.add(0, 1, 1.0, "alpha", 0)
+        s.add(1, 2, 1.0, "beta", 0)
+        s.add(0, 2, 1.0, "gamma", 1)
+        out = gantt(s, width=8)
+        lines = out.split("\n")
+        assert lines[0].startswith("m0 |")
+        assert lines[1].startswith("m1 |")
+        assert "a=alpha" in out and "b=beta" in out
+
+    def test_gantt_idle_dots(self):
+        s = Schedule(1)
+        s.add(0, 1, 1.0, "x")
+        s.add(3, 4, 1.0, "x")
+        out = gantt(s, width=8).split("\n")[0]
+        assert "." in out
+
+    def test_gantt_empty(self):
+        assert gantt(Schedule(1)) == "(empty schedule)"
+
+
+class TestStats:
+    def test_ratio_stats_values(self):
+        stats = RatioStats.from_sample([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == 2.5
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.median == 2.5
+
+    def test_ratio_stats_single_value(self):
+        stats = RatioStats.from_sample([2.0])
+        assert stats.std == 0.0
+
+    def test_ratio_stats_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RatioStats.from_sample([])
+
+    def test_bootstrap_ci_contains_mean_for_tight_sample(self):
+        lo, hi = bootstrap_ci([2.0, 2.1, 1.9, 2.0, 2.05, 1.95] * 5, seed=1)
+        assert lo <= 2.0 <= hi
+        assert hi - lo < 0.2
+
+    def test_bootstrap_ci_deterministic_given_seed(self):
+        sample = list(np.random.default_rng(0).uniform(1, 3, 30))
+        assert bootstrap_ci(sample, seed=7) == bootstrap_ci(sample, seed=7)
+
+    def test_bootstrap_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], seed=0)
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+    def test_paired_improvement_detects_dominance(self):
+        baseline = [3.0, 4.0, 5.0, 3.5, 4.5] * 4
+        candidate = [x * 0.8 for x in baseline]
+        mean_rel, (lo, hi), win = paired_improvement(baseline, candidate)
+        assert mean_rel == pytest.approx(0.8)
+        assert hi < 1.0  # CI excludes "no improvement"
+        assert win == 1.0
+
+    def test_paired_improvement_shape_checked(self):
+        with pytest.raises(ValueError):
+            paired_improvement([1.0], [1.0, 2.0])

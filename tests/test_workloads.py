@@ -1,0 +1,129 @@
+"""Workload generators and the motivating scenarios."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.constants import PHI
+from repro.workloads import (
+    bursty_online_instance,
+    code_optimizer_scenario,
+    common_deadline_instance,
+    common_release_instance,
+    datacenter_batch_scenario,
+    diurnal_trace_instance,
+    file_compression_scenario,
+    multi_machine_instance,
+    online_instance,
+    power_of_two_instance,
+    UncertaintyModel,
+)
+
+
+ALL_GENERATORS = [
+    lambda s: common_deadline_instance(20, seed=s),
+    lambda s: power_of_two_instance(20, seed=s),
+    lambda s: common_release_instance(20, seed=s),
+    lambda s: online_instance(20, seed=s),
+    lambda s: multi_machine_instance(20, 3, seed=s),
+    lambda s: bursty_online_instance(3, 6, seed=s),
+    lambda s: code_optimizer_scenario(20, seed=s),
+    lambda s: file_compression_scenario(20, seed=s),
+    lambda s: datacenter_batch_scenario(20, seed=s),
+    lambda s: diurnal_trace_instance(20, seed=s),
+]
+
+
+@pytest.mark.parametrize("make", ALL_GENERATORS)
+def test_deterministic_given_seed(make):
+    a, b = make(42), make(42)
+    for ja, jb in zip(a, b):
+        assert (ja.release, ja.deadline, ja.query_cost, ja.work_upper, ja.work_true) == (
+            jb.release,
+            jb.deadline,
+            jb.query_cost,
+            jb.work_upper,
+            jb.work_true,
+        )
+
+
+@pytest.mark.parametrize("make", ALL_GENERATORS)
+def test_model_constraints_hold(make):
+    """Every generated job satisfies 0 < c <= w and 0 <= w* <= w."""
+    qi = make(7)
+    assert len(qi) == 20 or len(qi) == 18  # bursty: 3 x 6
+    for j in qi:
+        assert j.deadline > j.release
+        assert 0 < j.query_cost <= j.work_upper
+        assert 0 <= j.work_true <= j.work_upper
+
+
+def test_common_deadline_shape():
+    qi = common_deadline_instance(10, deadline=4.0, seed=0)
+    assert qi.common_release and qi.common_deadline
+    assert all(j.deadline == 4.0 for j in qi)
+
+
+def test_power_of_two_shape():
+    qi = power_of_two_instance(30, max_exponent=3, seed=1)
+    assert qi.common_release
+    assert qi.power_of_two_deadlines
+    assert all(j.deadline <= 8.0 for j in qi)
+
+
+def test_common_release_shape():
+    qi = common_release_instance(10, seed=2)
+    assert qi.common_release
+    assert not qi.common_deadline
+
+
+def test_online_windows_bounded():
+    qi = online_instance(25, horizon=5.0, min_window=1.0, max_window=2.0, seed=3)
+    for j in qi:
+        assert 1.0 <= j.span <= 2.0
+        assert 0.0 <= j.release <= 5.0
+
+
+def test_multi_machine_sets_machines():
+    qi = multi_machine_instance(10, 4, seed=0)
+    assert qi.machines == 4
+
+
+def test_uncertainty_model_controls_query_cost():
+    cheap = UncertaintyModel(query_frac_low=0.01, query_frac_high=0.05)
+    qi = common_deadline_instance(50, seed=0, uncertainty=cheap)
+    # with c <= 0.05 w << w/phi every job is golden-queried
+    assert all(j.query_cost <= j.work_upper / PHI for j in qi)
+
+
+def test_code_optimizer_queries_usually_worthwhile():
+    qi = code_optimizer_scenario(200, seed=0)
+    worthwhile = sum(1 for j in qi if j.query_worthwhile)
+    assert worthwhile / len(qi) > 0.5
+
+
+def test_file_compression_media_files_incompressible():
+    qi = file_compression_scenario(300, seed=0)
+    # a meaningful fraction barely compresses (media class, ratio >= 0.92)
+    stubborn = sum(1 for j in qi if j.work_true >= 0.9 * j.work_upper)
+    assert stubborn > 15
+
+
+def test_diurnal_trace_concentrates_around_peak():
+    """Arrivals cluster around the peak hour of the sinusoidal rate."""
+    qi = diurnal_trace_instance(400, days=1.0, peak_hour=14.0, seed=0)
+    releases = np.array([j.release for j in qi])
+    near_peak = ((releases > 8.0) & (releases < 20.0)).mean()
+    assert near_peak > 0.6  # well above the uniform 0.5
+
+
+def test_diurnal_trace_respects_horizon():
+    qi = diurnal_trace_instance(50, days=2.0, day_length=24.0, seed=1)
+    assert all(0.0 <= j.release <= 48.0 for j in qi)
+
+
+def test_datacenter_common_release():
+    qi = datacenter_batch_scenario(15, machines=4, seed=0)
+    assert qi.common_release
+    assert qi.machines == 4

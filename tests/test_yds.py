@@ -1,0 +1,145 @@
+"""YDS: correctness, optimality and structural properties."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.feasibility import check_feasible
+from repro.core.instance import Instance
+from repro.core.job import Job
+from repro.core.power import PowerFunction
+from repro.speed_scaling.multi.optimal import convex_optimal_energy
+from repro.speed_scaling.yds import (
+    TimelineCompressor,
+    optimal_energy,
+    optimal_max_speed,
+    yds,
+    yds_profile,
+)
+
+from _testutil import random_classical_jobs
+
+
+class TestTimelineCompressor:
+    def test_compress_before_any_cut(self):
+        c = TimelineCompressor(0.0)
+        assert c.compress(3.0) == 3.0
+
+    def test_compress_after_cut(self):
+        c = TimelineCompressor(0.0)
+        c.cut([(1.0, 2.0)])
+        assert c.compress(0.5) == 0.5
+        assert c.compress(1.5) == 1.0  # inside the cut -> left edge
+        assert c.compress(3.0) == 2.0
+
+    def test_cut_merging(self):
+        c = TimelineCompressor(0.0)
+        c.cut([(0.0, 1.0)])
+        c.cut([(1.0, 2.0)])
+        assert c.cuts == [(0.0, 2.0)]
+
+    def test_expand_interval_roundtrip(self):
+        c = TimelineCompressor(0.0)
+        c.cut([(1.0, 2.0)])
+        # compressed [0.5, 1.5) maps around the cut: [0.5,1.0) + [2.0,2.5)
+        pieces = c.expand_interval(0.5, 1.5)
+        assert pieces == [(0.5, 1.0), (2.0, 2.5)]
+
+    def test_expand_total_length_preserved(self):
+        c = TimelineCompressor(0.0)
+        c.cut([(1.0, 1.5), (3.0, 4.0)])
+        pieces = c.expand_interval(0.25, 2.75)
+        assert math.isclose(sum(b - a for a, b in pieces), 2.5)
+
+
+class TestYDSBasics:
+    def test_single_job_constant_speed(self):
+        result = yds([Job(0, 2, 4, "a")])
+        assert result.profile == yds_profile([Job(0, 2, 4, "a")])
+        assert math.isclose(result.profile.max_speed(), 2.0)
+        assert math.isclose(result.profile.total_work(), 4.0)
+
+    def test_empty_and_zero_work(self):
+        assert yds([]).profile.is_empty
+        assert yds([Job(0, 1, 0, "z")]).profile.is_empty
+
+    def test_common_window_speed_is_sum_of_densities(self):
+        jobs = [Job(0, 2, 1, "a"), Job(0, 2, 3, "b")]
+        prof = yds_profile(jobs)
+        assert math.isclose(prof.max_speed(), 2.0)
+        assert len(prof) == 1
+
+    def test_known_two_phase_instance(self, simple_jobs):
+        """Worked example: critical interval (1.5, 3] at 8/3, then the rest at 2."""
+        prof = yds_profile(simple_jobs)
+        assert math.isclose(prof.speed_at(2.0), 8.0 / 3.0)
+        assert math.isclose(prof.speed_at(0.5), 2.0)
+        assert math.isclose(prof.speed_at(1.2), 2.0)
+
+    def test_schedule_feasible(self, simple_jobs):
+        result = yds(simple_jobs)
+        report = check_feasible(result.schedule, Instance(simple_jobs))
+        assert report.ok, report.violations
+
+    def test_work_conservation(self, rng):
+        jobs = random_classical_jobs(rng, 12)
+        result = yds(jobs)
+        total = sum(j.work for j in jobs)
+        assert math.isclose(result.profile.total_work(), total, rel_tol=1e-6)
+
+    def test_critical_speeds_non_increasing(self, rng):
+        jobs = random_classical_jobs(rng, 10)
+        result = yds(jobs)
+        speeds = [ci.speed for ci in result.critical_intervals]
+        assert all(a >= b - 1e-9 for a, b in zip(speeds, speeds[1:]))
+
+    def test_interleaved_critical_intervals(self):
+        """A later critical interval wraps around an earlier one."""
+        jobs = [
+            Job(1.0, 2.0, 10.0, "hot"),  # forces a spike in the middle
+            Job(0.0, 3.0, 3.0, "cool"),  # spreads around it
+        ]
+        prof = yds_profile(jobs)
+        assert math.isclose(prof.speed_at(1.5), 10.0)
+        # the cool job runs at 3/2 over the remaining 2 units of time
+        assert math.isclose(prof.speed_at(0.5), 1.5)
+        assert math.isclose(prof.speed_at(2.5), 1.5)
+        report = check_feasible(yds(jobs).schedule, Instance(jobs))
+        assert report.ok, report.violations
+
+
+class TestYDSOptimality:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("alpha", [1.5, 2.0, 3.0])
+    def test_matches_convex_reference(self, seed, alpha):
+        rng = np.random.default_rng(seed)
+        jobs = random_classical_jobs(rng, 5, horizon=4.0)
+        e_yds = optimal_energy(jobs, alpha)
+        e_cvx = convex_optimal_energy(jobs, 1, alpha)
+        assert e_yds <= e_cvx * (1 + 1e-4)
+        assert e_cvx <= e_yds * (1 + 1e-4)
+
+    def test_beats_naive_feasible_schedule(self, simple_jobs, power3):
+        """Any hand-made feasible profile costs at least YDS."""
+        from repro.core.profile import SpeedProfile
+        from repro.core.edf import profile_feasible_for
+
+        naive = SpeedProfile.constant(0.0, 3.0, 3.0)
+        assert profile_feasible_for(simple_jobs, naive)
+        assert naive.energy(power3) >= optimal_energy(simple_jobs, 3.0) - 1e-9
+
+    def test_max_speed_equals_peak_intensity(self):
+        jobs = [Job(0, 1, 2, "a"), Job(0, 4, 2, "b")]
+        # interval (0,1] has intensity 2; (0,4] has 1
+        assert math.isclose(optimal_max_speed(jobs), 2.0)
+
+    def test_energy_monotone_in_work(self):
+        base = [Job(0, 2, 1, "a"), Job(1, 3, 1, "b")]
+        more = [Job(0, 2, 2, "a"), Job(1, 3, 1, "b")]
+        assert optimal_energy(more, 3.0) > optimal_energy(base, 3.0)
+
+    def test_energy_decreases_with_longer_windows(self):
+        tight = [Job(0, 1, 2, "a")]
+        loose = [Job(0, 2, 2, "a")]
+        assert optimal_energy(loose, 3.0) < optimal_energy(tight, 3.0)
