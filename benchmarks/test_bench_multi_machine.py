@@ -60,7 +60,7 @@ def test_multi_machine_exact_optimum_crosscheck(benchmark):
         for m in (2, 3):
             qi = multi_machine_instance(5, m, seed=7)
             energy = avrq_m(qi).energy(PowerFunction(3.0))
-            opt = clairvoyant(qi, 3.0, exact_multi=True).energy_value
+            opt = clairvoyant(qi, alpha=3.0, exact_multi=True).energy_value
             out.append((m, energy / opt))
         return out
 

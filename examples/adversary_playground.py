@@ -85,7 +85,7 @@ def main() -> None:
         )
     s_lb, e_lb = lemma45_equal_window_lower_bounds(1e-6, ALPHA)
     result = avrq(instance)
-    base = clairvoyant(instance, ALPHA)
+    base = clairvoyant(instance, alpha=ALPHA)
     print(
         f"\n  best possible equal-window schedule: "
         f"{s_lb:.4f}x optimal speed, {e_lb:.4f}x optimal energy"

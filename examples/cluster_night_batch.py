@@ -27,7 +27,7 @@ def main() -> None:
         instance = datacenter_batch_scenario(N_JOBS, machines=m, seed=SEED)
         result = avrq_m(instance)
         result.validate().raise_if_infeasible()
-        base = clairvoyant(instance, ALPHA)  # pooled lower bound for m > 1
+        base = clairvoyant(instance, alpha=ALPHA)  # pooled lower bound for m > 1
         energy = result.energy(power)
         rows.append(
             [

@@ -32,7 +32,7 @@ SEED = 2024
 def main() -> None:
     instance = code_optimizer_scenario(N_JOBS, seed=SEED)
     power = PowerFunction(ALPHA)
-    base = clairvoyant(instance, ALPHA)
+    base = clairvoyant(instance, alpha=ALPHA)
 
     worthwhile = sum(1 for j in instance if j.query_worthwhile)
     print(
@@ -71,7 +71,7 @@ def main() -> None:
     # -- compare online algorithms under the golden rule -------------------
     rows2 = []
     for name, algo in (("AVRQ", avrq), ("BKPQ", bkpq), ("OAQ", oaq)):
-        m = measure(algo, instance, ALPHA)
+        m = measure(algo, instance, alpha=ALPHA)
         rows2.append([name, m.energy, m.energy_ratio, m.max_speed_ratio])
     print()
     print(
@@ -83,7 +83,7 @@ def main() -> None:
     )
 
     # -- the never-query *lower bound* (best possible without optimiser) ---
-    m = measure(never_query_offline, instance, ALPHA)
+    m = measure(never_query_offline, instance, alpha=ALPHA)
     print(
         f"\nbest possible schedule that never optimises: "
         f"{m.energy_ratio:.2f}x the clairvoyant optimum"

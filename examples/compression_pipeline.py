@@ -35,7 +35,7 @@ def main() -> None:
     rows = []
     for alpha in ALPHAS:
         power = PowerFunction(alpha)
-        base = clairvoyant(instance, alpha)
+        base = clairvoyant(instance, alpha=alpha)
         r_avrq = avrq(instance).energy(power) / base.energy_value
         r_bkpq = bkpq(instance).energy(power) / base.energy_value
         rows.append(

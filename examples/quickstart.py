@@ -37,7 +37,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 2. The clairvoyant optimum (knows every w*): YDS on p* = min(w, c+w*).
     # ------------------------------------------------------------------
-    base = clairvoyant(instance, ALPHA)
+    base = clairvoyant(instance, alpha=ALPHA)
     print(f"clairvoyant optimum:   energy = {base.energy_value:8.3f}   "
           f"max speed = {base.max_speed_value:.3f}\n")
 

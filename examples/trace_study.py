@@ -32,7 +32,7 @@ def main() -> None:
 
     ratios = {}
     for name, algo in (("AVRQ", avrq), ("BKPQ", bkpq), ("OAQ", oaq)):
-        ratios[name] = [measure(algo, qi, ALPHA).energy_ratio for qi in traces]
+        ratios[name] = [measure(algo, qi, alpha=ALPHA).energy_ratio for qi in traces]
 
     rows = []
     for name, sample in ratios.items():

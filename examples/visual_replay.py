@@ -51,7 +51,7 @@ def main() -> None:
 
     # -- profiles side by side ----------------------------------------------
     run = avrq(instance)
-    base = clairvoyant(instance, ALPHA)
+    base = clairvoyant(instance, alpha=ALPHA)
     opt_profile = yds(
         [j.clairvoyant_job() for j in instance]
     ).profile

@@ -17,7 +17,7 @@ Quick start::
     inst = QBSSInstance([job])
     run = bkpq(inst)
     print(run.energy(PowerFunction(3.0)),
-          clairvoyant(inst, 3.0).energy_value)
+          clairvoyant(inst, alpha=3.0).energy_value)
 """
 
 from .core import (

@@ -10,7 +10,7 @@ exactly one place.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -47,6 +47,26 @@ from .ratios import (
 from .tables import render_table
 
 
+def _jsonify(value):
+    """Coerce an experiment parameter or report cell to plain JSON types.
+
+    Floats round-trip exactly through JSON (repr-based), so a report that
+    goes through ``to_dict``/``from_dict`` renders byte-identically — the
+    property the engine's result cache relies on.
+    """
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return str(value)
+
+
 @dataclass
 class ExperimentReport:
     """A rendered paper artifact."""
@@ -63,6 +83,66 @@ class ExperimentReport:
             out += "\n" + "\n".join(f"note: {n}" for n in self.notes)
         return out
 
+    def to_dict(self) -> dict:
+        """JSON-serializable payload (cells coerced via :func:`_jsonify`)."""
+        return {
+            "id": self.id,
+            "title": self.title,
+            "headers": [str(h) for h in self.headers],
+            "rows": [_jsonify(list(row)) for row in self.rows],
+            "notes": [str(n) for n in self.notes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentReport":
+        """Rebuild a report from :meth:`to_dict` output (extra keys ignored)."""
+        return cls(
+            id=str(data["id"]),
+            title=str(data["title"]),
+            headers=list(data["headers"]),
+            rows=[list(row) for row in data["rows"]],
+            notes=list(data.get("notes", [])),
+        )
+
+
+def experiment_params(name: str) -> dict:
+    """The declared default parameters of a registered experiment.
+
+    Every experiment's parameters are plain JSON-serializable values
+    (numbers, strings, tuples of numbers) by construction; this returns
+    them resolved from the signature, in JSON form (tuples as lists).
+    """
+    import inspect
+
+    fn = REGISTRY[name]
+    return {
+        p.name: _jsonify(p.default)
+        for p in inspect.signature(fn).parameters.values()
+        if p.default is not inspect.Parameter.empty
+    }
+
+
+def resolve_kwargs(name: str, overrides: Optional[dict] = None):
+    """Split ``overrides`` for one experiment into applicable and unused.
+
+    Returns ``(call_kwargs, resolved, unused)``: the keyword arguments to
+    actually pass, the fully-resolved JSON-form parameter dict (defaults
+    merged with the applicable overrides — the engine's cache key), and the
+    override names the experiment does not accept (previously these were
+    silently dropped).
+    """
+    import inspect
+
+    if name not in REGISTRY:
+        raise KeyError(f"unknown experiment {name!r}")
+    params = inspect.signature(REGISTRY[name]).parameters
+    overrides = dict(overrides or {})
+    unused = sorted(k for k in overrides if k not in params)
+    call_kwargs = {k: v for k, v in overrides.items() if k in params}
+    resolved = experiment_params(name)
+    resolved.update({k: _jsonify(v) for k, v in call_kwargs.items()})
+    return call_kwargs, resolved, unused
+
 
 # ----------------------------------------------------------------------------------
 # T1 — Table 1
@@ -71,7 +151,7 @@ class ExperimentReport:
 
 def _measured_max(algorithm, instance_factory, alpha, seeds, **measure_kw):
     instances = [instance_factory(seed) for seed in seeds]
-    summary = measure_many(algorithm, instances, alpha, **measure_kw)
+    summary = measure_many(algorithm, instances, alpha=alpha, **measure_kw)
     return summary
 
 
@@ -151,9 +231,9 @@ def experiment_table1(
         "CRP2D": adversarial_ratio(crp2d, 1.0, 2.0, alpha, "energy").ratio,
         "CRAD": adversarial_ratio(crad, 1.0, 2.0, alpha, "energy").ratio,
         "AVRQ": measure(
-            avrq, lemmas.lemma51_tower_instance(14, alpha), alpha
+            avrq, lemmas.lemma51_tower_instance(14, alpha), alpha=alpha
         ).energy_ratio,
-        "BKPQ": measure(bkpq, lemmas.lemma45_instance(1e-4), alpha).energy_ratio,
+        "BKPQ": measure(bkpq, lemmas.lemma45_instance(1e-4), alpha=alpha).energy_ratio,
     }
     for setting, name, algo, factory, lb, ub in specs:
         summary = _measured_max(algo, factory, alpha, seeds)
@@ -345,7 +425,7 @@ def experiment_lemma41(
     rows = []
     for eps in eps_values:
         inst = lemmas.lemma41_instance(eps)
-        m = measure(never_query_offline, inst, alpha)
+        m = measure(never_query_offline, inst, alpha=alpha)
         rows.append(
             [
                 eps,
@@ -469,7 +549,7 @@ def experiment_lemma45(
     for eps in eps_values:
         s_lb, e_lb = lemmas.lemma45_equal_window_lower_bounds(eps, alpha)
         inst = lemmas.lemma45_instance(eps)
-        m = measure(avrq, inst, alpha)
+        m = measure(avrq, inst, alpha=alpha)
         rows.append([eps, 3.0, s_lb, m.max_speed_ratio, 3.0 ** (alpha - 1), e_lb, m.energy_ratio])
     return ExperimentReport(
         id="L45",
@@ -499,7 +579,7 @@ def experiment_lemma51(
     rows = []
     for k in levels:
         inst = lemmas.lemma51_tower_instance(k, alpha)
-        m = measure(avrq, inst, alpha)
+        m = measure(avrq, inst, alpha=alpha)
         rows.append([k, m.energy_ratio, claimed, formulas.avrq_ub_energy(alpha)])
     return ExperimentReport(
         id="L51",
@@ -532,7 +612,7 @@ def experiment_online(
         ("OAQ (ext.)", oaq, None),
     ]
     for name, algo, ub in specs:
-        summary = measure_many(algo, instances, alpha)
+        summary = measure_many(algo, instances, alpha=alpha)
         rows.append(
             [
                 name,
@@ -580,7 +660,7 @@ def experiment_multi(
         instances = [
             generators.multi_machine_instance(n, m, seed=s) for s in seeds
         ]
-        summary = measure_many(avrq_m, instances, alpha)
+        summary = measure_many(avrq_m, instances, alpha=alpha)
         speed_ratios = []
         for qi in instances:
             opt_speed = min_max_speed(
@@ -670,11 +750,11 @@ def experiment_split_ablation(
     rows = []
     for x in x_values:
         algo = lambda qi, _x=x: avrq(qi, split_policy=FixedSplit(_x))  # noqa: E731
-        summary = measure_many(algo, instances, alpha)
+        summary = measure_many(algo, instances, alpha=alpha)
         rows.append([str(x), summary.max_energy_ratio, summary.mean_energy_ratio, summary.max_speed_ratio])
     # the c-aware heuristic: x = c / (c + w/2), per job
     prop = lambda qi: avrq(qi, split_policy=ProportionalSplit())  # noqa: E731
-    summary = measure_many(prop, instances, alpha)
+    summary = measure_many(prop, instances, alpha=alpha)
     rows.append(
         [
             "proportional",
@@ -718,7 +798,7 @@ def experiment_query_policy_ablation(
         instances = [make(s) for s in seeds]
         for pol_name, pol in policies:
             algo = lambda qi, _p=pol: bkpq(qi, query_policy=_p)  # noqa: E731
-            summary = measure_many(algo, instances, alpha)
+            summary = measure_many(algo, instances, alpha=alpha)
             rows.append(
                 [scen_name, pol_name, summary.max_energy_ratio, summary.mean_energy_ratio]
             )
@@ -746,7 +826,7 @@ def experiment_oaq_extension(
     for workload, make in makers:
         instances = [make(s) for s in seeds]
         for name, algo in (("AVRQ", avrq), ("BKPQ", bkpq), ("OAQ", oaq)):
-            summary = measure_many(algo, instances, alpha)
+            summary = measure_many(algo, instances, alpha=alpha)
             rows.append(
                 [workload, name, summary.max_energy_ratio, summary.mean_energy_ratio]
             )
@@ -832,7 +912,7 @@ def experiment_crcd_design_space(
     for x in x_values:
         for lam in lam_values:
             algo = lambda qi, _x=x, _l=lam: crcd_tuned(qi, _x, _l)  # noqa: E731
-            summary = measure_many(algo, instances, alpha)
+            summary = measure_many(algo, instances, alpha=alpha)
             rows.append(
                 [x, lam, summary.max_energy_ratio, summary.mean_energy_ratio]
             )
@@ -925,7 +1005,7 @@ def experiment_slack_sweep(
             for s in seeds
         ]
         summaries = {
-            name: measure_many(algo, instances, alpha)
+            name: measure_many(algo, instances, alpha=alpha)
             for name, algo in (("AVRQ", avrq), ("BKPQ", bkpq), ("OAQ", oaq))
         }
         rows.append(
@@ -1110,12 +1190,12 @@ def experiment_randomized_policy(
         for coin in coin_seeds:
             policy = RandomizedQuery(rho, rng=coin)
             algo = lambda qi, _p=policy: bkpq(qi, query_policy=_p)  # noqa: E731
-            summary = measure_many(algo, instances, alpha)
+            summary = measure_many(algo, instances, alpha=alpha)
             ratios.append(summary.mean_energy_ratio)
         rows.append(
             [rho, sum(ratios) / len(ratios), min(ratios), max(ratios)]
         )
-    golden = measure_many(bkpq, instances, alpha)
+    golden = measure_many(bkpq, instances, alpha=alpha)
     rows.append(["golden rule", golden.mean_energy_ratio, None, None])
     return ExperimentReport(
         id="RAND",

@@ -11,14 +11,29 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Union
 
+from ..core.compat import absorb_positional
+from ..core.constants import DEFAULT_ALPHA
 from ..core.instance import QBSSInstance
 from ..core.power import PowerFunction
 from ..qbss.clairvoyant import clairvoyant
+from ..qbss.registry import get_algorithm
 from ..qbss.result import QBSSResult
 
-Algorithm = Callable[[QBSSInstance], QBSSResult]
+#: Algorithms are passed either as a callable ``qi -> QBSSResult`` or as an
+#: :data:`~repro.qbss.registry.ALGORITHMS` name (resolved at measure time).
+Algorithm = Union[Callable[[QBSSInstance], QBSSResult], str]
+
+
+def _resolve_algorithm(algorithm: Algorithm, alpha: float):
+    """Turn a registry name into its runner (callables pass through)."""
+    if not isinstance(algorithm, str):
+        return algorithm
+    spec = get_algorithm(algorithm)
+    if "alpha" in spec.accepts:
+        return lambda qi: spec.fn(qi, alpha=alpha)
+    return spec.fn
 
 
 @dataclass(frozen=True)
@@ -49,16 +64,27 @@ class RatioMeasurement:
 def measure(
     algorithm: Algorithm,
     qinstance: QBSSInstance,
-    alpha: float,
+    *args,
+    alpha: float = DEFAULT_ALPHA,
     exact_multi: bool = False,
     validate: bool = True,
 ) -> RatioMeasurement:
-    """Run ``algorithm`` on ``qinstance`` and compare against the optimum."""
-    result = algorithm(qinstance)
+    """Run ``algorithm`` on ``qinstance`` and compare against the optimum.
+
+    ``algorithm`` may be an :data:`~repro.qbss.registry.ALGORITHMS` name
+    (e.g. ``"bkpq"``) or any callable ``qi -> QBSSResult``.
+    """
+    alpha, exact_multi, validate = absorb_positional(
+        "measure",
+        args,
+        ("alpha", "exact_multi", "validate"),
+        (alpha, exact_multi, validate),
+    )
+    result = _resolve_algorithm(algorithm, alpha)(qinstance)
     if validate:
         result.validate().raise_if_infeasible()
     power = PowerFunction(alpha)
-    base = clairvoyant(qinstance, alpha, exact_multi=exact_multi)
+    base = clairvoyant(qinstance, alpha=alpha, exact_multi=exact_multi)
     return RatioMeasurement(
         algorithm=result.algorithm or getattr(algorithm, "__name__", "algorithm"),
         energy=result.energy(power),
@@ -86,12 +112,16 @@ class RatioSummary:
 def measure_many(
     algorithm: Algorithm,
     instances: Iterable[QBSSInstance],
-    alpha: float,
+    *args,
+    alpha: float = DEFAULT_ALPHA,
     exact_multi: bool = False,
 ) -> RatioSummary:
     """Measure a batch of instances and aggregate."""
+    alpha, exact_multi = absorb_positional(
+        "measure_many", args, ("alpha", "exact_multi"), (alpha, exact_multi)
+    )
     measurements: List[RatioMeasurement] = [
-        measure(algorithm, inst, alpha, exact_multi=exact_multi)
+        measure(algorithm, inst, alpha=alpha, exact_multi=exact_multi)
         for inst in instances
     ]
     if not measurements:

@@ -31,24 +31,40 @@ def report_to_markdown(report: ExperimentReport) -> str:
     return "\n".join(lines)
 
 
+def reports_to_markdown(
+    reports: Sequence[ExperimentReport],
+    title: str = "QBSS reproduction report",
+) -> str:
+    """Assemble already-evaluated reports into a full markdown document.
+
+    This is the rendering half of :func:`generate_markdown`; the
+    ``qbss-report`` CLI feeds it reports evaluated by
+    :mod:`repro.engine` (parallel, cached) instead of re-running them here.
+    """
+    sections: List[str] = [f"# {title}", ""]
+    for report in reports:
+        sections.append(report_to_markdown(report))
+        sections.append("")
+    return "\n".join(sections).rstrip() + "\n"
+
+
 def generate_markdown(
     names: Optional[Sequence[str]] = None,
     overrides: Optional[Dict[str, dict]] = None,
     title: str = "QBSS reproduction report",
 ) -> str:
-    """Run experiments and return a full markdown document.
+    """Run experiments serially and return a full markdown document.
 
     ``names`` defaults to the whole registry (sorted); ``overrides`` maps an
-    experiment name to keyword arguments for its callable.
+    experiment name to keyword arguments for its callable.  For parallel or
+    cached evaluation, run through :func:`repro.engine.run_experiments` and
+    render with :func:`reports_to_markdown`.
     """
     chosen = list(names) if names is not None else sorted(REGISTRY)
     unknown = [n for n in chosen if n not in REGISTRY]
     if unknown:
         raise KeyError(f"unknown experiments: {unknown}")
-    sections: List[str] = [f"# {title}", ""]
-    for name in chosen:
-        kwargs = (overrides or {}).get(name, {})
-        report = REGISTRY[name](**kwargs)
-        sections.append(report_to_markdown(report))
-        sections.append("")
-    return "\n".join(sections).rstrip() + "\n"
+    reports = [
+        REGISTRY[name](**(overrides or {}).get(name, {})) for name in chosen
+    ]
+    return reports_to_markdown(reports, title=title)

@@ -28,7 +28,7 @@ def alpha_sweep(
 ) -> List[SweepPoint]:
     """Measure the same instances under different power exponents."""
     return [
-        SweepPoint(a, measure_many(algorithm, instances, a)) for a in alphas
+        SweepPoint(a, measure_many(algorithm, instances, alpha=a)) for a in alphas
     ]
 
 
@@ -43,7 +43,7 @@ def size_sweep(
     out = []
     for n in sizes:
         instances = [instance_factory(n, s) for s in seeds]
-        out.append(SweepPoint(float(n), measure_many(algorithm, instances, alpha)))
+        out.append(SweepPoint(float(n), measure_many(algorithm, instances, alpha=alpha)))
     return out
 
 
@@ -55,7 +55,7 @@ def parameter_sweep(
 ) -> List[SweepPoint]:
     """Sweep an algorithm knob; ``algorithm_factory(value)`` builds the runner."""
     return [
-        SweepPoint(v, measure_many(algorithm_factory(v), instances, alpha))
+        SweepPoint(v, measure_many(algorithm_factory(v), instances, alpha=alpha))
         for v in values
     ]
 

@@ -93,11 +93,11 @@ def verify_reproduction(
         ),
     ]
     for cid, desc, algo, inst, bound in specs:
-        m = measure(algo, inst, alpha)
+        m = measure(algo, inst, alpha=alpha)
         claims.append(_check(cid, desc, m.energy_ratio, bound, "<="))
 
     # max-speed guarantees
-    m = measure(crcd, generators.common_deadline_instance(n, seed=seed), alpha)
+    m = measure(crcd, generators.common_deadline_instance(n, seed=seed), alpha=alpha)
     claims.append(
         _check(
             "crcd-speed",
@@ -107,7 +107,7 @@ def verify_reproduction(
             "<=",
         )
     )
-    m = measure(bkpq, generators.online_instance(n, seed=seed), alpha)
+    m = measure(bkpq, generators.online_instance(n, seed=seed), alpha=alpha)
     claims.append(
         _check(
             "bkpq-speed",
@@ -139,7 +139,7 @@ def verify_reproduction(
             ">=",
         )
     )
-    m = measure(never_query_offline, lemmas.lemma41_instance(0.05), alpha)
+    m = measure(never_query_offline, lemmas.lemma41_instance(0.05), alpha=alpha)
     claims.append(
         _check(
             "lemma41",
@@ -193,7 +193,7 @@ def verify_reproduction(
 
     # -- clairvoyant sanity -----------------------------------------------------
     qi = generators.online_instance(n, seed=seed)
-    base = clairvoyant(qi, alpha)
+    base = clairvoyant(qi, alpha=alpha)
     claims.append(
         _check(
             "opt-sanity",

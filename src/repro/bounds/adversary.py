@@ -176,7 +176,7 @@ def adversarial_ratio(
                 f"algorithm changed its decision with w*: {decision} -> {again}; "
                 "the exact load leaked before the query completed"
             )
-        opt = clairvoyant(inst, alpha)
+        opt = clairvoyant(inst, alpha=alpha)
         denom = (
             opt.energy_value if objective == "energy" else opt.max_speed_value
         )

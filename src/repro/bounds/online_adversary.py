@@ -77,7 +77,7 @@ class AdversarySearchResult:
 
 def _ratio(algorithm: Algorithm, qi: QBSSInstance, alpha: float) -> float:
     power = PowerFunction(alpha)
-    base = clairvoyant(qi, alpha)
+    base = clairvoyant(qi, alpha=alpha)
     if base.energy_value <= 0:
         return 0.0
     result = algorithm(qi)

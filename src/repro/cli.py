@@ -4,16 +4,25 @@ Examples::
 
     qbss-report rho                 # the Sec. 4.2 rho table
     qbss-report table1 --alpha 2.5  # Table 1 at alpha = 2.5
-    qbss-report all                 # every registered experiment
+    qbss-report all --jobs 4        # every experiment, over a process pool
+    qbss-report all --no-cache      # recompute, bypassing the result cache
+    qbss-report --list              # what's in the registry
+
+Evaluation goes through :mod:`repro.engine`: experiments fan out over a
+process pool (``--jobs``) and warm re-runs are served from the
+content-addressed result cache (``--cache-dir``, ``--no-cache``).  Reports
+go to stdout; the engine-metrics footer (per-experiment wall time and
+cache hit/miss) goes to stderr, so piped report output stays deterministic.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
-from .analysis.experiments import REGISTRY
+from .analysis.experiments import REGISTRY, experiment_params, resolve_kwargs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -26,6 +35,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
+        nargs="?",
         choices=sorted(REGISTRY) + ["all", "verify"],
         help=(
             "which paper artifact to regenerate; 'verify' runs the "
@@ -55,46 +65,144 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit a markdown document instead of ASCII tables",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan experiments out over N worker processes (default: serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "result-cache directory (default: $QBSS_CACHE_DIR or "
+            "~/.cache/qbss-repro)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the result cache entirely (no reads, no writes)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the registered experiments and their parameters, then exit",
+    )
     return parser
 
 
-def _kwargs_for(name: str, args: argparse.Namespace) -> dict:
-    import inspect
+def _overrides_from_args(args: argparse.Namespace) -> dict:
+    """The CLI's global keyword overrides, in experiment-kwargs form."""
+    overrides = {}
+    if args.alpha is not None:
+        overrides["alpha"] = args.alpha
+    if args.n is not None:
+        overrides["n"] = args.n
+    if args.seeds is not None:
+        overrides["seeds"] = tuple(range(args.seeds))
+    return overrides
 
-    fn = REGISTRY[name]
-    sig = inspect.signature(fn)
-    kwargs = {}
-    if args.alpha is not None and "alpha" in sig.parameters:
-        kwargs["alpha"] = args.alpha
-    if args.n is not None and "n" in sig.parameters:
-        kwargs["n"] = args.n
-    if args.seeds is not None and "seeds" in sig.parameters:
-        kwargs["seeds"] = tuple(range(args.seeds))
-    return kwargs
+
+def _list_experiments() -> str:
+    """One line per registry entry: name, defaults, docstring summary."""
+    lines = []
+    for name in sorted(REGISTRY):
+        doc = (REGISTRY[name].__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        params = ", ".join(
+            f"{k}={v}" for k, v in experiment_params(name).items()
+        )
+        lines.append(f"{name:<22} {summary}")
+        if params:
+            lines.append(f"{'':<22}   defaults: {params}")
+    return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Reader went away (e.g. `qbss-report rho | head`); die quietly with
+        # the conventional 128+SIGPIPE status instead of a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        print(_list_experiments())
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment name (or 'all'/'verify') is required")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     if args.experiment == "verify":
         from .analysis.verification import all_ok, render_claims, verify_reproduction
 
-        claims = verify_reproduction(
-            alpha=args.alpha or 3.0, n=args.n or 12
-        )
+        claims = verify_reproduction(alpha=args.alpha or 3.0, n=args.n or 12)
         print(render_claims(claims))
         return 0 if all_ok(claims) else 1
-    names = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
-    if args.markdown:
-        from .analysis.report import generate_markdown
 
-        overrides = {name: _kwargs_for(name, args) for name in names}
-        print(generate_markdown(names, overrides))
-        return 0
+    names = sorted(REGISTRY) if args.experiment == "all" else [args.experiment]
+    cli_overrides = _overrides_from_args(args)
+    overrides = {}
+    used_anywhere = set()
+    per_name_unused = {}
     for name in names:
-        report = REGISTRY[name](**_kwargs_for(name, args))
-        print(report.render())
-        print()
-    return 0
+        call_kwargs, _resolved, unused = resolve_kwargs(name, cli_overrides)
+        overrides[name] = call_kwargs
+        used_anywhere.update(call_kwargs)
+        per_name_unused[name] = unused
+    if len(names) == 1:
+        # Warn per unused override: previously --alpha etc. were silently
+        # dropped when the experiment named its parameters differently.
+        for key in per_name_unused[names[0]]:
+            print(
+                f"warning: --{key.replace('_', '-')} is not a parameter of "
+                f"experiment '{names[0]}' and was ignored",
+                file=sys.stderr,
+            )
+    else:
+        for key in sorted(set(cli_overrides) - used_anywhere):
+            print(
+                f"warning: --{key.replace('_', '-')} matched no experiment "
+                "and was ignored everywhere",
+                file=sys.stderr,
+            )
+
+    from .engine import run_experiments
+
+    result = run_experiments(
+        names,
+        overrides,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+
+    if args.markdown:
+        from .analysis.report import reports_to_markdown
+
+        print(reports_to_markdown(result.reports), end="")
+    else:
+        for run in result.runs:
+            if run.report is not None:
+                print(run.report.render())
+                print()
+
+    print(result.footer(), file=sys.stderr)
+    for run in result.errors:
+        print(
+            f"error: experiment '{run.name}' failed:\n{run.metrics.error}",
+            file=sys.stderr,
+        )
+    return 1 if result.errors else 0
 
 
 if __name__ == "__main__":

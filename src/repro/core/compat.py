@@ -1,0 +1,51 @@
+"""Deprecation shims for the pre-1.1 positional call forms.
+
+The 1.1 API redesign made every QBSS entry point keyword-only past the
+instance argument (``algo(qi, *, alpha=..., query_policy=...,
+split_policy=...)``).  The old positional spellings keep working through
+:func:`absorb_positional`, which maps stray positional arguments onto their
+keyword slots and emits a :class:`DeprecationWarning` naming the new form.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Sequence, Tuple
+
+
+def warn_positional(fname: str, names: Sequence[str], count: int) -> None:
+    """Warn that ``fname`` received ``count`` legacy positional arguments."""
+    keywords = ", ".join(f"{p}=..." for p in names[:count])
+    warnings.warn(
+        f"passing {', '.join(names[:count])} to {fname}() positionally is "
+        f"deprecated; call {fname}(..., {keywords}) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def absorb_positional(
+    fname: str,
+    args: Tuple,
+    names: Sequence[str],
+    current: Tuple,
+) -> Tuple:
+    """Fold legacy positional ``args`` into the keyword slots ``names``.
+
+    ``current`` holds the keyword-supplied (or default) values in the same
+    order as ``names``; positional values win, with a deprecation warning.
+    Returns the merged tuple.  Raises :class:`TypeError` when more
+    positionals arrive than there are slots, mirroring a normal signature.
+    """
+    if not args:
+        return current
+    if len(args) > len(names):
+        raise TypeError(
+            f"{fname}() takes at most {len(names)} deprecated positional "
+            f"argument{'s' if len(names) != 1 else ''} ({', '.join(names)}), "
+            f"got {len(args)}"
+        )
+    warn_positional(fname, names, len(args))
+    merged = list(current)
+    merged[: len(args)] = args
+    return tuple(merged)

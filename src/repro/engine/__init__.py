@@ -1,0 +1,43 @@
+"""Parallel, cached execution of the experiment registry.
+
+The engine is the execution subsystem behind ``qbss-report``: it fans
+:data:`repro.analysis.experiments.REGISTRY` entries out over a process
+pool, serves warm re-runs from a content-addressed on-disk cache keyed by
+``(experiment, resolved kwargs, package version)``, and reports structured
+per-run metrics (wall time, cache hit/miss, row counts).
+
+Quick start::
+
+    from repro.engine import run_experiments
+
+    result = run_experiments(["rho", "lemma42"], jobs=2)
+    for run in result.runs:
+        print(run.name, run.metrics.wall_time, run.metrics.cache_hit)
+    print(result.footer())
+"""
+
+from .cache import (
+    CACHE_FORMAT_VERSION,
+    ResultCache,
+    cache_key,
+    default_cache_dir,
+)
+from .runner import (
+    EngineResult,
+    ExperimentRun,
+    RunMetrics,
+    map_measure,
+    run_experiments,
+)
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "ResultCache",
+    "cache_key",
+    "default_cache_dir",
+    "EngineResult",
+    "ExperimentRun",
+    "RunMetrics",
+    "map_measure",
+    "run_experiments",
+]

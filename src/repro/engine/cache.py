@@ -1,0 +1,139 @@
+"""Content-addressed on-disk cache for experiment reports.
+
+A cache entry is keyed by the SHA-256 of ``(experiment name, resolved
+kwargs, package version)`` — the *resolved* kwargs, i.e. signature defaults
+merged with overrides, so explicitly passing a default value hits the same
+entry as omitting it.  Entries are versioned JSON documents written
+atomically; a corrupt or wrong-version file is treated as a miss, never an
+error.
+
+Layout under the cache root (see ``docs/api.md``)::
+
+    <root>/<digest[:2]>/<digest>.json
+
+Each file holds an envelope ``{cache_version, key, experiment, params,
+package_version, wall_time, report}`` where ``report`` is the
+``experiment_report`` document of :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .. import __version__ as PACKAGE_VERSION
+
+CACHE_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def default_cache_dir() -> Path:
+    """``$QBSS_CACHE_DIR``, else ``$XDG_CACHE_HOME/qbss-repro``, else
+    ``~/.cache/qbss-repro``."""
+    env = os.environ.get("QBSS_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "qbss-repro"
+
+
+def cache_key(
+    experiment: str,
+    resolved_kwargs: Dict[str, Any],
+    package_version: Optional[str] = None,
+) -> str:
+    """The content address of one experiment evaluation (SHA-256 hex).
+
+    ``resolved_kwargs`` must already be in JSON form (the ``resolved`` dict
+    of :func:`repro.analysis.experiments.resolve_kwargs`); any change to the
+    experiment name, a parameter value, or the package version changes the
+    key, which is what invalidates stale entries across releases.
+    """
+    material = json.dumps(
+        {
+            "experiment": experiment,
+            "kwargs": resolved_kwargs,
+            "package_version": package_version or PACKAGE_VERSION,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ResultCache:
+    """The on-disk store; all methods are safe on a missing/corrupt tree."""
+
+    root: Path
+
+    def __init__(self, root: Optional[PathLike] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored envelope for ``key``, or ``None`` on any miss."""
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(data, dict)
+            or data.get("cache_version") != CACHE_FORMAT_VERSION
+            or data.get("key") != key
+        ):
+            return None
+        return data
+
+    def put(
+        self,
+        key: str,
+        experiment: str,
+        params: Dict[str, Any],
+        report_doc: Dict[str, Any],
+        wall_time: float,
+        package_version: Optional[str] = None,
+    ) -> Path:
+        """Atomically store one evaluated report; returns the file path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "cache_version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "experiment": experiment,
+            "params": params,
+            "package_version": package_version or PACKAGE_VERSION,
+            "wall_time": wall_time,
+            "report": report_doc,
+        }
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(envelope, indent=2, sort_keys=True))
+        tmp.replace(path)
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - concurrent cleanup
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,267 @@
+"""The parallel cached experiment engine.
+
+:func:`run_experiments` fans registered experiments out over a
+``concurrent.futures`` process pool (``jobs > 1``) or runs them inline
+(``jobs = 1``), consulting the content-addressed :class:`ResultCache`
+first.  Results come back in input order regardless of completion order,
+and every run carries :class:`RunMetrics` (wall time, cache hit/miss, row
+count) so reports can show where the time went.
+
+Reports are *always* normalised through their JSON payload
+(``to_dict``/``from_dict``), so a cold run, a warm cache hit and a
+``jobs=4`` run all render byte-identically.
+
+:func:`map_measure` is the inner-loop counterpart: it fans per-instance
+ratio measurements of a *named* algorithm (dispatched through
+:data:`repro.qbss.registry.ALGORITHMS`) over the same kind of pool.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..analysis.experiments import REGISTRY, ExperimentReport, resolve_kwargs
+from ..core.constants import DEFAULT_ALPHA
+from .cache import ResultCache, cache_key
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Per-experiment execution metrics."""
+
+    experiment: str
+    wall_time: float
+    cache_hit: bool
+    rows: int
+    error: Optional[str] = None
+
+
+@dataclass
+class ExperimentRun:
+    """One engine-evaluated experiment: report (or error) + metrics."""
+
+    name: str
+    params: Dict[str, Any]
+    report: Optional[ExperimentReport]
+    metrics: RunMetrics
+
+    @property
+    def ok(self) -> bool:
+        return self.report is not None
+
+
+@dataclass
+class EngineResult:
+    """All runs of one engine invocation, in input order."""
+
+    runs: List[ExperimentRun]
+    jobs: int
+    cache_dir: Optional[str]
+
+    @property
+    def reports(self) -> List[ExperimentReport]:
+        return [r.report for r in self.runs if r.report is not None]
+
+    @property
+    def errors(self) -> List[ExperimentRun]:
+        return [r for r in self.runs if not r.ok]
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for r in self.runs if r.metrics.cache_hit)
+
+    @property
+    def misses(self) -> int:
+        return sum(1 for r in self.runs if not r.metrics.cache_hit)
+
+    @property
+    def total_wall_time(self) -> float:
+        return sum(r.metrics.wall_time for r in self.runs)
+
+    def footer(self) -> str:
+        """The engine-metrics footer appended to CLI reports."""
+        lines = [
+            "---- engine " + "-" * 46,
+            f"{'experiment':<24} {'wall(s)':>9}  {'cache':<5} {'rows':>5}",
+        ]
+        for run in self.runs:
+            m = run.metrics
+            status = "ERROR" if m.error else ("hit" if m.cache_hit else "miss")
+            lines.append(
+                f"{m.experiment:<24} {m.wall_time:>9.3f}  {status:<5} {m.rows:>5}"
+            )
+        cache_note = self.cache_dir if self.cache_dir else "disabled"
+        lines.append(
+            f"total {self.total_wall_time:.3f}s | {self.hits} hit / "
+            f"{self.misses} miss | jobs={self.jobs} | cache: {cache_note}"
+        )
+        return "\n".join(lines)
+
+
+def _execute(name: str, call_kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker body: run one experiment, return its JSON payload + timing.
+
+    Must stay a module-level function (pickled by name into pool workers).
+    Exceptions are captured into the result so one failing experiment
+    cannot take down the whole batch.
+    """
+    start = time.perf_counter()
+    try:
+        report = REGISTRY[name](**call_kwargs)
+        return {
+            "ok": True,
+            "payload": report.to_dict(),
+            "wall": time.perf_counter() - start,
+        }
+    except Exception:
+        return {
+            "ok": False,
+            "error": traceback.format_exc(limit=8),
+            "wall": time.perf_counter() - start,
+        }
+
+
+def run_experiments(
+    names: Sequence[str],
+    overrides: Optional[Dict[str, dict]] = None,
+    *,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_dir=None,
+    package_version: Optional[str] = None,
+) -> EngineResult:
+    """Evaluate ``names`` (registry keys), parallel and cached.
+
+    ``overrides`` maps an experiment name to keyword-argument overrides
+    (already validated — see :func:`repro.analysis.experiments.resolve_kwargs`).
+    ``jobs > 1`` dispatches cache misses to a process pool; hits are served
+    in-process.  ``cache=False`` bypasses the cache entirely (no reads, no
+    writes).  ``package_version`` overrides the version component of the
+    cache key (tests use this to exercise invalidation).
+    """
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}")
+
+    store = ResultCache(cache_dir) if cache else None
+    plans = []  # (index, name, call_kwargs, resolved, key)
+    runs: List[Optional[ExperimentRun]] = [None] * len(names)
+
+    for i, name in enumerate(names):
+        call_kwargs, resolved, _unused = resolve_kwargs(
+            name, (overrides or {}).get(name)
+        )
+        key = cache_key(name, resolved, package_version)
+        if store is not None:
+            start = time.perf_counter()
+            entry = store.get(key)
+            if entry is not None:
+                report = ExperimentReport.from_dict(entry["report"])
+                runs[i] = ExperimentRun(
+                    name=name,
+                    params=resolved,
+                    report=report,
+                    metrics=RunMetrics(
+                        experiment=name,
+                        wall_time=time.perf_counter() - start,
+                        cache_hit=True,
+                        rows=len(report.rows),
+                    ),
+                )
+                continue
+        plans.append((i, name, call_kwargs, resolved, key))
+
+    def record(plan, outcome: Dict[str, Any]) -> None:
+        i, name, _call_kwargs, resolved, key = plan
+        if outcome["ok"]:
+            payload = outcome["payload"]
+            report = ExperimentReport.from_dict(payload)
+            if store is not None:
+                store.put(
+                    key, name, resolved, payload, outcome["wall"], package_version
+                )
+            metrics = RunMetrics(
+                experiment=name,
+                wall_time=outcome["wall"],
+                cache_hit=False,
+                rows=len(report.rows),
+            )
+            runs[i] = ExperimentRun(name, resolved, report, metrics)
+        else:
+            metrics = RunMetrics(
+                experiment=name,
+                wall_time=outcome["wall"],
+                cache_hit=False,
+                rows=0,
+                error=outcome["error"],
+            )
+            runs[i] = ExperimentRun(name, resolved, None, metrics)
+
+    if jobs <= 1 or len(plans) <= 1:
+        for plan in plans:
+            record(plan, _execute(plan[1], plan[2]))
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(plans))) as pool:
+            futures = {
+                pool.submit(_execute, plan[1], plan[2]): plan for plan in plans
+            }
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    record(futures[fut], fut.result())
+
+    return EngineResult(
+        runs=[r for r in runs if r is not None],
+        jobs=jobs,
+        cache_dir=str(store.root) if store is not None else None,
+    )
+
+
+# -- per-seed inner loops -------------------------------------------------------------
+
+
+def _measure_worker(algorithm: str, instance_doc: dict, alpha: float, exact_multi: bool):
+    from ..analysis.ratios import measure
+    from ..io import qbss_instance_from_dict
+
+    return measure(
+        algorithm,
+        qbss_instance_from_dict(instance_doc),
+        alpha=alpha,
+        exact_multi=exact_multi,
+    )
+
+
+def map_measure(
+    algorithm: str,
+    instances: Iterable,
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    jobs: int = 1,
+    exact_multi: bool = False,
+) -> List:
+    """Fan per-instance ratio measurements of a *named* algorithm over a pool.
+
+    The algorithm is dispatched through
+    :data:`repro.qbss.registry.ALGORITHMS` inside each worker (names are
+    picklable, closures are not); instances travel as their
+    :mod:`repro.io` JSON documents.  Results keep the input order.
+    """
+    from ..io import qbss_instance_to_dict
+    from ..qbss.registry import get_algorithm
+
+    get_algorithm(algorithm)  # fail fast on unknown names, in the parent
+    docs = [qbss_instance_to_dict(qi) for qi in instances]
+    if jobs <= 1 or len(docs) <= 1:
+        return [_measure_worker(algorithm, d, alpha, exact_multi) for d in docs]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(docs))) as pool:
+        futures = [
+            pool.submit(_measure_worker, algorithm, d, alpha, exact_multi)
+            for d in docs
+        ]
+        return [f.result() for f in futures]

@@ -76,6 +76,19 @@ def profile_to_dict(profile: SpeedProfile) -> Dict[str, Any]:
     }
 
 
+def experiment_report_to_dict(report) -> Dict[str, Any]:
+    """Encode an :class:`~repro.analysis.experiments.ExperimentReport`.
+
+    The cells are already JSON-coerced by ``report.to_dict()``; this adds
+    the versioned envelope so the document round-trips through
+    :func:`save`/:func:`load` like every other kind.
+    """
+    data = report.to_dict()
+    data["version"] = FORMAT_VERSION
+    data["kind"] = "experiment_report"
+    return data
+
+
 def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
     return {
         "version": FORMAT_VERSION,
@@ -156,6 +169,14 @@ def profile_from_dict(data: Dict[str, Any]) -> SpeedProfile:
     )
 
 
+def experiment_report_from_dict(data: Dict[str, Any]):
+    """Decode an experiment-report document (lazy import, heavy module)."""
+    from .analysis.experiments import ExperimentReport
+
+    _expect(data, "experiment_report")
+    return ExperimentReport.from_dict(data)
+
+
 def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
     _expect(data, "schedule")
     schedule = Schedule(int(data["machines"]))
@@ -183,6 +204,10 @@ _SAVERS = {
 def save(obj, path: PathLike) -> None:
     """Serialize a supported object to a JSON file."""
     encoder = _SAVERS.get(type(obj))
+    if encoder is None and type(obj).__name__ == "ExperimentReport":
+        # Registered lazily: importing repro.analysis at module import time
+        # would pull the whole experiment stack into every io user.
+        encoder = experiment_report_to_dict
     if encoder is None:
         raise TypeError(f"cannot serialize objects of type {type(obj).__name__}")
     Path(path).write_text(json.dumps(encoder(obj), indent=2, sort_keys=True))
@@ -193,6 +218,7 @@ _LOADERS = {
     "qbss": qbss_instance_from_dict,
     "profile": profile_from_dict,
     "schedule": schedule_from_dict,
+    "experiment_report": experiment_report_from_dict,
 }
 
 

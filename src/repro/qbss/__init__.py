@@ -17,6 +17,7 @@ from .multi import avrq_m
 from .nonmigratory import avrq_nm
 from .oaq import oaq
 from .oaq_m import oaq_m
+from .registry import ALGORITHMS, AlgorithmSpec, get_algorithm, run_algorithm
 from .simulation import incremental_profile, verify_causality
 from .policies import (
     AlwaysQuery,
@@ -61,6 +62,10 @@ __all__ = [
     "avrq_nm",
     "oaq",
     "oaq_m",
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "get_algorithm",
+    "run_algorithm",
     "incremental_profile",
     "verify_causality",
     "AlwaysQuery",

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..core.compat import absorb_positional
+from ..core.constants import DEFAULT_ALPHA
 from ..core.instance import Instance, QBSSInstance
 from ..core.power import PowerFunction
 from ..core.profile import SpeedProfile
@@ -43,7 +45,8 @@ class ClairvoyantBaseline:
 
 def clairvoyant(
     qinstance: QBSSInstance,
-    alpha: float,
+    *args,
+    alpha: float = DEFAULT_ALPHA,
     exact_multi: bool = False,
 ) -> ClairvoyantBaseline:
     """Compute the clairvoyant optimum for ``qinstance``.
@@ -53,6 +56,9 @@ def clairvoyant(
     valid — measured ratios become conservative *upper* estimates);
     ``exact_multi=True`` solves the convex program instead (small n only).
     """
+    alpha, exact_multi = absorb_positional(
+        "clairvoyant", args, ("alpha", "exact_multi"), (alpha, exact_multi)
+    )
     star = qinstance.clairvoyant_instance()
     if qinstance.machines == 1:
         result = yds(list(star.jobs))
@@ -91,7 +97,7 @@ def clairvoyant(
 
 def optimal_energy(qinstance: QBSSInstance, alpha: float, exact_multi: bool = False) -> float:
     """Clairvoyant optimal energy (see :func:`clairvoyant`)."""
-    return clairvoyant(qinstance, alpha, exact_multi).energy_value
+    return clairvoyant(qinstance, alpha=alpha, exact_multi=exact_multi).energy_value
 
 
 def optimal_max_speed(qinstance: QBSSInstance) -> float:

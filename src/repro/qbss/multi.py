@@ -20,10 +20,16 @@ from .result import QBSSResult
 from .transform import derive_online
 
 
-def avrq_m(qinstance: QBSSInstance) -> QBSSResult:
-    """Run AVRQ(m) on the instance's ``machines`` parallel machines."""
+def avrq_m(qinstance: QBSSInstance, *, split_policy=None) -> QBSSResult:
+    """Run AVRQ(m) on the instance's ``machines`` parallel machines.
+
+    ``split_policy`` defaults to the paper's equal window, mirroring
+    :func:`~repro.qbss.avrq.avrq`.
+    """
     m = qinstance.machines
-    derived = derive_online(qinstance, AlwaysQuery(), EqualWindowSplit())
+    derived = derive_online(
+        qinstance, AlwaysQuery(), split_policy or EqualWindowSplit()
+    )
     result: AVRmResult = avr_m(derived.jobs, m)
     check_queries_complete(derived, result.schedule)
     return QBSSResult(

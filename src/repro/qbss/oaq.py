@@ -15,6 +15,7 @@ measured ratios in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+from ..core.compat import absorb_positional
 from ..core.instance import QBSSInstance
 from ..speed_scaling.oa import oa
 from .avrq import check_queries_complete
@@ -25,13 +26,22 @@ from .transform import derive_online
 
 def oaq(
     qinstance: QBSSInstance,
+    *args,
     query_policy: QueryPolicy | None = None,
+    split_policy=None,
 ) -> QBSSResult:
-    """Run OAQ on a single machine (policy defaults to the golden rule)."""
+    """Run OAQ on a single machine.
+
+    ``query_policy`` defaults to the golden-ratio rule and ``split_policy``
+    to the equal window (the same defaults BKPQ uses).
+    """
+    (query_policy,) = absorb_positional(
+        "oaq", args, ("query_policy",), (query_policy,)
+    )
     if qinstance.machines != 1:
         raise ValueError("oaq is a single-machine algorithm")
     policy = query_policy or golden_ratio_policy()
-    derived = derive_online(qinstance, policy, EqualWindowSplit())
+    derived = derive_online(qinstance, policy, split_policy or EqualWindowSplit())
     result = oa(derived.jobs)
     if not result.feasible:  # pragma: no cover - OA plans are feasible
         raise RuntimeError(f"OAQ internal error: unfinished {result.unfinished}")

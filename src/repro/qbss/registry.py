@@ -1,0 +1,158 @@
+"""Uniform name → algorithm dispatch for the QBSS runners.
+
+Every QBSS entry point shares the 1.1 signature shape
+``algo(qi, *, alpha=..., query_policy=..., split_policy=...)`` (each one
+accepting the subset of those keywords that makes sense for it).  This
+module is the single place that knows which names exist and which keywords
+each accepts, so callers that dispatch by *name* — the experiment engine,
+:func:`repro.analysis.ratios.measure`, the causality replay — share one
+registry instead of string-matching ad hoc.
+
+    >>> from repro.qbss import run_algorithm
+    >>> from repro.workloads.generators import online_instance
+    >>> run_algorithm("bkpq", online_instance(4, seed=0)).algorithm
+    'BKPQ'
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Optional
+
+from ..core.instance import QBSSInstance
+from ..speed_scaling.avr import avr_profile
+from ..speed_scaling.bkp import bkp_profile
+from .avrq import avrq
+from .bkpq import bkpq
+from .crad import crad
+from .crcd import crcd
+from .crp2d import crp2d
+from .multi import avrq_m
+from .nonmigratory import avrq_nm
+from .oaq import oaq
+from .oaq_m import oaq_m
+from .policies import AlwaysQuery, golden_ratio_policy
+from .result import QBSSResult
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered QBSS runner and its dispatch metadata.
+
+    ``accepts`` is the subset of the uniform keywords
+    ``{"alpha", "query_policy", "split_policy"}`` the runner understands.
+    ``profile_fn`` / ``default_query`` are set for the algorithms whose
+    speed formula is causal enough for the event-driven replay of
+    :mod:`repro.qbss.simulation` (the batch profile builder over classical
+    jobs, and the query policy the algorithm uses by default).
+    """
+
+    name: str
+    fn: Callable[..., QBSSResult]
+    setting: str  # "offline" | "online" | "multi"
+    accepts: FrozenSet[str]
+    summary: str
+    profile_fn: Optional[Callable] = None
+    default_query: Optional[Callable] = None
+
+
+_KEYWORDS = ("alpha", "query_policy", "split_policy")
+
+
+def _spec(name, fn, setting, accepts, summary, **extra) -> AlgorithmSpec:
+    unknown = set(accepts) - set(_KEYWORDS)
+    if unknown:  # pragma: no cover - registry construction guard
+        raise ValueError(f"unknown dispatch keywords for {name}: {unknown}")
+    return AlgorithmSpec(
+        name=name,
+        fn=fn,
+        setting=setting,
+        accepts=frozenset(accepts),
+        summary=summary,
+        **extra,
+    )
+
+
+#: The uniform name → runner registry.  Keys are the CLI/engine-facing
+#: names; values carry the callable plus which uniform keywords it takes.
+ALGORITHMS: Dict[str, AlgorithmSpec] = {
+    spec.name: spec
+    for spec in (
+        _spec(
+            "crcd", crcd, "offline", {"query_policy"},
+            "common release + common deadline (Algorithm 1)",
+        ),
+        _spec(
+            "crp2d", crp2d, "offline", {"query_policy"},
+            "common release + power-of-two deadlines (Algorithm 2)",
+        ),
+        _spec(
+            "crad", crad, "offline", {"query_policy"},
+            "common release + arbitrary deadlines (rounding + CRP2D)",
+        ),
+        _spec(
+            "avrq", avrq, "online", {"split_policy"},
+            "Average Rate with queries (Sec. 5.1)",
+            profile_fn=avr_profile,
+            default_query=AlwaysQuery,
+        ),
+        _spec(
+            "bkpq", bkpq, "online", {"query_policy", "split_policy"},
+            "BKP with golden-ratio queries (Sec. 5.2)",
+            profile_fn=bkp_profile,
+            default_query=golden_ratio_policy,
+        ),
+        _spec(
+            "oaq", oaq, "online", {"query_policy", "split_policy"},
+            "Optimal Available with queries (Sec. 7 extension)",
+        ),
+        _spec(
+            "avrq_m", avrq_m, "multi", {"split_policy"},
+            "AVRQ on m parallel machines (Sec. 6)",
+        ),
+        _spec(
+            "avrq_nm", avrq_nm, "multi", set(),
+            "non-migratory AVRQ variant (Sec. 7 remark)",
+        ),
+        _spec(
+            "oaq_m", oaq_m, "multi", {"alpha", "query_policy", "split_policy"},
+            "OAQ on m parallel machines (extension)",
+        ),
+    )
+}
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up a registered algorithm by name (KeyError lists the names)."""
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown QBSS algorithm {name!r}; "
+            f"registered: {', '.join(sorted(ALGORITHMS))}"
+        ) from None
+
+
+def run_algorithm(
+    name: str,
+    qinstance: QBSSInstance,
+    *,
+    alpha: Optional[float] = None,
+    query_policy=None,
+    split_policy=None,
+) -> QBSSResult:
+    """Run a registered algorithm by name with the uniform keywords.
+
+    Keywords left at ``None`` fall through to the algorithm's defaults;
+    passing one the algorithm does not accept raises :class:`TypeError`
+    (rather than silently dropping it).
+    """
+    spec = get_algorithm(name)
+    kwargs = {}
+    for key, value in zip(_KEYWORDS, (alpha, query_policy, split_policy)):
+        if value is None:
+            continue
+        if key not in spec.accepts:
+            raise TypeError(f"algorithm {name!r} does not accept {key}=")
+        kwargs[key] = value
+    return spec.fn(qinstance, **kwargs)

@@ -17,28 +17,19 @@ the test suite runs this check over random instances.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Literal, Sequence
+from typing import Callable, List, Sequence
 
 from ..core.constants import EPS
 from ..core.instance import QBSSInstance
 from ..core.job import Job
 from ..core.profile import Segment, SpeedProfile
 from ..core.timeline import dedupe_times
-from ..speed_scaling.avr import avr_profile
-from ..speed_scaling.bkp import bkp_profile
-from .policies import AlwaysQuery, EqualWindowSplit, QueryPolicy, SplitPolicy, golden_ratio_policy
+from .policies import EqualWindowSplit, QueryPolicy, SplitPolicy
+from .registry import get_algorithm, run_algorithm
 
-AlgorithmName = Literal["avrq", "bkpq"]
-
-_PROFILE_FN: dict = {
-    "avrq": avr_profile,
-    "bkpq": bkp_profile,
-}
-
-_DEFAULT_QUERY: dict = {
-    "avrq": AlwaysQuery,
-    "bkpq": golden_ratio_policy,
-}
+#: Any :data:`~repro.qbss.registry.ALGORITHMS` name whose spec carries a
+#: ``profile_fn`` (currently ``"avrq"`` and ``"bkpq"``) can be replayed.
+AlgorithmName = str
 
 
 @dataclass
@@ -66,10 +57,14 @@ def incremental_profile(
     split_policy: SplitPolicy | None = None,
 ) -> ReplayResult:
     """Replay an online algorithm event by event (see module docstring)."""
-    if algorithm not in _PROFILE_FN:
-        raise ValueError(f"unknown algorithm {algorithm!r}")
-    profile_fn: Callable[[Sequence[Job]], SpeedProfile] = _PROFILE_FN[algorithm]
-    qpol = query_policy or _DEFAULT_QUERY[algorithm]()
+    spec = get_algorithm(algorithm)
+    if spec.profile_fn is None or spec.default_query is None:
+        raise ValueError(
+            f"algorithm {algorithm!r} has no causal batch profile formula; "
+            "only profile-based online algorithms support incremental replay"
+        )
+    profile_fn: Callable[[Sequence[Job]], SpeedProfile] = spec.profile_fn
+    qpol = query_policy or spec.default_query()
     spol = split_policy or EqualWindowSplit()
 
     # Pre-compute each job's decision (taken at its release from the view,
@@ -129,12 +124,13 @@ def verify_causality(
     algorithm: AlgorithmName,
     tol: float = 1e-9,
 ) -> bool:
-    """Does the event-driven replay match the batch construction exactly?"""
-    from .avrq import avrq
-    from .bkpq import bkpq
+    """Does the event-driven replay match the batch construction exactly?
 
+    ``algorithm`` is any :data:`~repro.qbss.registry.ALGORITHMS` name whose
+    spec supports replay; the batch run dispatches through the registry.
+    """
     replayed = incremental_profile(qinstance, algorithm).profile
-    batch = (avrq if algorithm == "avrq" else bkpq)(qinstance).profile
+    batch = run_algorithm(algorithm, qinstance).profile
     pts = sorted(set(replayed.breakpoints()) | set(batch.breakpoints()))
     for a, b in zip(pts, pts[1:]):
         if b - a <= tol:

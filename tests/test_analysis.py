@@ -28,7 +28,7 @@ from repro.workloads.generators import common_deadline_instance, online_instance
 class TestMeasure:
     def test_ratio_at_least_one_for_exact_baseline(self):
         qi = common_deadline_instance(8, seed=0)
-        m = measure(crcd, qi, 3.0)
+        m = measure(crcd, qi, alpha=3.0)
         assert m.energy_ratio >= 1.0 - 1e-9
         assert m.max_speed_ratio >= 1.0 - 1e-9
         assert m.exact_baseline
@@ -36,24 +36,24 @@ class TestMeasure:
     def test_never_query_ratio_formula(self):
         # single job: never-query executes w; opt executes c + w*
         qi = QBSSInstance([QJob(0, 1, 0.1, 1.0, 0.1, "x")])
-        m = measure(never_query_offline, qi, 3.0)
+        m = measure(never_query_offline, qi, alpha=3.0)
         assert math.isclose(m.max_speed_ratio, 1.0 / 0.2)
         assert math.isclose(m.energy_ratio, 5.0**3)
 
     def test_equal_window_baseline_feasible(self):
         qi = common_deadline_instance(6, seed=1)
-        m = measure(always_query_equal_window_offline, qi, 3.0)
+        m = measure(always_query_equal_window_offline, qi, alpha=3.0)
         assert m.energy_ratio >= 1.0 - 1e-9
 
     def test_measure_many_aggregates(self):
         instances = [common_deadline_instance(6, seed=s) for s in range(4)]
-        summary = measure_many(crcd, instances, 3.0)
+        summary = measure_many(crcd, instances, alpha=3.0)
         assert summary.count == 4
         assert summary.max_energy_ratio >= summary.mean_energy_ratio
 
     def test_measure_many_requires_instances(self):
         with pytest.raises(ValueError):
-            measure_many(crcd, [], 3.0)
+            measure_many(crcd, [], alpha=3.0)
 
 
 class TestSweeps:

@@ -52,7 +52,7 @@ def test_theorem_52_pointwise(seed):
 def test_corollary_53_energy(alpha, seed):
     qi = online_instance(10, seed=seed)
     result = avrq(qi)
-    opt = clairvoyant(qi, alpha).energy_value
+    opt = clairvoyant(qi, alpha=alpha).energy_value
     assert result.energy(PowerFunction(alpha)) <= avrq_ub_energy(alpha) * opt * (
         1 + 1e-9
     )

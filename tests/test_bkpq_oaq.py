@@ -48,7 +48,7 @@ class TestBKPQ:
     def test_corollary_55_energy(self, alpha, seed):
         qi = online_instance(10, seed=seed)
         result = bkpq(qi)
-        opt = clairvoyant(qi, alpha).energy_value
+        opt = clairvoyant(qi, alpha=alpha).energy_value
         assert result.energy(PowerFunction(alpha)) <= bkpq_ub_energy(
             alpha
         ) * opt * (1 + 1e-9)
@@ -57,7 +57,7 @@ class TestBKPQ:
     def test_corollary_55_max_speed(self, seed):
         qi = online_instance(10, seed=seed)
         result = bkpq(qi)
-        opt = clairvoyant(qi, 3.0).max_speed_value
+        opt = clairvoyant(qi, alpha=3.0).max_speed_value
         assert result.max_speed() <= bkpq_ub_max_speed() * opt * (1 + 1e-9)
 
     def test_policy_injection(self):

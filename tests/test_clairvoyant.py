@@ -11,7 +11,7 @@ from repro.speed_scaling.yds import optimal_energy as yds_energy
 
 
 def test_single_machine_equals_yds_on_pstar(common_window_qinstance):
-    base = clairvoyant(common_window_qinstance, 3.0)
+    base = clairvoyant(common_window_qinstance, alpha=3.0)
     star = common_window_qinstance.clairvoyant_instance()
     assert math.isclose(base.energy_value, yds_energy(list(star.jobs), 3.0))
     assert base.exact
@@ -21,7 +21,7 @@ def test_single_machine_equals_yds_on_pstar(common_window_qinstance):
 def test_single_job_closed_form():
     # p* = min(3, 0.5 + 1) = 1.5 over a window of 2 -> speed 0.75
     qi = QBSSInstance([QJob(0, 2, 0.5, 3.0, 1.0)])
-    base = clairvoyant(qi, 3.0)
+    base = clairvoyant(qi, alpha=3.0)
     assert math.isclose(base.max_speed_value, 0.75)
     assert math.isclose(base.energy_value, 2 * 0.75**3)
 
@@ -29,22 +29,22 @@ def test_single_job_closed_form():
 def test_query_never_helps_when_cost_too_high():
     # c + w* > w: the clairvoyant skips the query, load = w
     qi = QBSSInstance([QJob(0, 1, 0.9, 1.0, 0.5)])
-    assert math.isclose(clairvoyant(qi, 2.0).energy_value, 1.0)
+    assert math.isclose(clairvoyant(qi, alpha=2.0).energy_value, 1.0)
 
 
 def test_multi_machine_pooled_default(common_window_qinstance):
     qi = common_window_qinstance.with_machines(2)
-    base = clairvoyant(qi, 3.0)
+    base = clairvoyant(qi, alpha=3.0)
     assert not base.exact
-    single = clairvoyant(common_window_qinstance, 3.0)
+    single = clairvoyant(common_window_qinstance, alpha=3.0)
     # pooling two machines divides the constant speed by 2: energy x m^{1-a}
     assert math.isclose(base.energy_value, single.energy_value / 4.0, rel_tol=1e-9)
 
 
 def test_multi_machine_exact_at_least_pooled(common_window_qinstance):
     qi = common_window_qinstance.with_machines(2)
-    pooled = clairvoyant(qi, 3.0, exact_multi=False).energy_value
-    exact = clairvoyant(qi, 3.0, exact_multi=True).energy_value
+    pooled = clairvoyant(qi, alpha=3.0, exact_multi=False).energy_value
+    exact = clairvoyant(qi, alpha=3.0, exact_multi=True).energy_value
     assert exact >= pooled * (1 - 1e-6)
 
 
@@ -52,7 +52,7 @@ def test_multi_machine_exact_provides_witness_schedule(common_window_qinstance):
     from repro.core.feasibility import check_feasible
 
     qi = common_window_qinstance.with_machines(2)
-    base = clairvoyant(qi, 3.0, exact_multi=True)
+    base = clairvoyant(qi, alpha=3.0, exact_multi=True)
     assert base.schedule is not None
     report = check_feasible(base.schedule, base.star, tol=1e-5)
     assert report.ok, report.violations

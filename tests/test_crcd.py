@@ -74,7 +74,7 @@ def test_executed_load_bounded_by_phi_times_optimal(common_window_qinstance):
 def test_energy_within_theorem_46(alpha, seed):
     qi = common_deadline_instance(12, seed=seed)
     result = crcd(qi)
-    opt = clairvoyant(qi, alpha).energy_value
+    opt = clairvoyant(qi, alpha=alpha).energy_value
     assert result.energy(PowerFunction(alpha)) <= crcd_ub_energy(alpha) * opt * (
         1 + 1e-9
     )
@@ -84,7 +84,7 @@ def test_energy_within_theorem_46(alpha, seed):
 def test_max_speed_within_2x(seed):
     qi = common_deadline_instance(12, seed=seed)
     result = crcd(qi)
-    opt = clairvoyant(qi, 3.0).max_speed_value
+    opt = clairvoyant(qi, alpha=3.0).max_speed_value
     assert result.max_speed() <= CRCD_UB_MAX_SPEED * opt * (1 + 1e-9)
 
 
@@ -93,7 +93,7 @@ def test_adversarial_instance_energy_exact():
     qi = QBSSInstance([QJob(0, 1, 1.0, 2.0, 0.0, "adv")])
     alpha = 3.0
     result = crcd(qi)
-    opt = clairvoyant(qi, alpha).energy_value
+    opt = clairvoyant(qi, alpha=alpha).energy_value
     assert math.isclose(result.energy(PowerFunction(alpha)) / opt, 2.0 ** (alpha - 1))
 
 

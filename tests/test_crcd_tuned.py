@@ -75,7 +75,7 @@ def test_tuned_point_can_beat_default_on_instance():
     ]
     qi = QBSSInstance(jobs)
     p = PowerFunction(3.0)
-    opt = clairvoyant(qi, 3.0).energy_value
+    opt = clairvoyant(qi, alpha=3.0).energy_value
     default = crcd(qi).energy(p) / opt
     tuned = crcd_tuned(qi, x=0.2, lam=0.1).energy(p) / opt
     assert tuned < default

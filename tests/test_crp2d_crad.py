@@ -70,7 +70,7 @@ class TestCRP2D:
     def test_energy_within_theorem_413(self, alpha, seed):
         qi = power_of_two_instance(10, seed=seed)
         result = crp2d(qi)
-        opt = clairvoyant(qi, alpha).energy_value
+        opt = clairvoyant(qi, alpha=alpha).energy_value
         assert result.energy(PowerFunction(alpha)) <= crp2d_ub_energy(alpha) * opt * (
             1 + 1e-9
         )
@@ -125,7 +125,7 @@ class TestCRAD:
     def test_energy_within_corollary_415(self, alpha, seed):
         qi = common_release_instance(10, seed=seed)
         result = crad(qi)
-        opt = clairvoyant(qi, alpha).energy_value
+        opt = clairvoyant(qi, alpha=alpha).energy_value
         assert result.energy(PowerFunction(alpha)) <= crad_ub_energy(alpha) * opt * (
             1 + 1e-9
         )

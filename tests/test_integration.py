@@ -24,7 +24,7 @@ def test_scenarios_run_end_to_end(algo):
     """Both motivating scenarios drive every online algorithm cleanly."""
     for make in (code_optimizer_scenario, file_compression_scenario):
         qi = make(15, seed=11)
-        m = measure(algo, qi, 3.0)
+        m = measure(algo, qi, alpha=3.0)
         assert m.feasible
         assert m.energy_ratio >= 1.0 - 1e-9
 
@@ -50,7 +50,7 @@ def test_offline_algorithms_agree_on_their_common_domain():
     from repro.bounds.formulas import crad_ub_energy, crcd_ub_energy, crp2d_ub_energy
 
     qi = common_deadline_instance(10, deadline=8.0, seed=5)
-    opt = clairvoyant(qi, 3.0).energy_value
+    opt = clairvoyant(qi, alpha=3.0).energy_value
     p = PowerFunction(3.0)
     for algo, bound in ((crcd, crcd_ub_energy), (crp2d, crp2d_ub_energy), (crad, crad_ub_energy)):
         res = algo(qi)
@@ -63,7 +63,7 @@ def test_datacenter_multi_machine_pipeline():
     result = avrq_m(qi)
     report = result.validate()
     assert report.ok, report.violations
-    base = clairvoyant(qi, 3.0)
+    base = clairvoyant(qi, alpha=3.0)
     assert result.energy(PowerFunction(3.0)) >= base.energy_value * (1 - 1e-9)
 
 
@@ -95,6 +95,6 @@ def test_executed_load_matches_decision():
 def test_alpha_consistency_across_objectives():
     """Max-speed ratios are alpha-independent; energy ratios grow with it."""
     qi = common_deadline_instance(10, seed=1)
-    m2 = measure(crcd, qi, 2.0)
-    m3 = measure(crcd, qi, 3.0)
+    m2 = measure(crcd, qi, alpha=2.0)
+    m3 = measure(crcd, qi, alpha=3.0)
     assert math.isclose(m2.max_speed_ratio, m3.max_speed_ratio, rel_tol=1e-9)

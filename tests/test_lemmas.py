@@ -56,7 +56,7 @@ class TestLemma45:
 
     def test_avrq_realises_the_bound(self):
         qi = lemmas.lemma45_instance(1e-6)
-        m_speed = avrq(qi).max_speed() / clairvoyant(qi, 3.0).max_speed_value
+        m_speed = avrq(qi).max_speed() / clairvoyant(qi, alpha=3.0).max_speed_value
         assert m_speed >= 3.0 - 1e-3
 
     def test_both_jobs_queried_by_golden_rule(self):
@@ -82,7 +82,7 @@ class TestLemma51Tower:
         ratios = []
         for k in (2, 6, 12):
             qi = lemmas.lemma51_tower_instance(k, 3.0)
-            r = avrq(qi).energy(p) / clairvoyant(qi, 3.0).energy_value
+            r = avrq(qi).energy(p) / clairvoyant(qi, alpha=3.0).energy_value
             ratios.append(r)
         assert ratios[0] < ratios[1] < ratios[2]
 
@@ -90,7 +90,7 @@ class TestLemma51Tower:
         from repro.bounds.formulas import avrq_ub_energy
 
         qi = lemmas.lemma51_tower_instance(16, 3.0)
-        r = avrq(qi).energy(PowerFunction(3.0)) / clairvoyant(qi, 3.0).energy_value
+        r = avrq(qi).energy(PowerFunction(3.0)) / clairvoyant(qi, alpha=3.0).energy_value
         assert r <= avrq_ub_energy(3.0)
 
     def test_levels_validated(self):

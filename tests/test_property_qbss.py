@@ -79,7 +79,7 @@ def test_crcd_within_paper_bound(qi, alpha):
     from repro.qbss.clairvoyant import clairvoyant
 
     result = crcd(qi)
-    opt = clairvoyant(qi, alpha).energy_value
+    opt = clairvoyant(qi, alpha=alpha).energy_value
     if opt > 1e-12:
         ratio = result.energy(PowerFunction(alpha)) / opt
         assert ratio <= crcd_ub_energy(alpha) * (1 + 1e-6)

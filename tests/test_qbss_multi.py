@@ -45,7 +45,7 @@ def test_corollary_64_energy_vs_exact_optimum(m):
     """Small instance so the convex optimum is computable exactly."""
     qi = multi_machine_instance(5, m, seed=7)
     result = avrq_m(qi)
-    opt = clairvoyant(qi, 3.0, exact_multi=True).energy_value
+    opt = clairvoyant(qi, alpha=3.0, exact_multi=True).energy_value
     assert result.energy(PowerFunction(3.0)) <= avrq_m_ub_energy(3.0) * opt * (
         1 + 1e-6
     )

@@ -24,7 +24,7 @@ def test_replay_matches_batch_on_scenario(algorithm):
 
 def test_unknown_algorithm_rejected():
     qi = online_instance(3, seed=0)
-    with pytest.raises(ValueError):
+    with pytest.raises(KeyError, match="registered"):
         incremental_profile(qi, "nope")
 
 
