@@ -48,6 +48,72 @@ def reports_to_markdown(
     return "\n".join(sections).rstrip() + "\n"
 
 
+def replay_report_to_markdown(report) -> str:
+    """A :class:`~repro.traces.replay.ReplayReport` as a markdown document.
+
+    One summary table (per-algorithm percentiles over the shard energy
+    ratios) plus a per-shard table, mirroring :meth:`ReplayReport.render`
+    for the ``qbss-replay --markdown`` flag.
+    """
+    lines = [
+        f"# Trace replay — {report.source}",
+        "",
+        f"- format: `{report.trace_format}`, noise model: "
+        f"`{report.noise_model}` (seed {report.seed})",
+        f"- alpha: {report.alpha}, shard window: {report.shard_window}, "
+        f"deadline slack: {report.deadline_slack}",
+        f"- {len(report.shards)} shards / {report.n_jobs} jobs"
+        + (f" ({report.skipped} records skipped)" if report.skipped else ""),
+        "",
+        "## Summary",
+        "",
+    ]
+    headers = [
+        "algorithm",
+        "shards",
+        "mean",
+        "p50",
+        "p90",
+        "p99",
+        "max",
+        "paper UB",
+        "within",
+    ]
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in report.summary_rows():
+        lines.append("| " + " | ".join(format_cell(c) for c in row) + " |")
+    lines += ["", "## Shards", ""]
+    shard_headers = [
+        "shard",
+        "start",
+        "end",
+        "jobs",
+        "algorithm",
+        "energy ratio",
+        "speed ratio",
+        "within",
+    ]
+    lines.append("| " + " | ".join(shard_headers) + " |")
+    lines.append("|" + "|".join("---" for _ in shard_headers) + "|")
+    for s in report.shards:
+        for row in s["rows"]:
+            cells = [
+                s["index"],
+                s["start"],
+                s["end"],
+                s["n_jobs"],
+                row["algorithm"],
+                row["energy_ratio"],
+                row["max_speed_ratio"],
+                row["within_bound"],
+            ]
+            lines.append(
+                "| " + " | ".join(format_cell(c) for c in cells) + " |"
+            )
+    return "\n".join(lines) + "\n"
+
+
 def generate_markdown(
     names: Optional[Sequence[str]] = None,
     overrides: Optional[Dict[str, dict]] = None,

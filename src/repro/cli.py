@@ -9,10 +9,17 @@ Examples::
     qbss-report --list              # what's in the registry
 
 Evaluation goes through :mod:`repro.engine`: experiments fan out over a
-process pool (``--jobs``) and warm re-runs are served from the
-content-addressed result cache (``--cache-dir``, ``--no-cache``).  Reports
-go to stdout; the engine-metrics footer (per-experiment wall time and
-cache hit/miss) goes to stderr, so piped report output stays deterministic.
+process pool (``--jobs``, with ``0``/``auto`` meaning one worker per CPU)
+and warm re-runs are served from the content-addressed result cache
+(``--cache-dir``, ``--no-cache``, ``--cache-prune``).  Reports go to
+stdout; the engine-metrics footer (per-experiment wall time and cache
+hit/miss) goes to stderr, so piped report output stays deterministic.
+
+This module also hosts ``qbss-replay`` (:func:`replay_main`) — the
+trace-driven evaluation CLI of :mod:`repro.traces`::
+
+    qbss-replay trace.swf --shard-window 3600 --algorithms avrq,bkpq
+    qbss-replay jobs.csv --format csv --noise-model lognormal --jobs auto
 """
 
 from __future__ import annotations
@@ -67,10 +74,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
-        default=1,
+        default="1",
         metavar="N",
-        help="fan experiments out over N worker processes (default: serial)",
+        help=(
+            "fan experiments out over N worker processes; 0 or 'auto' "
+            "means one per CPU (default: serial)"
+        ),
     )
     parser.add_argument(
         "--cache-dir",
@@ -85,6 +94,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="bypass the result cache entirely (no reads, no writes)",
+    )
+    parser.add_argument(
+        "--cache-prune",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "prune the result cache before running: delete entries older "
+            "than an age ('30d', '12h') and/or evict oldest-first beyond a "
+            "size budget ('500mb', '7d,1gb'); with no experiment given, "
+            "prune and exit"
+        ),
     )
     parser.add_argument(
         "--list",
@@ -132,16 +152,48 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 141
 
 
+def _resolve_jobs_arg(parser: argparse.ArgumentParser, value) -> int:
+    from .engine import resolve_jobs
+
+    try:
+        return resolve_jobs(value)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
+def _prune_cache(
+    parser: argparse.ArgumentParser, spec: str, cache_dir
+) -> None:
+    """Apply a ``--cache-prune`` spec; reports the outcome on stderr."""
+    from .engine import ResultCache, parse_prune_spec
+
+    try:
+        max_age_days, max_bytes = parse_prune_spec(spec)
+    except ValueError as exc:
+        parser.error(str(exc))
+    stats = ResultCache(cache_dir).prune(
+        max_age_days=max_age_days, max_bytes=max_bytes
+    )
+    print(
+        f"cache prune: removed {stats.removed} of {stats.scanned} entries "
+        f"({stats.freed_bytes} bytes freed)",
+        file=sys.stderr,
+    )
+
+
 def _main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list:
         print(_list_experiments())
         return 0
+    if args.cache_prune is not None:
+        _prune_cache(parser, args.cache_prune, args.cache_dir)
+        if args.experiment is None:
+            return 0
     if args.experiment is None:
         parser.error("an experiment name (or 'all'/'verify') is required")
-    if args.jobs < 1:
-        parser.error("--jobs must be >= 1")
+    jobs = _resolve_jobs_arg(parser, args.jobs)
     if args.experiment == "verify":
         from .analysis.verification import all_ok, render_claims, verify_reproduction
 
@@ -181,7 +233,7 @@ def _main(argv: Optional[List[str]] = None) -> int:
     result = run_experiments(
         names,
         overrides,
-        jobs=args.jobs,
+        jobs=jobs,
         cache=not args.no_cache,
         cache_dir=args.cache_dir,
     )
@@ -203,6 +255,216 @@ def _main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
     return 1 if result.errors else 0
+
+
+# ----------------------------------------------------------------------------------
+# qbss-replay — trace-driven evaluation (see repro.traces)
+# ----------------------------------------------------------------------------------
+
+
+def build_replay_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qbss-replay",
+        description=(
+            "Replay an external workload trace (SWF cluster log or "
+            "release,deadline,runtime[,query_cost] CSV/JSONL) through the "
+            "QBSS online algorithms: synthesize uncertainty around each "
+            "observed runtime, shard the stream into time windows, and "
+            "report per-shard competitive ratios against the clairvoyant "
+            "optimum."
+        ),
+    )
+    parser.add_argument("trace", help="path to the trace file")
+    parser.add_argument(
+        "--format",
+        choices=["auto", "swf", "csv", "jsonl"],
+        default="auto",
+        help="trace format (default: detect from the file extension)",
+    )
+    parser.add_argument(
+        "--noise-model",
+        default="multiplicative",
+        metavar="NAME",
+        help=(
+            "how the upper bound w is synthesized from the observed "
+            "runtime w*: multiplicative, lognormal or adversarial "
+            "(default: multiplicative)"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="noise-synthesis seed (per-record derivation; default 0)",
+    )
+    parser.add_argument(
+        "--deadline-slack",
+        type=float,
+        default=2.0,
+        metavar="F",
+        help=(
+            "for traces without explicit deadlines (SWF): window = F x "
+            "requested (or observed) runtime (default 2.0)"
+        ),
+    )
+    parser.add_argument(
+        "--shard-window",
+        type=float,
+        default=3600.0,
+        metavar="W",
+        help="time-window width of one shard, in trace time units "
+        "(default 3600 — one hour of an SWF log)",
+    )
+    parser.add_argument(
+        "--algorithms",
+        default=",".join(_default_replay_algorithms()),
+        metavar="A,B,...",
+        help=(
+            "comma-separated online algorithms to replay "
+            f"(default: {','.join(_default_replay_algorithms())})"
+        ),
+    )
+    parser.add_argument(
+        "--alpha",
+        type=float,
+        default=3.0,
+        help="power exponent (default 3.0)",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replay only the first N usable records",
+    )
+    parser.add_argument(
+        "--jobs",
+        default="auto",
+        metavar="N",
+        help=(
+            "evaluate shards over N worker processes; 0 or 'auto' means "
+            "one per CPU (default: auto)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "shard-result cache directory (default: $QBSS_CACHE_DIR or "
+            "~/.cache/qbss-repro)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the shard cache entirely (no reads, no writes)",
+    )
+    parser.add_argument(
+        "--cache-prune",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "prune the cache before replaying ('30d', '500mb', '7d,1gb')"
+        ),
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit a markdown document instead of ASCII tables",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also serialize the full replay report (repro.io JSON)",
+    )
+    return parser
+
+
+def _default_replay_algorithms():
+    from .traces.replay import DEFAULT_ALGORITHMS
+
+    return DEFAULT_ALGORITHMS
+
+
+def replay_main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _replay_main(argv)
+    except BrokenPipeError:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
+
+
+def _replay_main(argv: Optional[List[str]] = None) -> int:
+    parser = build_replay_parser()
+    args = parser.parse_args(argv)
+    jobs = _resolve_jobs_arg(parser, args.jobs)
+    if args.shard_window <= 0:
+        parser.error("--shard-window must be > 0")
+    if args.limit is not None and args.limit < 1:
+        parser.error("--limit must be >= 1")
+    if args.cache_prune is not None:
+        _prune_cache(parser, args.cache_prune, args.cache_dir)
+
+    from .traces import (
+        TraceOrderError,
+        TraceParseError,
+        get_noise_model,
+        replay_trace,
+        validate_replay_algorithms,
+    )
+
+    algorithms = tuple(
+        name.strip() for name in args.algorithms.split(",") if name.strip()
+    )
+    try:
+        validate_replay_algorithms(algorithms)
+        get_noise_model(args.noise_model)
+    except (KeyError, ValueError) as exc:
+        parser.error(str(exc.args[0] if exc.args else exc))
+    if not os.path.exists(args.trace):
+        parser.error(f"trace file not found: {args.trace}")
+
+    try:
+        report, metrics = replay_trace(
+            args.trace,
+            trace_format=args.format,
+            noise_model=args.noise_model,
+            seed=args.seed,
+            deadline_slack=args.deadline_slack,
+            limit=args.limit,
+            algorithms=algorithms,
+            alpha=args.alpha,
+            shard_window=args.shard_window,
+            jobs=jobs,
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+        )
+    except (TraceParseError, TraceOrderError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if not report.shards:
+        print("error: trace contains no usable records", file=sys.stderr)
+        return 1
+
+    if args.markdown:
+        from .analysis.report import replay_report_to_markdown
+
+        print(replay_report_to_markdown(report), end="")
+    else:
+        print(report.render())
+
+    if args.output:
+        from . import io as rio
+
+        rio.save(report, args.output)
+        print(f"report written to {args.output}", file=sys.stderr)
+
+    print(metrics.footer(), file=sys.stderr)
+    return 0
 
 
 if __name__ == "__main__":

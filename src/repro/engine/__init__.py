@@ -18,26 +18,32 @@ Quick start::
 
 from .cache import (
     CACHE_FORMAT_VERSION,
+    PruneStats,
     ResultCache,
     cache_key,
     default_cache_dir,
+    parse_prune_spec,
 )
 from .runner import (
     EngineResult,
     ExperimentRun,
     RunMetrics,
     map_measure,
+    resolve_jobs,
     run_experiments,
 )
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
+    "PruneStats",
     "ResultCache",
     "cache_key",
     "default_cache_dir",
+    "parse_prune_spec",
     "EngineResult",
     "ExperimentRun",
     "RunMetrics",
     "map_measure",
+    "resolve_jobs",
     "run_experiments",
 ]

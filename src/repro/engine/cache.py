@@ -21,9 +21,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from .. import __version__ as PACKAGE_VERSION
 
@@ -120,6 +122,78 @@ class ResultCache:
         tmp.replace(path)
         return path
 
+    def entries(self) -> List[Tuple[Path, float, int]]:
+        """Every cache file as ``(path, mtime, size)``, oldest first."""
+        found = []
+        if not self.root.exists():
+            return found
+        for path in self.root.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                continue
+            found.append((path, stat.st_mtime, stat.st_size))
+        found.sort(key=lambda item: (item[1], str(item[0])))
+        return found
+
+    def total_bytes(self) -> int:
+        return sum(size for _, _, size in self.entries())
+
+    def prune(
+        self,
+        max_age_days: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> "PruneStats":
+        """Evict entries by age, then oldest-first down to a size budget.
+
+        Two independent criteria, both optional: entries whose mtime is
+        older than ``max_age_days`` are always removed; if the survivors
+        still exceed ``max_bytes``, the oldest are removed until the tree
+        fits.  Eviction order is strictly oldest-mtime-first (path as a
+        deterministic tie-break), so a long replay campaign keeps its
+        hottest (most recently written) shards.  ``now`` is injectable for
+        tests.
+        """
+        now = time.time() if now is None else now
+        entries = self.entries()
+        scanned = len(entries)
+        removed = 0
+        freed = 0
+        survivors: List[Tuple[Path, float, int]] = []
+        if max_age_days is not None:
+            cutoff = now - max_age_days * 86400.0
+            for path, mtime, size in entries:
+                if mtime < cutoff:
+                    try:
+                        path.unlink()
+                        removed += 1
+                        freed += size
+                    except OSError:  # pragma: no cover - concurrent cleanup
+                        pass
+                else:
+                    survivors.append((path, mtime, size))
+        else:
+            survivors = entries
+        if max_bytes is not None:
+            total = sum(size for _, _, size in survivors)
+            for path, _mtime, size in survivors:
+                if total <= max_bytes:
+                    break
+                try:
+                    path.unlink()
+                    removed += 1
+                    freed += size
+                    total -= size
+                except OSError:  # pragma: no cover - concurrent cleanup
+                    pass
+        return PruneStats(
+            scanned=scanned,
+            removed=removed,
+            kept=scanned - removed,
+            freed_bytes=freed,
+        )
+
     def clear(self) -> int:
         """Delete every entry; returns the number of files removed."""
         removed = 0
@@ -137,3 +211,59 @@ class ResultCache:
         if not self.root.exists():
             return 0
         return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+@dataclass(frozen=True)
+class PruneStats:
+    """Outcome of one :meth:`ResultCache.prune` pass."""
+
+    scanned: int
+    removed: int
+    kept: int
+    freed_bytes: int
+
+
+_SIZE_UNITS = {
+    "b": 1,
+    "kb": 10**3,
+    "mb": 10**6,
+    "gb": 10**9,
+}
+
+
+def parse_prune_spec(spec: str) -> Tuple[Optional[float], Optional[int]]:
+    """Parse a ``--cache-prune`` spec into ``(max_age_days, max_bytes)``.
+
+    The spec is one or two comma-separated terms: an age like ``30d`` /
+    ``12h`` and/or a size budget like ``500mb`` / ``2gb`` / ``1048576``
+    (bare numbers are bytes).  Examples: ``"30d"``, ``"500mb"``,
+    ``"7d,1gb"``.
+    """
+    max_age_days: Optional[float] = None
+    max_bytes: Optional[int] = None
+    for term in spec.split(","):
+        term = term.strip().lower()
+        if not term:
+            continue
+        m = re.fullmatch(r"(\d+(?:\.\d+)?)(d|days?|h|hours?)", term)
+        if m:
+            value = float(m.group(1))
+            days = value / 24.0 if m.group(2).startswith("h") else value
+            if max_age_days is not None:
+                raise ValueError(f"duplicate age term in prune spec {spec!r}")
+            max_age_days = days
+            continue
+        m = re.fullmatch(r"(\d+(?:\.\d+)?)(b|kb|mb|gb)?", term)
+        if m:
+            unit = _SIZE_UNITS[m.group(2) or "b"]
+            if max_bytes is not None:
+                raise ValueError(f"duplicate size term in prune spec {spec!r}")
+            max_bytes = int(float(m.group(1)) * unit)
+            continue
+        raise ValueError(
+            f"cannot parse prune term {term!r} "
+            "(expected an age like '30d'/'12h' or a size like '500mb')"
+        )
+    if max_age_days is None and max_bytes is None:
+        raise ValueError(f"empty prune spec {spec!r}")
+    return max_age_days, max_bytes

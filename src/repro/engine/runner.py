@@ -18,15 +18,43 @@ ratio measurements of a *named* algorithm (dispatched through
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..analysis.experiments import REGISTRY, ExperimentReport, resolve_kwargs
 from ..core.constants import DEFAULT_ALPHA
 from .cache import ResultCache, cache_key
+
+
+def resolve_jobs(jobs: Union[int, str, None]) -> int:
+    """Normalize a worker-count request to a concrete positive integer.
+
+    ``"auto"`` (case-insensitive) and ``0`` both mean "one worker per
+    CPU" (``os.cpu_count()``); ``None`` means serial.  Negative counts
+    and unparsable strings raise :class:`ValueError` — the CLIs convert
+    that into an argparse error.
+    """
+    if jobs is None:
+        return 1
+    if isinstance(jobs, str):
+        text = jobs.strip().lower()
+        if text == "auto":
+            return os.cpu_count() or 1
+        try:
+            jobs = int(text)
+        except ValueError:
+            raise ValueError(
+                f"--jobs expects a non-negative integer or 'auto', got {text!r}"
+            ) from None
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"--jobs must be >= 0, got {jobs}")
+    return jobs
 
 
 @dataclass(frozen=True)
@@ -129,7 +157,7 @@ def run_experiments(
     names: Sequence[str],
     overrides: Optional[Dict[str, dict]] = None,
     *,
-    jobs: int = 1,
+    jobs: Union[int, str] = 1,
     cache: bool = True,
     cache_dir=None,
     package_version: Optional[str] = None,
@@ -139,10 +167,12 @@ def run_experiments(
     ``overrides`` maps an experiment name to keyword-argument overrides
     (already validated — see :func:`repro.analysis.experiments.resolve_kwargs`).
     ``jobs > 1`` dispatches cache misses to a process pool; hits are served
-    in-process.  ``cache=False`` bypasses the cache entirely (no reads, no
+    in-process; ``jobs=0`` or ``"auto"`` means one worker per CPU (see
+    :func:`resolve_jobs`).  ``cache=False`` bypasses the cache entirely (no reads, no
     writes).  ``package_version`` overrides the version component of the
     cache key (tests use this to exercise invalidation).
     """
+    jobs = resolve_jobs(jobs)
     unknown = [n for n in names if n not in REGISTRY]
     if unknown:
         raise KeyError(f"unknown experiments: {unknown}")

@@ -89,6 +89,16 @@ def experiment_report_to_dict(report) -> Dict[str, Any]:
     return data
 
 
+def trace_replay_report_to_dict(report) -> Dict[str, Any]:
+    """Encode a :class:`~repro.traces.replay.ReplayReport`.
+
+    The report's own ``to_dict`` already carries the versioned envelope
+    (``version``/``kind``), so this is a pass-through kept for symmetry
+    with the other encoders.
+    """
+    return report.to_dict()
+
+
 def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
     return {
         "version": FORMAT_VERSION,
@@ -177,6 +187,24 @@ def experiment_report_from_dict(data: Dict[str, Any]):
     return ExperimentReport.from_dict(data)
 
 
+def trace_replay_report_from_dict(data: Dict[str, Any]):
+    """Decode a trace-replay report (lazy import, heavy module)."""
+    from .traces.replay import REPLAY_FORMAT_VERSION, ReplayReport
+
+    if not isinstance(data, dict):
+        raise FormatError(f"expected a JSON object, got {type(data).__name__}")
+    if data.get("version") != REPLAY_FORMAT_VERSION:
+        raise FormatError(
+            f"unsupported trace-replay version {data.get('version')!r} "
+            f"(this library reads version {REPLAY_FORMAT_VERSION})"
+        )
+    if data.get("kind") != "trace_replay_report":
+        raise FormatError(
+            f"expected kind 'trace_replay_report', got {data.get('kind')!r}"
+        )
+    return ReplayReport.from_dict(data)
+
+
 def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
     _expect(data, "schedule")
     schedule = Schedule(int(data["machines"]))
@@ -208,6 +236,8 @@ def save(obj, path: PathLike) -> None:
         # Registered lazily: importing repro.analysis at module import time
         # would pull the whole experiment stack into every io user.
         encoder = experiment_report_to_dict
+    if encoder is None and type(obj).__name__ == "ReplayReport":
+        encoder = trace_replay_report_to_dict
     if encoder is None:
         raise TypeError(f"cannot serialize objects of type {type(obj).__name__}")
     Path(path).write_text(json.dumps(encoder(obj), indent=2, sort_keys=True))
@@ -219,6 +249,7 @@ _LOADERS = {
     "profile": profile_from_dict,
     "schedule": schedule_from_dict,
     "experiment_report": experiment_report_from_dict,
+    "trace_replay_report": trace_replay_report_from_dict,
 }
 
 

@@ -1,0 +1,73 @@
+"""Workload-trace ingestion, uncertainty synthesis and streaming replay.
+
+The pipeline this package provides::
+
+    trace file  --parse-->  TraceRecord stream  --synthesize-->  QJob stream
+                --shard-->  time-window shards  --evaluate-->  ReplayReport
+
+* :mod:`repro.traces.swf` / :mod:`repro.traces.tabular` — lazy, strictly
+  validated parsers for SWF cluster logs and the generic
+  ``release,deadline,runtime[,query_cost]`` CSV/JSONL schema;
+* :mod:`repro.traces.synthesize` — pluggable noise models mapping each
+  observed runtime to a QBSS job ``(r, d, c, w, w*)`` with ``w* = runtime``
+  and seeded per-record determinism;
+* :mod:`repro.traces.replay` — the sharded streaming replayer (bounded
+  memory, process-pool fan-out, content-addressed shard cache) and the
+  :class:`~repro.traces.replay.ReplayReport` it aggregates.
+
+CLI surface: ``qbss-replay`` (see :mod:`repro.cli`).
+"""
+
+from .records import ParseStats, TraceOrderError, TraceParseError, TraceRecord
+from .replay import (
+    DEFAULT_ALGORITHMS,
+    REPLAY_FORMAT_VERSION,
+    TRACE_FORMATS,
+    ReplayMetrics,
+    ReplayReport,
+    Shard,
+    detect_format,
+    iter_shards,
+    paper_energy_bound,
+    replay_jobs,
+    replay_trace,
+    shard_cache_key,
+    validate_replay_algorithms,
+)
+from .swf import parse_swf
+from .synthesize import (
+    NOISE_MODELS,
+    NoiseModel,
+    get_noise_model,
+    synthesize_job,
+    synthesize_jobs,
+)
+from .tabular import parse_csv, parse_jsonl
+
+__all__ = [
+    "ParseStats",
+    "TraceOrderError",
+    "TraceParseError",
+    "TraceRecord",
+    "DEFAULT_ALGORITHMS",
+    "REPLAY_FORMAT_VERSION",
+    "TRACE_FORMATS",
+    "ReplayMetrics",
+    "ReplayReport",
+    "Shard",
+    "detect_format",
+    "iter_shards",
+    "paper_energy_bound",
+    "replay_jobs",
+    "replay_trace",
+    "shard_cache_key",
+    "validate_replay_algorithms",
+    "parse_swf",
+    "NOISE_MODELS",
+    "NoiseModel",
+    "get_noise_model",
+    "synthesize_job",
+    "synthesize_jobs",
+    "parse_csv",
+    "parse_jsonl",
+]

@@ -1,0 +1,96 @@
+"""Shared vocabulary of the trace-ingestion layer.
+
+A :class:`TraceRecord` is one *observed* job from an external workload
+trace — release time, measured runtime, and whatever else the source
+format knows (a user-requested time, an explicit deadline, a query cost).
+Parsers (:mod:`repro.traces.swf`, :mod:`repro.traces.tabular`) emit these
+lazily; the synthesizer (:mod:`repro.traces.synthesize`) turns them into
+QBSS jobs ``(r, d, c, w, w*)`` with ``w* = runtime``.
+
+Error reporting contract: every malformed line raises
+:class:`TraceParseError` carrying the source name and 1-based line
+number, so a bad record in a million-line log is locatable immediately.
+Records the model cannot represent (non-positive runtime — SWF uses
+``-1``/``0`` for killed or missing jobs) are *skipped*, not fatal, and
+counted in :class:`ParseStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class TraceParseError(ValueError):
+    """A malformed trace line, with enough context to find it.
+
+    ``source`` is the file name (or a caller-supplied label), ``line`` the
+    1-based line number of the offending record.
+    """
+
+    def __init__(self, source: str, line: int, message: str):
+        super().__init__(f"{source}:{line}: {message}")
+        self.source = source
+        self.line = line
+        self.reason = message
+
+
+class TraceOrderError(ValueError):
+    """Records arrived out of release order (breaks bounded-memory replay)."""
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observed job from a workload trace.
+
+    Attributes
+    ----------
+    index:
+        0-based position among the *emitted* (non-skipped) records.  The
+        synthesizer seeds its per-record RNG from this, so noise draws are
+        independent of how the stream is chunked or parallelised.
+    id:
+        Source job identifier (SWF job number, CSV ``id`` column, or a
+        generated ``t<index>``).
+    release:
+        Observed arrival/submit time (``>= 0``).
+    runtime:
+        Observed processing time (``> 0``) — becomes the exact load ``w*``.
+    deadline:
+        Explicit deadline when the format provides one (tabular traces);
+        ``None`` for SWF, where the synthesizer derives it from the slack
+        factor.
+    requested:
+        The user's runtime estimate (SWF field 9) when available; a natural
+        seed for the upper bound ``w``.
+    query_cost:
+        Explicit query cost when the format provides one; otherwise the
+        noise model draws it.
+    """
+
+    index: int
+    id: str
+    release: float
+    runtime: float
+    deadline: Optional[float] = None
+    requested: Optional[float] = None
+    query_cost: Optional[float] = None
+
+
+@dataclass
+class ParseStats:
+    """Mutable tally a parser updates while its iterator is consumed.
+
+    ``emitted`` counts records yielded, ``skipped`` counts data lines the
+    QBSS model cannot represent (non-positive runtime or negative release).
+    Both are only complete once the iterator is exhausted — the parsers
+    are lazy.
+    """
+
+    emitted: int = 0
+    skipped: int = 0
+    skip_reasons: dict = field(default_factory=dict)
+
+    def skip(self, reason: str) -> None:
+        self.skipped += 1
+        self.skip_reasons[reason] = self.skip_reasons.get(reason, 0) + 1

@@ -1,0 +1,188 @@
+"""Uncertainty synthesis: observed runtimes -> QBSS jobs.
+
+A trace records what *actually* happened (the runtime); the QBSS model
+needs what was *known beforehand* (the upper bound ``w`` and query cost
+``c``) alongside the hidden truth ``w*``.  Following the processing-time
+oracle viewpoint (Dufossé et al.), we set ``w* = runtime`` and synthesize
+``w >= w*`` under a pluggable noise model:
+
+``multiplicative``
+    ``w = w* * U[slack_low, slack_high]`` — a uniform over-estimate factor,
+    the "users pad their estimates by 1.2-3x" regime.
+``lognormal``
+    ``w = w* * exp(|N(0, sigma)|)`` — heavy-tailed over-estimates; most
+    bounds are tight, a few are wildly conservative.
+``adversarial``
+    The deterministic worst case of the single-job game (Lemma 4.2 scaled
+    to ``w*``): ``c = max(w*, unit)/phi`` and ``w = phi * (c + w*)``, so
+    every job sits exactly at the golden-ratio decision boundary.
+
+When a trace supplies an explicit ``query_cost`` it is honoured (clipped
+to ``(0, w]``, the model constraint); otherwise the noise model draws
+``c = U[0.05, 1.0] * w``, mirroring
+:class:`repro.workloads.generators.UncertaintyModel`.
+
+Determinism: each record gets its own ``numpy`` generator seeded by
+``(seed, record.index)``, so the draw for job *i* does not depend on how
+the stream was chunked, sharded or parallelised — the property the
+replayer's serial == parallel guarantee rests on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator
+
+import numpy as np
+
+from ..core.constants import PHI
+from ..core.qjob import QJob
+from .records import TraceRecord
+
+#: Range of the query-cost fraction draw when the trace has no explicit c.
+QUERY_FRAC_LOW = 0.05
+QUERY_FRAC_HIGH = 1.0
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """One named way of inflating ``w*`` into the known upper bound ``w``.
+
+    ``draw_upper`` maps ``(rng, w_star) -> w`` with the contract
+    ``w >= w_star > 0``; ``deterministic`` marks models that ignore the
+    RNG entirely (the adversarial construction), which the docs surface.
+    """
+
+    name: str
+    summary: str
+    draw_upper: Callable[[np.random.Generator, float], float]
+    deterministic: bool = False
+
+
+def _multiplicative_upper(
+    rng: np.random.Generator, w_star: float, low: float = 1.25, high: float = 3.0
+) -> float:
+    return w_star * float(rng.uniform(low, high))
+
+
+def _lognormal_upper(
+    rng: np.random.Generator, w_star: float, sigma: float = 0.75
+) -> float:
+    return w_star * float(np.exp(abs(rng.normal(0.0, sigma))))
+
+
+def _adversarial_upper(rng: np.random.Generator, w_star: float) -> float:
+    # c is fixed to max(w*, unit)/phi by synthesize_jobs below; the upper
+    # bound then lands exactly on the golden threshold w = phi (c + w*).
+    unit = w_star if w_star > 0 else 1.0
+    return PHI * (unit / PHI + w_star)
+
+
+NOISE_MODELS: Dict[str, NoiseModel] = {
+    model.name: model
+    for model in (
+        NoiseModel(
+            "multiplicative",
+            "w = w* x U[1.25, 3.0] (uniform over-estimate)",
+            _multiplicative_upper,
+        ),
+        NoiseModel(
+            "lognormal",
+            "w = w* x exp|N(0, 0.75)| (heavy-tailed over-estimate)",
+            _lognormal_upper,
+        ),
+        NoiseModel(
+            "adversarial",
+            "w = phi (c + w*), c = max(w*,1)/phi (golden-boundary worst case)",
+            _adversarial_upper,
+            deterministic=True,
+        ),
+    )
+}
+
+
+def get_noise_model(name: str) -> NoiseModel:
+    """Look up a noise model by name (KeyError lists the names)."""
+    try:
+        return NOISE_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown noise model {name!r}; "
+            f"registered: {', '.join(sorted(NOISE_MODELS))}"
+        ) from None
+
+
+def _record_rng(seed: int, index: int) -> np.random.Generator:
+    """Per-record generator — chunking/sharding cannot change the draws."""
+    return np.random.default_rng((seed, index))
+
+
+def synthesize_job(
+    record: TraceRecord,
+    model: NoiseModel,
+    *,
+    seed: int = 0,
+    deadline_slack: float = 2.0,
+) -> QJob:
+    """Turn one observed record into a QBSS job ``(r, d, c, w, w*)``.
+
+    Invariants guaranteed (and property-tested): ``0 < c <= w``,
+    ``w* <= w`` and ``r < d``.  For SWF records (no explicit deadline) the
+    window is ``deadline_slack`` times the user's requested time (falling
+    back to the runtime): the slack a deadline-feasibility evaluation
+    grants the scheduler, as in the Abousamra-Bunde-Pruhs comparison.
+    """
+    if record.runtime <= 0.0:
+        raise ValueError(f"record {record.id}: runtime must be > 0")
+    if deadline_slack <= 0.0:
+        raise ValueError(f"deadline_slack must be > 0, got {deadline_slack}")
+    w_star = record.runtime
+    rng = _record_rng(seed, record.index)
+    w = float(model.draw_upper(rng, w_star))
+    w = max(w, w_star)  # defensive: the contract, even for custom models
+
+    if record.query_cost is not None:
+        c = min(record.query_cost, w)
+    elif model.name == "adversarial":
+        c = max(w_star, 1.0) / PHI
+    else:
+        c = float(rng.uniform(QUERY_FRAC_LOW, QUERY_FRAC_HIGH)) * w
+    c = float(np.clip(c, np.nextafter(0.0, 1.0), w))
+
+    if record.deadline is not None:
+        d = record.deadline
+    else:
+        base = (
+            record.requested
+            if record.requested is not None and record.requested > 0
+            else w_star
+        )
+        d = record.release + deadline_slack * base
+    if d <= record.release:
+        raise ValueError(
+            f"record {record.id}: derived deadline {d} does not exceed "
+            f"release {record.release}"
+        )
+    return QJob(
+        release=record.release,
+        deadline=d,
+        query_cost=c,
+        work_upper=w,
+        work_true=w_star,
+        id=record.id,
+    )
+
+
+def synthesize_jobs(
+    records: Iterable[TraceRecord],
+    *,
+    model: str = "multiplicative",
+    seed: int = 0,
+    deadline_slack: float = 2.0,
+) -> Iterator[QJob]:
+    """Lazily map a record stream through :func:`synthesize_job`."""
+    noise = get_noise_model(model)
+    for record in records:
+        yield synthesize_job(
+            record, noise, seed=seed, deadline_slack=deadline_slack
+        )

@@ -11,6 +11,7 @@ from .generators import (
     online_instance,
     power_of_two_instance,
 )
+from .tracegen import write_synthetic_swf, write_synthetic_tabular
 from .scenarios import (
     DEFAULT_FILE_CLASSES,
     FileClass,
@@ -34,4 +35,6 @@ __all__ = [
     "code_optimizer_scenario",
     "datacenter_batch_scenario",
     "file_compression_scenario",
+    "write_synthetic_swf",
+    "write_synthetic_tabular",
 ]

@@ -1,0 +1,120 @@
+"""Cache pruning: eviction order, age/size criteria, and the CLI spec."""
+
+import os
+
+import pytest
+
+from repro.engine import ResultCache, parse_prune_spec
+from repro.engine.cache import PruneStats
+
+
+def _fill(cache, n, base_time=1_000_000.0, spacing=1000.0):
+    """Write n entries whose mtimes increase with the key index."""
+    paths = []
+    for i in range(n):
+        key = f"{i:02x}" + "ab" * 31  # 64 hex chars, distinct buckets
+        cache.put(key, f"exp{i}", {"i": i}, {"payload": "x" * 50 * (i + 1)}, 0.0)
+        path = cache.path_for(key)
+        stamp = base_time + i * spacing
+        os.utime(path, (stamp, stamp))
+        paths.append(path)
+    return paths
+
+
+def test_entries_are_oldest_first(tmp_path):
+    cache = ResultCache(tmp_path)
+    paths = _fill(cache, 4)
+    listed = [p for p, _, _ in cache.entries()]
+    assert listed == paths
+    assert cache.total_bytes() == sum(s for _, _, s in cache.entries())
+
+
+def test_prune_by_age(tmp_path):
+    cache = ResultCache(tmp_path)
+    paths = _fill(cache, 4, base_time=0.0, spacing=86400.0)  # one per day
+    now = 86400.0 * 10
+    # entries 0 and 1 are >= 8.5 days old relative to `now`
+    stats = cache.prune(max_age_days=8.5, now=now)
+    assert stats == PruneStats(
+        scanned=4, removed=2, kept=2, freed_bytes=stats.freed_bytes
+    )
+    assert stats.freed_bytes > 0
+    assert not paths[0].exists() and not paths[1].exists()
+    assert paths[2].exists() and paths[3].exists()
+
+
+def test_prune_by_size_evicts_oldest_first(tmp_path):
+    cache = ResultCache(tmp_path)
+    paths = _fill(cache, 5)
+    sizes = {p: p.stat().st_size for p in paths}
+    budget = sizes[paths[3]] + sizes[paths[4]]  # room for the newest two
+    stats = cache.prune(max_bytes=budget)
+    assert stats.removed == 3
+    assert [p.exists() for p in paths] == [False, False, False, True, True]
+    assert cache.total_bytes() <= budget
+
+
+def test_prune_age_then_size(tmp_path):
+    cache = ResultCache(tmp_path)
+    paths = _fill(cache, 4, base_time=0.0, spacing=86400.0)
+    stats = cache.prune(max_age_days=2.5, max_bytes=0, now=86400.0 * 4)
+    # age removes 0 and 1; the zero-byte budget then removes the survivors
+    assert stats.removed == 4
+    assert all(not p.exists() for p in paths)
+    assert len(cache) == 0
+
+
+def test_prune_noop_when_within_limits(tmp_path):
+    cache = ResultCache(tmp_path)
+    _fill(cache, 3)
+    stats = cache.prune(max_age_days=1, max_bytes=10**9, now=1_000_000.0 + 5000)
+    assert stats.removed == 0
+    assert stats.kept == 3
+    assert stats.freed_bytes == 0
+
+
+def test_prune_on_missing_root(tmp_path):
+    cache = ResultCache(tmp_path / "never-created")
+    stats = cache.prune(max_age_days=1)
+    assert stats == PruneStats(scanned=0, removed=0, kept=0, freed_bytes=0)
+
+
+def test_prune_mtime_order_beats_insertion_order(tmp_path):
+    """Eviction follows mtime, not the order entries were written."""
+    cache = ResultCache(tmp_path)
+    paths = _fill(cache, 3)
+    # make the *first-written* entry the freshest
+    os.utime(paths[0], (9_999_999.0, 9_999_999.0))
+    cache.prune(max_bytes=paths[0].stat().st_size)
+    assert paths[0].exists()
+    assert not paths[1].exists() and not paths[2].exists()
+
+
+# -- spec grammar -------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "spec,expected",
+    [
+        ("30d", (30.0, None)),
+        ("12h", (0.5, None)),
+        ("1.5days", (1.5, None)),
+        ("36hours", (1.5, None)),
+        ("500mb", (None, 500 * 10**6)),
+        ("2gb", (None, 2 * 10**9)),
+        ("1048576", (None, 1048576)),
+        ("64kb", (None, 64000)),
+        ("7d,1gb", (7.0, 10**9)),
+        ("1gb, 7d", (7.0, 10**9)),
+    ],
+)
+def test_parse_prune_spec(spec, expected):
+    assert parse_prune_spec(spec) == expected
+
+
+@pytest.mark.parametrize(
+    "spec", ["", ",", "soon", "3parsecs", "1d,2d", "1gb,2gb", "-5d"]
+)
+def test_parse_prune_spec_rejects(spec):
+    with pytest.raises(ValueError):
+        parse_prune_spec(spec)

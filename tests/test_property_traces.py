@@ -1,0 +1,146 @@
+"""Property-based suite for the trace layer.
+
+Every record the synthesizer touches must come out as a model-legal QBSS
+job — ``0 < c <= w``, ``w* <= w``, ``r < d`` — for any noise model, any
+seed, and any explicit query cost the trace supplies.  Sharding must
+partition without loss and be invariant to how the stream was chunked.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qjob import QJob
+from repro.traces import (
+    NOISE_MODELS,
+    TraceRecord,
+    get_noise_model,
+    iter_shards,
+    synthesize_job,
+    synthesize_jobs,
+)
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def trace_records(draw, index=0):
+    release = draw(st.floats(min_value=0.0, max_value=1e6, **finite))
+    runtime = draw(st.floats(min_value=1e-6, max_value=1e5, **finite))
+    deadline = None
+    if draw(st.booleans()):
+        deadline = release + draw(
+            st.floats(min_value=1e-6, max_value=1e6, **finite)
+        )
+    requested = None
+    if draw(st.booleans()):
+        requested = draw(st.floats(min_value=1e-6, max_value=1e6, **finite))
+    query_cost = None
+    if draw(st.booleans()):
+        query_cost = draw(st.floats(min_value=1e-9, max_value=1e9, **finite))
+    return TraceRecord(
+        index=index,
+        id=f"h{index}",
+        release=release,
+        runtime=runtime,
+        deadline=deadline,
+        requested=requested,
+        query_cost=query_cost,
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    record=trace_records(),
+    model=st.sampled_from(sorted(NOISE_MODELS)),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    slack=st.floats(min_value=0.1, max_value=10.0, **finite),
+)
+def test_every_synthesized_job_is_model_legal(record, model, seed, slack):
+    job = synthesize_job(
+        record, get_noise_model(model), seed=seed, deadline_slack=slack
+    )
+    assert isinstance(job, QJob)
+    assert 0.0 < job.query_cost <= job.work_upper
+    assert job.work_true <= job.work_upper
+    assert job.release < job.deadline
+    assert job.work_true == record.runtime
+    assert job.release == record.release
+    for value in (job.query_cost, job.work_upper, job.deadline):
+        assert math.isfinite(value)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    record=trace_records(),
+    model=st.sampled_from(sorted(NOISE_MODELS)),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_synthesis_is_a_pure_function_of_seed_and_record(record, model, seed):
+    noise = get_noise_model(model)
+    assert synthesize_job(record, noise, seed=seed) == synthesize_job(
+        record, noise, seed=seed
+    )
+
+
+@st.composite
+def sorted_release_streams(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=50.0, **finite),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    releases = []
+    t = 0.0
+    for g in gaps:
+        t += g
+        releases.append(t)
+    return [
+        TraceRecord(index=i, id=f"s{i}", release=r, runtime=1.0 + (i % 5))
+        for i, r in enumerate(releases)
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    records=sorted_release_streams(),
+    seed=st.integers(min_value=0, max_value=100),
+    window=st.floats(min_value=0.5, max_value=200.0, **finite),
+)
+def test_sharding_partitions_the_stream_without_loss(records, seed, window):
+    jobs = list(synthesize_jobs(iter(records), seed=seed))
+    shards = list(iter_shards(iter(jobs), window=window))
+    flattened = [job for shard in shards for job in shard.jobs]
+    assert flattened == jobs  # order-preserving, nothing dropped
+    assert [s.index for s in shards] == sorted(
+        {s.index for s in shards}
+    )  # strictly increasing shard grid
+    for shard in shards:
+        assert shard.end - shard.start > 0
+        for job in shard.jobs:
+            assert shard.start <= job.release or math.isclose(
+                shard.start, job.release
+            )
+            assert job.release < shard.end or math.isclose(
+                job.release, shard.end
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    records=sorted_release_streams(),
+    seed=st.integers(min_value=0, max_value=100),
+    split=st.integers(min_value=0, max_value=30),
+)
+def test_synthesis_invariant_under_chunking(records, seed, split):
+    """Splitting the record stream anywhere yields the same jobs —
+    the property the parallel replayer's determinism rests on."""
+    split = min(split, len(records))
+    whole = list(synthesize_jobs(iter(records), seed=seed))
+    front = list(synthesize_jobs(iter(records[:split]), seed=seed))
+    back = list(synthesize_jobs(iter(records[split:]), seed=seed))
+    assert front + back == whole
