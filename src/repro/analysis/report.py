@@ -48,6 +48,31 @@ def reports_to_markdown(
     return "\n".join(sections).rstrip() + "\n"
 
 
+def engine_failures_to_markdown(result) -> str:
+    """A markdown footer section for an :class:`~repro.engine.EngineResult`.
+
+    Empty string when every experiment succeeded; otherwise a "Failures"
+    section with one row per failed run — kind, attempts, per-attempt wall
+    times — so archived ``qbss-report --markdown`` documents record what
+    is *missing* as faithfully as what is present.
+    """
+    failures = list(result.failures)
+    if not failures:
+        return ""
+    lines = ["", "## Failures", ""]
+    headers = ["experiment", "kind", "attempts", "wall times (s)"]
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for info in failures:
+        walls = ", ".join(f"{w:.3f}" for w in info.wall_times)
+        lines.append(
+            f"| {info.task} | {info.kind} | {info.attempts} | {walls} |"
+        )
+    if result.degraded:
+        lines += ["", "*engine degraded to serial after repeated pool crashes*"]
+    return "\n".join(lines) + "\n"
+
+
 def replay_report_to_markdown(report) -> str:
     """A :class:`~repro.traces.replay.ReplayReport` as a markdown document.
 
@@ -89,6 +114,7 @@ def replay_report_to_markdown(report) -> str:
         "start",
         "end",
         "jobs",
+        "status",
         "algorithm",
         "energy ratio",
         "speed ratio",
@@ -97,19 +123,41 @@ def replay_report_to_markdown(report) -> str:
     lines.append("| " + " | ".join(shard_headers) + " |")
     lines.append("|" + "|".join("---" for _ in shard_headers) + "|")
     for s in report.shards:
-        for row in s["rows"]:
+        status = s.get("status", "ok")
+        rows = s["rows"] or [None]
+        for row in rows:
             cells = [
                 s["index"],
                 s["start"],
                 s["end"],
                 s["n_jobs"],
-                row["algorithm"],
-                row["energy_ratio"],
-                row["max_speed_ratio"],
-                row["within_bound"],
+                status,
             ]
+            if row is None:
+                cells += ["-", "-", "-", "-"]
+            else:
+                cells += [
+                    row["algorithm"],
+                    row["energy_ratio"],
+                    row["max_speed_ratio"],
+                    row["within_bound"],
+                ]
             lines.append(
                 "| " + " | ".join(format_cell(c) for c in cells) + " |"
+            )
+    failed = report.failed_shards
+    if failed:
+        lines += ["", "## Failed shards", ""]
+        for s in failed:
+            info = s.get("failure") or {}
+            detail = (
+                f" — {info.get('kind')} after {info.get('attempts')} attempt(s)"
+                if info
+                else ""
+            )
+            lines.append(
+                f"- shard {s['index']} [{s['start']}, {s['end']}): "
+                f"`{s.get('status')}`{detail}"
             )
     return "\n".join(lines) + "\n"
 

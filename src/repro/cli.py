@@ -106,12 +106,49 @@ def build_parser() -> argparse.ArgumentParser:
             "prune and exit"
         ),
     )
+    _add_robustness_arguments(parser)
     parser.add_argument(
         "--list",
         action="store_true",
         help="list the registered experiments and their parameters, then exit",
     )
     return parser
+
+
+def _add_robustness_arguments(parser: argparse.ArgumentParser) -> None:
+    """The hardened-execution flags shared by both CLIs (docs/robustness.md)."""
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "deadline per task: a task running longer is cancelled and "
+            "reported as a timeout while the batch continues (enforced "
+            "with --jobs > 1; serial execution cannot preempt a task)"
+        ),
+    )
+    parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help=(
+            "total attempts per task for transient failures — worker "
+            "death, cache I/O errors (default 3; 1 disables retries)"
+        ),
+    )
+
+
+def _retry_policy(parser: argparse.ArgumentParser, args: argparse.Namespace):
+    from .engine import RetryPolicy
+
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        parser.error("--task-timeout must be > 0")
+    try:
+        return RetryPolicy(max_attempts=args.max_attempts)
+    except ValueError as exc:
+        parser.error(str(exc))
 
 
 def _overrides_from_args(args: argparse.Namespace) -> dict:
@@ -236,12 +273,15 @@ def _main(argv: Optional[List[str]] = None) -> int:
         jobs=jobs,
         cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        task_timeout=args.task_timeout,
+        retry=_retry_policy(parser, args),
     )
 
     if args.markdown:
-        from .analysis.report import reports_to_markdown
+        from .analysis.report import engine_failures_to_markdown, reports_to_markdown
 
         print(reports_to_markdown(result.reports), end="")
+        print(engine_failures_to_markdown(result), end="")
     else:
         for run in result.runs:
             if run.report is not None:
@@ -251,7 +291,9 @@ def _main(argv: Optional[List[str]] = None) -> int:
     print(result.footer(), file=sys.stderr)
     for run in result.errors:
         print(
-            f"error: experiment '{run.name}' failed:\n{run.metrics.error}",
+            f"error: experiment '{run.name}' failed "
+            f"({run.metrics.status} after {run.metrics.attempts} attempt(s)):"
+            f"\n{run.metrics.error}",
             file=sys.stderr,
         )
     return 1 if result.errors else 0
@@ -368,6 +410,7 @@ def build_replay_parser() -> argparse.ArgumentParser:
             "prune the cache before replaying ('30d', '500mb', '7d,1gb')"
         ),
     )
+    _add_robustness_arguments(parser)
     parser.add_argument(
         "--markdown",
         action="store_true",
@@ -441,6 +484,8 @@ def _replay_main(argv: Optional[List[str]] = None) -> int:
             jobs=jobs,
             cache=not args.no_cache,
             cache_dir=args.cache_dir,
+            task_timeout=args.task_timeout,
+            retry=_retry_policy(parser, args),
         )
     except (TraceParseError, TraceOrderError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -464,6 +509,16 @@ def _replay_main(argv: Optional[List[str]] = None) -> int:
         print(f"report written to {args.output}", file=sys.stderr)
 
     print(metrics.footer(), file=sys.stderr)
+    failed = report.failed_shards
+    if failed:
+        for shard in failed:
+            print(
+                f"error: shard {shard.get('index')} "
+                f"[{shard.get('start')}, {shard.get('end')}) "
+                f"ended with status '{shard.get('status')}'",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 

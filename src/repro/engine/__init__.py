@@ -1,4 +1,4 @@
-"""Parallel, cached execution of the experiment registry.
+"""Parallel, cached, fault-tolerant execution of the experiment registry.
 
 The engine is the execution subsystem behind ``qbss-report``: it fans
 :data:`repro.analysis.experiments.REGISTRY` entries out over a process
@@ -6,28 +6,55 @@ pool, serves warm re-runs from a content-addressed on-disk cache keyed by
 ``(experiment, resolved kwargs, package version)``, and reports structured
 per-run metrics (wall time, cache hit/miss, row counts).
 
+Execution is hardened (``docs/robustness.md``): per-task deadlines,
+deterministic retry of transient failures (:class:`RetryPolicy`),
+pool-crash recovery with graceful degradation to serial, quarantine of
+corrupt cache entries, and a deterministic fault-injection harness
+(:class:`FaultPlan`) for proving every recovery path.
+
 Quick start::
 
-    from repro.engine import run_experiments
+    from repro.engine import RetryPolicy, run_experiments
 
-    result = run_experiments(["rho", "lemma42"], jobs=2)
+    result = run_experiments(
+        ["rho", "lemma42"], jobs=2, task_timeout=300.0,
+        retry=RetryPolicy(max_attempts=3),
+    )
     for run in result.runs:
         print(run.name, run.metrics.wall_time, run.metrics.cache_hit)
     print(result.footer())
+    print(result.summary()["failures"])
 """
 
 from .cache import (
     CACHE_FORMAT_VERSION,
+    QUARANTINE_DIRNAME,
     PruneStats,
     ResultCache,
     cache_key,
     default_cache_dir,
     parse_prune_spec,
 )
+from .faults import (
+    FAULT_PLAN_ENV,
+    FailureInfo,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    InjectedTransientFault,
+    RetryPolicy,
+    TransientError,
+    WorkerCrashError,
+    active_fault_plan,
+    installed_fault_plan,
+)
 from .runner import (
     EngineResult,
+    ExecutionStats,
     ExperimentRun,
+    HardenedTask,
     RunMetrics,
+    execute_hardened,
     map_measure,
     resolve_jobs,
     run_experiments,
@@ -35,14 +62,29 @@ from .runner import (
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
+    "QUARANTINE_DIRNAME",
     "PruneStats",
     "ResultCache",
     "cache_key",
     "default_cache_dir",
     "parse_prune_spec",
+    "FAULT_PLAN_ENV",
+    "FailureInfo",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedTransientFault",
+    "RetryPolicy",
+    "TransientError",
+    "WorkerCrashError",
+    "active_fault_plan",
+    "installed_fault_plan",
     "EngineResult",
+    "ExecutionStats",
     "ExperimentRun",
+    "HardenedTask",
     "RunMetrics",
+    "execute_hardened",
     "map_measure",
     "resolve_jobs",
     "run_experiments",

@@ -14,6 +14,13 @@ Layout under the cache root (see ``docs/api.md``)::
 Each file holds an envelope ``{cache_version, key, experiment, params,
 package_version, wall_time, report}`` where ``report`` is the
 ``experiment_report`` document of :mod:`repro.io`.
+
+A corrupt entry — zero-byte, truncated, non-JSON, or unreadable — is
+never silently deleted: it is moved to ``<root>/quarantine/`` for
+post-mortem, counted on :attr:`ResultCache.quarantined`, and the lookup
+reports a miss so the result is recomputed.  Well-formed entries from
+another cache version simply read as misses (they are overwritten in
+place on the next write).
 """
 
 from __future__ import annotations
@@ -30,6 +37,9 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from .. import __version__ as PACKAGE_VERSION
 
 CACHE_FORMAT_VERSION = 1
+
+#: Subdirectory of the cache root that corrupt entries are moved into.
+QUARANTINE_DIRNAME = "quarantine"
 
 PathLike = Union[str, Path]
 
@@ -77,22 +87,66 @@ class ResultCache:
 
     def __init__(self, root: Optional[PathLike] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
+        self.quarantined = 0  # corrupt entries moved aside by this instance
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / QUARANTINE_DIRNAME
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    def quarantine(self, path: Path) -> Optional[Path]:
+        """Move a corrupt entry into ``<root>/quarantine/`` (never delete).
+
+        Returns the new location, or ``None`` if the move itself failed
+        (in which case the entry is left where it was — a later lookup
+        will simply try again).
+        """
+        try:
+            qdir = self.quarantine_dir
+            qdir.mkdir(parents=True, exist_ok=True)
+            target = qdir / path.name
+            n = 0
+            while target.exists():
+                n += 1
+                target = qdir / f"{path.stem}.{n}{path.suffix}"
+            path.replace(target)
+        except OSError:  # pragma: no cover - concurrent cleanup
+            return None
+        self.quarantined += 1
+        return target
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
-        """The stored envelope for ``key``, or ``None`` on any miss."""
+        """The stored envelope for ``key``, or ``None`` on any miss.
+
+        A file that exists but cannot be parsed — zero-byte, truncated
+        mid-write, or otherwise non-JSON — is quarantined (see
+        :meth:`quarantine`) and reported as a miss, so callers recompute
+        instead of crashing on ``JSONDecodeError``.
+        """
         path = self.path_for(key)
         try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            self.quarantine(path)
+            return None
+        try:
+            data = json.loads(text)
+        except ValueError:  # includes JSONDecodeError; "" (zero-byte) too
+            self.quarantine(path)
+            return None
+        if not isinstance(data, dict):
+            self.quarantine(path)
             return None
         if (
-            not isinstance(data, dict)
-            or data.get("cache_version") != CACHE_FORMAT_VERSION
+            data.get("cache_version") != CACHE_FORMAT_VERSION
             or data.get("key") != key
         ):
+            # Well-formed but stale (older format / foreign key): a plain
+            # miss, left in place to be overwritten by the next put.
             return None
         return data
 
@@ -127,7 +181,7 @@ class ResultCache:
         found = []
         if not self.root.exists():
             return found
-        for path in self.root.glob("*/*.json"):
+        for path in self._entry_paths():
             try:
                 stat = path.stat()
             except OSError:  # pragma: no cover - concurrent cleanup
@@ -135,6 +189,12 @@ class ResultCache:
             found.append((path, stat.st_mtime, stat.st_size))
         found.sort(key=lambda item: (item[1], str(item[0])))
         return found
+
+    def _entry_paths(self):
+        """Live entry files — the quarantine directory never counts."""
+        for path in self.root.glob("*/*.json"):
+            if path.parent.name != QUARANTINE_DIRNAME:
+                yield path
 
     def total_bytes(self) -> int:
         return sum(size for _, _, size in self.entries())
@@ -199,7 +259,7 @@ class ResultCache:
         removed = 0
         if not self.root.exists():
             return removed
-        for path in self.root.glob("*/*.json"):
+        for path in self._entry_paths():
             try:
                 path.unlink()
                 removed += 1
@@ -210,7 +270,7 @@ class ResultCache:
     def __len__(self) -> int:
         if not self.root.exists():
             return 0
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(1 for _ in self._entry_paths())
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,362 @@
+"""Fault-injection, retry and failure primitives of the hardened engine.
+
+Everything the execution layer needs to *degrade gracefully* lives here:
+
+* :class:`RetryPolicy` — seeded-deterministic exponential backoff applied
+  to **transient** failures (worker death, cache I/O trouble, anything
+  raising a :class:`TransientError`), never to deterministic algorithm
+  exceptions.
+* :class:`FailureInfo` — the structured record of one task that could not
+  be completed: kind, attempts used, wall time per attempt, traceback.
+  Surfaced in :meth:`repro.engine.EngineResult.summary`, the CLI footers
+  and replay shard verdicts.
+* :class:`FaultPlan` / :class:`FaultSpec` — a *deterministic*
+  fault-injection harness.  A plan pins faults to exact ``(task,
+  attempt)`` coordinates and travels to pool workers through the
+  ``QBSS_FAULT_PLAN`` environment variable (raw JSON, or ``@/path`` to a
+  JSON file), which every worker body reads before running its task.
+  Tests use it to force each recovery path — worker crashes
+  (``BrokenProcessPool``), hangs (deadline timeouts), corrupted cache
+  entries (quarantine) and plain exceptions — at reproducible spots.
+
+Nothing here imports the experiment registry or the trace layer; it is
+shared verbatim by :mod:`repro.engine.runner` and
+:mod:`repro.traces.replay`.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Environment variable holding the active fault plan (JSON, or ``@path``).
+FAULT_PLAN_ENV = "QBSS_FAULT_PLAN"
+
+FAULT_PLAN_VERSION = 1
+
+#: Exit status an injected ``crash`` uses to kill its worker process.
+CRASH_EXIT_CODE = 87
+
+FAULT_KINDS = ("crash", "hang", "corrupt-cache", "raise")
+
+
+class TransientError(RuntimeError):
+    """Base class for failures the :class:`RetryPolicy` may retry.
+
+    Deterministic algorithm exceptions must *not* derive from this —
+    retrying them would re-run a computation guaranteed to fail again.
+    """
+
+
+class WorkerCrashError(TransientError):
+    """A worker process died (or an injected crash was simulated in-process)."""
+
+
+class InjectedFault(RuntimeError):
+    """A deterministic fault injected by a :class:`FaultPlan` (not retried)."""
+
+
+class InjectedTransientFault(TransientError):
+    """A transient fault injected by a :class:`FaultPlan` (retried)."""
+
+
+# -- retry policy -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Seeded-deterministic exponential backoff for transient failures.
+
+    ``max_attempts`` counts *total* attempts (1 = never retry).  The delay
+    before attempt ``n + 1`` is ``min(backoff_cap, backoff_base * 2**(n-1))``
+    scaled by a jitter factor in ``[0.5, 1.5)`` drawn from an RNG seeded by
+    ``(jitter_seed, task, n)`` — the same task retries with the same delays
+    on every run, so fault-injection tests stay reproducible while
+    unrelated tasks still de-synchronise.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    jitter_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff_base and backoff_cap must be >= 0")
+
+    def delay(self, task: str, attempt: int) -> float:
+        """Seconds to wait after failed attempt ``attempt`` (1-based) of ``task``."""
+        base = min(self.backoff_cap, self.backoff_base * (2.0 ** (attempt - 1)))
+        if base <= 0.0:
+            return 0.0
+        rng = random.Random(f"{self.jitter_seed}:{task}:{attempt}")
+        return base * (0.5 + rng.random())
+
+
+# -- structured failure records -----------------------------------------------------
+
+
+@dataclass
+class FailureInfo:
+    """One task that the hardened layer could not complete.
+
+    ``kind`` is ``"error"`` (deterministic exception), ``"crash"`` (worker
+    death, attempts exhausted), ``"timeout"`` (deadline exceeded) or
+    ``"cache"`` (unrecoverable cache I/O).  ``wall_times`` holds the wall
+    time of each attempt, in order.
+    """
+
+    task: str
+    kind: str
+    attempts: int
+    wall_times: List[float] = field(default_factory=list)
+    traceback: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "task": self.task,
+            "kind": self.kind,
+            "attempts": self.attempts,
+            "wall_times": list(self.wall_times),
+            "traceback": self.traceback,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FailureInfo":
+        return cls(
+            task=str(data["task"]),
+            kind=str(data["kind"]),
+            attempts=int(data["attempts"]),
+            wall_times=[float(w) for w in data.get("wall_times", [])],
+            traceback=data.get("traceback"),
+        )
+
+    def summary_line(self) -> str:
+        """One human line for CLI footers: task, kind, attempts, total wall."""
+        total = sum(self.wall_times)
+        head = ""
+        if self.traceback:
+            tail = self.traceback.strip().splitlines()
+            head = f" — {tail[-1]}" if tail else ""
+        return (
+            f"{self.task}: {self.kind} after {self.attempts} attempt(s), "
+            f"{total:.3f}s{head}"
+        )
+
+
+# -- deterministic fault injection --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault at coordinates ``(task, attempt)``.
+
+    ``attempt`` is 1-based; ``0`` means *every* attempt (a deterministic,
+    non-recoverable fault).  ``kind``:
+
+    ``crash``
+        ``os._exit`` inside a pool worker (→ ``BrokenProcessPool`` in the
+        parent); simulated as a :class:`WorkerCrashError` when running
+        in-process, where a real exit would kill the whole run.
+    ``hang``
+        sleep ``seconds`` before proceeding normally — with a task
+        deadline set, the parent times the task out.
+    ``raise``
+        raise :class:`InjectedTransientFault` when ``transient`` else
+        :class:`InjectedFault`.
+    ``corrupt-cache``
+        no-op in the worker; the parent truncates the cache entry it just
+        wrote for these coordinates, so the *next* run exercises the
+        quarantine path.
+    """
+
+    task: str
+    kind: str
+    attempt: int = 1
+    transient: bool = False
+    seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (one of: {', '.join(FAULT_KINDS)})"
+            )
+        if self.attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {self.attempt}")
+
+    def matches(self, task: str, attempt: int) -> bool:
+        return self.task == task and self.attempt in (0, attempt)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "task": self.task,
+            "kind": self.kind,
+            "attempt": self.attempt,
+            "transient": self.transient,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+        return cls(
+            task=str(data["task"]),
+            kind=str(data["kind"]),
+            attempt=int(data.get("attempt", 1)),
+            transient=bool(data.get("transient", False)),
+            seconds=float(data.get("seconds", 30.0)),
+        )
+
+
+def _in_pool_worker() -> bool:
+    """True inside a spawned/forked pool worker (where os._exit is safe)."""
+    return multiprocessing.parent_process() is not None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic set of :class:`FaultSpec` injections.
+
+    Travels to pool workers via :data:`FAULT_PLAN_ENV`; worker bodies call
+    :func:`active_fault_plan` + :meth:`inject` before running each task.
+    The first spec matching ``(task, attempt)`` wins.
+    """
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __init__(self, specs: Iterable[FaultSpec] = ()):
+        object.__setattr__(self, "specs", tuple(specs))
+
+    def lookup(self, task: str, attempt: int) -> Optional[FaultSpec]:
+        for spec in self.specs:
+            if spec.matches(task, attempt):
+                return spec
+        return None
+
+    def inject(self, task: str, attempt: int) -> None:
+        """Perform whatever fault (if any) this plan pins to ``(task, attempt)``.
+
+        Called from worker bodies; see :class:`FaultSpec` for semantics.
+        """
+        spec = self.lookup(task, attempt)
+        if spec is None:
+            return
+        if spec.kind == "hang":
+            time.sleep(spec.seconds)
+            return
+        if spec.kind == "crash":
+            if _in_pool_worker():
+                os._exit(CRASH_EXIT_CODE)
+            raise WorkerCrashError(
+                f"injected crash for task {task!r} attempt {attempt} "
+                "(simulated in-process)"
+            )
+        if spec.kind == "raise":
+            exc = InjectedTransientFault if spec.transient else InjectedFault
+            raise exc(
+                f"injected {'transient ' if spec.transient else ''}fault for "
+                f"task {task!r} attempt {attempt}"
+            )
+        # corrupt-cache is applied by the parent after the cache write.
+
+    def wants_corrupt_cache(self, task: str, attempt: int) -> bool:
+        spec = self.lookup(task, attempt)
+        return spec is not None and spec.kind == "corrupt-cache"
+
+    # -- serialization / the env hook ----------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": FAULT_PLAN_VERSION,
+                "faults": [s.to_dict() for s in self.specs],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        data = json.loads(text)
+        if not isinstance(data, dict) or "faults" not in data:
+            raise ValueError("fault plan must be a JSON object with a 'faults' list")
+        if data.get("version") != FAULT_PLAN_VERSION:
+            raise ValueError(
+                f"unsupported fault-plan version {data.get('version')!r}"
+            )
+        return cls(FaultSpec.from_dict(d) for d in data["faults"])
+
+    @classmethod
+    def from_env(cls, environ: Optional[Dict[str, str]] = None) -> Optional["FaultPlan"]:
+        """The plan installed in ``QBSS_FAULT_PLAN``, parsed and memoized."""
+        raw = (environ or os.environ).get(FAULT_PLAN_ENV)
+        if not raw:
+            return None
+        return _parse_env_plan(raw)
+
+
+_ENV_PLAN_MEMO: Dict[str, FaultPlan] = {}
+
+
+def _parse_env_plan(raw: str) -> FaultPlan:
+    plan = _ENV_PLAN_MEMO.get(raw)
+    if plan is None:
+        text = Path(raw[1:]).read_text() if raw.startswith("@") else raw
+        plan = FaultPlan.from_json(text)
+        if len(_ENV_PLAN_MEMO) > 32:  # bound the memo during long fuzz runs
+            _ENV_PLAN_MEMO.clear()
+        _ENV_PLAN_MEMO[raw] = plan
+    return plan
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """What worker bodies call: the env-installed plan, or ``None``."""
+    return FaultPlan.from_env()
+
+
+class installed_fault_plan:
+    """Context manager installing ``plan`` into :data:`FAULT_PLAN_ENV`.
+
+    Pool workers inherit the parent environment at spawn time, so wrapping
+    pool creation in this context is all the plumbing a programmatic
+    ``fault_plan=`` argument needs.  ``None`` is a no-op (an externally
+    exported ``QBSS_FAULT_PLAN`` stays in effect).
+    """
+
+    def __init__(self, plan: Optional[FaultPlan]):
+        self.plan = plan
+        self._old: Optional[str] = None
+
+    def __enter__(self) -> Optional[FaultPlan]:
+        if self.plan is not None:
+            self._old = os.environ.get(FAULT_PLAN_ENV)
+            os.environ[FAULT_PLAN_ENV] = self.plan.to_json()
+        return self.plan
+
+    def __exit__(self, *exc_info) -> None:
+        if self.plan is not None:
+            if self._old is None:
+                os.environ.pop(FAULT_PLAN_ENV, None)
+            else:
+                os.environ[FAULT_PLAN_ENV] = self._old
+
+
+def corrupt_cache_entry(path) -> None:
+    """Truncate a just-written cache file to garbage (the ``corrupt-cache``
+    fault).  Keeps a non-empty, non-JSON prefix so the quarantine path — not
+    the missing-file path — is what the next reader exercises."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+        path.write_bytes(raw[: max(1, len(raw) // 3)].rstrip(b"}\n") or b"{")
+    except OSError:  # pragma: no cover - fault injection best-effort
+        pass

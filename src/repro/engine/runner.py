@@ -7,6 +7,16 @@ first.  Results come back in input order regardless of completion order,
 and every run carries :class:`RunMetrics` (wall time, cache hit/miss, row
 count) so reports can show where the time went.
 
+Execution is **fault tolerant** (see :mod:`repro.engine.faults` and
+``docs/robustness.md``): every task gets an optional deadline
+(``task_timeout``) enforced through future timeouts, transient failures
+(worker death, cache I/O errors) are retried under a seeded-deterministic
+:class:`~repro.engine.faults.RetryPolicy`, a broken process pool is
+rebuilt once and then degraded to in-process serial execution, and corrupt
+cache entries are quarantined and recomputed.  A run therefore always
+completes with whatever results are attainable; what could not be computed
+is recorded as a structured :class:`~repro.engine.faults.FailureInfo`.
+
 Reports are *always* normalised through their JSON payload
 (``to_dict``/``from_dict``), so a cold run, a warm cache hit and a
 ``jobs=4`` run all render byte-identically.
@@ -21,13 +31,35 @@ from __future__ import annotations
 import os
 import time
 import traceback
+import warnings
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from ..analysis.experiments import REGISTRY, ExperimentReport, resolve_kwargs
 from ..core.constants import DEFAULT_ALPHA
 from .cache import ResultCache, cache_key
+from .faults import (
+    FailureInfo,
+    FaultPlan,
+    RetryPolicy,
+    TransientError,
+    WorkerCrashError,
+    active_fault_plan,
+    corrupt_cache_entry,
+    installed_fault_plan,
+)
 
 
 def resolve_jobs(jobs: Union[int, str, None]) -> int:
@@ -57,6 +89,250 @@ def resolve_jobs(jobs: Union[int, str, None]) -> int:
     return jobs
 
 
+# -- the hardened pool driver -------------------------------------------------------
+
+
+class HardenedTask:
+    """Mutable per-task execution state shared with :func:`execute_hardened`.
+
+    Subsystems subclass or wrap this with their own payload fields; the
+    driver only touches ``task_key`` (retry/injection coordinates),
+    ``attempt`` (1-based) and ``walls`` (per-attempt wall times).
+    """
+
+    __slots__ = ("task_key", "attempt", "walls")
+
+    def __init__(self, task_key: str):
+        self.task_key = task_key
+        self.attempt = 1
+        self.walls: List[float] = []
+
+
+@dataclass
+class ExecutionStats:
+    """What the hardened driver did beyond plain execution."""
+
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    degraded: bool = False
+    degraded_tasks: List[str] = field(default_factory=list)
+
+
+class _PoolBroken(Exception):
+    """Internal: the current pool died; rebuild or degrade."""
+
+
+def _crash_outcome(wall: float) -> Dict[str, Any]:
+    return {
+        "ok": False,
+        "transient": True,
+        "kind": "crash",
+        "error": "worker process died unexpectedly (BrokenProcessPool)",
+        "wall": wall,
+    }
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor, kill: bool = False) -> None:
+    """Shut a pool down; ``kill`` terminates workers (hung or crashed pools)
+    instead of waiting for them — a timed-out task must not block exit."""
+    if not kill:
+        pool.shutdown(wait=True)
+        return
+    pool.shutdown(wait=False, cancel_futures=True)
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    for proc in procs:
+        try:
+            proc.terminate()
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+    for proc in procs:
+        try:
+            proc.join(timeout=1.0)
+        except (OSError, ValueError, AssertionError):  # pragma: no cover
+            pass
+
+
+def execute_hardened(
+    tasks: Iterable[HardenedTask],
+    *,
+    worker: Callable[..., Dict[str, Any]],
+    payload: Callable[[HardenedTask], tuple],
+    on_success: Callable[[HardenedTask, Dict[str, Any], bool], None],
+    on_failure: Callable[[HardenedTask, str, Optional[str]], None],
+    jobs: int = 1,
+    retry: Optional[RetryPolicy] = None,
+    task_timeout: Optional[float] = None,
+    max_inflight: Optional[int] = None,
+) -> ExecutionStats:
+    """Run ``tasks`` through ``worker`` with timeouts, retries and recovery.
+
+    ``worker`` is a picklable module-level callable invoked as
+    ``worker(*payload(task), task.attempt)`` and returning an *outcome*
+    dict: ``{"ok": True, "payload": ..., "wall": s}`` or ``{"ok": False,
+    "error": tb, "transient": bool, "kind": str, "wall": s}`` — worker
+    bodies capture their own exceptions so the future itself only raises
+    on worker *death*.
+
+    Guarantees, in order of escalation:
+
+    * a transient outcome is retried (after the policy's deterministic
+      backoff) until ``retry.max_attempts`` is exhausted;
+    * with ``task_timeout`` set and ``jobs > 1``, a task running past its
+      deadline is cancelled, reported as ``kind="timeout"`` (never
+      retried — a hang is presumed deterministic) and the batch continues;
+      the pool is killed rather than joined on shutdown so hung workers
+      cannot block exit;
+    * a :class:`BrokenProcessPool` marks every in-flight task as a crashed
+      attempt and rebuilds the pool **once**; if the rebuilt pool breaks
+      too, execution degrades to in-process serial with a
+      :class:`RuntimeWarning`, so the run always completes with whatever
+      results are attainable.  Tasks recovered by the fallback are flagged
+      ``degraded`` to ``on_success``.
+
+    ``tasks`` may be a lazy iterator (the replay path streams shards);
+    ``max_inflight`` bounds how many are pulled before results drain.
+    Serial execution (``jobs <= 1``) cannot preempt a running task, so
+    ``task_timeout`` is not enforced there.
+    """
+    retry = retry or RetryPolicy()
+    stats = ExecutionStats()
+    stream = iter(tasks)
+
+    def settle(task: HardenedTask, outcome: Dict[str, Any], degraded: bool) -> Optional[float]:
+        """Record an outcome; a float return means retry after that delay."""
+        task.walls.append(float(outcome.get("wall", 0.0)))
+        if outcome["ok"]:
+            on_success(task, outcome, degraded)
+            if degraded:
+                stats.degraded_tasks.append(task.task_key)
+            return None
+        if outcome.get("transient") and task.attempt < retry.max_attempts:
+            stats.retries += 1
+            delay = retry.delay(task.task_key, task.attempt)
+            task.attempt += 1
+            return delay
+        on_failure(task, str(outcome.get("kind", "error")), outcome.get("error"))
+        return None
+
+    def run_serial(seq: Iterable[HardenedTask], degraded: bool = False) -> None:
+        for task in seq:
+            while True:
+                outcome = worker(*payload(task), task.attempt)
+                delay = settle(task, outcome, degraded)
+                if delay is None:
+                    break
+                if delay > 0:
+                    time.sleep(delay)
+
+    if jobs <= 1:
+        run_serial(stream)
+        return stats
+
+    carry: deque = deque()  # tasks awaiting (re)submission across pool rebuilds
+    limit = max_inflight if max_inflight is not None else float("inf")
+    while True:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        inflight: Dict[Any, tuple] = {}
+        saw_timeout = False
+
+        def submit(task: HardenedTask) -> None:
+            t0 = time.monotonic()
+            try:
+                fut = pool.submit(worker, *payload(task), task.attempt)
+            except BrokenProcessPool:
+                carry.appendleft(task)  # no attempt consumed
+                raise _PoolBroken() from None
+            deadline = None if task_timeout is None else t0 + task_timeout
+            inflight[fut] = (task, deadline, t0)
+
+        try:
+            exhausted = False
+            while True:
+                while len(inflight) < limit and carry:
+                    submit(carry.popleft())
+                while len(inflight) < limit and not exhausted and not carry:
+                    try:
+                        submit(next(stream))
+                    except StopIteration:
+                        exhausted = True
+                if not inflight:
+                    if exhausted and not carry:
+                        break
+                    continue
+                wait_timeout = None
+                if task_timeout is not None:
+                    deadlines = [d for (_, d, _) in inflight.values() if d is not None]
+                    if deadlines:
+                        wait_timeout = max(0.0, min(deadlines) - time.monotonic())
+                done, _pending = wait(
+                    set(inflight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+                broken = False
+                for fut in done:
+                    task, _deadline, t0 = inflight.pop(fut)
+                    try:
+                        outcome = fut.result()
+                    except BrokenProcessPool:
+                        broken = True
+                        outcome = _crash_outcome(time.monotonic() - t0)
+                    delay = settle(task, outcome, False)
+                    if delay is not None:
+                        if delay > 0 and not broken:
+                            time.sleep(delay)
+                        carry.append(task)
+                if broken:
+                    # The whole pool is dead: every other in-flight task is a
+                    # crashed attempt too (attribution is impossible).
+                    for fut, (task, _deadline, t0) in list(inflight.items()):
+                        outcome = _crash_outcome(time.monotonic() - t0)
+                        if settle(task, outcome, False) is not None:
+                            carry.append(task)
+                    inflight.clear()
+                    raise _PoolBroken()
+                if task_timeout is not None:
+                    now = time.monotonic()
+                    expired = [
+                        fut
+                        for fut, (_task, deadline, _t0) in inflight.items()
+                        if deadline is not None and now >= deadline and not fut.done()
+                    ]
+                    for fut in expired:
+                        task, _deadline, t0 = inflight.pop(fut)
+                        fut.cancel()
+                        saw_timeout = True
+                        stats.timeouts += 1
+                        task.walls.append(now - t0)
+                        on_failure(
+                            task,
+                            "timeout",
+                            f"task exceeded its {task_timeout}s deadline "
+                            f"(attempt {task.attempt})",
+                        )
+            _shutdown_pool(pool, kill=saw_timeout)
+            return stats
+        except _PoolBroken:
+            _shutdown_pool(pool, kill=True)
+            stats.pool_rebuilds += 1
+            if stats.pool_rebuilds > 1:
+                stats.degraded = True
+                break
+            # loop: rebuild the pool once and keep going
+
+    warnings.warn(
+        "process pool broke twice; degrading to in-process serial execution "
+        "for the remaining tasks",
+        RuntimeWarning,
+        stacklevel=2,
+    )
+    run_serial(carry, degraded=True)
+    run_serial(stream, degraded=False)
+    return stats
+
+
+# -- engine results -----------------------------------------------------------------
+
+
 @dataclass(frozen=True)
 class RunMetrics:
     """Per-experiment execution metrics."""
@@ -66,6 +342,10 @@ class RunMetrics:
     cache_hit: bool
     rows: int
     error: Optional[str] = None
+    status: str = "ok"  # ok | degraded | error | crash | timeout
+    attempts: int = 1
+    quarantined: int = 0
+    failure: Optional[FailureInfo] = None
 
 
 @dataclass
@@ -89,6 +369,11 @@ class EngineResult:
     runs: List[ExperimentRun]
     jobs: int
     cache_dir: Optional[str]
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    degraded: bool = False
+    quarantined: int = 0
 
     @property
     def reports(self) -> List[ExperimentReport]:
@@ -97,6 +382,13 @@ class EngineResult:
     @property
     def errors(self) -> List[ExperimentRun]:
         return [r for r in self.runs if not r.ok]
+
+    @property
+    def failures(self) -> List[FailureInfo]:
+        """Structured failure records, in input order."""
+        return [
+            r.metrics.failure for r in self.runs if r.metrics.failure is not None
+        ]
 
     @property
     def hits(self) -> int:
@@ -110,47 +402,141 @@ class EngineResult:
     def total_wall_time(self) -> float:
         return sum(r.metrics.wall_time for r in self.runs)
 
+    def summary(self) -> Dict[str, Any]:
+        """The run's health as one JSON-ready dict (CLI + report footers)."""
+        return {
+            "experiments": len(self.runs),
+            "ok": sum(1 for r in self.runs if r.ok),
+            "failed": len(self.errors),
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "degraded": self.degraded,
+            "quarantined": self.quarantined,
+            "failures": [f.to_dict() for f in self.failures],
+        }
+
     def footer(self) -> str:
         """The engine-metrics footer appended to CLI reports."""
         lines = [
             "---- engine " + "-" * 46,
-            f"{'experiment':<24} {'wall(s)':>9}  {'cache':<5} {'rows':>5}",
+            f"{'experiment':<24} {'wall(s)':>9}  {'status':<8} {'rows':>5}",
         ]
         for run in self.runs:
             m = run.metrics
-            status = "ERROR" if m.error else ("hit" if m.cache_hit else "miss")
+            if m.failure is not None:
+                status = m.failure.kind.upper()
+            elif m.cache_hit:
+                status = "hit"
+            elif m.status == "degraded":
+                status = "miss*"
+            else:
+                status = "miss"
             lines.append(
-                f"{m.experiment:<24} {m.wall_time:>9.3f}  {status:<5} {m.rows:>5}"
+                f"{m.experiment:<24} {m.wall_time:>9.3f}  {status:<8} {m.rows:>5}"
             )
         cache_note = self.cache_dir if self.cache_dir else "disabled"
         lines.append(
             f"total {self.total_wall_time:.3f}s | {self.hits} hit / "
             f"{self.misses} miss | jobs={self.jobs} | cache: {cache_note}"
         )
+        if (
+            self.retries
+            or self.timeouts
+            or self.pool_rebuilds
+            or self.degraded
+            or self.quarantined
+        ):
+            lines.append(
+                f"recovery: {self.retries} retries | {self.timeouts} timeouts "
+                f"| {self.pool_rebuilds} pool rebuilds | "
+                f"{self.quarantined} quarantined"
+                + (" | DEGRADED to serial" if self.degraded else "")
+            )
+        for fail in self.failures:
+            lines.append(f"failed: {fail.summary_line()}")
         return "\n".join(lines)
 
 
-def _execute(name: str, call_kwargs: Dict[str, Any]) -> Dict[str, Any]:
+def _execute(
+    name: str,
+    call_kwargs: Dict[str, Any],
+    task: Optional[str] = None,
+    attempt: int = 1,
+) -> Dict[str, Any]:
     """Worker body: run one experiment, return its JSON payload + timing.
 
     Must stay a module-level function (pickled by name into pool workers).
-    Exceptions are captured into the result so one failing experiment
-    cannot take down the whole batch.
+    Ordinary exceptions are captured into the outcome so one failing
+    experiment cannot take down the whole batch; ``BaseException``
+    subclasses that are *not* ``Exception`` (``KeyboardInterrupt``,
+    ``SystemExit``) are re-raised so Ctrl-C actually stops a run.  Reads
+    the :data:`~repro.engine.faults.FAULT_PLAN_ENV` hook first.
     """
     start = time.perf_counter()
+    task = task if task is not None else name
     try:
+        plan = active_fault_plan()
+        if plan is not None:
+            plan.inject(task, attempt)
         report = REGISTRY[name](**call_kwargs)
         return {
             "ok": True,
             "payload": report.to_dict(),
             "wall": time.perf_counter() - start,
         }
-    except Exception:
+    except BaseException as exc:
+        if not isinstance(exc, Exception):
+            raise  # KeyboardInterrupt / SystemExit must propagate
         return {
             "ok": False,
             "error": traceback.format_exc(limit=8),
+            "transient": isinstance(exc, TransientError),
+            "kind": "crash" if isinstance(exc, WorkerCrashError) else "error",
             "wall": time.perf_counter() - start,
         }
+
+
+class _ExperimentTask(HardenedTask):
+    __slots__ = ("index", "name", "call_kwargs", "resolved", "key", "quarantined")
+
+    def __init__(self, index, name, call_kwargs, resolved, key):
+        super().__init__(name)
+        self.index = index
+        self.name = name
+        self.call_kwargs = call_kwargs
+        self.resolved = resolved
+        self.key = key
+        self.quarantined = 0
+
+
+def _put_with_retry(
+    store: ResultCache,
+    retry: RetryPolicy,
+    task_key: str,
+    args: tuple,
+):
+    """Cache writes never fail a run: transient I/O errors are retried under
+    the policy, then the write is skipped with a warning."""
+    attempt = 1
+    while True:
+        try:
+            return store.put(*args)
+        except OSError as exc:
+            if attempt >= retry.max_attempts:
+                warnings.warn(
+                    f"cache write for {task_key!r} failed after {attempt} "
+                    f"attempt(s) ({exc}); continuing uncached",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return None
+            delay = retry.delay(f"{task_key}:cache-put", attempt)
+            if delay > 0:
+                time.sleep(delay)
+            attempt += 1
 
 
 def run_experiments(
@@ -161,94 +547,152 @@ def run_experiments(
     cache: bool = True,
     cache_dir=None,
     package_version: Optional[str] = None,
+    task_timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> EngineResult:
-    """Evaluate ``names`` (registry keys), parallel and cached.
+    """Evaluate ``names`` (registry keys), parallel, cached and fault tolerant.
 
     ``overrides`` maps an experiment name to keyword-argument overrides
     (already validated — see :func:`repro.analysis.experiments.resolve_kwargs`).
     ``jobs > 1`` dispatches cache misses to a process pool; hits are served
     in-process; ``jobs=0`` or ``"auto"`` means one worker per CPU (see
-    :func:`resolve_jobs`).  ``cache=False`` bypasses the cache entirely (no reads, no
-    writes).  ``package_version`` overrides the version component of the
-    cache key (tests use this to exercise invalidation).
+    :func:`resolve_jobs`).  ``cache=False`` bypasses the cache entirely (no
+    reads, no writes).  ``package_version`` overrides the version component
+    of the cache key (tests use this to exercise invalidation).
+
+    Robustness (see ``docs/robustness.md``): ``task_timeout`` puts a
+    deadline on each task (pool mode only); ``retry`` is the
+    :class:`RetryPolicy` for transient failures (default: 3 attempts);
+    ``fault_plan`` installs a deterministic
+    :class:`~repro.engine.faults.FaultPlan` for the duration of the run
+    (tests; equivalently export ``QBSS_FAULT_PLAN``).
     """
     jobs = resolve_jobs(jobs)
+    if task_timeout is not None and task_timeout <= 0:
+        raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
+    retry = retry or RetryPolicy()
     unknown = [n for n in names if n not in REGISTRY]
     if unknown:
         raise KeyError(f"unknown experiments: {unknown}")
 
     store = ResultCache(cache_dir) if cache else None
-    plans = []  # (index, name, call_kwargs, resolved, key)
+    tasks: List[_ExperimentTask] = []
     runs: List[Optional[ExperimentRun]] = [None] * len(names)
 
-    for i, name in enumerate(names):
-        call_kwargs, resolved, _unused = resolve_kwargs(
-            name, (overrides or {}).get(name)
-        )
-        key = cache_key(name, resolved, package_version)
-        if store is not None:
-            start = time.perf_counter()
-            entry = store.get(key)
-            if entry is not None:
-                report = ExperimentReport.from_dict(entry["report"])
-                runs[i] = ExperimentRun(
-                    name=name,
-                    params=resolved,
-                    report=report,
-                    metrics=RunMetrics(
-                        experiment=name,
-                        wall_time=time.perf_counter() - start,
-                        cache_hit=True,
-                        rows=len(report.rows),
-                    ),
-                )
-                continue
-        plans.append((i, name, call_kwargs, resolved, key))
+    with installed_fault_plan(fault_plan):
+        plan = fault_plan if fault_plan is not None else active_fault_plan()
 
-    def record(plan, outcome: Dict[str, Any]) -> None:
-        i, name, _call_kwargs, resolved, key = plan
-        if outcome["ok"]:
+        for i, name in enumerate(names):
+            call_kwargs, resolved, _unused = resolve_kwargs(
+                name, (overrides or {}).get(name)
+            )
+            key = cache_key(name, resolved, package_version)
+            if store is not None:
+                start = time.perf_counter()
+                before_q = store.quarantined
+                entry = store.get(key)
+                quarantined = store.quarantined - before_q
+                if entry is not None:
+                    report = ExperimentReport.from_dict(entry["report"])
+                    runs[i] = ExperimentRun(
+                        name=name,
+                        params=resolved,
+                        report=report,
+                        metrics=RunMetrics(
+                            experiment=name,
+                            wall_time=time.perf_counter() - start,
+                            cache_hit=True,
+                            rows=len(report.rows),
+                        ),
+                    )
+                    continue
+            else:
+                quarantined = 0
+            task = _ExperimentTask(i, name, call_kwargs, resolved, key)
+            task.quarantined = quarantined
+            tasks.append(task)
+
+        def on_success(task, outcome, degraded):
             payload = outcome["payload"]
             report = ExperimentReport.from_dict(payload)
             if store is not None:
-                store.put(
-                    key, name, resolved, payload, outcome["wall"], package_version
+                path = _put_with_retry(
+                    store,
+                    retry,
+                    task.task_key,
+                    (
+                        task.key,
+                        task.name,
+                        task.resolved,
+                        payload,
+                        outcome["wall"],
+                        package_version,
+                    ),
                 )
+                if (
+                    path is not None
+                    and plan is not None
+                    and plan.wants_corrupt_cache(task.task_key, task.attempt)
+                ):
+                    corrupt_cache_entry(path)
             metrics = RunMetrics(
-                experiment=name,
-                wall_time=outcome["wall"],
+                experiment=task.name,
+                wall_time=sum(task.walls),
                 cache_hit=False,
                 rows=len(report.rows),
+                status="degraded" if degraded else "ok",
+                attempts=task.attempt,
+                quarantined=task.quarantined,
             )
-            runs[i] = ExperimentRun(name, resolved, report, metrics)
-        else:
+            runs[task.index] = ExperimentRun(task.name, task.resolved, report, metrics)
+
+        def on_failure(task, kind, error):
+            failure = FailureInfo(
+                task=task.task_key,
+                kind=kind,
+                attempts=task.attempt,
+                wall_times=list(task.walls),
+                traceback=error,
+            )
             metrics = RunMetrics(
-                experiment=name,
-                wall_time=outcome["wall"],
+                experiment=task.name,
+                wall_time=sum(task.walls),
                 cache_hit=False,
                 rows=0,
-                error=outcome["error"],
+                error=error,
+                status=kind,
+                attempts=task.attempt,
+                quarantined=task.quarantined,
+                failure=failure,
             )
-            runs[i] = ExperimentRun(name, resolved, None, metrics)
+            runs[task.index] = ExperimentRun(task.name, task.resolved, None, metrics)
 
-    if jobs <= 1 or len(plans) <= 1:
-        for plan in plans:
-            record(plan, _execute(plan[1], plan[2]))
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(plans))) as pool:
-            futures = {
-                pool.submit(_execute, plan[1], plan[2]): plan for plan in plans
-            }
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for fut in done:
-                    record(futures[fut], fut.result())
+        # A single fast task is cheaper inline — unless a deadline needs a
+        # pool to be enforceable.
+        effective_jobs = jobs
+        if len(tasks) <= 1 and task_timeout is None:
+            effective_jobs = 1
+        stats = execute_hardened(
+            tasks,
+            worker=_execute,
+            payload=lambda t: (t.name, t.call_kwargs, t.task_key),
+            on_success=on_success,
+            on_failure=on_failure,
+            jobs=min(effective_jobs, max(1, len(tasks))),
+            retry=retry,
+            task_timeout=task_timeout,
+        )
 
     return EngineResult(
         runs=[r for r in runs if r is not None],
         jobs=jobs,
         cache_dir=str(store.root) if store is not None else None,
+        retries=stats.retries,
+        timeouts=stats.timeouts,
+        pool_rebuilds=stats.pool_rebuilds,
+        degraded=stats.degraded,
+        quarantined=store.quarantined if store is not None else 0,
     )
 
 

@@ -22,6 +22,7 @@ from .records import ParseStats, TraceOrderError, TraceParseError, TraceRecord
 from .replay import (
     DEFAULT_ALGORITHMS,
     REPLAY_FORMAT_VERSION,
+    SHARD_STATUSES,
     TRACE_FORMATS,
     ReplayMetrics,
     ReplayReport,
@@ -51,6 +52,7 @@ __all__ = [
     "TraceRecord",
     "DEFAULT_ALGORITHMS",
     "REPLAY_FORMAT_VERSION",
+    "SHARD_STATUSES",
     "TRACE_FORMATS",
     "ReplayMetrics",
     "ReplayReport",

@@ -31,8 +31,8 @@ import hashlib
 import json
 import math
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+import traceback
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from .. import __version__ as PACKAGE_VERSION
@@ -40,10 +40,26 @@ from ..analysis.tables import render_table
 from ..core.instance import QBSSInstance
 from ..core.qjob import QJob
 from ..engine.cache import ResultCache
+from ..engine.faults import (
+    FailureInfo,
+    FaultPlan,
+    RetryPolicy,
+    TransientError,
+    WorkerCrashError,
+    active_fault_plan,
+    corrupt_cache_entry,
+    installed_fault_plan,
+)
+from ..engine.runner import HardenedTask, execute_hardened
 from ..qbss.registry import get_algorithm
 from .records import TraceOrderError
 
 REPLAY_FORMAT_VERSION = 1
+
+#: Shard verdicts: successfully evaluated (any execution mode) = ``ok``;
+#: ``degraded`` = valid result recovered in-process after repeated pool
+#: crashes; ``error``/``timeout`` = no rows for this shard.
+SHARD_STATUSES = ("ok", "degraded", "error", "timeout")
 
 #: Default algorithm line-up: the paper's online algorithms (arbitrary
 #: releases and deadlines — the only setting a general trace fits).
@@ -237,6 +253,43 @@ def _evaluate_shard(
     }
 
 
+def _evaluate_shard_task(
+    shard_doc: dict,
+    algorithms: Tuple[str, ...],
+    alpha: float,
+    task: str,
+    attempt: int,
+) -> dict:
+    """Hardened worker body: fault hook + captured exceptions.
+
+    Module-level (pickled by name); reads the ``QBSS_FAULT_PLAN`` env hook,
+    then defers to :func:`_evaluate_shard`.  Ordinary exceptions come back
+    as a failure outcome so one pathological shard cannot abort the
+    replay; ``KeyboardInterrupt``/``SystemExit`` still propagate.
+    """
+    start = time.perf_counter()
+    try:
+        plan = active_fault_plan()
+        if plan is not None:
+            plan.inject(task, attempt)
+        payload = _evaluate_shard(shard_doc, algorithms, alpha)
+        return {
+            "ok": True,
+            "payload": payload,
+            "wall": time.perf_counter() - start,
+        }
+    except BaseException as exc:
+        if not isinstance(exc, Exception):
+            raise
+        return {
+            "ok": False,
+            "error": traceback.format_exc(limit=8),
+            "transient": isinstance(exc, TransientError),
+            "kind": "crash" if isinstance(exc, WorkerCrashError) else "error",
+            "wall": time.perf_counter() - start,
+        }
+
+
 def _normalise(payload: dict) -> dict:
     """Round-trip through JSON so every result path renders identically."""
     return json.loads(json.dumps(payload))
@@ -285,6 +338,15 @@ class ReplayReport:
     @property
     def n_jobs(self) -> int:
         return sum(s["n_jobs"] for s in self.shards)
+
+    @property
+    def failed_shards(self) -> List[dict]:
+        """Shards with a non-result verdict (``error`` or ``timeout``)."""
+        return [
+            s
+            for s in self.shards
+            if s.get("status", "ok") in ("error", "timeout")
+        ]
 
     def ratios_for(self, algorithm: str) -> List[float]:
         return [
@@ -352,6 +414,21 @@ class ReplayReport:
         )
         shard_rows = []
         for s in self.shards[:max_shard_rows]:
+            status = s.get("status", "ok")
+            if not s["rows"]:
+                shard_rows.append(
+                    [
+                        s["index"],
+                        s["start"],
+                        s["end"],
+                        s["n_jobs"],
+                        "-",
+                        status,
+                        None,
+                        None,
+                        None,
+                    ]
+                )
             for row in s["rows"]:
                 shard_rows.append(
                     [
@@ -360,6 +437,7 @@ class ReplayReport:
                         s["end"],
                         s["n_jobs"],
                         row["algorithm"],
+                        status,
                         row["energy_ratio"],
                         row["max_speed_ratio"],
                         row["within_bound"],
@@ -372,6 +450,7 @@ class ReplayReport:
                 "end",
                 "jobs",
                 "algorithm",
+                "status",
                 "energy ratio",
                 "speed ratio",
                 "within",
@@ -382,6 +461,12 @@ class ReplayReport:
             out += (
                 f"\n({len(self.shards) - max_shard_rows} more shards not "
                 "shown; serialize with --output for the full data)"
+            )
+        failed = self.failed_shards
+        if failed:
+            out += (
+                f"\nwarning: {len(failed)} shard(s) have no results "
+                f"({', '.join(str(s['index']) + ':' + s.get('status', '?') for s in failed)})"
             )
         if self.skipped:
             out += (
@@ -441,11 +526,17 @@ class ReplayMetrics:
     peak_resident_jobs: int = 0
     cache_dir: Optional[str] = None
     pool_jobs: int = 1
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    degraded: bool = False
+    quarantined: int = 0
+    failures: List[FailureInfo] = field(default_factory=list)
 
     def footer(self) -> str:
         rate = self.shards / self.wall_time if self.wall_time > 0 else 0.0
         cache_note = self.cache_dir if self.cache_dir else "disabled"
-        return (
+        out = (
             "---- replay " + "-" * 46 + "\n"
             f"{self.shards} shards / {self.jobs} jobs in "
             f"{self.wall_time:.3f}s ({rate:.2f} shards/s) | "
@@ -453,9 +544,37 @@ class ReplayMetrics:
             f"jobs={self.pool_jobs} | peak resident jobs="
             f"{self.peak_resident_jobs} | cache: {cache_note}"
         )
+        if (
+            self.retries
+            or self.timeouts
+            or self.pool_rebuilds
+            or self.degraded
+            or self.quarantined
+        ):
+            out += (
+                f"\nrecovery: {self.retries} retries | {self.timeouts} "
+                f"timeouts | {self.pool_rebuilds} pool rebuilds | "
+                f"{self.quarantined} quarantined"
+                + (" | DEGRADED to serial" if self.degraded else "")
+            )
+        for fail in self.failures:
+            out += f"\nfailed: {fail.summary_line()}"
+        return out
 
 
 # -- the replayer -------------------------------------------------------------------
+
+
+class _ShardTask(HardenedTask):
+    """One shard awaiting hardened evaluation."""
+
+    __slots__ = ("doc", "key", "njobs")
+
+    def __init__(self, doc: dict, key: Optional[str]):
+        super().__init__(f"shard:{doc['index']}")
+        self.doc = doc
+        self.key = key
+        self.njobs = len(doc["instance"]["jobs"])
 
 
 def replay_jobs(
@@ -469,6 +588,9 @@ def replay_jobs(
     cache_dir=None,
     package_version: Optional[str] = None,
     meta: Optional[dict] = None,
+    task_timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Tuple[ReplayReport, ReplayMetrics]:
     """Stream a release-sorted QJob iterable through sharded evaluation.
 
@@ -477,10 +599,22 @@ def replay_jobs(
     fills them; direct callers may omit any.  Evaluation is serial for
     ``jobs <= 1``, else fanned over a process pool with at most
     ``2 * jobs`` shards in flight (the memory bound).
+
+    Execution is hardened (``docs/robustness.md``): shards running past
+    ``task_timeout`` (pool mode) are cancelled and reported with verdict
+    ``timeout``; transient failures retry under ``retry`` (injection
+    coordinates are ``shard:<index>``); a broken pool is rebuilt once and
+    then degraded to in-process evaluation; corrupt cache entries are
+    quarantined and recomputed.  The replay always finishes — shards that
+    could not be evaluated carry a ``status``/``failure`` record instead
+    of rows.
     """
     from ..engine.runner import resolve_jobs
 
     jobs = resolve_jobs(jobs)
+    if task_timeout is not None and task_timeout <= 0:
+        raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
+    retry = retry or RetryPolicy()
     algorithms = validate_replay_algorithms(algorithms)
     store = ResultCache(cache_dir) if cache else None
     meta = dict(meta or {})
@@ -490,69 +624,99 @@ def replay_jobs(
         pool_jobs=max(1, jobs),
     )
     results: Dict[int, dict] = {}
+    resident = 0
 
-    def plan() -> Iterator[Tuple[dict, Optional[str]]]:
-        """Shard docs still needing evaluation; cache hits recorded inline."""
-        for shard in iter_shards(jobs_stream, shard_window):
-            metrics.shards += 1
-            metrics.jobs += len(shard.jobs)
-            doc = _shard_doc(shard)
-            key = None
-            if store is not None:
-                key = shard_cache_key(doc, algorithms, alpha, package_version)
-                entry = store.get(key)
-                if entry is not None:
-                    results[shard.index] = _normalise(entry["report"])
-                    metrics.hits += 1
-                    continue
-            metrics.misses += 1
-            yield doc, key
+    with installed_fault_plan(fault_plan):
+        plan = fault_plan if fault_plan is not None else active_fault_plan()
 
-    def record(payload: dict, key: Optional[str], wall: float) -> None:
-        results[payload["index"]] = _normalise(payload)
-        if store is not None and key is not None:
-            store.put(
-                key,
-                "trace-shard",
-                {"algorithms": list(algorithms), "alpha": alpha},
-                payload,
-                wall,
-                package_version,
-            )
-
-    if jobs <= 1:
-        resident = 0
-        for doc, key in plan():
-            resident = len(doc["instance"]["jobs"])
-            metrics.peak_resident_jobs = max(
-                metrics.peak_resident_jobs, resident
-            )
-            t0 = time.perf_counter()
-            record(_evaluate_shard(doc, algorithms, alpha), key, time.perf_counter() - t0)
-    else:
-        max_inflight = 2 * jobs
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            inflight = {}
-
-            def drain(return_when) -> None:
-                done, _pending = wait(inflight, return_when=return_when)
-                for fut in done:
-                    key, _njobs, t0 = inflight.pop(fut)
-                    record(fut.result(), key, time.perf_counter() - t0)
-
-            for doc, key in plan():
-                while len(inflight) >= max_inflight:
-                    drain(FIRST_COMPLETED)
-                njobs = len(doc["instance"]["jobs"])
-                resident = njobs + sum(n for _, n, _ in inflight.values())
+        def shard_tasks() -> Iterator[_ShardTask]:
+            """Shards still needing evaluation; cache hits recorded inline."""
+            nonlocal resident
+            for shard in iter_shards(jobs_stream, shard_window):
+                metrics.shards += 1
+                metrics.jobs += len(shard.jobs)
+                doc = _shard_doc(shard)
+                key = None
+                if store is not None:
+                    key = shard_cache_key(doc, algorithms, alpha, package_version)
+                    entry = store.get(key)
+                    if entry is not None:
+                        payload = _normalise(entry["report"])
+                        payload.setdefault("status", "ok")
+                        results[shard.index] = payload
+                        metrics.hits += 1
+                        continue
+                metrics.misses += 1
+                task = _ShardTask(doc, key)
+                resident += task.njobs
                 metrics.peak_resident_jobs = max(
                     metrics.peak_resident_jobs, resident
                 )
-                fut = pool.submit(_evaluate_shard, doc, algorithms, alpha)
-                inflight[fut] = (key, njobs, time.perf_counter())
-            while inflight:
-                drain(FIRST_COMPLETED)
+                yield task
 
+        def on_success(task: _ShardTask, outcome: dict, degraded: bool) -> None:
+            nonlocal resident
+            resident -= task.njobs
+            payload = _normalise(outcome["payload"])
+            if store is not None and task.key is not None:
+                # Cache the mode-independent verdict: a degraded result is
+                # still the correct result, so warm replays serve it as ok.
+                path = store.put(
+                    task.key,
+                    "trace-shard",
+                    {"algorithms": list(algorithms), "alpha": alpha},
+                    dict(payload, status="ok"),
+                    outcome["wall"],
+                    package_version,
+                )
+                if plan is not None and plan.wants_corrupt_cache(
+                    task.task_key, task.attempt
+                ):
+                    corrupt_cache_entry(path)
+            payload["status"] = "degraded" if degraded else "ok"
+            results[task.doc["index"]] = payload
+
+        def on_failure(task: _ShardTask, kind: str, error: Optional[str]) -> None:
+            nonlocal resident
+            resident -= task.njobs
+            failure = FailureInfo(
+                task=task.task_key,
+                kind=kind,
+                attempts=task.attempt,
+                wall_times=list(task.walls),
+                traceback=error,
+            )
+            metrics.failures.append(failure)
+            doc = task.doc
+            results[doc["index"]] = _normalise(
+                {
+                    "index": doc["index"],
+                    "start": doc["start"],
+                    "end": doc["end"],
+                    "n_jobs": len(doc["instance"]["jobs"]),
+                    "rows": [],
+                    "status": "timeout" if kind == "timeout" else "error",
+                    "failure": failure.to_dict(),
+                }
+            )
+
+        stats = execute_hardened(
+            shard_tasks(),
+            worker=_evaluate_shard_task,
+            payload=lambda t: (t.doc, algorithms, alpha, t.task_key),
+            on_success=on_success,
+            on_failure=on_failure,
+            jobs=jobs,
+            retry=retry,
+            task_timeout=task_timeout,
+            max_inflight=2 * jobs if jobs > 1 else None,
+        )
+
+    metrics.retries = stats.retries
+    metrics.timeouts = stats.timeouts
+    metrics.pool_rebuilds = stats.pool_rebuilds
+    metrics.degraded = stats.degraded
+    metrics.quarantined = store.quarantined if store is not None else 0
     metrics.wall_time = time.perf_counter() - start_wall
     report = ReplayReport(
         source=str(meta.get("source", "<stream>")),
@@ -598,10 +762,14 @@ def replay_trace(
     cache: bool = True,
     cache_dir=None,
     package_version: Optional[str] = None,
+    task_timeout: Optional[float] = None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Tuple[ReplayReport, ReplayMetrics]:
     """End-to-end replay: parse ``path``, synthesize uncertainty, shard,
     evaluate, aggregate.  The trace is streamed — bounded memory holds for
-    arbitrarily large files."""
+    arbitrarily large files.  ``task_timeout``/``retry``/``fault_plan``
+    configure the hardened execution layer (see :func:`replay_jobs`)."""
     import itertools
 
     from .records import ParseStats
@@ -631,6 +799,9 @@ def replay_trace(
         cache=cache,
         cache_dir=cache_dir,
         package_version=package_version,
+        task_timeout=task_timeout,
+        retry=retry,
+        fault_plan=fault_plan,
         meta={
             "source": str(path),
             "trace_format": fmt,
