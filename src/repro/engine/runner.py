@@ -28,6 +28,7 @@ ratio measurements of a *named* algorithm (dispatched through
 
 from __future__ import annotations
 
+import heapq
 import os
 import time
 import traceback
@@ -123,6 +124,10 @@ class _PoolBroken(Exception):
     """Internal: the current pool died; rebuild or degrade."""
 
 
+class _PoolHung(Exception):
+    """Internal: every worker is pinned by a timed-out task; replace the pool."""
+
+
 def _crash_outcome(wall: float) -> Dict[str, Any]:
     return {
         "ok": False,
@@ -177,18 +182,27 @@ def execute_hardened(
     Guarantees, in order of escalation:
 
     * a transient outcome is retried (after the policy's deterministic
-      backoff) until ``retry.max_attempts`` is exhausted;
-    * with ``task_timeout`` set and ``jobs > 1``, a task running past its
-      deadline is cancelled, reported as ``kind="timeout"`` (never
-      retried — a hang is presumed deterministic) and the batch continues;
-      the pool is killed rather than joined on shutdown so hung workers
-      cannot block exit;
-    * a :class:`BrokenProcessPool` marks every in-flight task as a crashed
+      backoff) until ``retry.max_attempts`` is exhausted; backoff never
+      blocks dispatch — a retrying task is parked with an eligibility
+      time that is folded into the driver's wait, so other completions
+      and deadlines are still serviced while it backs off;
+    * with ``task_timeout`` set and ``jobs > 1``, submissions are bounded
+      to free workers so queue wait never counts against the deadline; a
+      task running past its deadline is cancelled, reported as
+      ``kind="timeout"`` (never retried — a hang is presumed
+      deterministic) and the batch continues.  A running task cannot be
+      preempted, so its worker stays pinned to the hang; capacity shrinks
+      accordingly, and when every worker is pinned the pool is replaced
+      (counted in ``pool_rebuilds``) so the remaining work gets real
+      workers again.  Pools that saw a timeout are killed rather than
+      joined on shutdown so hung workers cannot block exit;
+    * a :class:`BrokenProcessPool` — whether raised at submission or by a
+      completed future — marks **every** in-flight task as a crashed
       attempt and rebuilds the pool **once**; if the rebuilt pool breaks
       too, execution degrades to in-process serial with a
       :class:`RuntimeWarning`, so the run always completes with whatever
-      results are attainable.  Tasks recovered by the fallback are flagged
-      ``degraded`` to ``on_success``.
+      results are attainable.  Every task the fallback runs (carried-over
+      and not-yet-pulled alike) is flagged ``degraded`` to ``on_success``.
 
     ``tasks`` may be a lazy iterator (the replay path streams shards);
     ``max_inflight`` bounds how many are pulled before results drain.
@@ -229,12 +243,37 @@ def execute_hardened(
         run_serial(stream)
         return stats
 
-    carry: deque = deque()  # tasks awaiting (re)submission across pool rebuilds
+    carry: deque = deque()  # tasks ready for (re)submission across pool rebuilds
+    retry_heap: List[tuple] = []  # (eligible_at, seq, task) backoff parking lot
+    seq = 0
     limit = max_inflight if max_inflight is not None else float("inf")
+    crash_rebuilds = 0
+    exhausted = False
+
+    def park(task: HardenedTask, delay: float) -> None:
+        """Queue a retry; positive delays wait in the heap, not the loop."""
+        nonlocal seq
+        if delay > 0:
+            heapq.heappush(retry_heap, (time.monotonic() + delay, seq, task))
+            seq += 1
+        else:
+            carry.append(task)
+
     while True:
         pool = ProcessPoolExecutor(max_workers=jobs)
         inflight: Dict[Any, tuple] = {}
+        hung = 0  # timed-out tasks still pinning a worker of *this* pool
         saw_timeout = False
+
+        def crash_inflight() -> None:
+            # The whole pool is dead: every in-flight task is a crashed
+            # attempt (attribution is impossible).
+            for _fut, (task, _deadline, t0) in list(inflight.items()):
+                outcome = _crash_outcome(time.monotonic() - t0)
+                delay = settle(task, outcome, False)
+                if delay is not None:
+                    park(task, delay)
+            inflight.clear()
 
         def submit(task: HardenedTask) -> None:
             t0 = time.monotonic()
@@ -242,29 +281,45 @@ def execute_hardened(
                 fut = pool.submit(worker, *payload(task), task.attempt)
             except BrokenProcessPool:
                 carry.appendleft(task)  # no attempt consumed
+                crash_inflight()
                 raise _PoolBroken() from None
             deadline = None if task_timeout is None else t0 + task_timeout
             inflight[fut] = (task, deadline, t0)
 
         try:
-            exhausted = False
             while True:
-                while len(inflight) < limit and carry:
+                now = time.monotonic()
+                while retry_heap and retry_heap[0][0] <= now:
+                    carry.append(heapq.heappop(retry_heap)[2])
+                capacity = limit
+                if task_timeout is not None:
+                    # A submitted task must hold a free worker immediately,
+                    # otherwise queue wait would count against its deadline.
+                    capacity = min(capacity, jobs - hung)
+                while len(inflight) < capacity and carry:
                     submit(carry.popleft())
-                while len(inflight) < limit and not exhausted and not carry:
+                while len(inflight) < capacity and not exhausted and not carry:
                     try:
                         submit(next(stream))
                     except StopIteration:
                         exhausted = True
                 if not inflight:
-                    if exhausted and not carry:
+                    if carry or not exhausted:
+                        # Submittable work but zero capacity: every worker
+                        # is pinned by a hung task.  Replace the pool.
+                        raise _PoolHung()
+                    if not retry_heap:
                         break
-                    continue
+                    # all remaining work is backing off; fall through and
+                    # sleep until the first task is eligible again
                 wait_timeout = None
-                if task_timeout is not None:
-                    deadlines = [d for (_, d, _) in inflight.values() if d is not None]
-                    if deadlines:
-                        wait_timeout = max(0.0, min(deadlines) - time.monotonic())
+                candidates = [
+                    d for (_, d, _) in inflight.values() if d is not None
+                ]
+                if retry_heap:
+                    candidates.append(retry_heap[0][0])
+                if candidates:
+                    wait_timeout = max(0.0, min(candidates) - time.monotonic())
                 done, _pending = wait(
                     set(inflight), timeout=wait_timeout, return_when=FIRST_COMPLETED
                 )
@@ -278,17 +333,9 @@ def execute_hardened(
                         outcome = _crash_outcome(time.monotonic() - t0)
                     delay = settle(task, outcome, False)
                     if delay is not None:
-                        if delay > 0 and not broken:
-                            time.sleep(delay)
-                        carry.append(task)
+                        park(task, delay)
                 if broken:
-                    # The whole pool is dead: every other in-flight task is a
-                    # crashed attempt too (attribution is impossible).
-                    for fut, (task, _deadline, t0) in list(inflight.items()):
-                        outcome = _crash_outcome(time.monotonic() - t0)
-                        if settle(task, outcome, False) is not None:
-                            carry.append(task)
-                    inflight.clear()
+                    crash_inflight()
                     raise _PoolBroken()
                 if task_timeout is not None:
                     now = time.monotonic()
@@ -299,7 +346,10 @@ def execute_hardened(
                     ]
                     for fut in expired:
                         task, _deadline, t0 = inflight.pop(fut)
-                        fut.cancel()
+                        if not fut.cancel() and not fut.done():
+                            # cancel() cannot stop a running task: its worker
+                            # stays pinned until this pool is replaced.
+                            hung += 1
                         saw_timeout = True
                         stats.timeouts += 1
                         task.walls.append(now - t0)
@@ -311,13 +361,20 @@ def execute_hardened(
                         )
             _shutdown_pool(pool, kill=saw_timeout)
             return stats
+        except _PoolHung:
+            # Not a crash: kill the pinned workers and start a fresh pool.
+            # Bounded — each hung task times out exactly once, so at most
+            # ceil(timeouts / jobs) replacements can ever happen.
+            _shutdown_pool(pool, kill=True)
+            stats.pool_rebuilds += 1
         except _PoolBroken:
             _shutdown_pool(pool, kill=True)
             stats.pool_rebuilds += 1
-            if stats.pool_rebuilds > 1:
+            crash_rebuilds += 1
+            if crash_rebuilds > 1:
                 stats.degraded = True
                 break
-            # loop: rebuild the pool once and keep going
+        # loop: rebuild the pool and keep going
 
     warnings.warn(
         "process pool broke twice; degrading to in-process serial execution "
@@ -325,8 +382,10 @@ def execute_hardened(
         RuntimeWarning,
         stacklevel=2,
     )
+    while retry_heap:
+        carry.append(heapq.heappop(retry_heap)[2])
     run_serial(carry, degraded=True)
-    run_serial(stream, degraded=False)
+    run_serial(stream, degraded=True)
     return stats
 
 

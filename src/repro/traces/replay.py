@@ -598,7 +598,9 @@ def replay_jobs(
     noise model, seed, deadline_slack, skipped) — :func:`replay_trace`
     fills them; direct callers may omit any.  Evaluation is serial for
     ``jobs <= 1``, else fanned over a process pool with at most
-    ``2 * jobs`` shards in flight (the memory bound).
+    ``2 * jobs`` shards in flight (the memory bound; with a
+    ``task_timeout`` the driver further bounds submissions to free
+    workers so queue wait never counts against a shard's deadline).
 
     Execution is hardened (``docs/robustness.md``): shards running past
     ``task_timeout`` (pool mode) are cancelled and reported with verdict

@@ -8,7 +8,10 @@ the default is the mode each test was written for.
 
 import json
 import os
+import time
 import warnings
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
@@ -25,8 +28,9 @@ from repro.engine import (
     run_experiments,
 )
 from repro.core.qjob import QJob
+from repro.engine import runner as engine_runner
 from repro.engine.faults import FAULT_PLAN_ENV
-from repro.engine.runner import _execute
+from repro.engine.runner import HardenedTask, _execute, execute_hardened
 from repro.traces.replay import replay_jobs
 
 FAST = ["lemma42", "rho"]
@@ -371,6 +375,161 @@ class TestEngineFaults:
         summary = res.summary()
         assert summary["retries"] == 1
         assert summary["failures"][0]["task"] == "rho"
+
+
+# -- driver: deadlines vs queue wait, hung workers, submit-path crashes -------------
+
+
+def _ok_worker(key, attempt):
+    """In-process stand-in worker for scripted-pool driver tests."""
+    return {"ok": True, "payload": key, "wall": 0.0}
+
+
+class TestHardenedDriver:
+    def test_queue_wait_does_not_count_against_deadline(self, no_env_plan):
+        """5 × ~0.5s tasks on 2 workers: under submit-time deadlines the
+        back of the queue would spuriously time out without ever running."""
+        plan = FaultPlan(
+            tuple(
+                FaultSpec(task=n, kind="hang", attempt=0, seconds=0.5)
+                for n in FIVE
+            )
+        )
+        res = run_quiet(
+            FIVE,
+            jobs=max(2, matrix_jobs(2)),
+            cache=False,
+            task_timeout=1.0,
+            fault_plan=plan,
+        )
+        assert res.timeouts == 0
+        assert not res.errors
+        assert len(res.reports) == 5
+
+    def test_all_workers_hung_pool_is_replaced(self, no_env_plan):
+        """Hangs pinning every worker must not deadlock the remaining work
+        (cancel() cannot stop a running task; the pool is replaced)."""
+        plan = FaultPlan(
+            (
+                FaultSpec(task="lemma41", kind="hang", attempt=0, seconds=30.0),
+                FaultSpec(task="lemma42", kind="hang", attempt=0, seconds=30.0),
+            )
+        )
+        t0 = time.monotonic()
+        res = run_quiet(
+            FIVE, jobs=2, cache=False, task_timeout=0.5, fault_plan=plan
+        )
+        assert res.timeouts == 2
+        assert sorted(f.task for f in res.failures) == ["lemma41", "lemma42"]
+        assert all(f.kind == "timeout" for f in res.failures)
+        assert sorted(r.id for r in res.reports) == ["L43", "L44", "L45"]
+        assert res.pool_rebuilds >= 1  # reclaimed the pinned workers
+        assert not res.degraded
+        assert time.monotonic() - t0 < 20.0  # hung workers killed, not awaited
+
+    def test_backoff_does_not_delay_timeout_detection(self, no_env_plan):
+        """A task backing off several seconds must not block the deadline
+        check for a concurrently hung task."""
+        policy = RetryPolicy(max_attempts=2, backoff_base=4.0, backoff_cap=4.0)
+        plan = FaultPlan(
+            (
+                FaultSpec(task="rho", kind="raise", attempt=1, transient=True),
+                FaultSpec(task="lemma42", kind="hang", attempt=0, seconds=30.0),
+            )
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            res = run_experiments(
+                ["rho", "lemma42"],
+                jobs=2,
+                cache=False,
+                task_timeout=0.5,
+                retry=policy,
+                fault_plan=plan,
+            )
+        assert res.retries == 1
+        assert res.timeouts == 1
+        (info,) = res.failures
+        assert info.kind == "timeout"
+        # the deadline fired on schedule, not after rho's ~4s backoff
+        assert info.wall_times[0] < policy.delay("rho", 1)
+        assert [r.id for r in res.reports] == ["RHO"]
+
+    def test_submit_path_pool_break_settles_inflight(self, monkeypatch):
+        """BrokenProcessPool raised *at submission* must charge the already
+        in-flight tasks a crashed attempt, not silently drop them."""
+
+        class ScriptedPool:
+            built = 0
+
+            def __init__(self, max_workers):
+                ScriptedPool.built += 1
+                self.first = ScriptedPool.built == 1
+                self.count = 0
+
+            def submit(self, fn, *args):
+                if self.first and self.count == 2:
+                    raise BrokenProcessPool("scripted break")
+                self.count += 1
+                fut = Future()
+                if not self.first:
+                    fut.set_result(fn(*args))
+                return fut  # first pool: futures never complete
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        monkeypatch.setattr(engine_runner, "ProcessPoolExecutor", ScriptedPool)
+        tasks = [HardenedTask(f"t{i}") for i in range(3)]
+        succeeded, failed = [], []
+        stats = execute_hardened(
+            tasks,
+            worker=_ok_worker,
+            payload=lambda t: (t.task_key,),
+            on_success=lambda t, o, d: succeeded.append(t.task_key),
+            on_failure=lambda t, k, e: failed.append((t.task_key, k)),
+            jobs=2,
+            retry=QUICK,
+        )
+        assert failed == []
+        assert sorted(succeeded) == ["t0", "t1", "t2"]  # nothing lost
+        assert stats.pool_rebuilds == 1
+        assert not stats.degraded
+        assert stats.retries == 2  # t0/t1 were charged a crashed attempt
+        assert [t.attempt for t in tasks] == [2, 2, 1]
+
+    def test_double_break_degrades_and_flags_stream_tasks(self, monkeypatch):
+        """After degrading to serial, every task the fallback runs — carried
+        and not-yet-pulled alike — is flagged degraded."""
+
+        class AlwaysBroken:
+            def __init__(self, max_workers):
+                pass
+
+            def submit(self, fn, *args):
+                raise BrokenProcessPool("scripted break")
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        monkeypatch.setattr(engine_runner, "ProcessPoolExecutor", AlwaysBroken)
+        stream = iter([HardenedTask(f"t{i}") for i in range(3)])
+        flags = {}
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            stats = execute_hardened(
+                stream,
+                worker=_ok_worker,
+                payload=lambda t: (t.task_key,),
+                on_success=lambda t, o, d: flags.__setitem__(t.task_key, d),
+                on_failure=lambda t, k, e: flags.__setitem__(t.task_key, k),
+                jobs=2,
+                retry=QUICK,
+            )
+        assert stats.degraded
+        assert stats.pool_rebuilds == 2
+        assert flags == {"t0": True, "t1": True, "t2": True}
+        assert sorted(stats.degraded_tasks) == ["t0", "t1", "t2"]
 
 
 # -- CLI surfaces -------------------------------------------------------------------
