@@ -124,13 +124,13 @@ def replay_report_to_markdown(report) -> str:
     lines.append("|" + "|".join("---" for _ in shard_headers) + "|")
     for s in report.shards:
         status = s.get("status", "ok")
-        rows = s["rows"] or [None]
+        rows = s.get("rows") or [None]
         for row in rows:
             cells = [
                 s["index"],
                 s["start"],
                 s["end"],
-                s["n_jobs"],
+                s.get("n_jobs", 0),
                 status,
             ]
             if row is None:

@@ -76,6 +76,10 @@ def paired_improvement(
     Returns ``(mean ratio candidate/baseline, bootstrap CI of that mean,
     win rate)`` — a mean ratio below 1 with a CI excluding 1 means the
     candidate is reliably better on this workload distribution.
+
+    The win rate counts strict wins (``candidate < baseline``) as 1 and
+    ties as 0.5, so two identical algorithms score 0.5 — not the 100%
+    "win" the old ``candidate <= baseline`` rule reported.
     """
     b = np.asarray(baseline, dtype=float)
     c = np.asarray(candidate, dtype=float)
@@ -83,5 +87,5 @@ def paired_improvement(
         raise ValueError("need equal-length non-empty paired samples")
     rel = c / b
     ci = bootstrap_ci(rel, np.mean, confidence, n_resamples, seed)
-    win_rate = float((c <= b).mean())
+    win_rate = float((c < b).mean() + 0.5 * (c == b).mean())
     return float(rel.mean()), ci, win_rate

@@ -107,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_robustness_arguments(parser)
+    _add_obs_arguments(parser)
     parser.add_argument(
         "--list",
         action="store_true",
@@ -138,6 +139,98 @@ def _add_robustness_arguments(parser: argparse.ArgumentParser) -> None:
             "death, cache I/O errors (default 3; 1 disables retries)"
         ),
     )
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The observability flags shared by both CLIs (docs/observability.md)."""
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a JSON-lines span trace of the run (batch/task/attempt "
+            "spans plus retry/timeout/quarantine events); report output is "
+            "byte-identical with or without this flag"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "export run metrics after the run; a '.prom'/'.txt' suffix "
+            "selects Prometheus text exposition, anything else JSON"
+        ),
+    )
+    parser.add_argument(
+        "--manifest-out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write a run manifest (package/python version, resolved "
+            "arguments, seed, cache dir, fault plan, wall-clock start) "
+            "as a repro.io JSON document"
+        ),
+    )
+
+
+def _obs_setup(args: argparse.Namespace):
+    """Build the (tracer, metrics registry, wall-clock start) triple.
+
+    The wall clock is read exactly once, here — the manifest is the only
+    consumer of ``time.time()``; nothing on the execution path touches it.
+    """
+    import time
+
+    tracer = None
+    if args.trace_out is not None:
+        from .obs import Tracer
+
+        tracer = Tracer.to_path(args.trace_out)
+    registry = None
+    if args.metrics_out is not None:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    return tracer, registry, time.time()
+
+
+def _obs_finish(
+    args: argparse.Namespace,
+    tool: str,
+    tracer,
+    registry,
+    *,
+    started_at: float,
+    seed=None,
+    cache_dir=None,
+) -> None:
+    """Flush the trace and write the metrics/manifest output files."""
+    if tracer is not None:
+        tracer.close()
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
+    if registry is not None:
+        from .obs import write_metrics
+
+        fmt = write_metrics(registry, args.metrics_out)
+        print(
+            f"metrics written to {args.metrics_out} ({fmt})", file=sys.stderr
+        )
+    if args.manifest_out is not None:
+        from . import io as rio
+        from .engine.faults import active_fault_plan
+        from .obs import RunManifest
+
+        manifest = RunManifest.create(
+            tool,
+            vars(args),
+            seed=seed,
+            cache_dir=cache_dir,
+            fault_plan=active_fault_plan(),
+            now=started_at,
+        )
+        rio.save(manifest, args.manifest_out)
+        print(f"manifest written to {args.manifest_out}", file=sys.stderr)
 
 
 def _retry_policy(parser: argparse.ArgumentParser, args: argparse.Namespace):
@@ -267,15 +360,23 @@ def _main(argv: Optional[List[str]] = None) -> int:
 
     from .engine import run_experiments
 
-    result = run_experiments(
-        names,
-        overrides,
-        jobs=jobs,
-        cache=not args.no_cache,
-        cache_dir=args.cache_dir,
-        task_timeout=args.task_timeout,
-        retry=_retry_policy(parser, args),
-    )
+    tracer, registry, started_at = _obs_setup(args)
+    try:
+        result = run_experiments(
+            names,
+            overrides,
+            jobs=jobs,
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
+            task_timeout=args.task_timeout,
+            retry=_retry_policy(parser, args),
+            tracer=tracer,
+            metrics=registry,
+        )
+    except BaseException:
+        if tracer is not None:
+            tracer.close()
+        raise
 
     if args.markdown:
         from .analysis.report import engine_failures_to_markdown, reports_to_markdown
@@ -288,6 +389,14 @@ def _main(argv: Optional[List[str]] = None) -> int:
                 print(run.report.render())
                 print()
 
+    _obs_finish(
+        args,
+        "qbss-report",
+        tracer,
+        registry,
+        started_at=started_at,
+        cache_dir=result.cache_dir,
+    )
     print(result.footer(), file=sys.stderr)
     for run in result.errors:
         print(
@@ -411,6 +520,7 @@ def build_replay_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_robustness_arguments(parser)
+    _add_obs_arguments(parser)
     parser.add_argument(
         "--markdown",
         action="store_true",
@@ -470,6 +580,7 @@ def _replay_main(argv: Optional[List[str]] = None) -> int:
     if not os.path.exists(args.trace):
         parser.error(f"trace file not found: {args.trace}")
 
+    tracer, registry, started_at = _obs_setup(args)
     try:
         report, metrics = replay_trace(
             args.trace,
@@ -486,12 +597,22 @@ def _replay_main(argv: Optional[List[str]] = None) -> int:
             cache_dir=args.cache_dir,
             task_timeout=args.task_timeout,
             retry=_retry_policy(parser, args),
+            tracer=tracer,
+            metrics=registry,
         )
     except (TraceParseError, TraceOrderError, ValueError) as exc:
+        if tracer is not None:
+            tracer.close()
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BaseException:
+        if tracer is not None:
+            tracer.close()
+        raise
 
     if not report.shards:
+        if tracer is not None:
+            tracer.close()
         print("error: trace contains no usable records", file=sys.stderr)
         return 1
 
@@ -508,6 +629,15 @@ def _replay_main(argv: Optional[List[str]] = None) -> int:
         rio.save(report, args.output)
         print(f"report written to {args.output}", file=sys.stderr)
 
+    _obs_finish(
+        args,
+        "qbss-replay",
+        tracer,
+        registry,
+        started_at=started_at,
+        seed=args.seed,
+        cache_dir=metrics.cache_dir,
+    )
     print(metrics.footer(), file=sys.stderr)
     failed = report.failed_shards
     if failed:

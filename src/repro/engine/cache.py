@@ -79,15 +79,32 @@ def cache_key(
     return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
 
+#: A ``put`` interrupted between writing its temp file and the atomic
+#: rename leaves ``<digest>.tmp<pid>`` behind; sweeps only touch temp
+#: files older than this, so a concurrent writer's live temp survives.
+ORPHAN_GRACE_SECONDS = 600.0
+
+
 @dataclass
 class ResultCache:
-    """The on-disk store; all methods are safe on a missing/corrupt tree."""
+    """The on-disk store; all methods are safe on a missing/corrupt tree.
+
+    ``metrics`` optionally takes a
+    :class:`~repro.obs.metrics.MetricsRegistry`; when set, lookups, writes,
+    quarantines and prunes increment the ``qbss_cache_*`` series live (see
+    ``docs/observability.md``), so long campaigns can be scraped mid-run.
+    """
 
     root: Path
 
-    def __init__(self, root: Optional[PathLike] = None):
+    def __init__(self, root: Optional[PathLike] = None, *, metrics=None):
         self.root = Path(root) if root is not None else default_cache_dir()
         self.quarantined = 0  # corrupt entries moved aside by this instance
+        self.metrics = metrics
+
+    def _count(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, **labels).inc(amount)
 
     @property
     def quarantine_dir(self) -> Path:
@@ -115,6 +132,7 @@ class ResultCache:
         except OSError:  # pragma: no cover - concurrent cleanup
             return None
         self.quarantined += 1
+        self._count("qbss_cache_quarantined_total")
         return target
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
@@ -129,17 +147,21 @@ class ResultCache:
         try:
             text = path.read_text()
         except FileNotFoundError:
+            self._count("qbss_cache_lookups_total", result="miss")
             return None
         except OSError:
             self.quarantine(path)
+            self._count("qbss_cache_lookups_total", result="miss")
             return None
         try:
             data = json.loads(text)
         except ValueError:  # includes JSONDecodeError; "" (zero-byte) too
             self.quarantine(path)
+            self._count("qbss_cache_lookups_total", result="miss")
             return None
         if not isinstance(data, dict):
             self.quarantine(path)
+            self._count("qbss_cache_lookups_total", result="miss")
             return None
         if (
             data.get("cache_version") != CACHE_FORMAT_VERSION
@@ -147,7 +169,9 @@ class ResultCache:
         ):
             # Well-formed but stale (older format / foreign key): a plain
             # miss, left in place to be overwritten by the next put.
+            self._count("qbss_cache_lookups_total", result="miss")
             return None
+        self._count("qbss_cache_lookups_total", result="hit")
         return data
 
     def put(
@@ -174,6 +198,7 @@ class ResultCache:
         tmp = path.with_suffix(f".tmp{os.getpid()}")
         tmp.write_text(json.dumps(envelope, indent=2, sort_keys=True))
         tmp.replace(path)
+        self._count("qbss_cache_writes_total")
         return path
 
     def entries(self) -> List[Tuple[Path, float, int]]:
@@ -196,6 +221,43 @@ class ResultCache:
             if path.parent.name != QUARANTINE_DIRNAME:
                 yield path
 
+    def _orphan_paths(self):
+        """Leftover ``<digest>.tmp<pid>`` files from interrupted writes.
+
+        A :meth:`put` that dies between ``tmp.write_text`` and
+        ``tmp.replace`` strands its temp file, and ``*/*.json`` globs never
+        see it — without this sweep the tree silently outgrows any
+        ``--cache-prune`` budget.
+        """
+        for path in self.root.glob("*/*.tmp*"):
+            if path.parent.name != QUARANTINE_DIRNAME:
+                yield path
+
+    def _sweep_orphans(
+        self, now: Optional[float] = None, grace: float = ORPHAN_GRACE_SECONDS
+    ) -> Tuple[int, int]:
+        """Delete stale temp files; returns ``(removed, freed_bytes)``.
+
+        With ``now`` given, only temp files whose mtime is older than
+        ``grace`` are removed (a concurrent ``put`` may legitimately own a
+        fresh one); ``now=None`` removes unconditionally (``clear``).
+        """
+        removed = 0
+        freed = 0
+        for path in self._orphan_paths():
+            try:
+                stat = path.stat()
+                if now is not None and now - stat.st_mtime < grace:
+                    continue
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                continue
+            removed += 1
+            freed += stat.st_size
+        if removed:
+            self._count("qbss_cache_prune_orphans_total", removed)
+        return removed, freed
+
     def total_bytes(self) -> int:
         return sum(size for _, _, size in self.entries())
 
@@ -214,6 +276,12 @@ class ResultCache:
         deterministic tie-break), so a long replay campaign keeps its
         hottest (most recently written) shards.  ``now`` is injectable for
         tests.
+
+        Every prune also sweeps orphaned ``.tmp*`` files left by writes
+        that died mid-:meth:`put` (older than :data:`ORPHAN_GRACE_SECONDS`
+        only, so live concurrent writes survive); they are invisible to
+        :meth:`entries` and would otherwise accumulate forever, unbounded
+        by any size budget.
         """
         now = time.time() if now is None else now
         entries = self.entries()
@@ -247,15 +315,22 @@ class ResultCache:
                     total -= size
                 except OSError:  # pragma: no cover - concurrent cleanup
                     pass
+        orphans, orphan_bytes = self._sweep_orphans(now=now)
+        if removed:
+            self._count("qbss_cache_prune_removed_total", removed)
+        if freed or orphan_bytes:
+            self._count("qbss_cache_prune_freed_bytes_total", freed + orphan_bytes)
         return PruneStats(
             scanned=scanned,
             removed=removed,
             kept=scanned - removed,
-            freed_bytes=freed,
+            freed_bytes=freed + orphan_bytes,
+            orphans_removed=orphans,
         )
 
     def clear(self) -> int:
-        """Delete every entry; returns the number of files removed."""
+        """Delete every entry (orphaned temp files included); returns the
+        number of files removed."""
         removed = 0
         if not self.root.exists():
             return removed
@@ -265,6 +340,7 @@ class ResultCache:
                 removed += 1
             except OSError:  # pragma: no cover - concurrent cleanup
                 pass
+        removed += self._sweep_orphans(now=None)[0]
         return removed
 
     def __len__(self) -> int:
@@ -275,12 +351,19 @@ class ResultCache:
 
 @dataclass(frozen=True)
 class PruneStats:
-    """Outcome of one :meth:`ResultCache.prune` pass."""
+    """Outcome of one :meth:`ResultCache.prune` pass.
+
+    ``orphans_removed`` counts swept ``.tmp*`` leftovers from interrupted
+    writes — they are not cache entries, so they appear in neither
+    ``scanned`` nor ``removed``, but their bytes are part of
+    ``freed_bytes``.
+    """
 
     scanned: int
     removed: int
     kept: int
     freed_bytes: int
+    orphans_removed: int = 0
 
 
 _SIZE_UNITS = {

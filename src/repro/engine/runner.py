@@ -98,15 +98,19 @@ class HardenedTask:
 
     Subsystems subclass or wrap this with their own payload fields; the
     driver only touches ``task_key`` (retry/injection coordinates),
-    ``attempt`` (1-based) and ``walls`` (per-attempt wall times).
+    ``attempt`` (1-based), ``walls`` (per-attempt wall times) and the two
+    tracing slots (open ``task`` / ``attempt`` span handles, ``None``
+    whenever tracing is off or the span is closed).
     """
 
-    __slots__ = ("task_key", "attempt", "walls")
+    __slots__ = ("task_key", "attempt", "walls", "span", "attempt_span")
 
     def __init__(self, task_key: str):
         self.task_key = task_key
         self.attempt = 1
         self.walls: List[float] = []
+        self.span = None
+        self.attempt_span = None
 
 
 @dataclass
@@ -169,6 +173,8 @@ def execute_hardened(
     retry: Optional[RetryPolicy] = None,
     task_timeout: Optional[float] = None,
     max_inflight: Optional[int] = None,
+    tracer=None,
+    trace_parent=None,
 ) -> ExecutionStats:
     """Run ``tasks`` through ``worker`` with timeouts, retries and recovery.
 
@@ -208,30 +214,77 @@ def execute_hardened(
     ``max_inflight`` bounds how many are pulled before results drain.
     Serial execution (``jobs <= 1``) cannot preempt a running task, so
     ``task_timeout`` is not enforced there.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`, optional) records the span
+    taxonomy of ``docs/observability.md``: a ``task`` span per task
+    (parented to ``trace_parent``), an ``attempt`` span per execution
+    attempt, and point events ``retry`` / ``timeout`` / ``pool_rebuild``
+    / ``degraded`` at the moments the matching :class:`ExecutionStats`
+    counters move — trace counts and footer counts agree by construction.
+    Every emission is guarded by ``tracer is not None``, so a disabled
+    tracer costs nothing on the hot path.
     """
     retry = retry or RetryPolicy()
     stats = ExecutionStats()
     stream = iter(tasks)
 
+    def begin_task(task: HardenedTask) -> None:
+        if tracer is not None and task.span is None:
+            task.span = tracer.begin("task", trace_parent, task=task.task_key)
+
+    def begin_attempt(task: HardenedTask) -> None:
+        if tracer is not None:
+            task.attempt_span = tracer.begin(
+                "attempt", task.span, task=task.task_key, attempt=task.attempt
+            )
+
+    def close_spans(task: HardenedTask, status: str) -> None:
+        """End the open attempt (if any) and the task span with ``status``."""
+        if tracer is None:
+            return
+        if task.attempt_span is not None:
+            tracer.end(task.attempt_span, status=status)
+            task.attempt_span = None
+        if task.span is not None:
+            tracer.end(task.span, status=status, attempts=task.attempt)
+            task.span = None
+
     def settle(task: HardenedTask, outcome: Dict[str, Any], degraded: bool) -> Optional[float]:
         """Record an outcome; a float return means retry after that delay."""
         task.walls.append(float(outcome.get("wall", 0.0)))
         if outcome["ok"]:
+            close_spans(task, "degraded" if degraded else "ok")
             on_success(task, outcome, degraded)
             if degraded:
                 stats.degraded_tasks.append(task.task_key)
             return None
+        kind = str(outcome.get("kind", "error"))
         if outcome.get("transient") and task.attempt < retry.max_attempts:
             stats.retries += 1
             delay = retry.delay(task.task_key, task.attempt)
+            if tracer is not None:
+                if task.attempt_span is not None:
+                    tracer.end(task.attempt_span, status=kind)
+                    task.attempt_span = None
+                tracer.event(
+                    "retry",
+                    task.span,
+                    task=task.task_key,
+                    attempt=task.attempt,
+                    kind=kind,
+                    delay=delay,
+                )
             task.attempt += 1
             return delay
-        on_failure(task, str(outcome.get("kind", "error")), outcome.get("error"))
+        close_spans(task, kind)
+        on_failure(task, kind, outcome.get("error"))
         return None
 
     def run_serial(seq: Iterable[HardenedTask], degraded: bool = False) -> None:
         for task in seq:
+            begin_task(task)
             while True:
+                begin_attempt(task)
                 outcome = worker(*payload(task), task.attempt)
                 delay = settle(task, outcome, degraded)
                 if delay is None:
@@ -276,13 +329,15 @@ def execute_hardened(
             inflight.clear()
 
         def submit(task: HardenedTask) -> None:
+            begin_task(task)
             t0 = time.monotonic()
             try:
                 fut = pool.submit(worker, *payload(task), task.attempt)
             except BrokenProcessPool:
-                carry.appendleft(task)  # no attempt consumed
+                carry.appendleft(task)  # no attempt consumed (no attempt span)
                 crash_inflight()
                 raise _PoolBroken() from None
+            begin_attempt(task)
             deadline = None if task_timeout is None else t0 + task_timeout
             inflight[fut] = (task, deadline, t0)
 
@@ -353,6 +408,15 @@ def execute_hardened(
                         saw_timeout = True
                         stats.timeouts += 1
                         task.walls.append(now - t0)
+                        if tracer is not None:
+                            tracer.event(
+                                "timeout",
+                                task.span,
+                                task=task.task_key,
+                                attempt=task.attempt,
+                                deadline=task_timeout,
+                            )
+                        close_spans(task, "timeout")
                         on_failure(
                             task,
                             "timeout",
@@ -367,15 +431,21 @@ def execute_hardened(
             # ceil(timeouts / jobs) replacements can ever happen.
             _shutdown_pool(pool, kill=True)
             stats.pool_rebuilds += 1
+            if tracer is not None:
+                tracer.event("pool_rebuild", trace_parent, reason="hung")
         except _PoolBroken:
             _shutdown_pool(pool, kill=True)
             stats.pool_rebuilds += 1
             crash_rebuilds += 1
+            if tracer is not None:
+                tracer.event("pool_rebuild", trace_parent, reason="broken")
             if crash_rebuilds > 1:
                 stats.degraded = True
                 break
         # loop: rebuild the pool and keep going
 
+    if tracer is not None:
+        tracer.event("degraded", trace_parent)
     warnings.warn(
         "process pool broke twice; degrading to in-process serial execution "
         "for the remaining tasks",
@@ -609,6 +679,8 @@ def run_experiments(
     task_timeout: Optional[float] = None,
     retry: Optional[RetryPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
+    tracer=None,
+    metrics=None,
 ) -> EngineResult:
     """Evaluate ``names`` (registry keys), parallel, cached and fault tolerant.
 
@@ -626,6 +698,14 @@ def run_experiments(
     ``fault_plan`` installs a deterministic
     :class:`~repro.engine.faults.FaultPlan` for the duration of the run
     (tests; equivalently export ``QBSS_FAULT_PLAN``).
+
+    Observability (``docs/observability.md``): ``tracer`` (a
+    :class:`repro.obs.Tracer`) records a ``batch`` span containing
+    ``cache-lookup`` / ``task`` / ``attempt`` spans and the recovery point
+    events; ``metrics`` (a :class:`repro.obs.MetricsRegistry`) receives
+    live ``qbss_cache_*`` series plus the run-level counters.  Both are
+    optional, cost nothing when omitted, and never touch report payloads —
+    outputs are byte-identical with observability on or off.
     """
     jobs = resolve_jobs(jobs)
     if task_timeout is not None and task_timeout <= 0:
@@ -635,9 +715,14 @@ def run_experiments(
     if unknown:
         raise KeyError(f"unknown experiments: {unknown}")
 
-    store = ResultCache(cache_dir) if cache else None
+    store = ResultCache(cache_dir, metrics=metrics) if cache else None
     tasks: List[_ExperimentTask] = []
     runs: List[Optional[ExperimentRun]] = [None] * len(names)
+    batch_span = (
+        tracer.begin("batch", experiments=len(names), jobs=jobs)
+        if tracer is not None
+        else None
+    )
 
     with installed_fault_plan(fault_plan):
         plan = fault_plan if fault_plan is not None else active_fault_plan()
@@ -650,8 +735,20 @@ def run_experiments(
             if store is not None:
                 start = time.perf_counter()
                 before_q = store.quarantined
+                lookup_span = (
+                    tracer.begin("cache-lookup", batch_span, task=name)
+                    if tracer is not None
+                    else None
+                )
                 entry = store.get(key)
                 quarantined = store.quarantined - before_q
+                if tracer is not None:
+                    for _ in range(quarantined):
+                        tracer.event("cache_quarantine", lookup_span, task=name)
+                    tracer.end(
+                        lookup_span,
+                        result="hit" if entry is not None else "miss",
+                    )
                 if entry is not None:
                     report = ExperimentReport.from_dict(entry["report"])
                     runs[i] = ExperimentRun(
@@ -741,9 +838,11 @@ def run_experiments(
             jobs=min(effective_jobs, max(1, len(tasks))),
             retry=retry,
             task_timeout=task_timeout,
+            tracer=tracer,
+            trace_parent=batch_span,
         )
 
-    return EngineResult(
+    result = EngineResult(
         runs=[r for r in runs if r is not None],
         jobs=jobs,
         cache_dir=str(store.root) if store is not None else None,
@@ -753,6 +852,17 @@ def run_experiments(
         degraded=stats.degraded,
         quarantined=store.quarantined if store is not None else 0,
     )
+    if tracer is not None:
+        tracer.end(
+            batch_span,
+            status="degraded" if result.degraded else "ok",
+            failures=len(result.failures),
+        )
+    if metrics is not None:
+        from ..obs.publish import publish_engine_result
+
+        publish_engine_result(metrics, result)
+    return result
 
 
 # -- per-seed inner loops -------------------------------------------------------------

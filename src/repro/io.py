@@ -205,6 +205,25 @@ def trace_replay_report_from_dict(data: Dict[str, Any]):
     return ReplayReport.from_dict(data)
 
 
+def run_manifest_to_dict(manifest) -> Dict[str, Any]:
+    """Encode a :class:`~repro.obs.manifest.RunManifest`.
+
+    The manifest's own ``to_dict`` carries its versioned envelope
+    (``version``/``kind``); pass-through kept for encoder symmetry.
+    """
+    return manifest.to_dict()
+
+
+def run_manifest_from_dict(data: Dict[str, Any]):
+    """Decode a run-manifest document (lazy import)."""
+    from .obs.manifest import RunManifest
+
+    try:
+        return RunManifest.from_dict(data)
+    except ValueError as exc:
+        raise FormatError(str(exc)) from exc
+
+
 def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
     _expect(data, "schedule")
     schedule = Schedule(int(data["machines"]))
@@ -238,6 +257,8 @@ def save(obj, path: PathLike) -> None:
         encoder = experiment_report_to_dict
     if encoder is None and type(obj).__name__ == "ReplayReport":
         encoder = trace_replay_report_to_dict
+    if encoder is None and type(obj).__name__ == "RunManifest":
+        encoder = run_manifest_to_dict
     if encoder is None:
         raise TypeError(f"cannot serialize objects of type {type(obj).__name__}")
     Path(path).write_text(json.dumps(encoder(obj), indent=2, sort_keys=True))
@@ -250,6 +271,7 @@ _LOADERS = {
     "schedule": schedule_from_dict,
     "experiment_report": experiment_report_from_dict,
     "trace_replay_report": trace_replay_report_from_dict,
+    "run_manifest": run_manifest_from_dict,
 }
 
 

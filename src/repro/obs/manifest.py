@@ -1,0 +1,115 @@
+"""Run manifests: everything needed to re-run a report byte-identically.
+
+A :class:`RunManifest` is written alongside a report (``--manifest-out``
+on both CLIs, or programmatically) and records the *inputs* of the run —
+tool, resolved arguments, seed, cache directory, fault plan — plus the
+environment (package version, python version, platform).  Feeding the
+``args`` back to the same tool version reproduces the report bytes;
+that is the contract the reproducibility tests pin down.
+
+The wall-clock stamp is **injected** by the caller (one ``time.time()``
+at CLI startup, or a fixed value in tests) — manifests never read the
+clock themselves, so nothing here can leak wall-clock nondeterminism
+into a hot path or a byte-comparison test.
+
+Manifests are versioned ``repro.io`` documents (``kind: "run_manifest"``)
+and round-trip through :func:`repro.io.save` / :func:`repro.io.load`.
+"""
+
+from __future__ import annotations
+
+import platform as _platform
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .. import __version__ as PACKAGE_VERSION
+
+MANIFEST_FORMAT_VERSION = 1
+MANIFEST_KIND = "run_manifest"
+
+
+@dataclass
+class RunManifest:
+    """The reproducibility record of one CLI (or programmatic) run."""
+
+    tool: str
+    args: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+    cache_dir: Optional[str] = None
+    fault_plan: Optional[Dict[str, Any]] = None
+    package_version: str = PACKAGE_VERSION
+    python_version: str = ""
+    platform: str = ""
+    created_at: Optional[float] = None  # injected wall clock (unix seconds)
+
+    @classmethod
+    def create(
+        cls,
+        tool: str,
+        args: Dict[str, Any],
+        *,
+        seed: Optional[int] = None,
+        cache_dir=None,
+        fault_plan=None,
+        now: Optional[float] = None,
+    ) -> "RunManifest":
+        """Build a manifest for the current interpreter/environment.
+
+        ``now`` is the injected wall-clock stamp (unix seconds); pass
+        ``time.time()`` once at startup, or a constant in tests.
+        ``fault_plan`` accepts a :class:`~repro.engine.faults.FaultPlan`
+        or an already-encoded dict.
+        """
+        plan_doc: Optional[Dict[str, Any]] = None
+        if fault_plan is not None:
+            if hasattr(fault_plan, "specs"):
+                plan_doc = {"faults": [s.to_dict() for s in fault_plan.specs]}
+            else:
+                plan_doc = dict(fault_plan)
+        return cls(
+            tool=tool,
+            args=dict(args),
+            seed=seed,
+            cache_dir=str(cache_dir) if cache_dir is not None else None,
+            fault_plan=plan_doc,
+            package_version=PACKAGE_VERSION,
+            python_version=sys.version.split()[0],
+            platform=_platform.platform(),
+            created_at=now,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": MANIFEST_FORMAT_VERSION,
+            "kind": MANIFEST_KIND,
+            "tool": self.tool,
+            "args": dict(self.args),
+            "seed": self.seed,
+            "cache_dir": self.cache_dir,
+            "fault_plan": self.fault_plan,
+            "package_version": self.package_version,
+            "python_version": self.python_version,
+            "platform": self.platform,
+            "created_at": self.created_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":
+        if not isinstance(data, dict) or data.get("kind") != MANIFEST_KIND:
+            raise ValueError("not a run-manifest document")
+        if data.get("version") != MANIFEST_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported run-manifest version {data.get('version')!r}"
+            )
+        return cls(
+            tool=str(data["tool"]),
+            args=dict(data.get("args", {})),
+            seed=data.get("seed"),
+            cache_dir=data.get("cache_dir"),
+            fault_plan=data.get("fault_plan"),
+            package_version=str(data.get("package_version", "")),
+            python_version=str(data.get("python_version", "")),
+            platform=str(data.get("platform", "")),
+            created_at=data.get("created_at"),
+        )

@@ -1,0 +1,240 @@
+"""Span-based run tracing: JSON-lines event streams for forensics.
+
+A :class:`Tracer` records what the execution layer *did* — which tasks
+ran, how many attempts each took, where retries/timeouts/pool rebuilds
+happened — as a flat stream of JSON-lines events that reconstructs into a
+span tree.  The taxonomy (see ``docs/observability.md``)::
+
+    batch                       one engine invocation / replay campaign
+    ├── cache-lookup            one content-address probe (hit or miss)
+    └── task                    one experiment / shard, first dispatch → final verdict
+        └── attempt             one execution attempt (submit → settle)
+
+plus point events (``retry``, ``timeout``, ``pool_rebuild``, ``degraded``,
+``cache_quarantine``) that hang off their enclosing span.
+
+Design constraints, in order:
+
+* **Zero cost when disabled.**  Call sites hold ``tracer: Optional[Tracer]``
+  and guard every emission with ``if tracer is not None`` — no null-object
+  dispatch, no string formatting, nothing on the hot path.  The overhead
+  bench (``benchmarks/test_bench_obs.py``) pins this below the 2% budget.
+* **Deterministic ordering.**  Span ids are assigned from a sequential
+  counter in emission order, so a serial run (``jobs=1``) emits the exact
+  same event sequence every time; with an injected ``clock`` the output is
+  byte-identical across runs (the determinism test does exactly this).
+* **Separate channel.**  Events go to their own sink (``--trace-out``),
+  never stdout/stderr, so report output is byte-identical with tracing on
+  or off.
+
+Event schema (one JSON object per line, keys always sorted)::
+
+    {"ev": "B", "name": ..., "span": id, "parent": id|null, "t": rel, ...attrs}
+    {"ev": "E", "name": ..., "span": id, "t": rel, "dur": seconds, ...attrs}
+    {"ev": "P", "name": ..., "parent": id|null, "t": rel, ...attrs}
+
+``t`` is seconds since the tracer was created, measured on the monotonic
+clock (never ``time.time()``); attribute keys are flattened into the event
+object and must not collide with the reserved keys above.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, IO, Iterator, List, Optional, Union
+
+#: Event-type tags: span begin / span end / point event.
+EVENT_BEGIN = "B"
+EVENT_END = "E"
+EVENT_POINT = "P"
+
+#: Keys owned by the tracer; attribute names must avoid them.
+RESERVED_KEYS = frozenset({"ev", "name", "span", "parent", "t", "dur"})
+
+
+class SpanHandle:
+    """An open span: pass it back to :meth:`Tracer.end` (or use
+    :meth:`Tracer.span` and let the context manager do it)."""
+
+    __slots__ = ("id", "name", "parent_id", "t0")
+
+    def __init__(self, id: int, name: str, parent_id: Optional[int], t0: float):
+        self.id = id
+        self.name = name
+        self.parent_id = parent_id
+        self.t0 = t0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanHandle(id={self.id}, name={self.name!r})"
+
+
+class Tracer:
+    """Emit a JSON-lines event stream to a file-like sink.
+
+    ``sink`` needs only ``write(str)``; ``clock`` defaults to
+    :func:`time.monotonic` and is injectable for byte-deterministic tests.
+    ``counts`` tallies emitted event names so tests (and the CLI smoke)
+    can cross-check trace contents against footer metrics without parsing
+    the file.
+    """
+
+    def __init__(
+        self,
+        sink: IO[str],
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        _owns_sink: bool = False,
+    ):
+        self._sink = sink
+        self._clock = clock
+        self._t0 = clock()
+        self._next_id = 1
+        self._owns_sink = _owns_sink
+        self._closed = False
+        self.counts: Dict[str, int] = {}
+
+    @classmethod
+    def to_path(cls, path, **kwargs) -> "Tracer":
+        """A tracer writing to ``path`` (closed by :meth:`close`)."""
+        return cls(open(path, "w"), _owns_sink=True, **kwargs)
+
+    # -- emission --------------------------------------------------------------------
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        self._sink.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def _attrs(self, record: Dict[str, Any], attrs: Dict[str, Any]) -> Dict[str, Any]:
+        if attrs:
+            clash = RESERVED_KEYS.intersection(attrs)
+            if clash:
+                raise ValueError(
+                    f"trace attribute(s) {sorted(clash)} collide with "
+                    "reserved event keys"
+                )
+            record.update(attrs)
+        return record
+
+    def begin(
+        self,
+        name: str,
+        parent: Optional[SpanHandle] = None,
+        **attrs: Any,
+    ) -> SpanHandle:
+        """Open a span; returns the handle :meth:`end` wants back."""
+        t = self._clock()
+        handle = SpanHandle(
+            self._next_id, name, parent.id if parent is not None else None, t
+        )
+        self._next_id += 1
+        self.counts[name] = self.counts.get(name, 0) + 1
+        self._emit(
+            self._attrs(
+                {
+                    "ev": EVENT_BEGIN,
+                    "name": name,
+                    "span": handle.id,
+                    "parent": handle.parent_id,
+                    "t": t - self._t0,
+                },
+                attrs,
+            )
+        )
+        return handle
+
+    def end(self, span: SpanHandle, **attrs: Any) -> None:
+        """Close a span opened by :meth:`begin`."""
+        t = self._clock()
+        self._emit(
+            self._attrs(
+                {
+                    "ev": EVENT_END,
+                    "name": span.name,
+                    "span": span.id,
+                    "t": t - self._t0,
+                    "dur": t - span.t0,
+                },
+                attrs,
+            )
+        )
+
+    def event(
+        self,
+        name: str,
+        parent: Optional[SpanHandle] = None,
+        **attrs: Any,
+    ) -> None:
+        """A point event (no duration) under ``parent``."""
+        self.counts[name] = self.counts.get(name, 0) + 1
+        self._emit(
+            self._attrs(
+                {
+                    "ev": EVENT_POINT,
+                    "name": name,
+                    "parent": parent.id if parent is not None else None,
+                    "t": self._clock() - self._t0,
+                },
+                attrs,
+            )
+        )
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent: Optional[SpanHandle] = None,
+        **attrs: Any,
+    ) -> Iterator[SpanHandle]:
+        """``with tracer.span("batch") as sp:`` — begin/end bracketing."""
+        handle = self.begin(name, parent, **attrs)
+        try:
+            yield handle
+        finally:
+            self.end(handle)
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def flush(self) -> None:
+        flush = getattr(self._sink, "flush", None)
+        if flush is not None:
+            flush()
+
+    def close(self) -> None:
+        """Flush and (when the tracer opened the sink) close it; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.flush()
+        if self._owns_sink:
+            self._sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_trace(path_or_text: Union[str, "object"]) -> List[Dict[str, Any]]:
+    """Parse a JSON-lines trace back into event dicts (tests, tooling).
+
+    Accepts a path-like or raw text containing newline-separated events.
+    """
+    from pathlib import Path
+
+    text = (
+        path_or_text
+        if isinstance(path_or_text, str) and "\n" in path_or_text
+        else Path(path_or_text).read_text()  # type: ignore[arg-type]
+    )
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def span_tree(events: List[Dict[str, Any]]) -> Dict[Optional[int], List[Dict[str, Any]]]:
+    """Group begin-events by parent span id — the nesting structure."""
+    children: Dict[Optional[int], List[Dict[str, Any]]] = {}
+    for ev in events:
+        if ev.get("ev") == EVENT_BEGIN:
+            children.setdefault(ev.get("parent"), []).append(ev)
+    return children

@@ -337,7 +337,7 @@ class ReplayReport:
 
     @property
     def n_jobs(self) -> int:
-        return sum(s["n_jobs"] for s in self.shards)
+        return sum(s.get("n_jobs", 0) for s in self.shards)
 
     @property
     def failed_shards(self) -> List[dict]:
@@ -349,10 +349,12 @@ class ReplayReport:
         ]
 
     def ratios_for(self, algorithm: str) -> List[float]:
+        # failed shards (error/timeout) carry no rows — and a report read
+        # from external JSON may omit the key entirely, so never index it
         return [
             row["energy_ratio"]
             for s in self.shards
-            for row in s["rows"]
+            for row in s.get("rows") or []
             if row["algorithm"] == algorithm
         ]
 
@@ -366,7 +368,7 @@ class ReplayReport:
             bound = None
             within = []
             for s in self.shards:
-                for row in s["rows"]:
+                for row in s.get("rows") or []:
                     if row["algorithm"] == name:
                         bound = row["paper_bound"]
                         within.append(row["within_bound"])
@@ -415,13 +417,14 @@ class ReplayReport:
         shard_rows = []
         for s in self.shards[:max_shard_rows]:
             status = s.get("status", "ok")
-            if not s["rows"]:
+            rows = s.get("rows") or []
+            if not rows:
                 shard_rows.append(
                     [
                         s["index"],
                         s["start"],
                         s["end"],
-                        s["n_jobs"],
+                        s.get("n_jobs", 0),
                         "-",
                         status,
                         None,
@@ -429,7 +432,7 @@ class ReplayReport:
                         None,
                     ]
                 )
-            for row in s["rows"]:
+            for row in rows:
                 shard_rows.append(
                     [
                         s["index"],
@@ -591,6 +594,8 @@ def replay_jobs(
     task_timeout: Optional[float] = None,
     retry: Optional[RetryPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
+    tracer=None,
+    metrics=None,
 ) -> Tuple[ReplayReport, ReplayMetrics]:
     """Stream a release-sorted QJob iterable through sharded evaluation.
 
@@ -610,6 +615,13 @@ def replay_jobs(
     quarantined and recomputed.  The replay always finishes — shards that
     could not be evaluated carry a ``status``/``failure`` record instead
     of rows.
+
+    Observability (``docs/observability.md``): ``tracer`` (a
+    :class:`repro.obs.Tracer`) records a ``batch`` span over the replay
+    with ``cache-lookup`` / ``task`` / ``attempt`` child spans per shard;
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) receives the
+    ``qbss_cache_*`` and ``qbss_replay_*`` series.  Both are optional and
+    never change report payloads.
     """
     from ..engine.runner import resolve_jobs
 
@@ -618,7 +630,8 @@ def replay_jobs(
         raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
     retry = retry or RetryPolicy()
     algorithms = validate_replay_algorithms(algorithms)
-    store = ResultCache(cache_dir) if cache else None
+    registry = metrics
+    store = ResultCache(cache_dir, metrics=registry) if cache else None
     meta = dict(meta or {})
     start_wall = time.perf_counter()
     metrics = ReplayMetrics(
@@ -627,6 +640,11 @@ def replay_jobs(
     )
     results: Dict[int, dict] = {}
     resident = 0
+    batch_span = (
+        tracer.begin("batch", kind="replay", algorithms=len(algorithms))
+        if tracer is not None
+        else None
+    )
 
     with installed_fault_plan(fault_plan):
         plan = fault_plan if fault_plan is not None else active_fault_plan()
@@ -641,7 +659,23 @@ def replay_jobs(
                 key = None
                 if store is not None:
                     key = shard_cache_key(doc, algorithms, alpha, package_version)
+                    shard_name = f"shard:{shard.index}"
+                    before_q = store.quarantined
+                    lookup_span = (
+                        tracer.begin("cache-lookup", batch_span, task=shard_name)
+                        if tracer is not None
+                        else None
+                    )
                     entry = store.get(key)
+                    if tracer is not None:
+                        for _ in range(store.quarantined - before_q):
+                            tracer.event(
+                                "cache_quarantine", lookup_span, task=shard_name
+                            )
+                        tracer.end(
+                            lookup_span,
+                            result="hit" if entry is not None else "miss",
+                        )
                     if entry is not None:
                         payload = _normalise(entry["report"])
                         payload.setdefault("status", "ok")
@@ -712,6 +746,8 @@ def replay_jobs(
             retry=retry,
             task_timeout=task_timeout,
             max_inflight=2 * jobs if jobs > 1 else None,
+            tracer=tracer,
+            trace_parent=batch_span,
         )
 
     metrics.retries = stats.retries
@@ -720,6 +756,13 @@ def replay_jobs(
     metrics.degraded = stats.degraded
     metrics.quarantined = store.quarantined if store is not None else 0
     metrics.wall_time = time.perf_counter() - start_wall
+    if tracer is not None:
+        tracer.end(
+            batch_span,
+            status="degraded" if metrics.degraded else "ok",
+            shards=metrics.shards,
+            failures=len(metrics.failures),
+        )
     report = ReplayReport(
         source=str(meta.get("source", "<stream>")),
         trace_format=str(meta.get("trace_format", "jobs")),
@@ -732,6 +775,10 @@ def replay_jobs(
         shards=[results[i] for i in sorted(results)],
         skipped=int(meta.get("skipped", 0)),
     )
+    if registry is not None:
+        from ..obs.publish import publish_replay
+
+        publish_replay(registry, report, metrics)
     return report, metrics
 
 
@@ -767,11 +814,14 @@ def replay_trace(
     task_timeout: Optional[float] = None,
     retry: Optional[RetryPolicy] = None,
     fault_plan: Optional[FaultPlan] = None,
+    tracer=None,
+    metrics=None,
 ) -> Tuple[ReplayReport, ReplayMetrics]:
     """End-to-end replay: parse ``path``, synthesize uncertainty, shard,
     evaluate, aggregate.  The trace is streamed — bounded memory holds for
     arbitrarily large files.  ``task_timeout``/``retry``/``fault_plan``
-    configure the hardened execution layer (see :func:`replay_jobs`)."""
+    configure the hardened execution layer and ``tracer``/``metrics`` the
+    observability layer (see :func:`replay_jobs`)."""
     import itertools
 
     from .records import ParseStats
@@ -792,6 +842,7 @@ def replay_trace(
     stream = synthesize_jobs(
         records, model=noise_model, seed=seed, deadline_slack=deadline_slack
     )
+    registry = metrics
     report, metrics = replay_jobs(
         stream,
         algorithms=algorithms,
@@ -804,6 +855,8 @@ def replay_trace(
         task_timeout=task_timeout,
         retry=retry,
         fault_plan=fault_plan,
+        tracer=tracer,
+        metrics=registry,
         meta={
             "source": str(path),
             "trace_format": fmt,
@@ -814,4 +867,9 @@ def replay_trace(
     )
     # the stream is exhausted now, so the parser's tallies are complete
     report.skipped = stats.skipped
+    if registry is not None and stats.skipped:
+        # replay_jobs published before this tally existed; top it up.
+        from ..obs.publish import publish_skipped
+
+        publish_skipped(registry, stats.skipped)
     return report, metrics

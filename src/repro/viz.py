@@ -50,7 +50,16 @@ def profile_chart(
     labels: Optional[Sequence[str]] = None,
     width: int = 72,
 ) -> str:
-    """Stack several skylines on a shared time axis and speed scale."""
+    """Stack several skylines on a shared time axis and speed scale.
+
+    ``labels``, when given, must match ``profiles`` in length — a shorter
+    list used to silently drop the unlabelled profiles from the chart.
+    """
+    if labels is not None and len(labels) != len(profiles):
+        raise ValueError(
+            f"profile_chart got {len(profiles)} profiles but "
+            f"{len(labels)} labels; lengths must match"
+        )
     live = [p for p in profiles if not p.is_empty]
     if not live:
         return "(all profiles empty)"
@@ -80,7 +89,10 @@ def gantt(
 
     Columns are time buckets; the symbol shown is the job occupying the
     bucket's midpoint ('.' for idle, lowercase letters assigned to jobs in
-    first-seen order unless ``job_symbols`` overrides).
+    first-seen order unless ``job_symbols`` overrides).  Jobs beyond the
+    62-symbol alphabet all render as ``?``; the legend calls those
+    collisions out explicitly instead of listing each ``?`` as if it were
+    a unique symbol.
     """
     lo, hi = schedule.span()
     if hi <= lo:
@@ -113,9 +125,17 @@ def gantt(
             row.append(sym)
         lines.append(f"m{m} |{''.join(row)}|")
     lines.append(f"   +{'-' * width}+  t = [{lo:g}, {hi:g}]")
-    legend = "   " + "  ".join(
-        f"{sym}={job}" for job, sym in sorted(symbols.items(), key=lambda kv: kv[1])
+    named = sorted(
+        ((job, sym) for job, sym in symbols.items() if sym != "?"),
+        key=lambda kv: kv[1],
     )
-    if symbols:
-        lines.append(legend)
+    collided = sorted(job for job, sym in symbols.items() if sym == "?")
+    parts = [f"{sym}={job}" for job, sym in named]
+    if collided:
+        parts.append(
+            f"?={{{','.join(collided)}}} ({len(collided)} jobs share '?'; "
+            "symbol alphabet exhausted)"
+        )
+    if parts:
+        lines.append("   " + "  ".join(parts))
     return "\n".join(lines)

@@ -90,6 +90,71 @@ def test_prune_mtime_order_beats_insertion_order(tmp_path):
     assert not paths[1].exists() and not paths[2].exists()
 
 
+# -- orphaned temp files (interrupted put) ------------------------------------------
+
+
+def _plant_orphan(cache, name="deadbeef.tmp12345", age=None, now=1_000_000.0):
+    """A stranded ``<digest>.tmp<pid>`` as left by a put that died before
+    its atomic rename."""
+    bucket = cache.root / "de"
+    bucket.mkdir(parents=True, exist_ok=True)
+    orphan = bucket / name
+    orphan.write_text("{" + "x" * 100)  # truncated mid-write
+    if age is not None:
+        os.utime(orphan, (now - age, now - age))
+    return orphan
+
+
+def test_prune_sweeps_stale_orphan_tmp_files(tmp_path):
+    """Regression: orphans are invisible to entries()/glob('*/*.json'), so
+    prune used to leave them accumulating outside any size budget."""
+    cache = ResultCache(tmp_path)
+    _fill(cache, 2)
+    now = 1_000_000.0 + 5000
+    orphan = _plant_orphan(cache, age=3600.0, now=now)
+    orphan_size = orphan.stat().st_size
+    assert all(p != orphan for p, _, _ in cache.entries())  # still invisible
+    stats = cache.prune(max_age_days=365, now=now)
+    assert not orphan.exists()
+    assert stats.orphans_removed == 1
+    assert stats.removed == 0  # orphans are not cache entries
+    assert stats.freed_bytes == orphan_size
+    assert len(cache) == 2  # live entries untouched
+
+
+def test_prune_spares_fresh_tmp_files(tmp_path):
+    """A temp file younger than the grace window may be a live concurrent
+    write; prune must leave it alone."""
+    cache = ResultCache(tmp_path)
+    now = 1_000_000.0
+    fresh = _plant_orphan(cache, age=10.0, now=now)
+    stats = cache.prune(max_age_days=365, now=now)
+    assert fresh.exists()
+    assert stats.orphans_removed == 0
+
+
+def test_clear_removes_orphans_unconditionally(tmp_path):
+    cache = ResultCache(tmp_path)
+    _fill(cache, 2)
+    _plant_orphan(cache)  # fresh: clear still removes it
+    assert cache.clear() == 3
+    assert len(cache) == 0
+    assert list(cache.root.glob("*/*.tmp*")) == []
+
+
+def test_quarantined_tmp_files_not_swept(tmp_path):
+    """The quarantine directory is evidence; sweeps never reach into it."""
+    cache = ResultCache(tmp_path)
+    qdir = cache.quarantine_dir
+    qdir.mkdir(parents=True)
+    kept = qdir / "old.tmp99"
+    kept.write_text("evidence")
+    os.utime(kept, (0.0, 0.0))
+    cache.prune(max_age_days=365, now=1_000_000.0)
+    cache.clear()
+    assert kept.exists()
+
+
 # -- spec grammar -------------------------------------------------------------------
 
 

@@ -89,6 +89,49 @@ def test_replay_cli_warm_cache_identical_stdout(tmp_path, capsys):
     assert "0 miss" in warm.err
 
 
+def test_failed_shard_report_renders_everywhere(tmp_path, capsys):
+    """Regression: ratios_for/summary_rows/render indexed s["rows"]
+    unconditionally and crashed on any report whose failed shard (or
+    externally produced JSON) lacks the key."""
+    from repro.analysis.report import replay_report_to_markdown
+    from repro.engine import FaultPlan, FaultSpec, RetryPolicy
+    from repro.traces.replay import replay_jobs
+    from repro.traces.records import TraceRecord
+    from repro.traces.synthesize import synthesize_jobs
+
+    records = (
+        TraceRecord(
+            index=i,
+            id=f"t{i}",
+            release=i * 2.0,
+            runtime=1.0 + i % 3,
+            deadline=i * 2.0 + 8.0,
+        )
+        for i in range(12)
+    )
+    plan = FaultPlan((FaultSpec(task="shard:1", kind="raise", attempt=0),))
+    report, metrics = replay_jobs(
+        synthesize_jobs(records, seed=0),
+        algorithms=("avrq",),
+        shard_window=4.0,
+        jobs=1,
+        cache=False,
+        retry=RetryPolicy(max_attempts=1),
+        fault_plan=plan,
+    )
+    assert [s["index"] for s in report.failed_shards] == [1]
+    # a report loaded from foreign JSON may omit the keys entirely
+    report.shards[1].pop("rows", None)
+    report.shards[1].pop("n_jobs", None)
+    assert report.ratios_for("avrq")  # surviving shards still counted
+    assert report.summary_rows()
+    rendered = report.render()
+    assert "error" in rendered
+    md = replay_report_to_markdown(report)
+    assert "## Failed shards" in md and "shard 1" in md
+    assert report.n_jobs == sum(s.get("n_jobs", 0) for s in report.shards)
+
+
 def test_replay_cli_cache_prune_flag(tmp_path, capsys):
     assert replay_main(_replay(tmp_path)) == 0
     capsys.readouterr()

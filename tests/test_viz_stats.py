@@ -57,6 +57,39 @@ class TestViz:
     def test_gantt_empty(self):
         assert gantt(Schedule(1)) == "(empty schedule)"
 
+    def test_profile_chart_label_mismatch_rejected(self):
+        """Regression: a short label list used to silently drop the
+        unlabelled profiles from the chart."""
+        a = SpeedProfile.constant(0, 2, 1.0)
+        b = SpeedProfile.constant(1, 3, 2.0)
+        with pytest.raises(ValueError, match="2 profiles but 1 labels"):
+            profile_chart([a, b], ["only-one"])
+        with pytest.raises(ValueError, match="lengths must match"):
+            profile_chart([a], ["one", "two"])
+        # omitting labels still auto-names every profile
+        assert "profile 1" in profile_chart([a, b])
+
+    def test_gantt_legend_reports_symbol_collisions(self):
+        """Regression: past the 62-symbol alphabet every job rendered as
+        '?' and the legend listed each as if '?' were unique to it."""
+        s = Schedule(1)
+        n = 65  # three past the alphabet
+        for i in range(n):
+            s.add(i, i + 1, 1.0, f"job{i:02d}")
+        out = gantt(s, width=n)
+        legend = out.split("\n")[-1]
+        assert "jobs share '?'" in legend
+        assert "3 jobs" in legend
+        assert "job62" in legend and "job64" in legend
+        # and exactly one ?=... legend entry, not one per collided job
+        assert legend.count("?=") == 1
+
+    def test_gantt_legend_unchanged_without_collisions(self):
+        s = Schedule(1)
+        s.add(0, 1, 1.0, "alpha")
+        out = gantt(s, width=4)
+        assert "?" not in out.split("\n")[-1]
+
 
 class TestStats:
     def test_ratio_stats_values(self):
@@ -101,3 +134,17 @@ class TestStats:
     def test_paired_improvement_shape_checked(self):
         with pytest.raises(ValueError):
             paired_improvement([1.0], [1.0, 2.0])
+
+    def test_paired_improvement_ties_split(self):
+        """Regression: identical algorithms scored win_rate 1.0 under the
+        old ``candidate <= baseline`` rule; ties must count half."""
+        same = [2.0, 3.0, 4.0, 5.0]
+        mean_rel, _, win = paired_improvement(same, same)
+        assert mean_rel == 1.0
+        assert win == 0.5
+
+    def test_paired_improvement_mixed_ties(self):
+        baseline = [1.0, 2.0, 3.0, 4.0]
+        candidate = [0.5, 2.0, 5.0, 4.0]  # one win, one loss, two ties
+        _, _, win = paired_improvement(baseline, candidate)
+        assert win == pytest.approx((1 + 0.5 * 2) / 4)
