@@ -10,7 +10,7 @@ exactly one place.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -73,9 +73,9 @@ class ExperimentReport:
 
     id: str
     title: str
-    headers: List[str]
-    rows: List[list]
-    notes: List[str] = field(default_factory=list)
+    headers: list[str]
+    rows: list[list]
+    notes: list[str] = field(default_factory=list)
 
     def render(self) -> str:
         out = render_table(self.headers, self.rows, title=f"[{self.id}] {self.title}")
@@ -94,7 +94,7 @@ class ExperimentReport:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ExperimentReport":
+    def from_dict(cls, data: dict) -> ExperimentReport:
         """Rebuild a report from :meth:`to_dict` output (extra keys ignored)."""
         return cls(
             id=str(data["id"]),
@@ -122,7 +122,7 @@ def experiment_params(name: str) -> dict:
     }
 
 
-def resolve_kwargs(name: str, overrides: Optional[dict] = None):
+def resolve_kwargs(name: str, overrides: dict | None = None):
     """Split ``overrides`` for one experiment into applicable and unused.
 
     Returns ``(call_kwargs, resolved, unused)``: the keyword arguments to
@@ -168,7 +168,7 @@ def experiment_table1(
     column the ratio achieved on the paper's lower-bound construction for
     that row (played against the real implementation).
     """
-    rows: List[list] = []
+    rows: list[list] = []
 
     # Oracle row: no algorithm — report the single-job oracle game value.
     oracle_val = _oracle_game_value(1.0, PHI, alpha, "energy")
@@ -226,7 +226,7 @@ def experiment_table1(
             formulas.bkpq_ub_energy(alpha),
         ),
     ]
-    adversarial: Dict[str, float] = {
+    adversarial: dict[str, float] = {
         "CRCD": adversarial_ratio(crcd, 1.0, 2.0, alpha, "energy").ratio,
         "CRP2D": adversarial_ratio(crp2d, 1.0, 2.0, alpha, "energy").ratio,
         "CRAD": adversarial_ratio(crad, 1.0, 2.0, alpha, "energy").ratio,
@@ -1337,7 +1337,7 @@ def experiment_classical_lb_families(
 # registry
 # ----------------------------------------------------------------------------------
 
-REGISTRY: Dict[str, Callable[..., ExperimentReport]] = {
+REGISTRY: dict[str, Callable[..., ExperimentReport]] = {
     "table1": experiment_table1,
     "rho": experiment_rho,
     "figure1": experiment_figure1,

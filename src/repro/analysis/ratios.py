@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Union
+from collections.abc import Callable, Iterable
 
 from ..core.compat import absorb_positional
 from ..core.constants import DEFAULT_ALPHA
@@ -23,7 +23,7 @@ from ..qbss.result import QBSSResult
 
 #: Algorithms are passed either as a callable ``qi -> QBSSResult`` or as an
 #: :data:`~repro.qbss.registry.ALGORITHMS` name (resolved at measure time).
-Algorithm = Union[Callable[[QBSSInstance], QBSSResult], str]
+Algorithm = Callable[[QBSSInstance], QBSSResult] | str
 
 
 def _resolve_algorithm(algorithm: Algorithm, alpha: float):
@@ -120,7 +120,7 @@ def measure_many(
     alpha, exact_multi = absorb_positional(
         "measure_many", args, ("alpha", "exact_multi"), (alpha, exact_multi)
     )
-    measurements: List[RatioMeasurement] = [
+    measurements: list[RatioMeasurement] = [
         measure(algorithm, inst, alpha=alpha, exact_multi=exact_multi)
         for inst in instances
     ]

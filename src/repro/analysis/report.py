@@ -9,7 +9,7 @@ parameterisations.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from .experiments import REGISTRY, ExperimentReport
 from .tables import format_cell
@@ -41,7 +41,7 @@ def reports_to_markdown(
     ``qbss-report`` CLI feeds it reports evaluated by
     :mod:`repro.engine` (parallel, cached) instead of re-running them here.
     """
-    sections: List[str] = [f"# {title}", ""]
+    sections: list[str] = [f"# {title}", ""]
     for report in reports:
         sections.append(report_to_markdown(report))
         sections.append("")
@@ -163,8 +163,8 @@ def replay_report_to_markdown(report) -> str:
 
 
 def generate_markdown(
-    names: Optional[Sequence[str]] = None,
-    overrides: Optional[Dict[str, dict]] = None,
+    names: Sequence[str] | None = None,
+    overrides: dict[str, dict] | None = None,
     title: str = "QBSS reproduction report",
 ) -> str:
     """Run experiments serially and return a full markdown document.

@@ -8,7 +8,7 @@ the experiments honest error bars (nonparametric bootstrap, seeded).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -26,7 +26,7 @@ class RatioStats:
     maximum: float
 
     @classmethod
-    def from_sample(cls, values: Sequence[float]) -> "RatioStats":
+    def from_sample(cls, values: Sequence[float]) -> RatioStats:
         if len(values) == 0:
             raise ValueError("need at least one value")
         arr = np.asarray(values, dtype=float)
@@ -47,7 +47,7 @@ def bootstrap_ci(
     confidence: float = 0.95,
     n_resamples: int = 2000,
     seed: int = 0,
-) -> Tuple[float, float]:
+) -> tuple[float, float]:
     """Percentile-bootstrap confidence interval for ``statistic``."""
     arr = np.asarray(values, dtype=float)
     if arr.size == 0:
@@ -70,7 +70,7 @@ def paired_improvement(
     confidence: float = 0.95,
     n_resamples: int = 2000,
     seed: int = 0,
-) -> Tuple[float, Tuple[float, float], float]:
+) -> tuple[float, tuple[float, float], float]:
     """Paired comparison of two algorithms on the same instances.
 
     Returns ``(mean ratio candidate/baseline, bootstrap CI of that mean,

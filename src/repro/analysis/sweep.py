@@ -7,7 +7,7 @@ ablation benches and by anyone exploring the model interactively.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from collections.abc import Callable, Sequence
 
 from ..core.instance import QBSSInstance
 from .ratios import Algorithm, RatioSummary, measure_many
@@ -25,7 +25,7 @@ def alpha_sweep(
     algorithm: Algorithm,
     instances: Sequence[QBSSInstance],
     alphas: Sequence[float],
-) -> List[SweepPoint]:
+) -> list[SweepPoint]:
     """Measure the same instances under different power exponents."""
     return [
         SweepPoint(a, measure_many(algorithm, instances, alpha=a)) for a in alphas
@@ -38,7 +38,7 @@ def size_sweep(
     sizes: Sequence[int],
     alpha: float,
     seeds: Sequence[int] = (0, 1, 2),
-) -> List[SweepPoint]:
+) -> list[SweepPoint]:
     """Measure instances of growing size; ``instance_factory(n, seed)``."""
     out = []
     for n in sizes:
@@ -52,7 +52,7 @@ def parameter_sweep(
     instances: Sequence[QBSSInstance],
     values: Sequence[float],
     alpha: float,
-) -> List[SweepPoint]:
+) -> list[SweepPoint]:
     """Sweep an algorithm knob; ``algorithm_factory(value)`` builds the runner."""
     return [
         SweepPoint(v, measure_many(algorithm_factory(v), instances, alpha=alpha))

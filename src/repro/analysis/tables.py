@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 
 def format_cell(value, float_fmt: str = "{:.3f}") -> str:
@@ -22,11 +22,11 @@ def format_cell(value, float_fmt: str = "{:.3f}") -> str:
 def render_table(
     headers: Sequence[str],
     rows: Iterable[Sequence],
-    title: Optional[str] = None,
+    title: str | None = None,
     float_fmt: str = "{:.3f}",
 ) -> str:
     """Render an aligned ASCII table."""
-    str_rows: List[List[str]] = [
+    str_rows: list[list[str]] = [
         [format_cell(c, float_fmt) for c in row] for row in rows
     ]
     widths = [len(h) for h in headers]
@@ -62,8 +62,8 @@ def _latex_escape(text: str) -> str:
 def render_latex(
     headers: Sequence[str],
     rows: Iterable[Sequence],
-    caption: Optional[str] = None,
-    label: Optional[str] = None,
+    caption: str | None = None,
+    label: str | None = None,
     float_fmt: str = "{:.3f}",
 ) -> str:
     """Render a LaTeX ``tabular`` (wrapped in ``table`` when captioned).

@@ -11,7 +11,7 @@ single call that answers "does this library still reproduce the paper?".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from collections.abc import Callable
 
 from ..bounds import formulas, lemmas, rho
 from ..bounds.adversary import adversarial_ratio
@@ -49,9 +49,9 @@ def _check(
 
 def verify_reproduction(
     alpha: float = 3.0, n: int = 12, seed: int = 0
-) -> List[Claim]:
+) -> list[Claim]:
     """Run the condensed reproduction check-list (seconds, not minutes)."""
-    claims: List[Claim] = []
+    claims: list[Claim] = []
     power = PowerFunction(alpha)
 
     # -- upper bounds on random instances ------------------------------------
@@ -206,11 +206,11 @@ def verify_reproduction(
     return claims
 
 
-def all_ok(claims: List[Claim]) -> bool:
+def all_ok(claims: list[Claim]) -> bool:
     return all(c.ok for c in claims)
 
 
-def render_claims(claims: List[Claim]) -> str:
+def render_claims(claims: list[Claim]) -> str:
     """Human-readable checklist."""
     lines = []
     for c in claims:

@@ -21,7 +21,8 @@ run and the final run take identical decisions; this is asserted.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Literal, Optional, Tuple
+from collections.abc import Callable
+from typing import Literal
 
 import numpy as np
 
@@ -41,7 +42,7 @@ Algorithm = Callable[[QBSSInstance], QBSSResult]
 
 def algorithm_value(
     query: bool,
-    x: Optional[float],
+    x: float | None,
     c: float,
     w: float,
     wstar: float,
@@ -75,19 +76,19 @@ def optimal_value(
 
 def game_value(
     query: bool,
-    x: Optional[float],
+    x: float | None,
     c: float,
     w: float,
     alpha: float,
     objective: Objective,
     grid: int = 257,
-) -> Tuple[float, float]:
+) -> tuple[float, float]:
     """Adversary's best response: ``(worst ratio, maximising w*)``.
 
     The ratio is piecewise monotone in ``w*`` with kinks at ``w* = w - c``
     (where the optimum saturates); extremes plus a safety grid are checked.
     """
-    candidates: List[float] = [0.0, w, max(0.0, w - c)]
+    candidates: list[float] = [0.0, w, max(0.0, w - c)]
     candidates.extend(np.linspace(0.0, w, grid))
     best_ratio, best_wstar = -1.0, 0.0
     for ws in candidates:
@@ -102,7 +103,7 @@ def game_value(
 
 def best_deterministic_decision(
     c: float, w: float, alpha: float, objective: Objective, x_grid: int = 257
-) -> Tuple[float, bool, Optional[float]]:
+) -> tuple[float, bool, float | None]:
     """The decision minimising the worst-case ratio: ``(value, query, x)``.
 
     Searching over "no query" and a grid of split points; this is the
@@ -128,7 +129,7 @@ class AdversarialOutcome:
     ratio: float
     wstar: float
     queried: bool
-    split: Optional[float]
+    split: float | None
     objective: Objective
 
 
@@ -163,7 +164,7 @@ def adversarial_ratio(
     probe = algorithm(make(0.0))
     decision = probe.decisions["adv"]
 
-    candidates: List[float] = sorted(
+    candidates: list[float] = sorted(
         {0.0, w, max(0.0, w - c), *np.linspace(0.0, w, grid)}
     )
     worst = AdversarialOutcome(-1.0, 0.0, decision.query, decision.split, objective)

@@ -22,14 +22,14 @@ benches report trajectories, not attained constants.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 from ..core.job import Job
 from ..core.power import PowerFunction
 from ..speed_scaling.yds import yds_profile
 
 
-def _shell_works(levels: int, alpha: float, shrink: float) -> List[Tuple[float, float]]:
+def _shell_works(levels: int, alpha: float, shrink: float) -> list[tuple[float, float]]:
     """(deadline, work) pairs for the W(x) = x^{1-1/alpha} shell profile."""
     beta = 1.0 - 1.0 / alpha
     out = []
@@ -41,7 +41,7 @@ def _shell_works(levels: int, alpha: float, shrink: float) -> List[Tuple[float, 
     return out
 
 
-def avr_tower_instance(levels: int, alpha: float, shrink: float = 0.5) -> List[Job]:
+def avr_tower_instance(levels: int, alpha: float, shrink: float = 0.5) -> list[Job]:
     """Nested windows ``(0, shrink^i]`` with shell works (one-sided family)."""
     if levels < 1:
         raise ValueError("need at least one level")
@@ -55,7 +55,7 @@ def avr_tower_instance(levels: int, alpha: float, shrink: float = 0.5) -> List[J
 
 def avr_two_sided_instance(
     levels: int, alpha: float, shrink: float = 0.5, center: float = 1.0
-) -> List[Job]:
+) -> list[Job]:
     """Symmetric windows ``(center - L_i, center + L_i]`` (two-sided family).
 
     Each level contributes its shell work on *both* sides of the centre, so
@@ -73,7 +73,7 @@ def avr_two_sided_instance(
 
 def oa_staircase_instance(
     steps: int, alpha: float, horizon: float = 1.0
-) -> List[Job]:
+) -> list[Job]:
     """Arrival staircase with a common deadline, the OA adversary's shape.
 
     Work arrives at times ``t_i = horizon * (1 - q^i)`` in amounts that keep
@@ -114,7 +114,7 @@ def maximize_family_ratio(
     params: Sequence[float],
     profile_fn: Callable[[Sequence[Job]], object],
     alpha: float,
-) -> Tuple[float, float]:
+) -> tuple[float, float]:
     """Grid search: ``(best parameter, best ratio)`` over ``params``."""
     best_p, best_r = params[0], -1.0
     for p in params:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from collections.abc import Callable
 
 from ..core.constants import PHI
 
@@ -165,11 +165,11 @@ class Table1Row:
 
     setting: str  # "offline" / "online"
     name: str
-    lower: Optional[Callable[[float], float]]
-    upper: Optional[Callable[[float], float]]
+    lower: Callable[[float], float] | None
+    upper: Callable[[float], float] | None
 
 
-TABLE1_ROWS: List[Table1Row] = [
+TABLE1_ROWS: list[Table1Row] = [
     Table1Row("offline", "Oracle", oracle_lb_energy, None),
     Table1Row("offline", "CRCD", offline_lb_energy, crcd_ub_energy),
     Table1Row("offline", "CRP2D", offline_lb_energy, crp2d_ub_energy),
@@ -180,7 +180,7 @@ TABLE1_ROWS: List[Table1Row] = [
 ]
 
 
-def table1_values(alpha: float) -> Dict[str, Dict[str, Optional[float]]]:
+def table1_values(alpha: float) -> dict[str, dict[str, float | None]]:
     """Evaluate every Table 1 row at ``alpha``."""
     return {
         row.name: {

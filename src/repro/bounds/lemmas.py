@@ -11,7 +11,7 @@ into a table row of claimed-vs-achieved.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Literal, Tuple
+from typing import Literal
 
 from ..core.constants import PHI
 from ..core.instance import QBSSInstance
@@ -70,7 +70,7 @@ def lemma42_instance(wstar_if_query: bool) -> QBSSInstance:
     return QBSSInstance([QJob(0.0, 1.0, 1.0, PHI, wstar, "L42")])
 
 
-def lemma42_bounds(alpha: float) -> Tuple[float, float]:
+def lemma42_bounds(alpha: float) -> tuple[float, float]:
     """``(max-speed bound, energy bound) = (phi, phi^alpha)``."""
     return PHI, PHI**alpha
 
@@ -78,12 +78,12 @@ def lemma42_bounds(alpha: float) -> Tuple[float, float]:
 # -- Lemma 4.3: 2 / 2^{alpha-1} for any deterministic algorithm ----------------------
 
 
-def lemma43_params() -> Tuple[float, float]:
+def lemma43_params() -> tuple[float, float]:
     """The proof's instance: ``c = 1, w = 2`` on a unit window."""
     return 1.0, 2.0
 
 
-def lemma43_bounds(alpha: float) -> Tuple[float, float]:
+def lemma43_bounds(alpha: float) -> tuple[float, float]:
     """``(max-speed bound, energy bound) = (2, 2^{alpha-1})``."""
     return 2.0, 2.0 ** (alpha - 1.0)
 
@@ -114,14 +114,14 @@ def lemma45_instance(eps: float = 1e-4) -> QBSSInstance:
     return QBSSInstance([j, k])
 
 
-def lemma45_bounds(alpha: float) -> Tuple[float, float]:
+def lemma45_bounds(alpha: float) -> tuple[float, float]:
     """``(max-speed bound, energy bound) = (3, 3^{alpha-1})``."""
     return 3.0, 3.0 ** (alpha - 1.0)
 
 
 def lemma45_equal_window_lower_bounds(
     eps: float, alpha: float
-) -> Tuple[float, float]:
+) -> tuple[float, float]:
     """Best-possible values of *any* equal-window algorithm on the instance.
 
     Any equal-window algorithm must run job j's revealed load in ``(1, 2]``
@@ -134,7 +134,7 @@ def lemma45_equal_window_lower_bounds(
     from ..core.power import PowerFunction
 
     inst = lemma45_instance(eps)
-    derived: List[Job] = []
+    derived: list[Job] = []
     for q in inst:
         mid = q.midpoint
         derived.append(Job(q.release, mid, q.query_cost, q.id + ":q"))

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -48,10 +48,10 @@ class MinimaxResult:
     """The solved game: optimal policy and its guaranteed ratio."""
 
     value: float
-    query_set: Tuple[int, ...]
+    query_set: tuple[int, ...]
     x: float
     lam: float
-    worst_wstar: Tuple[float, ...]
+    worst_wstar: tuple[float, ...]
 
 
 def _policy_value(
@@ -60,9 +60,9 @@ def _policy_value(
     x: float,
     lam: float,
     alpha: float,
-    wstar_grids: List[np.ndarray],
+    wstar_grids: list[np.ndarray],
     d: float = 1.0,
-) -> Tuple[float, Tuple[float, ...]]:
+) -> tuple[float, tuple[float, ...]]:
     """Adversary's best response to one policy: (worst ratio, argmax w*)."""
     q_idx = [i for i, q in enumerate(queried) if q]
     a_idx = [i for i, q in enumerate(queried) if not q]
@@ -104,8 +104,8 @@ def _policy_value(
 def minimax_common_window(
     jobs: Sequence[CommonWindowJob],
     alpha: float,
-    x_grid: Optional[Sequence[float]] = None,
-    lam_grid: Optional[Sequence[float]] = None,
+    x_grid: Sequence[float] | None = None,
+    lam_grid: Sequence[float] | None = None,
     wstar_points: int = 9,
 ) -> MinimaxResult:
     """Solve the common-window minimax game on grids (see module docstring)."""
@@ -131,7 +131,7 @@ def minimax_common_window(
         for j in jobs
     ]
 
-    best: Optional[MinimaxResult] = None
+    best: MinimaxResult | None = None
     for queried in itertools.product([False, True], repeat=len(jobs)):
         lam_options = lams if not all(queried) else np.array([0.5])
         for x in xs:
@@ -157,7 +157,7 @@ def crcd_policy_value(
     jobs: Sequence[CommonWindowJob],
     alpha: float,
     wstar_points: int = 9,
-) -> Tuple[float, Tuple[int, ...]]:
+) -> tuple[float, tuple[int, ...]]:
     """CRCD's point in the design space: golden query set, x = lam = 1/2."""
     from ..core.constants import PHI
 

@@ -20,7 +20,7 @@ Determinism: the menu and the tie-breaking are fixed, so a given
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 from ..core.instance import QBSSInstance
 from ..core.power import PowerFunction
@@ -42,7 +42,7 @@ class JobTemplate:
     span: float
     query_cost: float
     work_upper: float
-    wstar_choices: Tuple[float, ...]
+    wstar_choices: tuple[float, ...]
 
     def instantiate(self, release: float, wstar: float, idx: int) -> QJob:
         return QJob(
@@ -55,7 +55,7 @@ class JobTemplate:
         )
 
 
-def default_menu(scale: float = 1.0) -> List[JobTemplate]:
+def default_menu(scale: float = 1.0) -> list[JobTemplate]:
     """A small expressive menu: cheap/dear queries, short/long windows."""
     return [
         JobTemplate(1.0 * scale, 0.1 * scale, 1.0 * scale, (0.0, 1.0 * scale)),
@@ -72,7 +72,7 @@ class AdversarySearchResult:
 
     instance: QBSSInstance
     ratio: float
-    trace: List[str]  # description of each accepted step
+    trace: list[str]  # description of each accepted step
 
 
 def _ratio(algorithm: Algorithm, qi: QBSSInstance, alpha: float) -> float:
@@ -88,7 +88,7 @@ def adaptive_online_search(
     algorithm: Algorithm,
     alpha: float = 3.0,
     steps: int = 6,
-    menu: Optional[Sequence[JobTemplate]] = None,
+    menu: Sequence[JobTemplate] | None = None,
     release_offsets: Sequence[float] = (0.0, 0.25, 0.5, 1.0),
 ) -> AdversarySearchResult:
     """Greedy adaptive construction of a bad instance (see module docstring).
@@ -99,13 +99,13 @@ def adaptive_online_search(
     highest ratio; it stops early when no extension improves.
     """
     templates = list(menu) if menu is not None else default_menu()
-    jobs: List[QJob] = []
-    trace: List[str] = []
+    jobs: list[QJob] = []
+    trace: list[str] = []
     best_ratio = 0.0
     last_release = 0.0
 
     for step in range(steps):
-        best_ext: Optional[Tuple[QJob, float, str]] = None
+        best_ext: tuple[QJob, float, str] | None = None
         for t_idx, template in enumerate(templates):
             for off in release_offsets:
                 release = last_release + off

@@ -19,7 +19,6 @@ so the optimum sits at their crossing when it exists).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 import numpy as np
 from scipy import optimize
@@ -27,13 +26,13 @@ from scipy import optimize
 from ..core.constants import PHI
 
 #: The alpha grid of the paper's in-text table (Sec. 4.2).
-PAPER_ALPHA_GRID: List[float] = [1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0]
+PAPER_ALPHA_GRID: list[float] = [1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0]
 
 #: The rho values printed in the paper for that grid (0 = "not applicable",
 #: the paper only defines rho_3 for alpha >= 2).
-PAPER_RHO1: List[float] = [2.17, 2.91, 3.90, 5.23, 7.02, 9.41, 12.63, 16.94]
-PAPER_RHO2: List[float] = [2.37, 2.82, 3.36, 4.0, 4.75, 5.65, 6.72, 8.0]
-PAPER_RHO3: List[float] = [0.0, 0.0, 0.0, 2.76, 3.70, 5.25, 6.72, 8.0]
+PAPER_RHO1: list[float] = [2.17, 2.91, 3.90, 5.23, 7.02, 9.41, 12.63, 16.94]
+PAPER_RHO2: list[float] = [2.37, 2.82, 3.36, 4.0, 4.75, 5.65, 6.72, 8.0]
+PAPER_RHO3: list[float] = [0.0, 0.0, 0.0, 2.76, 3.70, 5.25, 6.72, 8.0]
 
 
 def rho1(alpha: float) -> float:
@@ -103,10 +102,10 @@ class RhoRow:
     alpha: float
     rho1: float
     rho2: float
-    rho3: Optional[float]
+    rho3: float | None
 
 
-def rho_table(alphas: Optional[List[float]] = None) -> List[RhoRow]:
+def rho_table(alphas: list[float] | None = None) -> list[RhoRow]:
     """Regenerate the Section 4.2 table on ``alphas`` (paper grid default)."""
     rows = []
     for a in alphas or PAPER_ALPHA_GRID:

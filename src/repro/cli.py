@@ -27,7 +27,6 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
 
 from .analysis.experiments import REGISTRY, experiment_params, resolve_kwargs
 
@@ -271,7 +270,7 @@ def _list_experiments() -> str:
     return "\n".join(lines)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: list[str] | None = None) -> int:
     try:
         return _main(argv)
     except BrokenPipeError:
@@ -311,7 +310,7 @@ def _prune_cache(
     )
 
 
-def _main(argv: Optional[List[str]] = None) -> int:
+def _main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list:
@@ -541,7 +540,7 @@ def _default_replay_algorithms():
     return DEFAULT_ALGORITHMS
 
 
-def replay_main(argv: Optional[List[str]] = None) -> int:
+def replay_main(argv: list[str] | None = None) -> int:
     try:
         return _replay_main(argv)
     except BrokenPipeError:
@@ -550,7 +549,7 @@ def replay_main(argv: Optional[List[str]] = None) -> int:
         return 141
 
 
-def _replay_main(argv: Optional[List[str]] = None) -> int:
+def _replay_main(argv: list[str] | None = None) -> int:
     parser = build_replay_parser()
     args = parser.parse_args(argv)
     jobs = _resolve_jobs_arg(parser, args.jobs)

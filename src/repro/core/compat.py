@@ -10,7 +10,7 @@ keyword slots and emits a :class:`DeprecationWarning` naming the new form.
 from __future__ import annotations
 
 import warnings
-from typing import Sequence, Tuple
+from collections.abc import Sequence
 
 
 def warn_positional(fname: str, names: Sequence[str], count: int) -> None:
@@ -26,10 +26,10 @@ def warn_positional(fname: str, names: Sequence[str], count: int) -> None:
 
 def absorb_positional(
     fname: str,
-    args: Tuple,
+    args: tuple,
     names: Sequence[str],
-    current: Tuple,
-) -> Tuple:
+    current: tuple,
+) -> tuple:
     """Fold legacy positional ``args`` into the keyword slots ``names``.
 
     ``current`` holds the keyword-supplied (or default) values in the same

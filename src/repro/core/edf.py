@@ -16,7 +16,7 @@ used by property-based tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 from .constants import EPS
 from .job import Job
@@ -30,7 +30,7 @@ class EDFResult:
     """Outcome of an EDF run: the schedule plus any unfinished work."""
 
     schedule: Schedule
-    unfinished: Dict[str, float] = field(default_factory=dict)
+    unfinished: dict[str, float] = field(default_factory=dict)
 
     @property
     def feasible(self) -> bool:
@@ -57,10 +57,10 @@ def run_edf(
     scheduled outside a job's window).
     """
     schedule = Schedule(machines)
-    remaining: Dict[str, float] = {
+    remaining: dict[str, float] = {
         j.id: j.work for j in jobs if j.work > tol
     }
-    by_id: Dict[str, Job] = {j.id: j for j in jobs}
+    by_id: dict[str, Job] = {j.id: j for j in jobs}
 
     if not remaining:
         return EDFResult(schedule)

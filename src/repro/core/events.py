@@ -11,7 +11,8 @@ completions on top.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generic, Iterator, List, Sequence, Tuple, TypeVar
+from collections.abc import Callable, Iterator, Sequence
+from typing import Generic, TypeVar
 
 from .job import Job
 from .timeline import dedupe_times
@@ -35,12 +36,12 @@ class OnlineStream(Generic[J]):
     """
 
     def __init__(self, arrivals: Sequence[Arrival[J]] = ()) -> None:
-        self._arrivals: List[Arrival[J]] = sorted(
+        self._arrivals: list[Arrival[J]] = sorted(
             arrivals, key=lambda a: a.time
         )
 
     @classmethod
-    def from_jobs(cls, jobs: Sequence[Job]) -> "OnlineStream[Job]":
+    def from_jobs(cls, jobs: Sequence[Job]) -> OnlineStream[Job]:
         """Stream where each classical job arrives at its release time."""
         return OnlineStream([Arrival(j.release, j) for j in jobs])
 
@@ -56,13 +57,13 @@ class OnlineStream(Generic[J]):
         return len(self._arrivals)
 
     @property
-    def arrivals(self) -> Tuple[Arrival[J], ...]:
+    def arrivals(self) -> tuple[Arrival[J], ...]:
         return tuple(self._arrivals)
 
-    def arrival_times(self) -> List[float]:
+    def arrival_times(self) -> list[float]:
         return dedupe_times(a.time for a in self._arrivals)
 
-    def jobs_arrived_by(self, t: float) -> List[J]:
+    def jobs_arrived_by(self, t: float) -> list[J]:
         """All jobs with arrival time <= t (what an online algorithm knows)."""
         return [a.job for a in self._arrivals if a.time <= t]
 

@@ -16,7 +16,7 @@ test failures are informative.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 from .instance import Instance
 from .job import Job
@@ -28,7 +28,7 @@ class FeasibilityReport:
     """Outcome of validating a schedule against an instance."""
 
     ok: bool
-    violations: List[str] = field(default_factory=list)
+    violations: list[str] = field(default_factory=list)
 
     def __bool__(self) -> bool:
         return self.ok
@@ -43,7 +43,7 @@ class InfeasibleScheduleError(RuntimeError):
     """Raised by :meth:`FeasibilityReport.raise_if_infeasible`."""
 
 
-def _overlaps(slices: Sequence[Slice], tol: float) -> List[Tuple[Slice, Slice]]:
+def _overlaps(slices: Sequence[Slice], tol: float) -> list[tuple[Slice, Slice]]:
     """Pairs of overlapping slices in a start-sorted sequence."""
     bad = []
     ordered = sorted(slices, key=lambda s: s.start)
@@ -64,8 +64,8 @@ def check_feasible(
     ``require_all_work=False`` relaxes condition 4 to "no job receives more
     than its work", useful for validating prefixes of online runs.
     """
-    violations: List[str] = []
-    jobs: Dict[str, Job] = {j.id: j for j in instance.jobs}
+    violations: list[str] = []
+    jobs: dict[str, Job] = {j.id: j for j in instance.jobs}
 
     if schedule.machines > instance.machines:
         violations.append(
@@ -96,7 +96,7 @@ def check_feasible(
 
     # 3. no self-parallelism across machines
     if schedule.machines > 1:
-        per_job: Dict[str, List[Slice]] = {}
+        per_job: dict[str, list[Slice]] = {}
         for per in schedule.machine_slices():
             for s in per:
                 per_job.setdefault(s.job_id, []).append(s)

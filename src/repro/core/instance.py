@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from collections.abc import Iterator, Sequence
 
 from .constants import EPS
 from .job import Job
@@ -22,7 +22,7 @@ from .qjob import QJob, QJobView
 class Instance:
     """A classical speed-scaling instance: jobs plus number of machines."""
 
-    jobs: Tuple[Job, ...]
+    jobs: tuple[Job, ...]
     machines: int = 1
 
     def __init__(self, jobs: Sequence[Job], machines: int = 1) -> None:
@@ -41,7 +41,7 @@ class Instance:
         return len(self.jobs)
 
     @property
-    def span(self) -> Tuple[float, float]:
+    def span(self) -> tuple[float, float]:
         """``(min release, max deadline)`` over all jobs."""
         if not self.jobs:
             return (0.0, 0.0)
@@ -53,26 +53,26 @@ class Instance:
     def total_work(self) -> float:
         return sum(j.work for j in self.jobs)
 
-    def breakpoints(self) -> List[float]:
+    def breakpoints(self) -> list[float]:
         """All releases and deadlines, sorted and deduplicated."""
         raw = sorted(
             {j.release for j in self.jobs} | {j.deadline for j in self.jobs}
         )
-        pts: List[float] = []
+        pts: list[float] = []
         for t in raw:
             if not pts or t - pts[-1] > EPS:
                 pts.append(t)
         return pts
 
-    def active_jobs(self, t: float) -> List[Job]:
+    def active_jobs(self, t: float) -> list[Job]:
         """Jobs whose active interval contains time ``t`` (``r < t <= d``)."""
         return [j for j in self.jobs if j.active_at(t)]
 
-    def jobs_within(self, start: float, end: float) -> List[Job]:
+    def jobs_within(self, start: float, end: float) -> list[Job]:
         """Jobs whose whole window lies inside ``[start, end]``."""
         return [j for j in self.jobs if start <= j.release and j.deadline <= end]
 
-    def with_machines(self, machines: int) -> "Instance":
+    def with_machines(self, machines: int) -> Instance:
         return Instance(self.jobs, machines)
 
 
@@ -85,7 +85,7 @@ class QBSSInstance:
     protocol of :class:`repro.core.qjob.QJobView`.
     """
 
-    jobs: Tuple[QJob, ...]
+    jobs: tuple[QJob, ...]
     machines: int = 1
 
     def __init__(self, jobs: Sequence[QJob], machines: int = 1) -> None:
@@ -104,7 +104,7 @@ class QBSSInstance:
         return len(self.jobs)
 
     @property
-    def span(self) -> Tuple[float, float]:
+    def span(self) -> tuple[float, float]:
         if not self.jobs:
             return (0.0, 0.0)
         return (
@@ -137,7 +137,7 @@ class QBSSInstance:
 
     # -- derived instances ------------------------------------------------------
 
-    def views(self) -> List[QJobView]:
+    def views(self) -> list[QJobView]:
         """Fresh information-restricted views, one per job."""
         return [j.view() for j in self.jobs]
 
@@ -149,10 +149,10 @@ class QBSSInstance:
         """Classical jobs ``(r_j, d_j, w_j)`` — the never-query reduction."""
         return Instance([j.as_upper_bound_job() for j in self.jobs], self.machines)
 
-    def with_machines(self, machines: int) -> "QBSSInstance":
+    def with_machines(self, machines: int) -> QBSSInstance:
         return QBSSInstance(self.jobs, machines)
 
-    def rounded_down_deadlines(self) -> "QBSSInstance":
+    def rounded_down_deadlines(self) -> QBSSInstance:
         """The CRAD preprocessing: round every deadline down to a power of 2.
 
         Requires every window to still be non-empty afterwards, which holds

@@ -82,6 +82,6 @@ class Job:
         """Whether ``[start, end]`` is inside the active window."""
         return self.release <= start and end <= self.deadline
 
-    def with_work(self, work: float, suffix: str = "") -> "Job":
+    def with_work(self, work: float, suffix: str = "") -> Job:
         """Copy of this job with different work (and optional id suffix)."""
         return Job(self.release, self.deadline, work, self.id + suffix)

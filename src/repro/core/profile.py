@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from collections.abc import Iterable, Iterator, Sequence
 
 from .constants import EPS
 from .power import PowerFunction
@@ -71,7 +71,7 @@ class SpeedProfile:
     __slots__ = ("_segments", "_starts")
 
     def __init__(self, segments: Iterable[Segment] = ()) -> None:
-        cleaned: List[Segment] = [s for s in segments if s.speed > 0.0]
+        cleaned: list[Segment] = [s for s in segments if s.speed > 0.0]
         cleaned.sort(key=lambda s: s.start)
         for prev, nxt in zip(cleaned, cleaned[1:]):
             if nxt.start < prev.end - EPS:
@@ -79,7 +79,7 @@ class SpeedProfile:
                     f"overlapping segments: [{prev.start}, {prev.end}) and "
                     f"[{nxt.start}, {nxt.end})"
                 )
-        merged: List[Segment] = []
+        merged: list[Segment] = []
         for seg in cleaned:
             if (
                 merged
@@ -89,13 +89,13 @@ class SpeedProfile:
                 merged[-1] = Segment(merged[-1].start, seg.end, merged[-1].speed)
             else:
                 merged.append(seg)
-        self._segments: Tuple[Segment, ...] = tuple(merged)
-        self._starts: List[float] = [s.start for s in merged]
+        self._segments: tuple[Segment, ...] = tuple(merged)
+        self._starts: list[float] = [s.start for s in merged]
 
     # -- constructors ---------------------------------------------------------
 
     @classmethod
-    def constant(cls, start: float, end: float, speed: float) -> "SpeedProfile":
+    def constant(cls, start: float, end: float, speed: float) -> SpeedProfile:
         """Profile running at ``speed`` on ``[start, end)`` and 0 elsewhere."""
         if speed == 0:
             return cls()
@@ -104,7 +104,7 @@ class SpeedProfile:
     @classmethod
     def from_breakpoints(
         cls, breakpoints: Sequence[float], speeds: Sequence[float]
-    ) -> "SpeedProfile":
+    ) -> SpeedProfile:
         """Profile with ``speeds[i]`` on ``[breakpoints[i], breakpoints[i+1])``."""
         if len(speeds) != len(breakpoints) - 1:
             raise ValueError("need exactly one speed per consecutive breakpoint pair")
@@ -118,7 +118,7 @@ class SpeedProfile:
     # -- basic queries ---------------------------------------------------------
 
     @property
-    def segments(self) -> Tuple[Segment, ...]:
+    def segments(self) -> tuple[Segment, ...]:
         return self._segments
 
     def __iter__(self) -> Iterator[Segment]:
@@ -168,13 +168,13 @@ class SpeedProfile:
                 return seg.speed
         return 0.0
 
-    def breakpoints(self) -> List[float]:
+    def breakpoints(self) -> list[float]:
         """Sorted, deduplicated list of all segment boundaries."""
         raw = sorted(
             {seg.start for seg in self._segments}
             | {seg.end for seg in self._segments}
         )
-        pts: List[float] = []
+        pts: list[float] = []
         for t in raw:
             if not pts or t - pts[-1] > EPS:
                 pts.append(t)
@@ -208,7 +208,7 @@ class SpeedProfile:
 
     # -- algebra -------------------------------------------------------------
 
-    def scale(self, factor: float) -> "SpeedProfile":
+    def scale(self, factor: float) -> SpeedProfile:
         """Pointwise speed scaling ``t -> factor * s(t)``."""
         if factor < 0:
             raise ValueError(f"scale factor must be >= 0, got {factor}")
@@ -216,7 +216,7 @@ class SpeedProfile:
             Segment(s.start, s.end, factor * s.speed) for s in self._segments
         )
 
-    def restrict(self, start: float, end: float) -> "SpeedProfile":
+    def restrict(self, start: float, end: float) -> SpeedProfile:
         """Profile equal to this one on ``[start, end)`` and 0 elsewhere."""
         segs = []
         for seg in self._segments:
@@ -226,19 +226,19 @@ class SpeedProfile:
                 segs.append(Segment(lo, hi, seg.speed))
         return SpeedProfile(segs)
 
-    def shift(self, delta: float) -> "SpeedProfile":
+    def shift(self, delta: float) -> SpeedProfile:
         """Profile translated in time by ``delta``."""
         return SpeedProfile(
             Segment(s.start + delta, s.end + delta, s.speed) for s in self._segments
         )
 
-    def __add__(self, other: "SpeedProfile") -> "SpeedProfile":
+    def __add__(self, other: SpeedProfile) -> SpeedProfile:
         """Pointwise sum of two profiles."""
         if not isinstance(other, SpeedProfile):
             return NotImplemented
         return sum_profiles([self, other])
 
-    def dominates(self, other: "SpeedProfile", tol: float = EPS) -> bool:
+    def dominates(self, other: SpeedProfile, tol: float = EPS) -> bool:
         """Whether ``self(t) >= other(t)`` for all ``t`` (up to tolerance)."""
         pts = sorted(set(self.breakpoints()) | set(other.breakpoints()))
         for a, b in zip(pts, pts[1:]):
@@ -250,7 +250,7 @@ class SpeedProfile:
 
 def sum_profiles(profiles: Sequence[SpeedProfile]) -> SpeedProfile:
     """Pointwise sum of many profiles (used by AVR: sum of densities)."""
-    pts: List[float] = []
+    pts: list[float] = []
     for p in profiles:
         for seg in p.segments:
             pts.append(seg.start)
@@ -259,7 +259,7 @@ def sum_profiles(profiles: Sequence[SpeedProfile]) -> SpeedProfile:
         return SpeedProfile()
     uniq = sorted(set(pts))
     # collapse numerically-equal points
-    collapsed: List[float] = [uniq[0]]
+    collapsed: list[float] = [uniq[0]]
     for t in uniq[1:]:
         if t - collapsed[-1] > EPS:
             collapsed.append(t)
@@ -274,7 +274,7 @@ def sum_profiles(profiles: Sequence[SpeedProfile]) -> SpeedProfile:
 
 def max_profiles(profiles: Sequence[SpeedProfile]) -> SpeedProfile:
     """Pointwise maximum of many profiles."""
-    pts: List[float] = []
+    pts: list[float] = []
     for p in profiles:
         for seg in p.segments:
             pts.append(seg.start)
@@ -282,7 +282,7 @@ def max_profiles(profiles: Sequence[SpeedProfile]) -> SpeedProfile:
     if not pts:
         return SpeedProfile()
     uniq = sorted(set(pts))
-    collapsed: List[float] = [uniq[0]]
+    collapsed: list[float] = [uniq[0]]
     for t in uniq[1:]:
         if t - collapsed[-1] > EPS:
             collapsed.append(t)

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import count
-from typing import Optional
 
 from .job import Job
 
@@ -137,7 +136,7 @@ class QJob:
         """Classical job ``(r, d, p*)`` used by the optimal baseline (Sec. 3)."""
         return Job(self.release, self.deadline, self.optimal_load, self.id + ":opt")
 
-    def view(self) -> "QJobView":
+    def view(self) -> QJobView:
         """Information-restricted view handed to algorithms."""
         return QJobView(self)
 
@@ -158,7 +157,7 @@ class QJobView:
     """
 
     _job: QJob
-    revealed_at: Optional[float] = None
+    revealed_at: float | None = None
 
     # -- public (known) attributes -------------------------------------------
 

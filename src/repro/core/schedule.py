@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 from .power import PowerFunction
 from .profile import Segment, SpeedProfile
@@ -48,7 +48,7 @@ class Schedule:
         if machines < 1:
             raise ValueError(f"machines must be >= 1, got {machines}")
         self.machines = machines
-        self._slices: List[List[Slice]] = [[] for _ in range(machines)]
+        self._slices: list[list[Slice]] = [[] for _ in range(machines)]
 
     # -- construction -----------------------------------------------------------
 
@@ -73,7 +73,7 @@ class Schedule:
 
     # -- access -----------------------------------------------------------------
 
-    def slices(self, machine: Optional[int] = None) -> List[Slice]:
+    def slices(self, machine: int | None = None) -> list[Slice]:
         """Slices of one machine, or all machines, sorted by start time."""
         if machine is None:
             out = [s for per in self._slices for s in per]
@@ -81,10 +81,10 @@ class Schedule:
             out = list(self._slices[machine])
         return sorted(out, key=lambda s: (s.start, s.end, s.job_id))
 
-    def machine_slices(self) -> List[List[Slice]]:
+    def machine_slices(self) -> list[list[Slice]]:
         return [sorted(per, key=lambda s: s.start) for per in self._slices]
 
-    def job_ids(self) -> List[str]:
+    def job_ids(self) -> list[str]:
         return sorted({s.job_id for per in self._slices for s in per})
 
     # -- aggregates --------------------------------------------------------------
@@ -95,8 +95,8 @@ class Schedule:
             s.work for per in self._slices for s in per if s.job_id == job_id
         )
 
-    def work_by_job(self) -> Dict[str, float]:
-        acc: Dict[str, float] = defaultdict(float)
+    def work_by_job(self) -> dict[str, float]:
+        acc: dict[str, float] = defaultdict(float)
         for per in self._slices:
             for s in per:
                 acc[s.job_id] += s.work
@@ -129,7 +129,7 @@ class Schedule:
             (s.speed for per in self._slices for s in per), default=0.0
         )
 
-    def span(self) -> Tuple[float, float]:
+    def span(self) -> tuple[float, float]:
         allslices = [s for per in self._slices for s in per]
         if not allslices:
             return (0.0, 0.0)
@@ -141,7 +141,7 @@ class Schedule:
             raise ValueError(f"machine {machine} out of range 0..{self.machines - 1}")
         return sum(s.duration for s in self._slices[machine])
 
-    def utilization(self, machine: int, horizon: Optional[Tuple[float, float]] = None) -> float:
+    def utilization(self, machine: int, horizon: tuple[float, float] | None = None) -> float:
         """Fraction of the horizon ``machine`` is busy (horizon = span default)."""
         lo, hi = horizon if horizon is not None else self.span()
         if hi <= lo:

@@ -2,27 +2,27 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 from .constants import EPS
 
 
-def dedupe_times(times: Iterable[float], tol: float = EPS) -> List[float]:
+def dedupe_times(times: Iterable[float], tol: float = EPS) -> list[float]:
     """Sort and collapse numerically-equal time points."""
-    out: List[float] = []
+    out: list[float] = []
     for t in sorted(times):
         if not out or t - out[-1] > tol:
             out.append(t)
     return out
 
 
-def elementary_intervals(times: Iterable[float], tol: float = EPS) -> List[Tuple[float, float]]:
+def elementary_intervals(times: Iterable[float], tol: float = EPS) -> list[tuple[float, float]]:
     """Consecutive pairs of the deduplicated time points."""
     pts = dedupe_times(times, tol)
     return list(zip(pts, pts[1:]))
 
 
-def interval_index(intervals: Sequence[Tuple[float, float]], t: float) -> int:
+def interval_index(intervals: Sequence[tuple[float, float]], t: float) -> int:
     """Index of the elementary interval whose midpoint-open range contains t.
 
     Returns -1 when ``t`` is outside all intervals.  Intervals are treated as

@@ -30,9 +30,10 @@ import json
 import os
 import re
 import time
+from collections.abc import Iterator
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any
 
 from .. import __version__ as PACKAGE_VERSION
 
@@ -41,7 +42,7 @@ CACHE_FORMAT_VERSION = 1
 #: Subdirectory of the cache root that corrupt entries are moved into.
 QUARANTINE_DIRNAME = "quarantine"
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
 def default_cache_dir() -> Path:
@@ -57,8 +58,8 @@ def default_cache_dir() -> Path:
 
 def cache_key(
     experiment: str,
-    resolved_kwargs: Dict[str, Any],
-    package_version: Optional[str] = None,
+    resolved_kwargs: dict[str, Any],
+    package_version: str | None = None,
 ) -> str:
     """The content address of one experiment evaluation (SHA-256 hex).
 
@@ -97,7 +98,9 @@ class ResultCache:
 
     root: Path
 
-    def __init__(self, root: Optional[PathLike] = None, *, metrics=None):
+    def __init__(
+        self, root: PathLike | None = None, *, metrics: Any | None = None
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self.quarantined = 0  # corrupt entries moved aside by this instance
         self.metrics = metrics
@@ -113,7 +116,7 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def quarantine(self, path: Path) -> Optional[Path]:
+    def quarantine(self, path: Path) -> Path | None:
         """Move a corrupt entry into ``<root>/quarantine/`` (never delete).
 
         Returns the new location, or ``None`` if the move itself failed
@@ -135,7 +138,7 @@ class ResultCache:
         self._count("qbss_cache_quarantined_total")
         return target
 
-    def get(self, key: str) -> Optional[Dict[str, Any]]:
+    def get(self, key: str) -> dict[str, Any] | None:
         """The stored envelope for ``key``, or ``None`` on any miss.
 
         A file that exists but cannot be parsed — zero-byte, truncated
@@ -178,10 +181,10 @@ class ResultCache:
         self,
         key: str,
         experiment: str,
-        params: Dict[str, Any],
-        report_doc: Dict[str, Any],
+        params: dict[str, Any],
+        report_doc: dict[str, Any],
         wall_time: float,
-        package_version: Optional[str] = None,
+        package_version: str | None = None,
     ) -> Path:
         """Atomically store one evaluated report; returns the file path."""
         path = self.path_for(key)
@@ -201,7 +204,7 @@ class ResultCache:
         self._count("qbss_cache_writes_total")
         return path
 
-    def entries(self) -> List[Tuple[Path, float, int]]:
+    def entries(self) -> list[tuple[Path, float, int]]:
         """Every cache file as ``(path, mtime, size)``, oldest first."""
         found = []
         if not self.root.exists():
@@ -215,13 +218,13 @@ class ResultCache:
         found.sort(key=lambda item: (item[1], str(item[0])))
         return found
 
-    def _entry_paths(self):
+    def _entry_paths(self) -> Iterator[Path]:
         """Live entry files — the quarantine directory never counts."""
         for path in self.root.glob("*/*.json"):
             if path.parent.name != QUARANTINE_DIRNAME:
                 yield path
 
-    def _orphan_paths(self):
+    def _orphan_paths(self) -> Iterator[Path]:
         """Leftover ``<digest>.tmp<pid>`` files from interrupted writes.
 
         A :meth:`put` that dies between ``tmp.write_text`` and
@@ -234,8 +237,8 @@ class ResultCache:
                 yield path
 
     def _sweep_orphans(
-        self, now: Optional[float] = None, grace: float = ORPHAN_GRACE_SECONDS
-    ) -> Tuple[int, int]:
+        self, now: float | None = None, grace: float = ORPHAN_GRACE_SECONDS
+    ) -> tuple[int, int]:
         """Delete stale temp files; returns ``(removed, freed_bytes)``.
 
         With ``now`` given, only temp files whose mtime is older than
@@ -263,10 +266,10 @@ class ResultCache:
 
     def prune(
         self,
-        max_age_days: Optional[float] = None,
-        max_bytes: Optional[int] = None,
-        now: Optional[float] = None,
-    ) -> "PruneStats":
+        max_age_days: float | None = None,
+        max_bytes: int | None = None,
+        now: float | None = None,
+    ) -> PruneStats:
         """Evict entries by age, then oldest-first down to a size budget.
 
         Two independent criteria, both optional: entries whose mtime is
@@ -288,7 +291,7 @@ class ResultCache:
         scanned = len(entries)
         removed = 0
         freed = 0
-        survivors: List[Tuple[Path, float, int]] = []
+        survivors: list[tuple[Path, float, int]] = []
         if max_age_days is not None:
             cutoff = now - max_age_days * 86400.0
             for path, mtime, size in entries:
@@ -374,7 +377,7 @@ _SIZE_UNITS = {
 }
 
 
-def parse_prune_spec(spec: str) -> Tuple[Optional[float], Optional[int]]:
+def parse_prune_spec(spec: str) -> tuple[float | None, int | None]:
     """Parse a ``--cache-prune`` spec into ``(max_age_days, max_bytes)``.
 
     The spec is one or two comma-separated terms: an age like ``30d`` /
@@ -382,8 +385,8 @@ def parse_prune_spec(spec: str) -> Tuple[Optional[float], Optional[int]]:
     (bare numbers are bytes).  Examples: ``"30d"``, ``"500mb"``,
     ``"7d,1gb"``.
     """
-    max_age_days: Optional[float] = None
-    max_bytes: Optional[int] = None
+    max_age_days: float | None = None
+    max_bytes: int | None = None
     for term in spec.split(","):
         term = term.strip().lower()
         if not term:

@@ -33,7 +33,8 @@ import random
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
+from typing import Any
 
 #: Environment variable holding the active fault plan (JSON, or ``@path``).
 FAULT_PLAN_ENV = "QBSS_FAULT_PLAN"
@@ -119,10 +120,10 @@ class FailureInfo:
     task: str
     kind: str
     attempts: int
-    wall_times: List[float] = field(default_factory=list)
-    traceback: Optional[str] = None
+    wall_times: list[float] = field(default_factory=list)
+    traceback: str | None = None
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "task": self.task,
             "kind": self.kind,
@@ -132,7 +133,7 @@ class FailureInfo:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "FailureInfo":
+    def from_dict(cls, data: dict[str, Any]) -> FailureInfo:
         return cls(
             task=str(data["task"]),
             kind=str(data["kind"]),
@@ -197,7 +198,7 @@ class FaultSpec:
     def matches(self, task: str, attempt: int) -> bool:
         return self.task == task and self.attempt in (0, attempt)
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "task": self.task,
             "kind": self.kind,
@@ -207,7 +208,7 @@ class FaultSpec:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "FaultSpec":
+    def from_dict(cls, data: dict[str, Any]) -> FaultSpec:
         return cls(
             task=str(data["task"]),
             kind=str(data["kind"]),
@@ -231,12 +232,12 @@ class FaultPlan:
     The first spec matching ``(task, attempt)`` wins.
     """
 
-    specs: Tuple[FaultSpec, ...] = ()
+    specs: tuple[FaultSpec, ...] = ()
 
-    def __init__(self, specs: Iterable[FaultSpec] = ()):
+    def __init__(self, specs: Iterable[FaultSpec] = ()) -> None:
         object.__setattr__(self, "specs", tuple(specs))
 
-    def lookup(self, task: str, attempt: int) -> Optional[FaultSpec]:
+    def lookup(self, task: str, attempt: int) -> FaultSpec | None:
         for spec in self.specs:
             if spec.matches(task, attempt):
                 return spec
@@ -285,7 +286,7 @@ class FaultPlan:
         )
 
     @classmethod
-    def from_json(cls, text: str) -> "FaultPlan":
+    def from_json(cls, text: str) -> FaultPlan:
         data = json.loads(text)
         if not isinstance(data, dict) or "faults" not in data:
             raise ValueError("fault plan must be a JSON object with a 'faults' list")
@@ -296,7 +297,7 @@ class FaultPlan:
         return cls(FaultSpec.from_dict(d) for d in data["faults"])
 
     @classmethod
-    def from_env(cls, environ: Optional[Dict[str, str]] = None) -> Optional["FaultPlan"]:
+    def from_env(cls, environ: dict[str, str] | None = None) -> FaultPlan | None:
         """The plan installed in ``QBSS_FAULT_PLAN``, parsed and memoized."""
         raw = (environ or os.environ).get(FAULT_PLAN_ENV)
         if not raw:
@@ -304,21 +305,23 @@ class FaultPlan:
         return _parse_env_plan(raw)
 
 
-_ENV_PLAN_MEMO: Dict[str, FaultPlan] = {}
+_ENV_PLAN_MEMO: dict[str, FaultPlan] = {}
 
 
 def _parse_env_plan(raw: str) -> FaultPlan:
+    # Deterministic parse memo: same raw plan string always yields the
+    # same plan, so the mutation below can never change worker output.
     plan = _ENV_PLAN_MEMO.get(raw)
     if plan is None:
         text = Path(raw[1:]).read_text() if raw.startswith("@") else raw
         plan = FaultPlan.from_json(text)
         if len(_ENV_PLAN_MEMO) > 32:  # bound the memo during long fuzz runs
             _ENV_PLAN_MEMO.clear()
-        _ENV_PLAN_MEMO[raw] = plan
+        _ENV_PLAN_MEMO[raw] = plan  # qbss-lint: disable=QL003
     return plan
 
 
-def active_fault_plan() -> Optional[FaultPlan]:
+def active_fault_plan() -> FaultPlan | None:
     """What worker bodies call: the env-installed plan, or ``None``."""
     return FaultPlan.from_env()
 
@@ -332,17 +335,17 @@ class installed_fault_plan:
     exported ``QBSS_FAULT_PLAN`` stays in effect).
     """
 
-    def __init__(self, plan: Optional[FaultPlan]):
+    def __init__(self, plan: FaultPlan | None) -> None:
         self.plan = plan
-        self._old: Optional[str] = None
+        self._old: str | None = None
 
-    def __enter__(self) -> Optional[FaultPlan]:
+    def __enter__(self) -> FaultPlan | None:
         if self.plan is not None:
             self._old = os.environ.get(FAULT_PLAN_ENV)
             os.environ[FAULT_PLAN_ENV] = self.plan.to_json()
         return self.plan
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         if self.plan is not None:
             if self._old is None:
                 os.environ.pop(FAULT_PLAN_ENV, None)
@@ -350,7 +353,7 @@ class installed_fault_plan:
                 os.environ[FAULT_PLAN_ENV] = self._old
 
 
-def corrupt_cache_entry(path) -> None:
+def corrupt_cache_entry(path: str | Path) -> None:
     """Truncate a just-written cache file to garbage (the ``corrupt-cache``
     fault).  Keeps a non-empty, non-JSON prefix so the quarantine path — not
     the missing-file path — is what the next reader exercises."""

@@ -37,18 +37,14 @@ from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import (
-    Any,
-    Callable,
-    Dict,
-    Iterable,
-    List,
-    Optional,
-    Sequence,
-    Union,
-)
+from collections.abc import Callable, Iterable, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
 
 from ..analysis.experiments import REGISTRY, ExperimentReport, resolve_kwargs
+
+if TYPE_CHECKING:
+    from ..analysis.ratios import RatioMeasurement
 from ..core.constants import DEFAULT_ALPHA
 from .cache import ResultCache, cache_key
 from .faults import (
@@ -63,7 +59,7 @@ from .faults import (
 )
 
 
-def resolve_jobs(jobs: Union[int, str, None]) -> int:
+def resolve_jobs(jobs: int | str | None) -> int:
     """Normalize a worker-count request to a concrete positive integer.
 
     ``"auto"`` (case-insensitive) and ``0`` both mean "one worker per
@@ -105,10 +101,10 @@ class HardenedTask:
 
     __slots__ = ("task_key", "attempt", "walls", "span", "attempt_span")
 
-    def __init__(self, task_key: str):
+    def __init__(self, task_key: str) -> None:
         self.task_key = task_key
         self.attempt = 1
-        self.walls: List[float] = []
+        self.walls: list[float] = []
         self.span = None
         self.attempt_span = None
 
@@ -121,7 +117,7 @@ class ExecutionStats:
     timeouts: int = 0
     pool_rebuilds: int = 0
     degraded: bool = False
-    degraded_tasks: List[str] = field(default_factory=list)
+    degraded_tasks: list[str] = field(default_factory=list)
 
 
 class _PoolBroken(Exception):
@@ -132,7 +128,7 @@ class _PoolHung(Exception):
     """Internal: every worker is pinned by a timed-out task; replace the pool."""
 
 
-def _crash_outcome(wall: float) -> Dict[str, Any]:
+def _crash_outcome(wall: float) -> dict[str, Any]:
     return {
         "ok": False,
         "transient": True,
@@ -165,16 +161,16 @@ def _shutdown_pool(pool: ProcessPoolExecutor, kill: bool = False) -> None:
 def execute_hardened(
     tasks: Iterable[HardenedTask],
     *,
-    worker: Callable[..., Dict[str, Any]],
+    worker: Callable[..., dict[str, Any]],
     payload: Callable[[HardenedTask], tuple],
-    on_success: Callable[[HardenedTask, Dict[str, Any], bool], None],
-    on_failure: Callable[[HardenedTask, str, Optional[str]], None],
+    on_success: Callable[[HardenedTask, dict[str, Any], bool], None],
+    on_failure: Callable[[HardenedTask, str, str | None], None],
     jobs: int = 1,
-    retry: Optional[RetryPolicy] = None,
-    task_timeout: Optional[float] = None,
-    max_inflight: Optional[int] = None,
-    tracer=None,
-    trace_parent=None,
+    retry: RetryPolicy | None = None,
+    task_timeout: float | None = None,
+    max_inflight: int | None = None,
+    tracer: Any | None = None,
+    trace_parent: Any | None = None,
 ) -> ExecutionStats:
     """Run ``tasks`` through ``worker`` with timeouts, retries and recovery.
 
@@ -249,7 +245,7 @@ def execute_hardened(
             tracer.end(task.span, status=status, attempts=task.attempt)
             task.span = None
 
-    def settle(task: HardenedTask, outcome: Dict[str, Any], degraded: bool) -> Optional[float]:
+    def settle(task: HardenedTask, outcome: dict[str, Any], degraded: bool) -> float | None:
         """Record an outcome; a float return means retry after that delay."""
         task.walls.append(float(outcome.get("wall", 0.0)))
         if outcome["ok"]:
@@ -297,7 +293,7 @@ def execute_hardened(
         return stats
 
     carry: deque = deque()  # tasks ready for (re)submission across pool rebuilds
-    retry_heap: List[tuple] = []  # (eligible_at, seq, task) backoff parking lot
+    retry_heap: list[tuple] = []  # (eligible_at, seq, task) backoff parking lot
     seq = 0
     limit = max_inflight if max_inflight is not None else float("inf")
     crash_rebuilds = 0
@@ -314,7 +310,7 @@ def execute_hardened(
 
     while True:
         pool = ProcessPoolExecutor(max_workers=jobs)
-        inflight: Dict[Any, tuple] = {}
+        inflight: dict[Any, tuple] = {}
         hung = 0  # timed-out tasks still pinning a worker of *this* pool
         saw_timeout = False
 
@@ -470,11 +466,11 @@ class RunMetrics:
     wall_time: float
     cache_hit: bool
     rows: int
-    error: Optional[str] = None
+    error: str | None = None
     status: str = "ok"  # ok | degraded | error | crash | timeout
     attempts: int = 1
     quarantined: int = 0
-    failure: Optional[FailureInfo] = None
+    failure: FailureInfo | None = None
 
 
 @dataclass
@@ -482,8 +478,8 @@ class ExperimentRun:
     """One engine-evaluated experiment: report (or error) + metrics."""
 
     name: str
-    params: Dict[str, Any]
-    report: Optional[ExperimentReport]
+    params: dict[str, Any]
+    report: ExperimentReport | None
     metrics: RunMetrics
 
     @property
@@ -495,9 +491,9 @@ class ExperimentRun:
 class EngineResult:
     """All runs of one engine invocation, in input order."""
 
-    runs: List[ExperimentRun]
+    runs: list[ExperimentRun]
     jobs: int
-    cache_dir: Optional[str]
+    cache_dir: str | None
     retries: int = 0
     timeouts: int = 0
     pool_rebuilds: int = 0
@@ -505,15 +501,15 @@ class EngineResult:
     quarantined: int = 0
 
     @property
-    def reports(self) -> List[ExperimentReport]:
+    def reports(self) -> list[ExperimentReport]:
         return [r.report for r in self.runs if r.report is not None]
 
     @property
-    def errors(self) -> List[ExperimentRun]:
+    def errors(self) -> list[ExperimentRun]:
         return [r for r in self.runs if not r.ok]
 
     @property
-    def failures(self) -> List[FailureInfo]:
+    def failures(self) -> list[FailureInfo]:
         """Structured failure records, in input order."""
         return [
             r.metrics.failure for r in self.runs if r.metrics.failure is not None
@@ -531,7 +527,7 @@ class EngineResult:
     def total_wall_time(self) -> float:
         return sum(r.metrics.wall_time for r in self.runs)
 
-    def summary(self) -> Dict[str, Any]:
+    def summary(self) -> dict[str, Any]:
         """The run's health as one JSON-ready dict (CLI + report footers)."""
         return {
             "experiments": len(self.runs),
@@ -591,10 +587,10 @@ class EngineResult:
 
 def _execute(
     name: str,
-    call_kwargs: Dict[str, Any],
-    task: Optional[str] = None,
+    call_kwargs: dict[str, Any],
+    task: str | None = None,
     attempt: int = 1,
-) -> Dict[str, Any]:
+) -> dict[str, Any]:
     """Worker body: run one experiment, return its JSON payload + timing.
 
     Must stay a module-level function (pickled by name into pool workers).
@@ -631,7 +627,14 @@ def _execute(
 class _ExperimentTask(HardenedTask):
     __slots__ = ("index", "name", "call_kwargs", "resolved", "key", "quarantined")
 
-    def __init__(self, index, name, call_kwargs, resolved, key):
+    def __init__(
+        self,
+        index: int,
+        name: str,
+        call_kwargs: dict[str, Any],
+        resolved: dict[str, Any],
+        key: str,
+    ) -> None:
         super().__init__(name)
         self.index = index
         self.name = name
@@ -646,7 +649,7 @@ def _put_with_retry(
     retry: RetryPolicy,
     task_key: str,
     args: tuple,
-):
+) -> Path | None:
     """Cache writes never fail a run: transient I/O errors are retried under
     the policy, then the write is skipped with a warning."""
     attempt = 1
@@ -670,17 +673,17 @@ def _put_with_retry(
 
 def run_experiments(
     names: Sequence[str],
-    overrides: Optional[Dict[str, dict]] = None,
+    overrides: dict[str, dict] | None = None,
     *,
-    jobs: Union[int, str] = 1,
+    jobs: int | str = 1,
     cache: bool = True,
-    cache_dir=None,
-    package_version: Optional[str] = None,
-    task_timeout: Optional[float] = None,
-    retry: Optional[RetryPolicy] = None,
-    fault_plan: Optional[FaultPlan] = None,
-    tracer=None,
-    metrics=None,
+    cache_dir: str | Path | None = None,
+    package_version: str | None = None,
+    task_timeout: float | None = None,
+    retry: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    tracer: Any | None = None,
+    metrics: Any | None = None,
 ) -> EngineResult:
     """Evaluate ``names`` (registry keys), parallel, cached and fault tolerant.
 
@@ -716,8 +719,8 @@ def run_experiments(
         raise KeyError(f"unknown experiments: {unknown}")
 
     store = ResultCache(cache_dir, metrics=metrics) if cache else None
-    tasks: List[_ExperimentTask] = []
-    runs: List[Optional[ExperimentRun]] = [None] * len(names)
+    tasks: list[_ExperimentTask] = []
+    runs: list[ExperimentRun | None] = [None] * len(names)
     batch_span = (
         tracer.begin("batch", experiments=len(names), jobs=jobs)
         if tracer is not None
@@ -769,7 +772,9 @@ def run_experiments(
             task.quarantined = quarantined
             tasks.append(task)
 
-        def on_success(task, outcome, degraded):
+        def on_success(
+            task: _ExperimentTask, outcome: dict[str, Any], degraded: bool
+        ) -> None:
             payload = outcome["payload"]
             report = ExperimentReport.from_dict(payload)
             if store is not None:
@@ -803,7 +808,9 @@ def run_experiments(
             )
             runs[task.index] = ExperimentRun(task.name, task.resolved, report, metrics)
 
-        def on_failure(task, kind, error):
+        def on_failure(
+            task: _ExperimentTask, kind: str, error: str | None
+        ) -> None:
             failure = FailureInfo(
                 task=task.task_key,
                 kind=kind,
@@ -868,7 +875,9 @@ def run_experiments(
 # -- per-seed inner loops -------------------------------------------------------------
 
 
-def _measure_worker(algorithm: str, instance_doc: dict, alpha: float, exact_multi: bool):
+def _measure_worker(
+    algorithm: str, instance_doc: dict, alpha: float, exact_multi: bool
+) -> RatioMeasurement:
     from ..analysis.ratios import measure
     from ..io import qbss_instance_from_dict
 
@@ -887,7 +896,7 @@ def map_measure(
     alpha: float = DEFAULT_ALPHA,
     jobs: int = 1,
     exact_multi: bool = False,
-) -> List:
+) -> list:
     """Fan per-instance ratio measurements of a *named* algorithm over a pool.
 
     The algorithm is dispatched through

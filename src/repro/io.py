@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any
 
 from .core.instance import Instance, QBSSInstance
 from .core.job import Job
@@ -22,13 +22,13 @@ from .core.schedule import Schedule
 
 FORMAT_VERSION = 1
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
 # -- encoding -----------------------------------------------------------------------
 
 
-def job_to_dict(job: Job) -> Dict[str, Any]:
+def job_to_dict(job: Job) -> dict[str, Any]:
     return {
         "id": job.id,
         "release": job.release,
@@ -37,7 +37,7 @@ def job_to_dict(job: Job) -> Dict[str, Any]:
     }
 
 
-def qjob_to_dict(job: QJob) -> Dict[str, Any]:
+def qjob_to_dict(job: QJob) -> dict[str, Any]:
     return {
         "id": job.id,
         "release": job.release,
@@ -48,7 +48,7 @@ def qjob_to_dict(job: QJob) -> Dict[str, Any]:
     }
 
 
-def instance_to_dict(instance: Instance) -> Dict[str, Any]:
+def instance_to_dict(instance: Instance) -> dict[str, Any]:
     return {
         "version": FORMAT_VERSION,
         "kind": "classical",
@@ -57,7 +57,7 @@ def instance_to_dict(instance: Instance) -> Dict[str, Any]:
     }
 
 
-def qbss_instance_to_dict(instance: QBSSInstance) -> Dict[str, Any]:
+def qbss_instance_to_dict(instance: QBSSInstance) -> dict[str, Any]:
     return {
         "version": FORMAT_VERSION,
         "kind": "qbss",
@@ -66,7 +66,7 @@ def qbss_instance_to_dict(instance: QBSSInstance) -> Dict[str, Any]:
     }
 
 
-def profile_to_dict(profile: SpeedProfile) -> Dict[str, Any]:
+def profile_to_dict(profile: SpeedProfile) -> dict[str, Any]:
     return {
         "version": FORMAT_VERSION,
         "kind": "profile",
@@ -76,7 +76,7 @@ def profile_to_dict(profile: SpeedProfile) -> Dict[str, Any]:
     }
 
 
-def experiment_report_to_dict(report) -> Dict[str, Any]:
+def experiment_report_to_dict(report) -> dict[str, Any]:
     """Encode an :class:`~repro.analysis.experiments.ExperimentReport`.
 
     The cells are already JSON-coerced by ``report.to_dict()``; this adds
@@ -89,7 +89,7 @@ def experiment_report_to_dict(report) -> Dict[str, Any]:
     return data
 
 
-def trace_replay_report_to_dict(report) -> Dict[str, Any]:
+def trace_replay_report_to_dict(report) -> dict[str, Any]:
     """Encode a :class:`~repro.traces.replay.ReplayReport`.
 
     The report's own ``to_dict`` already carries the versioned envelope
@@ -99,7 +99,7 @@ def trace_replay_report_to_dict(report) -> Dict[str, Any]:
     return report.to_dict()
 
 
-def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+def schedule_to_dict(schedule: Schedule) -> dict[str, Any]:
     return {
         "version": FORMAT_VERSION,
         "kind": "schedule",
@@ -125,7 +125,7 @@ class FormatError(ValueError):
     """Raised on malformed or wrong-kind documents."""
 
 
-def _expect(data: Dict[str, Any], kind: str) -> None:
+def _expect(data: dict[str, Any], kind: str) -> None:
     if not isinstance(data, dict):
         raise FormatError(f"expected a JSON object, got {type(data).__name__}")
     if data.get("version") != FORMAT_VERSION:
@@ -137,7 +137,7 @@ def _expect(data: Dict[str, Any], kind: str) -> None:
         raise FormatError(f"expected kind {kind!r}, got {data.get('kind')!r}")
 
 
-def job_from_dict(data: Dict[str, Any]) -> Job:
+def job_from_dict(data: dict[str, Any]) -> Job:
     return Job(
         release=float(data["release"]),
         deadline=float(data["deadline"]),
@@ -146,7 +146,7 @@ def job_from_dict(data: Dict[str, Any]) -> Job:
     )
 
 
-def qjob_from_dict(data: Dict[str, Any]) -> QJob:
+def qjob_from_dict(data: dict[str, Any]) -> QJob:
     return QJob(
         release=float(data["release"]),
         deadline=float(data["deadline"]),
@@ -157,21 +157,21 @@ def qjob_from_dict(data: Dict[str, Any]) -> QJob:
     )
 
 
-def instance_from_dict(data: Dict[str, Any]) -> Instance:
+def instance_from_dict(data: dict[str, Any]) -> Instance:
     _expect(data, "classical")
     return Instance(
         [job_from_dict(j) for j in data["jobs"]], machines=int(data["machines"])
     )
 
 
-def qbss_instance_from_dict(data: Dict[str, Any]) -> QBSSInstance:
+def qbss_instance_from_dict(data: dict[str, Any]) -> QBSSInstance:
     _expect(data, "qbss")
     return QBSSInstance(
         [qjob_from_dict(j) for j in data["jobs"]], machines=int(data["machines"])
     )
 
 
-def profile_from_dict(data: Dict[str, Any]) -> SpeedProfile:
+def profile_from_dict(data: dict[str, Any]) -> SpeedProfile:
     _expect(data, "profile")
     return SpeedProfile(
         Segment(float(s["start"]), float(s["end"]), float(s["speed"]))
@@ -179,7 +179,7 @@ def profile_from_dict(data: Dict[str, Any]) -> SpeedProfile:
     )
 
 
-def experiment_report_from_dict(data: Dict[str, Any]):
+def experiment_report_from_dict(data: dict[str, Any]):
     """Decode an experiment-report document (lazy import, heavy module)."""
     from .analysis.experiments import ExperimentReport
 
@@ -187,7 +187,7 @@ def experiment_report_from_dict(data: Dict[str, Any]):
     return ExperimentReport.from_dict(data)
 
 
-def trace_replay_report_from_dict(data: Dict[str, Any]):
+def trace_replay_report_from_dict(data: dict[str, Any]):
     """Decode a trace-replay report (lazy import, heavy module)."""
     from .traces.replay import REPLAY_FORMAT_VERSION, ReplayReport
 
@@ -205,7 +205,7 @@ def trace_replay_report_from_dict(data: Dict[str, Any]):
     return ReplayReport.from_dict(data)
 
 
-def run_manifest_to_dict(manifest) -> Dict[str, Any]:
+def run_manifest_to_dict(manifest) -> dict[str, Any]:
     """Encode a :class:`~repro.obs.manifest.RunManifest`.
 
     The manifest's own ``to_dict`` carries its versioned envelope
@@ -214,7 +214,7 @@ def run_manifest_to_dict(manifest) -> Dict[str, Any]:
     return manifest.to_dict()
 
 
-def run_manifest_from_dict(data: Dict[str, Any]):
+def run_manifest_from_dict(data: dict[str, Any]):
     """Decode a run-manifest document (lazy import)."""
     from .obs.manifest import RunManifest
 
@@ -224,7 +224,7 @@ def run_manifest_from_dict(data: Dict[str, Any]):
         raise FormatError(str(exc)) from exc
 
 
-def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
+def schedule_from_dict(data: dict[str, Any]) -> Schedule:
     _expect(data, "schedule")
     schedule = Schedule(int(data["machines"]))
     for s in data["slices"]:

@@ -1,0 +1,45 @@
+"""qbss-lint: AST-based static enforcement of the repo's own invariants.
+
+The reproduction's core claims (paper-bound ratio verdicts,
+byte-identical serial/parallel/cached replays, trace-count == footer
+equality) rest on contracts that used to be enforced only dynamically,
+test by test.  This package checks them at parse time:
+
+==== =========================================================
+ID   Contract
+==== =========================================================
+QL001 determinism — no wall clocks / global RNG in replayable code
+QL002 registry conformance — keyword-only ``(qi, *, ...)`` runners
+QL003 cache-key purity — no ambient reads in worker bodies
+QL004 exception hygiene — never swallow BaseException
+QL005 float equality — ``math.isclose`` in verdict code
+QL006 versioned IO — every document kind declares a version
+==== =========================================================
+
+Use the ``qbss-lint`` console script (see ``docs/static-analysis.md``)
+or the :func:`lint_paths` API.  Inline suppressions
+(``# qbss-lint: disable=QL001``) and a checked-in baseline file handle
+the rare justified exception.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, BaselineEntry
+from .engine import LintRun, collect_files, lint_paths, render_json, render_text
+from .findings import LINT_FORMAT_VERSION, Finding
+from .rules import Rule, all_rules, select_rules
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LINT_FORMAT_VERSION",
+    "LintRun",
+    "Rule",
+    "all_rules",
+    "collect_files",
+    "lint_paths",
+    "render_json",
+    "render_text",
+    "select_rules",
+]

@@ -1,0 +1,102 @@
+"""Checked-in baseline of grandfathered findings.
+
+The baseline is a versioned JSON document (it dogfoods the QL006
+contract: ``kind`` + ``version``) listing finding fingerprints that are
+*known and justified* — they render in reports as ``baselined`` and do
+not fail the build.  New findings (not in the baseline) do.
+
+Keep it short: every entry must carry a human justification, and the
+project caps the live baseline at a handful of entries — the point of
+the linter is to fix findings, not to archive them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .findings import BASELINE_KIND, LINT_FORMAT_VERSION, Finding, sort_key
+
+
+class BaselineError(ValueError):
+    """Raised on a malformed baseline document."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    fingerprint: str
+    justification: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "fingerprint": self.fingerprint,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: dict[str, BaselineEntry] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path | None) -> Baseline:
+        """Load a baseline file; a missing path is an empty baseline."""
+        if path is None or not Path(path).exists():
+            return cls()
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict) or data.get("kind") != BASELINE_KIND:
+            raise BaselineError(
+                f"baseline {path} is not a {BASELINE_KIND!r} document"
+            )
+        if data.get("version") != LINT_FORMAT_VERSION:
+            raise BaselineError(
+                f"unsupported baseline version {data.get('version')!r} "
+                f"(this tool reads version {LINT_FORMAT_VERSION})"
+            )
+        entries = {}
+        for item in data.get("entries", []):
+            entry = BaselineEntry(
+                rule=str(item["rule"]),
+                path=str(item["path"]),
+                fingerprint=str(item["fingerprint"]),
+                justification=str(item.get("justification", "")),
+            )
+            entries[entry.fingerprint] = entry
+        return cls(entries)
+
+    def contains(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+    @staticmethod
+    def write(
+        path: Path,
+        findings: list[Finding],
+        *,
+        justification: str = "TODO: justify or fix",
+    ) -> None:
+        """Write ``findings`` as a fresh baseline document."""
+        doc = {
+            "version": LINT_FORMAT_VERSION,
+            "kind": BASELINE_KIND,
+            "entries": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "fingerprint": f.fingerprint,
+                    "justification": justification,
+                }
+                for f in sorted(findings, key=sort_key)
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )

@@ -1,0 +1,166 @@
+"""``qbss-lint`` — the project's static invariant gate.
+
+Exit codes: 0 = no new findings; 1 = new (non-baselined) findings;
+2 = usage or I/O error.  ``--write-baseline`` snapshots the current
+findings as grandfathered (each entry then needs a human justification
+— the project caps the live baseline at five entries).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baseline import Baseline, BaselineError
+from .engine import LintRun, lint_paths, render_json, render_text
+from .rules import all_rules
+
+DEFAULT_BASELINE = ".qbss-lint-baseline.json"
+DEFAULT_PATH = "src/repro"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qbss-lint",
+        description=(
+            "AST-based invariant linter for the QBSS reproduction: "
+            "determinism (QL001), registry conformance (QL002), cache-key "
+            "purity (QL003), exception hygiene (QL004), float equality "
+            "(QL005) and versioned IO (QL006)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=f"files or directories to lint (default: {DEFAULT_PATH})",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            f"baseline file (default: {DEFAULT_BASELINE} when it exists; "
+            "'none' disables)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        help="comma-separated rule IDs to skip",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include inline-suppressed findings in the report",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the report to a file instead of stdout",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the rule catalog and exit",
+    )
+    return parser
+
+
+def _split_ids(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _resolve_baseline_path(arg: str | None) -> Path | None:
+    if arg is None:
+        default = Path(DEFAULT_BASELINE)
+        return default if default.exists() else None
+    if arg.lower() == "none":
+        return None
+    return Path(arg)
+
+
+def _emit(text: str, output: Path | None) -> None:
+    if output is None:
+        sys.stdout.write(text)
+    else:
+        output.write_text(text, encoding="utf-8")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id} [{rule.severity}] {rule.title}")
+            print(f"    {rule.rationale}")
+        return 0
+
+    paths = list(args.paths)
+    if not paths:
+        default = Path(DEFAULT_PATH)
+        if not default.exists():
+            parser.error(
+                f"no paths given and default {DEFAULT_PATH!r} does not exist "
+                "(run from the repository root or pass paths)"
+            )
+        paths = [default]
+
+    try:
+        run: LintRun = lint_paths(
+            paths,
+            select=_split_ids(args.select),
+            ignore=_split_ids(args.ignore),
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"qbss-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    baseline_path = _resolve_baseline_path(args.baseline)
+    if args.write_baseline:
+        target = baseline_path or Path(args.baseline or DEFAULT_BASELINE)
+        Baseline.write(target, run.findings)
+        print(
+            f"qbss-lint: wrote {len(run.findings)} entries to {target} "
+            "(add a justification to each before committing)",
+            file=sys.stderr,
+        )
+        return 0
+
+    try:
+        baseline = Baseline.load(baseline_path)
+    except BaselineError as exc:
+        print(f"qbss-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    new, baselined = run.partition(baseline)
+    renderer = render_json if args.format == "json" else render_text
+    _emit(
+        renderer(run, new, baselined, show_suppressed=args.show_suppressed),
+        args.output,
+    )
+    return 1 if new else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - console-script entry
+    sys.exit(main())

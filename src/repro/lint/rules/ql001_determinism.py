@@ -1,0 +1,127 @@
+"""QL001 — determinism: no wall clocks or global RNG in replayable code.
+
+Byte-identical serial/parallel/cached replays (PR 1–4) require that
+nothing inside ``repro.qbss``, ``repro.bounds``, ``repro.engine`` or
+``repro.traces`` reads a wall clock or draws from process-global RNG
+state: a single unseeded draw invalidates every adversarial lower-bound
+verdict computed downstream.  Allowed instead:
+
+- injected clocks (a ``now``/``clock`` parameter; ``repro.obs`` owns the
+  monotonic clock) and the monotonic family ``time.monotonic`` /
+  ``time.perf_counter`` / ``time.process_time`` for *duration* metrics;
+- seeded generator instances: ``random.Random(seed)``,
+  ``numpy.random.default_rng(seed)``, ``SeedSequence(seed)`` and the
+  explicit bit generators.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..context import LintContext, SourceModule
+from ..findings import Finding
+from . import Rule
+
+#: Packages the determinism contract covers (``repro.obs`` is exempt —
+#: it owns the monotonic clock and the injected wall-clock stamp).
+GUARDED_PACKAGES = ("repro.qbss", "repro.bounds", "repro.engine", "repro.traces")
+
+WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.ctime",
+    "time.localtime",
+    "time.gmtime",
+    "time.strftime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+OS_ENTROPY = {"os.urandom", "uuid.uuid1", "uuid.uuid4"}
+
+#: numpy.random attributes that construct explicit, seedable generators.
+NP_RANDOM_ALLOWED = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+#: Constructors that are fine *with* a seed but flagged bare.
+SEED_REQUIRED = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.SeedSequence",
+}
+
+
+class DeterminismRule(Rule):
+    rule_id = "QL001"
+    title = "determinism: no wall clocks or global RNG state"
+    rationale = (
+        "Replay determinism (serial == parallel == cached, byte-identical) "
+        "only holds when every clock is injected and every random draw "
+        "comes from a per-record (seed, index) generator."
+    )
+
+    def check_module(
+        self, module: SourceModule, ctx: LintContext
+    ) -> Iterable[Finding]:
+        if not module.in_package(*GUARDED_PACKAGES):
+            return
+        imports = module.imports
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = imports.origin(node.func)
+            if origin is None:
+                continue
+            message = self._classify(origin, node)
+            if message is not None:
+                yield self.finding(module, node, message)
+
+    def _classify(self, origin: str, node: ast.Call) -> str | None:
+        if origin in WALL_CLOCK:
+            return (
+                f"wall-clock read `{origin}()` in a deterministic package; "
+                "inject a clock parameter instead (repro.obs owns the "
+                "monotonic clock)"
+            )
+        if origin in OS_ENTROPY or origin.startswith("secrets."):
+            return (
+                f"OS entropy source `{origin}()` in a deterministic package; "
+                "derive values from the experiment seed instead"
+            )
+        if origin in SEED_REQUIRED:
+            if not node.args and not node.keywords:
+                return (
+                    f"unseeded generator `{origin}()`; pass an explicit "
+                    "(seed, index)-derived seed"
+                )
+            return None
+        if origin == "random.SystemRandom":
+            return (
+                "`random.SystemRandom` draws OS entropy and can never replay; "
+                "use a seeded `random.Random`"
+            )
+        if origin.startswith("random."):
+            return (
+                f"process-global RNG state `{origin}()`; use a seeded "
+                "`random.Random(seed)` instance instead"
+            )
+        if origin.startswith("numpy.random."):
+            tail = origin[len("numpy.random.") :]
+            if tail not in NP_RANDOM_ALLOWED:
+                return (
+                    f"process-global numpy RNG `{origin}()`; use "
+                    "`numpy.random.default_rng(seed)` instead"
+                )
+        return None

@@ -1,0 +1,87 @@
+"""QL004 — exception hygiene: never swallow BaseException.
+
+The PR-3 Ctrl-C bug, generalized: a handler that catches
+``BaseException`` (or uses a bare ``except:``) also catches
+``KeyboardInterrupt`` / ``SystemExit``; unless it re-raises, a worker
+that should die keeps running and the cache records a half-computed
+result as truth.  Two checks, everywhere under ``repro``:
+
+- bare ``except:`` is always a finding — name what you catch;
+- ``except BaseException`` (or ``KeyboardInterrupt`` / ``SystemExit`` /
+  ``GeneratorExit``, alone or in a tuple) must contain a bare ``raise``
+  somewhere in the handler body.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from ..context import LintContext, SourceModule
+from ..findings import Finding
+from . import Rule
+
+#: Exception names whose handlers must re-raise.
+MUST_RERAISE = {"BaseException", "KeyboardInterrupt", "SystemExit", "GeneratorExit"}
+
+
+class ExceptionHygieneRule(Rule):
+    rule_id = "QL004"
+    title = "exception hygiene: no swallowed BaseException"
+    rationale = (
+        "Swallowing KeyboardInterrupt/SystemExit keeps doomed workers "
+        "alive and lets half-computed results reach the cache; every "
+        "BaseException handler must re-raise."
+    )
+
+    def check_module(
+        self, module: SourceModule, ctx: LintContext
+    ) -> Iterable[Finding]:
+        if not module.in_package("repro"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare `except:` catches BaseException silently; name "
+                    "the exceptions and re-raise BaseException explicitly",
+                )
+                continue
+            caught = set(_exception_names(node.type))
+            dangerous = caught & MUST_RERAISE
+            if dangerous and not _has_bare_raise(node):
+                names = ", ".join(sorted(dangerous))
+                yield self.finding(
+                    module,
+                    node,
+                    f"handler catches {names} without a bare `raise`; "
+                    "KeyboardInterrupt/SystemExit must propagate",
+                )
+
+
+def _exception_names(node: ast.expr) -> Iterator[str]:
+    if isinstance(node, ast.Tuple):
+        for elt in node.elts:
+            yield from _exception_names(elt)
+    elif isinstance(node, ast.Name):
+        yield node.id
+    elif isinstance(node, ast.Attribute):
+        yield node.attr
+
+
+def _has_bare_raise(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+        # `raise exc` where exc is the handler's own name is a re-raise too.
+        if (
+            isinstance(node, ast.Raise)
+            and isinstance(node.exc, ast.Name)
+            and handler.name is not None
+            and node.exc.id == handler.name
+        ):
+            return True
+    return False

@@ -1,0 +1,85 @@
+"""QL005 — float equality: no `==`/`!=` on float expressions in verdict code.
+
+The paper-bound verdicts in ``repro.bounds`` / ``repro.analysis`` decide
+pass/fail from computed ratios; an exact ``==`` on a value that went
+through division, a power, or a math call is a latent flake (one libm or
+summation-order difference flips the verdict).  Use ``math.isclose`` or
+an explicit tolerance.
+
+Detection is syntactic and deliberately conservative: an operand counts
+as a float expression only when it visibly is one — a float literal, an
+expression containing ``/`` or ``**``, a ``float(...)`` cast, or a
+float-returning ``math.*`` call.  Comparing two bare names (e.g. numpy
+elementwise masks like ``(c == b)``) is *not* flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+
+from ..context import LintContext, SourceModule
+from ..findings import SEVERITY_WARNING, Finding
+from . import Rule
+
+#: Packages whose verdict code the rule covers.
+GUARDED_PACKAGES = ("repro.bounds", "repro.analysis")
+
+#: math functions that return ints (safe to compare exactly).
+MATH_INT_RETURNING = {"floor", "ceil", "isqrt", "comb", "perm", "factorial", "gcd", "lcm"}
+
+
+class FloatEqualityRule(Rule):
+    rule_id = "QL005"
+    title = "float equality: use math.isclose in verdict code"
+    severity = SEVERITY_WARNING
+    rationale = (
+        "Paper-bound verdicts compare computed ratios; exact equality on "
+        "a divided/powered/math-derived value flips on harmless "
+        "floating-point noise and turns the verdict into a flake."
+    )
+
+    def check_module(
+        self, module: SourceModule, ctx: LintContext
+    ) -> Iterable[Finding]:
+        if not module.in_package(*GUARDED_PACKAGES):
+            return
+        imports = module.imports
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_expr(left, imports) or _is_float_expr(right, imports):
+                    yield self.finding(
+                        module,
+                        node,
+                        "exact ==/!= on a float expression in verdict code; "
+                        "use math.isclose(..., rel_tol=...) or an explicit "
+                        "tolerance",
+                    )
+                    break
+
+
+def _is_float_expr(node: ast.expr, imports: object) -> bool:
+    """Syntactically-visible float expression (conservative)."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_expr(node.operand, imports)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, (ast.Div, ast.Pow)):
+            return True
+        return _is_float_expr(node.left, imports) or _is_float_expr(
+            node.right, imports
+        )
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            return True
+        origin = imports.origin(func) if hasattr(imports, "origin") else None
+        if origin is not None and origin.startswith("math."):
+            return origin[len("math.") :] not in MATH_INT_RETURNING
+    return False

@@ -1,0 +1,188 @@
+"""QL006 — versioned IO: every document kind declares a version field.
+
+Everything ``repro.io`` archives is "versioned plain JSON"; the loaders
+refuse documents whose ``version`` they don't understand.  A writer that
+emits a ``kind`` without a ``version`` produces files that future
+readers can neither trust nor migrate.  This rule flags:
+
+- any dict literal whose ``"kind"`` is a known document kind (discovered
+  from ``repro.io``'s loader registry, plus the built-in set) but which
+  carries no ``"version"`` key;
+- in ``repro.io`` itself, *any* constant-``kind`` dict without a
+  version;
+- functions that assign ``data["kind"] = <document kind>`` without also
+  assigning ``data["version"]``.
+
+Incidental ``kind`` fields (e.g. failure-kind enums whose value is not a
+document kind) are not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from ..context import LintContext, SourceModule
+from ..findings import Finding
+from . import Rule
+
+#: Document kinds of the repo's IO layer; extended at lint time with
+#: whatever ``repro.io._LOADERS`` declares, so new kinds are covered
+#: without touching this rule.
+DEFAULT_DOCUMENT_KINDS = {
+    "classical",
+    "qbss",
+    "profile",
+    "schedule",
+    "experiment_report",
+    "trace_replay_report",
+    "run_manifest",
+}
+
+IO_MODULE = "repro.io"
+
+
+class VersionedIORule(Rule):
+    rule_id = "QL006"
+    title = "versioned IO: document kinds must declare a version"
+    rationale = (
+        "Archived documents are replayed across package versions; a "
+        "kind without a version field can never be safely migrated or "
+        "rejected by a future loader."
+    )
+
+    def finalize(self, ctx: LintContext) -> Iterable[Finding]:
+        kinds = set(DEFAULT_DOCUMENT_KINDS)
+        io_module = ctx.get(IO_MODULE)
+        if io_module is not None:
+            kinds |= _declared_kinds(io_module.tree)
+        for module in ctx.modules:
+            if not module.in_package("repro"):
+                continue
+            yield from self._check_module_kinds(module, kinds)
+
+    def _check_module_kinds(
+        self, module: SourceModule, kinds: set[str]
+    ) -> Iterator[Finding]:
+        constants = _module_str_constants(module.tree)
+        is_io = module.module == IO_MODULE
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Dict):
+                kind = _dict_kind(node, constants)
+                if kind is None:
+                    continue
+                if (is_io or kind in kinds) and not _has_key(node, "version"):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"document dict of kind {kind!r} has no 'version' "
+                        "field; every archived kind must be versioned",
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_envelope_fn(module, node, kinds, is_io)
+
+    def _check_envelope_fn(
+        self,
+        module: SourceModule,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        kinds: set[str],
+        is_io: bool,
+    ) -> Iterator[Finding]:
+        """``data["kind"] = k`` without ``data["version"] = ...`` nearby."""
+        kind_assign: ast.Assign | None = None
+        kind_value: str | None = None
+        has_version = False
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                key = _subscript_key(target)
+                if key == "version":
+                    has_version = True
+                elif (
+                    key == "kind"
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)
+                ):
+                    kind_assign = node
+                    kind_value = node.value.value
+        if kind_assign is None or kind_value is None or has_version:
+            return
+        if is_io or kind_value in kinds:
+            yield self.finding(
+                module,
+                kind_assign,
+                f"envelope sets kind {kind_value!r} but never sets "
+                "'version'; every archived kind must be versioned",
+            )
+
+
+def _declared_kinds(tree: ast.Module) -> set[str]:
+    """Kinds registered in ``_LOADERS`` or checked via ``_expect(d, k)``."""
+    kinds: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "_LOADERS"
+                    and isinstance(node.value, ast.Dict)
+                ):
+                    for key in node.value.keys:
+                        if isinstance(key, ast.Constant) and isinstance(
+                            key.value, str
+                        ):
+                            kinds.add(key.value)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id == "_expect"
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+            ):
+                kinds.add(node.args[1].value)
+    return kinds
+
+
+def _module_str_constants(tree: ast.Module) -> dict[str, str]:
+    constants: dict[str, str] = {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    constants[target.id] = node.value.value
+    return constants
+
+
+def _dict_kind(node: ast.Dict, constants: dict[str, str]) -> str | None:
+    """The constant string kind of a dict literal, if it has one."""
+    for key, value in zip(node.keys, node.values):
+        if not (isinstance(key, ast.Constant) and key.value == "kind"):
+            continue
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            return value.value
+        if isinstance(value, ast.Name) and value.id in constants:
+            return constants[value.id]
+    return None
+
+
+def _has_key(node: ast.Dict, name: str) -> bool:
+    return any(
+        isinstance(key, ast.Constant) and key.value == name for key in node.keys
+    )
+
+
+def _subscript_key(target: ast.expr) -> str | None:
+    if (
+        isinstance(target, ast.Subscript)
+        and isinstance(target.slice, ast.Constant)
+        and isinstance(target.slice.value, str)
+    ):
+        return target.slice.value
+    return None

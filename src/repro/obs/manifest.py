@@ -21,7 +21,8 @@ from __future__ import annotations
 import platform as _platform
 import sys
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from pathlib import Path
+from typing import Any
 
 from .. import __version__ as PACKAGE_VERSION
 
@@ -34,26 +35,26 @@ class RunManifest:
     """The reproducibility record of one CLI (or programmatic) run."""
 
     tool: str
-    args: Dict[str, Any] = field(default_factory=dict)
-    seed: Optional[int] = None
-    cache_dir: Optional[str] = None
-    fault_plan: Optional[Dict[str, Any]] = None
+    args: dict[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+    cache_dir: str | None = None
+    fault_plan: dict[str, Any] | None = None
     package_version: str = PACKAGE_VERSION
     python_version: str = ""
     platform: str = ""
-    created_at: Optional[float] = None  # injected wall clock (unix seconds)
+    created_at: float | None = None  # injected wall clock (unix seconds)
 
     @classmethod
     def create(
         cls,
         tool: str,
-        args: Dict[str, Any],
+        args: dict[str, Any],
         *,
-        seed: Optional[int] = None,
-        cache_dir=None,
-        fault_plan=None,
-        now: Optional[float] = None,
-    ) -> "RunManifest":
+        seed: int | None = None,
+        cache_dir: str | Path | None = None,
+        fault_plan: Any | None = None,
+        now: float | None = None,
+    ) -> RunManifest:
         """Build a manifest for the current interpreter/environment.
 
         ``now`` is the injected wall-clock stamp (unix seconds); pass
@@ -61,7 +62,7 @@ class RunManifest:
         ``fault_plan`` accepts a :class:`~repro.engine.faults.FaultPlan`
         or an already-encoded dict.
         """
-        plan_doc: Optional[Dict[str, Any]] = None
+        plan_doc: dict[str, Any] | None = None
         if fault_plan is not None:
             if hasattr(fault_plan, "specs"):
                 plan_doc = {"faults": [s.to_dict() for s in fault_plan.specs]}
@@ -79,7 +80,7 @@ class RunManifest:
             created_at=now,
         )
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "version": MANIFEST_FORMAT_VERSION,
             "kind": MANIFEST_KIND,
@@ -95,7 +96,7 @@ class RunManifest:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "RunManifest":
+    def from_dict(cls, data: dict[str, Any]) -> RunManifest:
         if not isinstance(data, dict) or data.get("kind") != MANIFEST_KIND:
             raise ValueError("not a run-manifest document")
         if data.get("version") != MANIFEST_FORMAT_VERSION:

@@ -26,7 +26,8 @@ from __future__ import annotations
 import json
 import math
 import re
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from collections.abc import Iterable, Iterator
+from typing import Any
 
 METRICS_FORMAT_VERSION = 1
 
@@ -36,10 +37,10 @@ DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
 _NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
 _LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
 
-LabelItems = Tuple[Tuple[str, str], ...]
+LabelItems = tuple[tuple[str, str], ...]
 
 
-def _label_key(labels: Dict[str, str]) -> LabelItems:
+def _label_key(labels: dict[str, str]) -> LabelItems:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
@@ -76,7 +77,7 @@ class Counter:
             raise ValueError(f"counters only go up (inc by {amount})")
         self.value += amount
 
-    def samples(self, name: str, labels: LabelItems) -> List[Tuple[str, LabelItems, float]]:
+    def samples(self, name: str, labels: LabelItems) -> list[tuple[str, LabelItems, float]]:
         return [(name, labels, self.value)]
 
     def state(self) -> Any:
@@ -101,7 +102,7 @@ class Gauge:
     def inc(self, amount: float = 1.0) -> None:
         self.value += amount
 
-    def samples(self, name: str, labels: LabelItems) -> List[Tuple[str, LabelItems, float]]:
+    def samples(self, name: str, labels: LabelItems) -> list[tuple[str, LabelItems, float]]:
         return [(name, labels, self.value)]
 
     def state(self) -> Any:
@@ -134,8 +135,8 @@ class Histogram:
                 self.counts[i] += 1
                 break
 
-    def samples(self, name: str, labels: LabelItems) -> List[Tuple[str, LabelItems, float]]:
-        out: List[Tuple[str, LabelItems, float]] = []
+    def samples(self, name: str, labels: LabelItems) -> list[tuple[str, LabelItems, float]]:
+        out: list[tuple[str, LabelItems, float]] = []
         cumulative = 0
         for bound, tally in zip(self.buckets, self.counts):
             cumulative += tally
@@ -175,13 +176,20 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._series: Dict[Tuple[str, LabelItems], Any] = {}
-        self._kinds: Dict[str, str] = {}
-        self._help: Dict[str, str] = {}
+        self._series: dict[tuple[str, LabelItems], Any] = {}
+        self._kinds: dict[str, str] = {}
+        self._help: dict[str, str] = {}
 
     # -- registration ----------------------------------------------------------------
 
-    def _get(self, cls, name: str, help: str, labels: Dict[str, str], **kwargs):
+    def _get(
+        self,
+        cls: type,
+        name: str,
+        help: str,
+        labels: dict[str, str],
+        **kwargs: Any,
+    ) -> Any:
         if not _NAME_RE.fullmatch(name):
             raise ValueError(f"invalid metric name {name!r}")
         for label in labels:
@@ -222,7 +230,7 @@ class MetricsRegistry:
 
     # -- introspection ---------------------------------------------------------------
 
-    def value(self, name: str, **labels: str) -> Optional[float]:
+    def value(self, name: str, **labels: str) -> float | None:
         """The current value of a counter/gauge series, or ``None``."""
         series = self._series.get((name, _label_key(labels)))
         return None if series is None else getattr(series, "value", None)
@@ -230,12 +238,12 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._series)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(sorted(self._series))
 
     # -- JSON export -----------------------------------------------------------------
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self) -> dict[str, Any]:
         series = [
             {
                 "name": name,
@@ -253,7 +261,7 @@ class MetricsRegistry:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "MetricsRegistry":
+    def from_dict(cls, data: dict[str, Any]) -> MetricsRegistry:
         if not isinstance(data, dict) or data.get("kind") != "metrics_snapshot":
             raise ValueError("not a metrics snapshot document")
         if data.get("version") != METRICS_FORMAT_VERSION:
@@ -272,23 +280,23 @@ class MetricsRegistry:
             series.restore(item["state"])
         return registry
 
-    def to_json(self, indent: Optional[int] = 2) -> str:
+    def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     # -- Prometheus text export ------------------------------------------------------
 
     def to_prometheus(self) -> str:
         """The text exposition format, deterministically ordered."""
-        by_name: Dict[str, List[Tuple[LabelItems, Any]]] = {}
+        by_name: dict[str, list[tuple[LabelItems, Any]]] = {}
         for (name, labels), metric in self._series.items():
             by_name.setdefault(name, []).append((labels, metric))
-        lines: List[str] = []
+        lines: list[str] = []
         for name in sorted(by_name):
             help_text = self._help.get(name)
             if help_text:
                 lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} {self._kinds[name]}")
-            samples: List[Tuple[str, LabelItems, float]] = []
+            samples: list[tuple[str, LabelItems, float]] = []
             for labels, metric in sorted(by_name[name]):
                 samples.extend(metric.samples(name, labels))
             for sample_name, sample_labels, value in samples:
@@ -306,13 +314,13 @@ _SAMPLE_RE = re.compile(
 _LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 
-def parse_prometheus_text(text: str) -> Dict[Tuple[str, LabelItems], float]:
+def parse_prometheus_text(text: str) -> dict[tuple[str, LabelItems], float]:
     """Parse exposition text back into ``{(name, labels): value}``.
 
     Covers what :meth:`MetricsRegistry.to_prometheus` emits (and ordinary
     scrape payloads); used by the round-trip tests and handy for tooling.
     """
-    out: Dict[Tuple[str, LabelItems], float] = {}
+    out: dict[tuple[str, LabelItems], float] = {}
     for line in text.splitlines():
         line = line.strip()
         if not line or line.startswith("#"):
@@ -320,7 +328,7 @@ def parse_prometheus_text(text: str) -> Dict[Tuple[str, LabelItems], float]:
         m = _SAMPLE_RE.match(line)
         if not m:
             raise ValueError(f"cannot parse metrics line {line!r}")
-        labels: List[Tuple[str, str]] = []
+        labels: list[tuple[str, str]] = []
         if m.group("labels"):
             for k, v in _LABEL_PAIR_RE.findall(m.group("labels")):
                 labels.append(
@@ -332,7 +340,7 @@ def parse_prometheus_text(text: str) -> Dict[Tuple[str, LabelItems], float]:
     return out
 
 
-def write_metrics(registry: MetricsRegistry, path) -> str:
+def write_metrics(registry: MetricsRegistry, path: str | Path) -> str:
     """Write a registry to ``path``; format follows the extension.
 
     ``.prom`` / ``.txt`` get Prometheus text, anything else the JSON

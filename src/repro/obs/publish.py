@@ -18,7 +18,7 @@ from .metrics import MetricsRegistry
 WALL_BUCKETS = (0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0, 600.0)
 
 
-def publish_engine_result(registry: MetricsRegistry, result) -> None:
+def publish_engine_result(registry: MetricsRegistry, result: Any) -> None:
     """Publish an :class:`~repro.engine.runner.EngineResult`."""
     for run in result.runs:
         m = run.metrics
@@ -41,7 +41,7 @@ def publish_engine_result(registry: MetricsRegistry, result) -> None:
     _publish_recovery(registry, result)
 
 
-def publish_replay(registry: MetricsRegistry, report, metrics) -> None:
+def publish_replay(registry: MetricsRegistry, report: Any, metrics: Any) -> None:
     """Publish a replay's :class:`~repro.traces.replay.ReplayMetrics` +
     per-shard verdicts from the :class:`~repro.traces.replay.ReplayReport`."""
     for shard in report.shards:
@@ -77,7 +77,7 @@ def publish_skipped(registry: MetricsRegistry, skipped: int) -> None:
     ).inc(skipped)
 
 
-def _publish_recovery(registry: MetricsRegistry, stats) -> None:
+def _publish_recovery(registry: MetricsRegistry, stats: Any) -> None:
     """The shared recovery counters (engine result and replay metrics both
     carry ``retries`` / ``timeouts`` / ``pool_rebuilds`` / ``degraded``)."""
     registry.counter(

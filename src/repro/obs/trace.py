@@ -15,7 +15,7 @@ plus point events (``retry``, ``timeout``, ``pool_rebuild``, ``degraded``,
 
 Design constraints, in order:
 
-* **Zero cost when disabled.**  Call sites hold ``tracer: Optional[Tracer]``
+* **Zero cost when disabled.**  Call sites hold ``tracer: Tracer | None``
   and guard every emission with ``if tracer is not None`` — no null-object
   dispatch, no string formatting, nothing on the hot path.  The overhead
   bench (``benchmarks/test_bench_obs.py``) pins this below the 2% budget.
@@ -43,7 +43,9 @@ from __future__ import annotations
 import json
 import time
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, IO, Iterator, List, Optional, Union
+from collections.abc import Callable, Iterator
+from pathlib import Path
+from typing import Any, IO
 
 #: Event-type tags: span begin / span end / point event.
 EVENT_BEGIN = "B"
@@ -60,7 +62,9 @@ class SpanHandle:
 
     __slots__ = ("id", "name", "parent_id", "t0")
 
-    def __init__(self, id: int, name: str, parent_id: Optional[int], t0: float):
+    def __init__(
+        self, id: int, name: str, parent_id: int | None, t0: float
+    ) -> None:
         self.id = id
         self.name = name
         self.parent_id = parent_id
@@ -86,26 +90,26 @@ class Tracer:
         *,
         clock: Callable[[], float] = time.monotonic,
         _owns_sink: bool = False,
-    ):
+    ) -> None:
         self._sink = sink
         self._clock = clock
         self._t0 = clock()
         self._next_id = 1
         self._owns_sink = _owns_sink
         self._closed = False
-        self.counts: Dict[str, int] = {}
+        self.counts: dict[str, int] = {}
 
     @classmethod
-    def to_path(cls, path, **kwargs) -> "Tracer":
+    def to_path(cls, path: str | Path, **kwargs: Any) -> Tracer:
         """A tracer writing to ``path`` (closed by :meth:`close`)."""
         return cls(open(path, "w"), _owns_sink=True, **kwargs)
 
     # -- emission --------------------------------------------------------------------
 
-    def _emit(self, record: Dict[str, Any]) -> None:
+    def _emit(self, record: dict[str, Any]) -> None:
         self._sink.write(json.dumps(record, sort_keys=True) + "\n")
 
-    def _attrs(self, record: Dict[str, Any], attrs: Dict[str, Any]) -> Dict[str, Any]:
+    def _attrs(self, record: dict[str, Any], attrs: dict[str, Any]) -> dict[str, Any]:
         if attrs:
             clash = RESERVED_KEYS.intersection(attrs)
             if clash:
@@ -119,7 +123,7 @@ class Tracer:
     def begin(
         self,
         name: str,
-        parent: Optional[SpanHandle] = None,
+        parent: SpanHandle | None = None,
         **attrs: Any,
     ) -> SpanHandle:
         """Open a span; returns the handle :meth:`end` wants back."""
@@ -162,7 +166,7 @@ class Tracer:
     def event(
         self,
         name: str,
-        parent: Optional[SpanHandle] = None,
+        parent: SpanHandle | None = None,
         **attrs: Any,
     ) -> None:
         """A point event (no duration) under ``parent``."""
@@ -183,7 +187,7 @@ class Tracer:
     def span(
         self,
         name: str,
-        parent: Optional[SpanHandle] = None,
+        parent: SpanHandle | None = None,
         **attrs: Any,
     ) -> Iterator[SpanHandle]:
         """``with tracer.span("batch") as sp:`` — begin/end bracketing."""
@@ -209,20 +213,18 @@ class Tracer:
         if self._owns_sink:
             self._sink.close()
 
-    def __enter__(self) -> "Tracer":
+    def __enter__(self) -> Tracer:
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
-def read_trace(path_or_text: Union[str, "object"]) -> List[Dict[str, Any]]:
+def read_trace(path_or_text: str | object) -> list[dict[str, Any]]:
     """Parse a JSON-lines trace back into event dicts (tests, tooling).
 
     Accepts a path-like or raw text containing newline-separated events.
     """
-    from pathlib import Path
-
     text = (
         path_or_text
         if isinstance(path_or_text, str) and "\n" in path_or_text
@@ -231,9 +233,9 @@ def read_trace(path_or_text: Union[str, "object"]) -> List[Dict[str, Any]]:
     return [json.loads(line) for line in text.splitlines() if line.strip()]
 
 
-def span_tree(events: List[Dict[str, Any]]) -> Dict[Optional[int], List[Dict[str, Any]]]:
+def span_tree(events: list[dict[str, Any]]) -> dict[int | None, list[dict[str, Any]]]:
     """Group begin-events by parent span id — the nesting structure."""
-    children: Dict[Optional[int], List[Dict[str, Any]]] = {}
+    children: dict[int | None, list[dict[str, Any]]] = {}
     for ev in events:
         if ev.get("ev") == EVENT_BEGIN:
             children.setdefault(ev.get("parent"), []).append(ev)

@@ -17,7 +17,6 @@ a job parallel to itself.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..core.compat import absorb_positional
 from ..core.constants import DEFAULT_ALPHA
@@ -38,8 +37,8 @@ class ClairvoyantBaseline:
     star: Instance
     energy_value: float
     max_speed_value: float
-    schedule: Optional[Schedule]
-    profile: Optional[SpeedProfile]
+    schedule: Schedule | None
+    profile: SpeedProfile | None
     exact: bool  # False when the multi-machine value is the pooled lower bound
 
 

@@ -18,7 +18,6 @@ refined ``rho_3`` ratio of Theorem 4.8 for ``alpha >= 2``.
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 from ..core.compat import absorb_positional
 from ..core.constants import EPS
@@ -89,8 +88,8 @@ def crcd_tuned(
     views = qinstance.views()
 
     # -- phase 1: queries (B) + the lam-fraction of unqueried workloads (A) ---
-    first_works: List[Tuple[str, float]] = []
-    derived: List[Job] = []
+    first_works: list[tuple[str, float]] = []
+    derived: list[Job] = []
     queried_views = []
     for view in views:
         if policy.should_query(view):
@@ -113,7 +112,7 @@ def crcd_tuned(
 
     # -- split point: all queries are complete; reveal the exact loads --------
     queried_ids = {v.id for v in queried_views}
-    second_works: List[Tuple[str, float]] = []
+    second_works: list[tuple[str, float]] = []
     for view in views:
         if view.id in queried_ids:
             wstar = view.reveal(half)

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Dict, List
 
 from ..core.compat import absorb_positional
 from ..core.constants import EPS
@@ -72,7 +71,7 @@ def crp2d(
     log = DecisionLog()
     views = qinstance.views()
 
-    base_jobs: List[Job] = []
+    base_jobs: list[Job] = []
     queried = []
     for view in views:
         if policy.should_query(view):
@@ -90,9 +89,9 @@ def crp2d(
     base = yds(base_jobs)
 
     # Reveal per deadline class at time d/2 and build the additive densities.
-    revealed_jobs: List[Job] = []
-    addition_profiles: List[SpeedProfile] = []
-    by_deadline: Dict[float, List] = defaultdict(list)
+    revealed_jobs: list[Job] = []
+    addition_profiles: list[SpeedProfile] = []
+    by_deadline: dict[float, list] = defaultdict(list)
     for view in queried:
         by_deadline[view.deadline].append(view)
     for d, class_views in sorted(by_deadline.items()):

@@ -11,7 +11,6 @@ exactly what was decided.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 
 @dataclass(frozen=True)
@@ -19,7 +18,7 @@ class QueryDecision:
     """The answer for one job: query or not, and the split fraction ``x``."""
 
     query: bool
-    split: Optional[float] = None
+    split: float | None = None
 
     def __post_init__(self) -> None:
         if self.query:
@@ -44,7 +43,7 @@ def equal_window(query: bool = True) -> QueryDecision:
 class DecisionLog:
     """Mapping from job id to the decision an algorithm took."""
 
-    decisions: Dict[str, QueryDecision]
+    decisions: dict[str, QueryDecision]
 
     def __init__(self) -> None:
         self.decisions = {}

@@ -13,7 +13,6 @@ of forbidding migration versus AVRQ(m).
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from ..core.constants import EPS
 from ..core.edf import run_edf
@@ -33,10 +32,10 @@ def avrq_nm(qinstance: QBSSInstance) -> QBSSResult:
 
     # Pin each original job to a machine at its arrival: least overlapping
     # assigned density over the job's window (arrival order = release order).
-    assignment: Dict[str, int] = {}
-    pinned: List[List[Job]] = [[] for _ in range(m)]
+    assignment: dict[str, int] = {}
+    pinned: list[list[Job]] = [[] for _ in range(m)]
 
-    def overlap_density(machine_jobs: List[Job], lo: float, hi: float) -> float:
+    def overlap_density(machine_jobs: list[Job], lo: float, hi: float) -> float:
         total = 0.0
         for other in machine_jobs:
             a, b = max(other.release, lo), min(other.deadline, hi)
@@ -44,7 +43,7 @@ def avrq_nm(qinstance: QBSSInstance) -> QBSSResult:
                 total += other.density * (b - a) / max(hi - lo, EPS)
         return total
 
-    derived_by_source: Dict[str, List[Job]] = {}
+    derived_by_source: dict[str, list[Job]] = {}
     for job in derived.jobs:
         derived_by_source.setdefault(job.id.rsplit(":", 1)[0], []).append(job)
 

@@ -9,18 +9,18 @@ slack is left idle at the end of the interval.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..core.constants import EPS
 from ..core.schedule import Slice
 
 
 def pack_sequential(
-    works: Sequence[Tuple[str, float]],
+    works: Sequence[tuple[str, float]],
     start: float,
     end: float,
     speed: float,
-) -> List[Slice]:
+) -> list[Slice]:
     """Lay ``works`` head-to-tail in ``[start, end)`` at constant ``speed``."""
     duration = end - start
     if duration <= 0:
@@ -35,7 +35,7 @@ def pack_sequential(
         raise ValueError(
             f"interval capacity {capacity} too small for total work {total}"
         )
-    out: List[Slice] = []
+    out: list[Slice] = []
     t = start
     for job_id, w in works:
         if w <= EPS:

@@ -21,7 +21,7 @@ exact load.  The *oracle* variants, which do peek at ``w*``, take the raw
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, Union
+from typing import Protocol
 
 import numpy as np
 
@@ -90,7 +90,7 @@ class RandomizedQuery:
     rho: float
     rng: np.random.Generator
 
-    def __init__(self, rho: float, rng: Union[np.random.Generator, int, None] = None):
+    def __init__(self, rho: float, rng: np.random.Generator | int | None = None):
         if not 0.0 <= rho <= 1.0:
             raise ValueError(f"rho must be in [0, 1], got {rho}")
         self.rho = rho

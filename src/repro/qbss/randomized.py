@@ -20,7 +20,7 @@ rho, max over w*`` game).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal, Tuple
+from typing import Literal
 
 import numpy as np
 from scipy import optimize
@@ -32,7 +32,7 @@ Objective = Literal["energy", "max_speed"]
 
 def branch_values(
     c: float, w: float, wstar: float, alpha: float, objective: Objective
-) -> Tuple[float, float, float]:
+) -> tuple[float, float, float]:
     """``(query_value, no_query_value, optimal_value)`` on the unit window."""
     if not 0 < c <= w:
         raise ValueError("need 0 < c <= w")
@@ -69,7 +69,7 @@ def worst_case_ratio(
     )
 
 
-def best_rho(c: float, w: float, alpha: float, objective: Objective) -> Tuple[float, float]:
+def best_rho(c: float, w: float, alpha: float, objective: Objective) -> tuple[float, float]:
     """The algorithm's best query probability and the resulting game value.
 
     Minimises :func:`worst_case_ratio` over ``rho`` in ``[0, 1]`` (the
@@ -84,7 +84,7 @@ def best_rho(c: float, w: float, alpha: float, objective: Objective) -> Tuple[fl
     return float(res.x), float(res.fun)
 
 
-def randomized_lower_bound(alpha: float, objective: Objective) -> Tuple[float, float]:
+def randomized_lower_bound(alpha: float, objective: Objective) -> tuple[float, float]:
     """The adversary's best instance: ``max over w`` of the game value.
 
     Normalizes ``c = 1`` (scale invariance) and searches over the ratio

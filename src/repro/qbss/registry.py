@@ -17,7 +17,7 @@ registry instead of string-matching ad hoc.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Optional
+from collections.abc import Callable
 
 from ..core.instance import QBSSInstance
 from ..speed_scaling.avr import avr_profile
@@ -50,10 +50,10 @@ class AlgorithmSpec:
     name: str
     fn: Callable[..., QBSSResult]
     setting: str  # "offline" | "online" | "multi"
-    accepts: FrozenSet[str]
+    accepts: frozenset[str]
     summary: str
-    profile_fn: Optional[Callable] = None
-    default_query: Optional[Callable] = None
+    profile_fn: Callable | None = None
+    default_query: Callable | None = None
 
 
 _KEYWORDS = ("alpha", "query_policy", "split_policy")
@@ -75,7 +75,7 @@ def _spec(name, fn, setting, accepts, summary, **extra) -> AlgorithmSpec:
 
 #: The uniform name → runner registry.  Keys are the CLI/engine-facing
 #: names; values carry the callable plus which uniform keywords it takes.
-ALGORITHMS: Dict[str, AlgorithmSpec] = {
+ALGORITHMS: dict[str, AlgorithmSpec] = {
     spec.name: spec
     for spec in (
         _spec(
@@ -137,7 +137,7 @@ def run_algorithm(
     name: str,
     qinstance: QBSSInstance,
     *,
-    alpha: Optional[float] = None,
+    alpha: float | None = None,
     query_policy=None,
     split_policy=None,
 ) -> QBSSResult:

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from ..core.feasibility import FeasibilityReport, check_feasible
 from ..core.instance import Instance, QBSSInstance
@@ -35,7 +34,7 @@ class QBSSResult:
     """
 
     schedule: Schedule
-    profiles: List[SpeedProfile]
+    profiles: list[SpeedProfile]
     derived: Instance
     decisions: DecisionLog
     source: QBSSInstance

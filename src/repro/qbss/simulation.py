@@ -17,7 +17,7 @@ the test suite runs this check over random instances.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from collections.abc import Callable, Sequence
 
 from ..core.constants import EPS
 from ..core.instance import QBSSInstance
@@ -38,7 +38,7 @@ class ReplayStep:
 
     start: float
     end: float
-    known_jobs: List[str]
+    known_jobs: list[str]
     speed_at_start: float
 
 
@@ -47,7 +47,7 @@ class ReplayResult:
     """The incrementally committed profile plus the step trace."""
 
     profile: SpeedProfile
-    steps: List[ReplayStep]
+    steps: list[ReplayStep]
 
 
 def incremental_profile(
@@ -71,7 +71,7 @@ def incremental_profile(
     # never from w*) and the event times.
     views = qinstance.views()
     decisions = {}
-    events: List[float] = []
+    events: list[float] = []
     for view in views:
         events.append(view.release)
         if qpol.should_query(view):
@@ -83,9 +83,9 @@ def incremental_profile(
     horizon = max(j.deadline for j in qinstance) if len(qinstance) else 0.0
     events = dedupe_times(events + [horizon])
 
-    known: List[Job] = []
-    segments: List[Segment] = []
-    steps: List[ReplayStep] = []
+    known: list[Job] = []
+    segments: list[Segment] = []
+    steps: list[ReplayStep] = []
 
     for t, nxt in zip(events, events[1:]):
         # deliver everything that becomes known at time t

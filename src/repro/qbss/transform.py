@@ -23,7 +23,7 @@ proof devices, not algorithms) and take raw :class:`QJob`s.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from collections.abc import Callable
 
 from ..core.events import Arrival, OnlineStream
 from ..core.instance import Instance, QBSSInstance
@@ -49,7 +49,7 @@ def instance_prime(
     ``queried`` decides membership of the set ``B`` (e.g. the golden-ratio
     rule applied to the known attributes).
     """
-    jobs: List[Job] = []
+    jobs: list[Job] = []
     for j in qinstance:
         if queried(j):
             jobs.append(Job(j.release, j.deadline, j.query_cost, j.id + ":q"))
@@ -68,7 +68,7 @@ def instance_prime_half(
     The paper states it for common release 0 where the midpoint is ``d/2``;
     we keep the general form so the same code serves online analyses.
     """
-    jobs: List[Job] = []
+    jobs: list[Job] = []
     for j in qinstance:
         if queried(j):
             mid = j.midpoint
@@ -100,9 +100,9 @@ class DerivedOnline:
     """
 
     stream: OnlineStream
-    jobs: List[Job]
+    jobs: list[Job]
     decisions: DecisionLog
-    views: List[QJobView]
+    views: list[QJobView]
 
     def instance(self, machines: int = 1) -> Instance:
         """The derived jobs as a classical instance (for feasibility checks)."""
@@ -122,7 +122,7 @@ def derive_online(
     structurally impossible.
     """
     log = DecisionLog()
-    arrivals: List[Arrival] = []
+    arrivals: list[Arrival] = []
     views = qinstance.views()
     for view in views:
         if query_policy.should_query(view):
@@ -148,7 +148,7 @@ def derive_online(
 
 def partition_golden(
     qinstance: QBSSInstance,
-) -> Tuple[List[QJob], List[QJob]]:
+) -> tuple[list[QJob], list[QJob]]:
     """Split jobs into ``(A, B)`` per the golden-ratio rule.
 
     ``A`` holds the jobs executed without a query (``c_j > w_j / phi``),

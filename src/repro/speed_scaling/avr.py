@@ -13,7 +13,7 @@ verify this against an explicit arrival-by-arrival replay.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from ..core.edf import EDFResult, run_edf
 from ..core.job import Job
@@ -59,7 +59,7 @@ def avr(jobs: Sequence[Job]) -> AVRResult:
     return AVRResult(profile, run_edf(jobs, profile))
 
 
-def avr_profile_online_replay(jobs: Sequence[Job]) -> List[SpeedProfile]:
+def avr_profile_online_replay(jobs: Sequence[Job]) -> list[SpeedProfile]:
     """Arrival-by-arrival prefixes of the AVR profile (for causality tests).
 
     Element ``i`` is the profile computed from the first ``i+1`` arrivals

@@ -19,7 +19,7 @@ segment midpoints, vectorised over candidate pairs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 import bisect
 import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..core.constants import EPS
 from ..core.power import PowerFunction
@@ -36,7 +36,7 @@ from ..core.profile import Segment, SpeedProfile
 class SpeedLadder:
     """A sorted set of available speed levels (0 is always available)."""
 
-    levels: Tuple[float, ...]
+    levels: tuple[float, ...]
 
     def __init__(self, levels: Sequence[float]) -> None:
         cleaned = sorted({float(v) for v in levels if v > 0})
@@ -45,7 +45,7 @@ class SpeedLadder:
         object.__setattr__(self, "levels", tuple(cleaned))
 
     @classmethod
-    def geometric(cls, s_min: float, s_max: float, count: int) -> "SpeedLadder":
+    def geometric(cls, s_min: float, s_max: float, count: int) -> SpeedLadder:
         """``count`` levels from ``s_min`` to ``s_max`` in geometric steps."""
         if count < 1:
             raise ValueError("need at least one level")
@@ -60,7 +60,7 @@ class SpeedLadder:
     def max_level(self) -> float:
         return self.levels[-1]
 
-    def bracket(self, speed: float) -> Tuple[float, float]:
+    def bracket(self, speed: float) -> tuple[float, float]:
         """The adjacent levels ``(s_lo, s_hi)`` with ``s_lo <= speed <= s_hi``.
 
         Below the lowest level, ``s_lo`` is 0 (idling); above the highest,
@@ -89,7 +89,7 @@ def discretize_profile(
     low-level suffix (order is immaterial for both energy and window-aligned
     capacity).  Raises when any demanded speed exceeds the top level.
     """
-    out: List[Segment] = []
+    out: list[Segment] = []
     for seg in profile:
         lo, hi = ladder.bracket(seg.speed)
         if hi <= 0:

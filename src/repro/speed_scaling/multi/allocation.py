@@ -16,7 +16,7 @@ the property Lemma 6.2 exploits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 
 @dataclass(frozen=True)
@@ -38,11 +38,11 @@ class SlotAllocation:
         Speed of every machine, non-increasing in machine index.
     """
 
-    big: Tuple[Tuple[int, int, float], ...]
-    small_indices: Tuple[int, ...]
-    small_machines: Tuple[int, ...]
+    big: tuple[tuple[int, int, float], ...]
+    small_indices: tuple[int, ...]
+    small_machines: tuple[int, ...]
     small_speed: float
-    machine_speeds: Tuple[float, ...]
+    machine_speeds: tuple[float, ...]
 
 
 def allocate_slot(densities: Sequence[float], machines: int) -> SlotAllocation:
@@ -60,7 +60,7 @@ def allocate_slot(densities: Sequence[float], machines: int) -> SlotAllocation:
     )
     total = sum(densities[i] for i in order)
 
-    big: List[Tuple[int, int, float]] = []
+    big: list[tuple[int, int, float]] = []
     next_machine = 0
     remaining = machines
     k = 0  # how many of `order` are big

@@ -15,7 +15,7 @@ construction equals the online behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from ...core.constants import EPS
 from ...core.job import Job
@@ -31,7 +31,7 @@ from .mcnaughton import mcnaughton_slot
 class AVRmResult:
     """Per-machine profiles and the realised migratory schedule."""
 
-    profiles: List[SpeedProfile]
+    profiles: list[SpeedProfile]
     schedule: Schedule
 
     def energy(self, power: PowerFunction) -> float:
@@ -47,7 +47,7 @@ def avr_m(jobs: Sequence[Job], machines: int) -> AVRmResult:
         raise ValueError(f"machines must be >= 1, got {machines}")
     live = [j for j in jobs if j.work > EPS]
     schedule = Schedule(machines)
-    per_machine_segments: List[List[Segment]] = [[] for _ in range(machines)]
+    per_machine_segments: list[list[Segment]] = [[] for _ in range(machines)]
 
     if not live:
         return AVRmResult([SpeedProfile() for _ in range(machines)], schedule)

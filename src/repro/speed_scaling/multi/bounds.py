@@ -18,7 +18,7 @@ optimum otherwise; the convex-programming optimum in
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from ...core.job import Job
 from ...core.power import PowerFunction

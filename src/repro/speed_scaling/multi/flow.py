@@ -23,7 +23,7 @@ in :mod:`repro.speed_scaling.multi.bounds` is only a bound).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 import networkx as nx
 
@@ -37,7 +37,7 @@ SOURCE = "__source__"
 SINK = "__sink__"
 
 
-def _grid(jobs: Sequence[Job]) -> List[Tuple[float, float]]:
+def _grid(jobs: Sequence[Job]) -> list[tuple[float, float]]:
     pts = dedupe_times(
         [j.release for j in jobs] + [j.deadline for j in jobs]
     )
@@ -46,7 +46,7 @@ def _grid(jobs: Sequence[Job]) -> List[Tuple[float, float]]:
 
 def _build_network(
     jobs: Sequence[Job], machines: int, cap: float
-) -> Tuple[nx.DiGraph, List[Tuple[float, float]]]:
+) -> tuple[nx.DiGraph, list[tuple[float, float]]]:
     grid = _grid(jobs)
     g = nx.DiGraph()
     for j in jobs:
@@ -62,14 +62,14 @@ def _build_network(
 
 def max_flow_allocation(
     jobs: Sequence[Job], machines: int, cap: float
-) -> Tuple[float, Dict[str, Dict[int, float]]]:
+) -> tuple[float, dict[str, dict[int, float]]]:
     """Max flow under speed cap ``cap``; returns (value, job->interval works)."""
     live = [j for j in jobs if j.work > EPS]
     if not live:
         return 0.0, {}
     g, _ = _build_network(live, machines, cap)
     value, flows = nx.maximum_flow(g, SOURCE, SINK)
-    alloc: Dict[str, Dict[int, float]] = {}
+    alloc: dict[str, dict[int, float]] = {}
     for j in live:
         per = {}
         for node, amount in flows.get(("job", j.id), {}).items():

@@ -11,19 +11,19 @@ itself (the classical McNaughton argument).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from ...core.constants import EPS
 from ...core.schedule import Slice
 
 
 def mcnaughton_slot(
-    works: Sequence[Tuple[str, float]],
+    works: Sequence[tuple[str, float]],
     start: float,
     end: float,
     speed: float,
     machines: Sequence[int],
-) -> List[Tuple[int, Slice]]:
+) -> list[tuple[int, Slice]]:
     """Pack ``works = [(job_id, x_j), ...]`` into the slot.
 
     Returns ``(machine, slice)`` pairs.  Raises when the total work exceeds
@@ -46,7 +46,7 @@ def mcnaughton_slot(
             f"slot overloaded: work {total} > capacity {len(machines) * cap}"
         )
 
-    out: List[Tuple[int, Slice]] = []
+    out: list[tuple[int, Slice]] = []
     mi = 0  # index into machines
     t = start
     for job_id, x in works:

@@ -27,7 +27,7 @@ lower bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from collections.abc import Callable, Sequence
 
 from ...core.constants import EPS
 from ...core.job import Job
@@ -36,7 +36,7 @@ from ...core.profile import SpeedProfile
 from ...core.schedule import Schedule
 from ..yds import yds
 
-Assignment = Dict[str, int]  # job id -> machine
+Assignment = dict[str, int]  # job id -> machine
 Assigner = Callable[[Sequence[Job], int], Assignment]
 
 
@@ -56,9 +56,9 @@ def assign_least_density(jobs: Sequence[Job], machines: int) -> Assignment:
     :func:`repro.qbss.nonmigratory.avrq_nm` uses.
     """
     assignment: Assignment = {}
-    loads: List[List[Job]] = [[] for _ in range(machines)]
+    loads: list[list[Job]] = [[] for _ in range(machines)]
 
-    def overlap_density(machine_jobs: List[Job], job: Job) -> float:
+    def overlap_density(machine_jobs: list[Job], job: Job) -> float:
         total = 0.0
         for other in machine_jobs:
             lo = max(other.release, job.release)
@@ -79,9 +79,9 @@ def assign_least_density(jobs: Sequence[Job], machines: int) -> Assignment:
 def assign_arrival_least_density(jobs: Sequence[Job], machines: int) -> Assignment:
     """Online-compatible variant: assign in arrival order, least overlap."""
     assignment: Assignment = {}
-    loads: List[List[Job]] = [[] for _ in range(machines)]
+    loads: list[list[Job]] = [[] for _ in range(machines)]
 
-    def overlap_density(machine_jobs: List[Job], job: Job) -> float:
+    def overlap_density(machine_jobs: list[Job], job: Job) -> float:
         total = 0.0
         for other in machine_jobs:
             lo = max(other.release, job.release)
@@ -108,7 +108,7 @@ def assign_greedy_energy(
     cheaper heuristics."""
     power = PowerFunction(alpha)
     assignment: Assignment = {}
-    per_machine: List[List[Job]] = [[] for _ in range(machines)]
+    per_machine: list[list[Job]] = [[] for _ in range(machines)]
     energies = [0.0] * machines
 
     for job in sorted(jobs, key=lambda j: (-j.density, j.id)):
@@ -130,7 +130,7 @@ class NonMigratoryResult:
     """Per-machine YDS schedules under a fixed assignment."""
 
     assignment: Assignment
-    profiles: List[SpeedProfile]
+    profiles: list[SpeedProfile]
     schedule: Schedule
 
     def energy(self, power: PowerFunction) -> float:
@@ -167,7 +167,7 @@ def optimal_non_migratory(
     best_energy = float("inf")
     best_assignment: Assignment = {}
 
-    def recurse(idx: int, assignment: List[int], used: int) -> None:
+    def recurse(idx: int, assignment: list[int], used: int) -> None:
         nonlocal best_energy, best_assignment
         if idx == len(ordered):
             energy = 0.0
@@ -211,7 +211,7 @@ def non_migratory(
         raise ValueError(f"assigner left jobs unassigned: {sorted(missing)}")
 
     schedule = Schedule(machines)
-    profiles: List[SpeedProfile] = []
+    profiles: list[SpeedProfile] = []
     for m in range(machines):
         mine = [j for j in live if assignment[j.id] == m]
         result = yds(mine)

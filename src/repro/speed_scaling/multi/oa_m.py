@@ -17,7 +17,7 @@ multi-machine replanning baseline for OAQ(m).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from ...core.constants import EPS
 from ...core.job import Job
@@ -36,9 +36,9 @@ from .optimal import elementary_grid, optimal_allocation
 class OAmResult:
     """Per-machine profiles and the realised schedule of an OA(m) run."""
 
-    profiles: List[SpeedProfile]
+    profiles: list[SpeedProfile]
     schedule: Schedule
-    unfinished: Dict[str, float]
+    unfinished: dict[str, float]
 
     @property
     def feasible(self) -> bool:
@@ -57,7 +57,7 @@ def oa_m(jobs: Sequence[Job], machines: int, alpha: float = 3.0) -> OAmResult:
         raise ValueError(f"machines must be >= 1, got {machines}")
     live = [j for j in jobs if j.work > EPS]
     schedule = Schedule(machines)
-    per_machine: List[List[Segment]] = [[] for _ in range(machines)]
+    per_machine: list[list[Segment]] = [[] for _ in range(machines)]
     if not live:
         return OAmResult([SpeedProfile() for _ in range(machines)], schedule, {})
 

@@ -26,7 +26,7 @@ small instances (tests and spot checks); large benchmarks use
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 from scipy import optimize
@@ -66,7 +66,7 @@ def slot_energy(works: np.ndarray, length: float, machines: int, alpha: float) -
     return energy
 
 
-def elementary_grid(jobs: Sequence[Job]) -> List[Tuple[float, float]]:
+def elementary_grid(jobs: Sequence[Job]) -> list[tuple[float, float]]:
     """Elementary intervals spanned by the jobs' releases and deadlines."""
     pts = dedupe_times(
         [j.release for j in jobs] + [j.deadline for j in jobs]
@@ -79,7 +79,7 @@ def optimal_allocation(
     machines: int,
     alpha: float,
     tol: float = 1e-9,
-) -> "dict[str, dict[int, float]]":
+) -> dict[str, dict[int, float]]:
     """Solve the convex program and return per-job per-interval works.
 
     Keys are job ids; inner keys index :func:`elementary_grid`'s intervals.
@@ -116,7 +116,7 @@ def optimal_allocation(
         )
 
     A = np.zeros((n, nv))
-    for v, (j, i) in enumerate(var_index):
+    for v, (j, _i) in enumerate(var_index):
         A[j, v] = 1.0
     z0 = np.zeros(nv)
     for v, (j, i) in enumerate(var_index):
@@ -227,7 +227,7 @@ def convex_optimal_energy(
 
     # equality constraints: each job's work adds up
     A = np.zeros((n, nv))
-    for v, (j, i) in enumerate(var_index):
+    for v, (j, _i) in enumerate(var_index):
         A[j, v] = 1.0
     works = np.array([j.work for j in live])
 

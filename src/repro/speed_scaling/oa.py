@@ -14,7 +14,7 @@ this implementation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from ..core.constants import EPS
 from ..core.job import Job
@@ -30,7 +30,7 @@ class OAResult:
 
     profile: SpeedProfile
     schedule: Schedule
-    unfinished: Dict[str, float]
+    unfinished: dict[str, float]
 
     @property
     def feasible(self) -> bool:
@@ -47,13 +47,13 @@ def oa(jobs: Sequence[Job]) -> OAResult:
     """
     live = [j for j in jobs if j.work > EPS]
     schedule = Schedule(1)
-    segments: List[Segment] = []
+    segments: list[Segment] = []
     if not live:
         return OAResult(SpeedProfile(), schedule, {})
 
     arrivals = dedupe_times(j.release for j in live)
     horizon = max(j.deadline for j in live)
-    remaining: Dict[str, float] = {j.id: j.work for j in live}
+    remaining: dict[str, float] = {j.id: j.work for j in live}
     by_id = {j.id: j for j in live}
 
     for idx, t in enumerate(arrivals):

@@ -25,7 +25,6 @@ as leakage grows).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from ..core.constants import EPS
 from ..core.profile import Segment, SpeedProfile
@@ -96,7 +95,7 @@ def race_to_idle(
     set whose windows align with segment boundaries is preserved.
     """
     s_crit = model.critical_speed
-    out: List[Segment] = []
+    out: list[Segment] = []
     for seg in profile:
         if seg.speed >= s_crit - EPS:
             out.append(seg)

@@ -21,7 +21,7 @@ and CRP2D calls YDS as a subroutine (Algorithm 2, line 6).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..core.constants import EPS
 from ..core.edf import run_edf
@@ -40,10 +40,10 @@ class TimelineCompressor:
 
     def __init__(self, origin: float) -> None:
         self.origin = origin
-        self._cuts: List[Tuple[float, float]] = []  # disjoint, sorted, merged
+        self._cuts: list[tuple[float, float]] = []  # disjoint, sorted, merged
 
     @property
-    def cuts(self) -> List[Tuple[float, float]]:
+    def cuts(self) -> list[tuple[float, float]]:
         return list(self._cuts)
 
     def compress(self, t: float) -> float:
@@ -58,14 +58,14 @@ class TimelineCompressor:
                 break
         return (t - self.origin) - removed
 
-    def expand_interval(self, c1: float, c2: float) -> List[Tuple[float, float]]:
+    def expand_interval(self, c1: float, c2: float) -> list[tuple[float, float]]:
         """Map compressed interval ``[c1, c2)`` back to original time.
 
         The image is a union of intervals, one per maximal gap between cuts.
         """
         if c2 <= c1:
             return []
-        out: List[Tuple[float, float]] = []
+        out: list[tuple[float, float]] = []
         pos = 0.0  # compressed time at cursor
         cursor = self.origin  # original time
         remaining_start = c1
@@ -84,10 +84,10 @@ class TimelineCompressor:
             cursor = b
         return out
 
-    def cut(self, intervals: Sequence[Tuple[float, float]]) -> None:
+    def cut(self, intervals: Sequence[tuple[float, float]]) -> None:
         """Excise original-time ``intervals`` (merging with existing cuts)."""
         merged = sorted(self._cuts + [(a, b) for a, b in intervals if b > a])
-        out: List[Tuple[float, float]] = []
+        out: list[tuple[float, float]] = []
         for a, b in merged:
             if out and a <= out[-1][1] + EPS:
                 out[-1] = (out[-1][0], max(out[-1][1], b))
@@ -101,9 +101,9 @@ class CriticalInterval:
     """One YDS iteration: jobs run at ``speed`` in ``original_intervals``."""
 
     speed: float
-    compressed: Tuple[float, float]
-    original_intervals: Tuple[Tuple[float, float], ...]
-    job_ids: Tuple[str, ...]
+    compressed: tuple[float, float]
+    original_intervals: tuple[tuple[float, float], ...]
+    job_ids: tuple[str, ...]
 
 
 @dataclass
@@ -112,12 +112,12 @@ class YDSResult:
 
     schedule: Schedule
     profile: SpeedProfile
-    critical_intervals: List[CriticalInterval]
+    critical_intervals: list[CriticalInterval]
 
 
 def _max_intensity(
     jobs: Sequence[Job], compressor: TimelineCompressor
-) -> Optional[Tuple[float, float, float, List[Job]]]:
+) -> tuple[float, float, float, list[Job]] | None:
     """Find the compressed interval of maximum intensity.
 
     Returns ``(intensity, c_start, c_end, critical_jobs)`` or ``None`` when
@@ -168,7 +168,7 @@ def yds(jobs: Sequence[Job]) -> YDSResult:
     """
     pending = [j for j in jobs if j.work > EPS]
     schedule = Schedule(1)
-    criticals: List[CriticalInterval] = []
+    criticals: list[CriticalInterval] = []
 
     if not pending:
         return YDSResult(schedule, SpeedProfile(), criticals)
@@ -229,7 +229,7 @@ def yds(jobs: Sequence[Job]) -> YDSResult:
 
 def _map_slice(
     compressor: TimelineCompressor, c1: float, c2: float
-) -> List[Tuple[float, float]]:
+) -> list[tuple[float, float]]:
     """Map one compressed slice back to original-time intervals."""
     return compressor.expand_interval(c1, c2)
 

@@ -18,7 +18,6 @@ counted in :class:`ParseStats`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 
 class TraceParseError(ValueError):
@@ -72,9 +71,9 @@ class TraceRecord:
     id: str
     release: float
     runtime: float
-    deadline: Optional[float] = None
-    requested: Optional[float] = None
-    query_cost: Optional[float] = None
+    deadline: float | None = None
+    requested: float | None = None
+    query_cost: float | None = None
 
 
 @dataclass

@@ -33,7 +33,7 @@ import math
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Iterator, Sequence
 
 from .. import __version__ as PACKAGE_VERSION
 from ..analysis.tables import render_table
@@ -66,7 +66,7 @@ SHARD_STATUSES = ("ok", "degraded", "error", "timeout")
 DEFAULT_ALGORITHMS = ("avrq", "bkpq")
 
 
-def paper_energy_bound(algorithm: str, alpha: float) -> Optional[float]:
+def paper_energy_bound(algorithm: str, alpha: float) -> float | None:
     """The proven energy-ratio upper bound for ``algorithm``, if any.
 
     AVRQ and BKPQ carry Theorem 5.2 / 5.4 bounds valid on arbitrary
@@ -84,7 +84,7 @@ def paper_energy_bound(algorithm: str, alpha: float) -> Optional[float]:
     return fn(alpha) if fn is not None else None
 
 
-def validate_replay_algorithms(algorithms: Sequence[str]) -> Tuple[str, ...]:
+def validate_replay_algorithms(algorithms: Sequence[str]) -> tuple[str, ...]:
     """Check every name is a registered *online* algorithm.
 
     Trace shards have arbitrary releases and deadlines, so the offline
@@ -122,7 +122,7 @@ class Shard:
     index: int
     start: float
     end: float
-    jobs: Tuple[QJob, ...]
+    jobs: tuple[QJob, ...]
 
 
 def iter_shards(
@@ -137,9 +137,9 @@ def iter_shards(
     """
     if window <= 0.0:
         raise ValueError(f"shard window must be > 0, got {window}")
-    current: Optional[int] = None
+    current: int | None = None
     last_release = -math.inf
-    buf: List[QJob] = []
+    buf: list[QJob] = []
     for job in jobs:
         if job.release < last_release:
             raise TraceOrderError(
@@ -189,7 +189,7 @@ def shard_cache_key(
     shard_doc: dict,
     algorithms: Sequence[str],
     alpha: float,
-    package_version: Optional[str] = None,
+    package_version: str | None = None,
 ) -> str:
     """Content address of one shard evaluation (SHA-256 hex).
 
@@ -214,7 +214,7 @@ def shard_cache_key(
 
 
 def _evaluate_shard(
-    shard_doc: dict, algorithms: Tuple[str, ...], alpha: float
+    shard_doc: dict, algorithms: tuple[str, ...], alpha: float
 ) -> dict:
     """Worker body: measure every algorithm on one shard.
 
@@ -255,7 +255,7 @@ def _evaluate_shard(
 
 def _evaluate_shard_task(
     shard_doc: dict,
-    algorithms: Tuple[str, ...],
+    algorithms: tuple[str, ...],
     alpha: float,
     task: str,
     attempt: int,
@@ -331,8 +331,8 @@ class ReplayReport:
     deadline_slack: float
     alpha: float
     shard_window: float
-    algorithms: List[str]
-    shards: List[dict]
+    algorithms: list[str]
+    shards: list[dict]
     skipped: int = 0
 
     @property
@@ -340,7 +340,7 @@ class ReplayReport:
         return sum(s.get("n_jobs", 0) for s in self.shards)
 
     @property
-    def failed_shards(self) -> List[dict]:
+    def failed_shards(self) -> list[dict]:
         """Shards with a non-result verdict (``error`` or ``timeout``)."""
         return [
             s
@@ -348,7 +348,7 @@ class ReplayReport:
             if s.get("status", "ok") in ("error", "timeout")
         ]
 
-    def ratios_for(self, algorithm: str) -> List[float]:
+    def ratios_for(self, algorithm: str) -> list[float]:
         # failed shards (error/timeout) carry no rows — and a report read
         # from external JSON may omit the key entirely, so never index it
         return [
@@ -358,7 +358,7 @@ class ReplayReport:
             if row["algorithm"] == algorithm
         ]
 
-    def summary_rows(self) -> List[list]:
+    def summary_rows(self) -> list[list]:
         """Per-algorithm percentile summary over the shard energy ratios."""
         rows = []
         for name in self.algorithms:
@@ -495,7 +495,7 @@ class ReplayReport:
         }
 
     @classmethod
-    def from_dict(cls, data: dict) -> "ReplayReport":
+    def from_dict(cls, data: dict) -> ReplayReport:
         return cls(
             source=str(data["source"]),
             trace_format=str(data["trace_format"]),
@@ -527,14 +527,14 @@ class ReplayMetrics:
     misses: int = 0
     wall_time: float = 0.0
     peak_resident_jobs: int = 0
-    cache_dir: Optional[str] = None
+    cache_dir: str | None = None
     pool_jobs: int = 1
     retries: int = 0
     timeouts: int = 0
     pool_rebuilds: int = 0
     degraded: bool = False
     quarantined: int = 0
-    failures: List[FailureInfo] = field(default_factory=list)
+    failures: list[FailureInfo] = field(default_factory=list)
 
     def footer(self) -> str:
         rate = self.shards / self.wall_time if self.wall_time > 0 else 0.0
@@ -573,7 +573,7 @@ class _ShardTask(HardenedTask):
 
     __slots__ = ("doc", "key", "njobs")
 
-    def __init__(self, doc: dict, key: Optional[str]):
+    def __init__(self, doc: dict, key: str | None):
         super().__init__(f"shard:{doc['index']}")
         self.doc = doc
         self.key = key
@@ -586,17 +586,17 @@ def replay_jobs(
     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
     alpha: float = 3.0,
     shard_window: float = 3600.0,
-    jobs: "int | str" = 1,
+    jobs: int | str = 1,
     cache: bool = True,
     cache_dir=None,
-    package_version: Optional[str] = None,
-    meta: Optional[dict] = None,
-    task_timeout: Optional[float] = None,
-    retry: Optional[RetryPolicy] = None,
-    fault_plan: Optional[FaultPlan] = None,
+    package_version: str | None = None,
+    meta: dict | None = None,
+    task_timeout: float | None = None,
+    retry: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
     tracer=None,
     metrics=None,
-) -> Tuple[ReplayReport, ReplayMetrics]:
+) -> tuple[ReplayReport, ReplayMetrics]:
     """Stream a release-sorted QJob iterable through sharded evaluation.
 
     ``meta`` carries the provenance fields of the report (source, format,
@@ -638,7 +638,7 @@ def replay_jobs(
         cache_dir=str(store.root) if store is not None else None,
         pool_jobs=max(1, jobs),
     )
-    results: Dict[int, dict] = {}
+    results: dict[int, dict] = {}
     resident = 0
     batch_span = (
         tracer.begin("batch", kind="replay", algorithms=len(algorithms))
@@ -712,7 +712,7 @@ def replay_jobs(
             payload["status"] = "degraded" if degraded else "ok"
             results[task.doc["index"]] = payload
 
-        def on_failure(task: _ShardTask, kind: str, error: Optional[str]) -> None:
+        def on_failure(task: _ShardTask, kind: str, error: str | None) -> None:
             nonlocal resident
             resident -= task.njobs
             failure = FailureInfo(
@@ -803,20 +803,20 @@ def replay_trace(
     noise_model: str = "multiplicative",
     seed: int = 0,
     deadline_slack: float = 2.0,
-    limit: Optional[int] = None,
+    limit: int | None = None,
     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
     alpha: float = 3.0,
     shard_window: float = 3600.0,
     jobs: int = 1,
     cache: bool = True,
     cache_dir=None,
-    package_version: Optional[str] = None,
-    task_timeout: Optional[float] = None,
-    retry: Optional[RetryPolicy] = None,
-    fault_plan: Optional[FaultPlan] = None,
+    package_version: str | None = None,
+    task_timeout: float | None = None,
+    retry: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
     tracer=None,
     metrics=None,
-) -> Tuple[ReplayReport, ReplayMetrics]:
+) -> tuple[ReplayReport, ReplayMetrics]:
     """End-to-end replay: parse ``path``, synthesize uncertainty, shard,
     evaluate, aggregate.  The trace is streamed — bounded memory holds for
     arbitrarily large files.  ``task_timeout``/``retry``/``fault_plan``

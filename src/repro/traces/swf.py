@@ -24,11 +24,11 @@ time — are skipped and tallied in :class:`~repro.traces.records.ParseStats`.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from collections.abc import Iterator
 
 from .records import ParseStats, TraceParseError, TraceRecord
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 #: SWF data lines carry exactly 18 fields; we accept trailing extras
 #: (some archives append site-specific columns) but never fewer.
@@ -36,7 +36,7 @@ SWF_FIELDS = 18
 
 
 def parse_swf(
-    path: PathLike, stats: Optional[ParseStats] = None
+    path: PathLike, stats: ParseStats | None = None
 ) -> Iterator[TraceRecord]:
     """Lazily yield :class:`TraceRecord` from an SWF file.
 
@@ -46,7 +46,7 @@ def parse_swf(
     """
     source = str(path)
     stats = stats if stats is not None else ParseStats()
-    with open(path, "r", encoding="utf-8", errors="replace") as handle:
+    with open(path, encoding="utf-8", errors="replace") as handle:
         for lineno, raw in enumerate(handle, start=1):
             line = raw.strip()
             if not line or line.startswith(";"):

@@ -31,7 +31,7 @@ replayer's serial == parallel guarantee rests on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -78,7 +78,7 @@ def _adversarial_upper(rng: np.random.Generator, w_star: float) -> float:
     return PHI * (unit / PHI + w_star)
 
 
-NOISE_MODELS: Dict[str, NoiseModel] = {
+NOISE_MODELS: dict[str, NoiseModel] = {
     model.name: model
     for model in (
         NoiseModel(

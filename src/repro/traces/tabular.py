@@ -25,18 +25,18 @@ import csv
 import json
 import math
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from collections.abc import Iterator
 
 from .records import ParseStats, TraceParseError, TraceRecord
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 REQUIRED_COLUMNS = ("release", "deadline", "runtime")
 OPTIONAL_COLUMNS = ("query_cost", "id")
 
 
 def _validated_record(
-    source: str, lineno: int, row: Dict[str, object], index: int
+    source: str, lineno: int, row: dict[str, object], index: int
 ) -> TraceRecord:
     """Build one validated TraceRecord from a parsed row dict."""
 
@@ -70,7 +70,7 @@ def _validated_record(
             lineno,
             f"deadline ({deadline}) must exceed release ({release})",
         )
-    query_cost: Optional[float] = None
+    query_cost: float | None = None
     if row.get("query_cost") not in (None, ""):
         query_cost = number("query_cost")
         if query_cost <= 0.0:
@@ -90,12 +90,12 @@ def _validated_record(
 
 
 def parse_csv(
-    path: PathLike, stats: Optional[ParseStats] = None
+    path: PathLike, stats: ParseStats | None = None
 ) -> Iterator[TraceRecord]:
     """Lazily yield records from a CSV trace (header row required)."""
     source = str(path)
     stats = stats if stats is not None else ParseStats()
-    with open(path, "r", encoding="utf-8", newline="") as handle:
+    with open(path, encoding="utf-8", newline="") as handle:
         reader = csv.reader(handle)
         try:
             header = next(reader)
@@ -134,12 +134,12 @@ def parse_csv(
 
 
 def parse_jsonl(
-    path: PathLike, stats: Optional[ParseStats] = None
+    path: PathLike, stats: ParseStats | None = None
 ) -> Iterator[TraceRecord]:
     """Lazily yield records from a JSONL trace (one object per line)."""
     source = str(path)
     stats = stats if stats is not None else ParseStats()
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for lineno, raw in enumerate(handle, start=1):
             line = raw.strip()
             if not line:

@@ -7,7 +7,7 @@ examples and handy in a REPL when debugging an algorithm's behaviour.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from collections.abc import Sequence
 
 from .core.profile import SpeedProfile
 from .core.schedule import Schedule
@@ -18,9 +18,9 @@ _BLOCKS = " ▁▂▃▄▅▆▇█"
 def profile_skyline(
     profile: SpeedProfile,
     width: int = 72,
-    start: Optional[float] = None,
-    end: Optional[float] = None,
-    max_speed: Optional[float] = None,
+    start: float | None = None,
+    end: float | None = None,
+    max_speed: float | None = None,
 ) -> str:
     """Render a speed profile as one line of block characters.
 
@@ -47,7 +47,7 @@ def profile_skyline(
 
 def profile_chart(
     profiles: Sequence[SpeedProfile],
-    labels: Optional[Sequence[str]] = None,
+    labels: Sequence[str] | None = None,
     width: int = 72,
 ) -> str:
     """Stack several skylines on a shared time axis and speed scale.
@@ -83,7 +83,7 @@ def profile_chart(
 def gantt(
     schedule: Schedule,
     width: int = 72,
-    job_symbols: Optional[Dict[str, str]] = None,
+    job_symbols: dict[str, str] | None = None,
 ) -> str:
     """Per-machine Gantt chart: one row per machine, one symbol per job.
 

@@ -19,14 +19,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Union
 
 import numpy as np
 
 from ..core.instance import QBSSInstance
 from ..core.qjob import QJob
 
-RngLike = Union[np.random.Generator, int, None]
+RngLike = np.random.Generator | int | None
 
 
 def _rng(seed: RngLike) -> np.random.Generator:

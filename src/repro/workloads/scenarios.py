@@ -18,14 +18,13 @@ query-policy ablation bench).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Union
 
 import numpy as np
 
 from ..core.instance import QBSSInstance
 from ..core.qjob import QJob
 
-RngLike = Union[np.random.Generator, int, None]
+RngLike = np.random.Generator | int | None
 
 
 def _rng(seed: RngLike) -> np.random.Generator:
@@ -50,7 +49,7 @@ def code_optimizer_scenario(
     Deadlines model CI time budgets: window 2x–6x the job's natural length.
     """
     rng = _rng(seed)
-    jobs: List[QJob] = []
+    jobs: list[QJob] = []
     for i in range(n):
         w = float(rng.lognormal(mean=0.5, sigma=0.6))
         c = float(w * rng.uniform(0.05, 0.25))
@@ -97,7 +96,7 @@ def file_compression_scenario(
     rng = _rng(seed)
     weights = np.array([fc.weight for fc in classes], dtype=float)
     weights = weights / weights.sum()
-    jobs: List[QJob] = []
+    jobs: list[QJob] = []
     for i in range(n):
         fc = classes[int(rng.choice(len(classes), p=weights))]
         w = float(rng.lognormal(mean=0.0, sigma=0.9))
@@ -121,7 +120,7 @@ def datacenter_batch_scenario(
     machinery is exercised.
     """
     rng = _rng(seed)
-    jobs: List[QJob] = []
+    jobs: list[QJob] = []
     for i in range(n):
         w = float(machines * rng.pareto(2.5) + 0.2)
         c = float(w * rng.uniform(0.05, 0.6))

@@ -16,11 +16,10 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
 
 import numpy as np
 
-PathLike = Union[str, Path]
+PathLike = str | Path
 
 
 def _draw_jobs(n: int, seed: int, arrival_rate: float, runtime_sigma: float):

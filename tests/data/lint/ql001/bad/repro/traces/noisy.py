@@ -1,0 +1,13 @@
+"""QL001 bad fixture: wall clock + global RNG in a guarded package."""
+
+import random
+import time
+
+import numpy as np
+
+
+def synthesize(records):
+    stamp = time.time()
+    jitter = random.random()
+    noise = np.random.rand(3)
+    return stamp, jitter, noise

@@ -1,0 +1,13 @@
+"""QL001 good fixture: injected clock, per-record seeded generators."""
+
+import random
+import time
+
+import numpy as np
+
+
+def synthesize(records, *, seed, clock=time.monotonic):
+    stamp = clock()
+    rng = random.Random(seed)
+    gen = np.random.default_rng((seed, 0))
+    return stamp, rng.random(), gen.random(3)

@@ -1,0 +1,8 @@
+"""QL002 bad fixture: registered runner with positional extras/defaults."""
+
+
+def crummy(qi, extra, alpha=2.0):
+    return (qi, extra, alpha)
+
+
+ALGORITHMS = {"crummy": crummy}

@@ -1,0 +1,15 @@
+"""QL003 bad fixture: worker body reads ambient environment state."""
+
+import os
+
+LIMITS = {"max": 8}
+
+
+def _worker(task, attempt):
+    os.environ.get("QBSS_SECRET_TUNING")
+    LIMITS["max"] = 9
+    return task
+
+
+def run(tasks, execute_hardened):
+    return execute_hardened(tasks, worker=_worker)

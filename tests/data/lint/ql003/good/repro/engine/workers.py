@@ -1,0 +1,14 @@
+"""QL003 good fixture: worker touches only the sanctioned fault hook."""
+
+import os
+
+FAULT_PLAN_ENV = "QBSS_FAULT_PLAN"
+
+
+def _worker(task, attempt):
+    os.environ.get(FAULT_PLAN_ENV)
+    return task
+
+
+def run(tasks, execute_hardened):
+    return execute_hardened(tasks, worker=_worker)

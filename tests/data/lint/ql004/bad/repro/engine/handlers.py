@@ -1,0 +1,15 @@
+"""QL004 bad fixture: swallowed BaseException and a bare except."""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except BaseException:
+        return None
+
+
+def mute(fn):
+    try:
+        return fn()
+    except:
+        return None

@@ -1,0 +1,18 @@
+"""QL004 good fixture: BaseException handlers re-raise."""
+
+
+def shield(fn):
+    try:
+        return fn()
+    except BaseException as exc:
+        if not isinstance(exc, Exception):
+            raise
+        return None
+
+
+def cleanup(fn, close):
+    try:
+        return fn()
+    except BaseException:
+        close()
+        raise

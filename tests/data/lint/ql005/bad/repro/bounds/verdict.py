@@ -1,0 +1,6 @@
+"""QL005 bad fixture: exact equality on computed float ratios."""
+
+
+def verdict(energy, optimum):
+    ratio = energy / optimum
+    return ratio == 1.0 or energy / optimum != 2.0

@@ -1,0 +1,8 @@
+"""QL005 good fixture: tolerance-based verdicts, int equality untouched."""
+
+import math
+
+
+def verdict(energy, optimum, machines):
+    ratio = energy / optimum
+    return math.isclose(ratio, 1.0, rel_tol=1e-9) and machines == 1

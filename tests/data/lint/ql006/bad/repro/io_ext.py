@@ -1,0 +1,8 @@
+"""QL006 bad fixture: a registered document kind without a version."""
+
+
+def schedule_to_dict(schedule):
+    return {
+        "kind": "schedule",
+        "slices": list(schedule),
+    }

@@ -1,0 +1,11 @@
+"""QL006 good fixture: versioned envelope for a registered kind."""
+
+FORMAT_VERSION = 1
+
+
+def schedule_to_dict(schedule):
+    return {
+        "version": FORMAT_VERSION,
+        "kind": "schedule",
+        "slices": list(schedule),
+    }
