@@ -17,7 +17,7 @@ from ..core.compat import absorb_positional
 from ..core.constants import DEFAULT_ALPHA
 from ..core.instance import QBSSInstance
 from ..core.power import PowerFunction
-from ..qbss.clairvoyant import clairvoyant
+from ..qbss.clairvoyant import ClairvoyantBaseline, clairvoyant
 from ..qbss.registry import get_algorithm
 from ..qbss.result import QBSSResult
 
@@ -68,11 +68,15 @@ def measure(
     alpha: float = DEFAULT_ALPHA,
     exact_multi: bool = False,
     validate: bool = True,
+    baseline: "ClairvoyantBaseline | None" = None,
 ) -> RatioMeasurement:
     """Run ``algorithm`` on ``qinstance`` and compare against the optimum.
 
     ``algorithm`` may be an :data:`~repro.qbss.registry.ALGORITHMS` name
-    (e.g. ``"bkpq"``) or any callable ``qi -> QBSSResult``.
+    (e.g. ``"bkpq"``) or any callable ``qi -> QBSSResult``.  ``baseline``
+    supplies a precomputed clairvoyant optimum for ``qinstance`` (e.g. one
+    shared across the algorithms of a replay shard); when omitted, it is
+    computed here.
     """
     alpha, exact_multi, validate = absorb_positional(
         "measure",
@@ -84,7 +88,11 @@ def measure(
     if validate:
         result.validate().raise_if_infeasible()
     power = PowerFunction(alpha)
-    base = clairvoyant(qinstance, alpha=alpha, exact_multi=exact_multi)
+    base = (
+        baseline
+        if baseline is not None
+        else clairvoyant(qinstance, alpha=alpha, exact_multi=exact_multi)
+    )
     return RatioMeasurement(
         algorithm=result.algorithm or getattr(algorithm, "__name__", "algorithm"),
         energy=result.energy(power),

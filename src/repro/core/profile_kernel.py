@@ -1,0 +1,341 @@
+"""Vectorized numpy kernel for piecewise-constant profile algebra.
+
+This module is the hot path under every benchmark in ``benchmarks/``: the
+:class:`~repro.core.profile.SpeedProfile` algebra (pointwise sum, scale,
+restriction), the energy integral ``E = integral s(t)**alpha dt``, batched
+``work_in`` interval queries, and the per-shard clairvoyant baselines of
+trace replay all bottom out here.  Profiles are represented as parallel
+breakpoint arrays ``(starts, ends, speeds)`` — one float64 entry per
+positive-speed segment, sorted and non-overlapping — and every operation
+is a handful of numpy array passes instead of a Python loop over
+:class:`~repro.core.profile.Segment` objects.
+
+**Determinism contract.**  Every kernel operation reproduces the
+pure-Python reference arithmetic *bit for bit*, so kernel-backed replay
+reports and cached engine entries are byte-identical to the pre-kernel
+ones (pinned by ``tests/test_profile_kernel.py``).  Three rules make that
+possible:
+
+* sums use :func:`sequential_sum` (``np.cumsum`` is a left-to-right
+  scan, unlike ``np.sum``'s pairwise reduction, so it matches Python's
+  ``sum()`` exactly);
+* power terms ``s**alpha`` are evaluated with Python's ``float.__pow__``
+  per element (numpy's SIMD ``np.power`` differs from libm by ULPs);
+* elementwise ``+ - * max min`` and ``searchsorted``/``bisect`` are
+  exact, so broadcasting them is free.
+
+The kernel can be switched off at runtime with :func:`pure_python` —
+:class:`~repro.core.profile.SpeedProfile` then falls back to the original
+segment-loop implementations.  The equality suite and the replay
+byte-identity test both diff the two modes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from .constants import EPS
+
+#: A normalized profile as parallel arrays: ``starts``, ``ends``,
+#: ``speeds`` (float64, equal length, sorted by start, non-overlapping,
+#: all speeds strictly positive).
+ProfileArrays = tuple[np.ndarray, np.ndarray, np.ndarray]
+
+_KERNEL_ENABLED: bool = True
+
+
+def kernel_enabled() -> bool:
+    """Whether profile operations dispatch to the numpy kernel."""
+    return _KERNEL_ENABLED
+
+
+@contextlib.contextmanager
+def pure_python() -> Iterator[None]:
+    """Context manager: force the pure-Python reference implementations.
+
+    Used by the equality/byte-identity tests and the perf-trajectory
+    recorder to measure the pre-kernel code paths.  Not thread safe (it
+    flips a module global) — test/bench use only.
+    """
+    global _KERNEL_ENABLED
+    previous = _KERNEL_ENABLED
+    _KERNEL_ENABLED = False
+    try:
+        yield
+    finally:
+        _KERNEL_ENABLED = previous
+
+
+def empty_arrays() -> ProfileArrays:
+    """The empty profile's array triple."""
+    z = np.empty(0, dtype=np.float64)
+    return (z, z.copy(), z.copy())
+
+
+def as_float_array(values: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Coerce to a 1-D float64 array (no copy when already one)."""
+    return np.asarray(values, dtype=np.float64)
+
+
+def sequential_sum(terms: np.ndarray) -> float:
+    """Left-to-right sum matching Python's ``sum()`` bit for bit.
+
+    Returns the int ``0`` on empty input, exactly like ``sum(())`` — the
+    distinction survives into JSON (``0`` vs ``0.0``), so byte-identical
+    reports require preserving it.
+    """
+    if terms.size == 0:
+        return 0
+    return float(np.cumsum(terms)[-1])
+
+
+def powers(speeds: np.ndarray, alpha: float) -> np.ndarray:
+    """``speeds**alpha`` elementwise via Python pow (libm-exact).
+
+    ``np.power`` uses SIMD kernels that differ from ``float.__pow__`` by
+    ULPs; the per-element loop keeps energies bit-identical to the
+    reference while everything around it stays vectorized.
+    """
+    return np.array([s**alpha for s in speeds.tolist()], dtype=np.float64)
+
+
+# -- normalization ------------------------------------------------------------------
+
+
+def normalize(
+    starts: np.ndarray, ends: np.ndarray, speeds: np.ndarray
+) -> ProfileArrays:
+    """Drop zero-speed segments and merge EPS-adjacent equal-speed runs.
+
+    Expects the segments already sorted by start and non-overlapping
+    (every kernel op preserves that invariant).  Reproduces the
+    ``SpeedProfile`` constructor's chain-merge semantics exactly: a
+    segment joins the current run when it touches the run's *current*
+    end and its speed is within ``EPS`` of the run's *first* speed.
+    """
+    keep = speeds > 0.0
+    if not keep.all():
+        starts, ends, speeds = starts[keep], ends[keep], speeds[keep]
+    k = starts.size
+    if k <= 1:
+        return (starts, ends, speeds)
+    # Screen: chain merging can only begin at a pair that touches with
+    # near-equal speeds; when no pair qualifies, nothing merges at all.
+    touch = np.abs(starts[1:] - ends[:-1]) <= EPS
+    close = np.abs(speeds[1:] - speeds[:-1]) <= EPS
+    if not bool(np.any(touch & close)):
+        return (starts, ends, speeds)
+    s_list, e_list, v_list = starts.tolist(), ends.tolist(), speeds.tolist()
+    ms: list[float] = [s_list[0]]
+    me: list[float] = [e_list[0]]
+    mv: list[float] = [v_list[0]]
+    for i in range(1, k):
+        if abs(me[-1] - s_list[i]) <= EPS and abs(mv[-1] - v_list[i]) <= EPS:
+            me[-1] = e_list[i]
+        else:
+            ms.append(s_list[i])
+            me.append(e_list[i])
+            mv.append(v_list[i])
+    return (as_float_array(ms), as_float_array(me), as_float_array(mv))
+
+
+def collapse_times(values: np.ndarray) -> np.ndarray:
+    """Sorted unique times with sub-EPS neighbours collapsed to the first.
+
+    Matches the reference ``sorted(set(...))`` + tolerance-collapse loop.
+    """
+    uniq = np.unique(values)
+    if uniq.size <= 1 or bool(np.all(np.diff(uniq) > EPS)):
+        return uniq
+    vals = uniq.tolist()
+    kept = [vals[0]]
+    for t in vals[1:]:
+        if t - kept[-1] > EPS:
+            kept.append(t)
+    return as_float_array(kept)
+
+
+# -- aggregates ---------------------------------------------------------------------
+
+
+def total_work(starts: np.ndarray, ends: np.ndarray, speeds: np.ndarray) -> float:
+    """``integral s(t) dt`` (left-to-right sum over segments)."""
+    return sequential_sum(speeds * (ends - starts))
+
+
+def energy(
+    starts: np.ndarray, ends: np.ndarray, speeds: np.ndarray, alpha: float
+) -> float:
+    """``integral s(t)**alpha dt`` — bit-identical to the segment loop."""
+    if speeds.size == 0:
+        return 0
+    return float(np.cumsum(powers(speeds, alpha) * (ends - starts))[-1])
+
+
+def max_speed(speeds: np.ndarray) -> float:
+    """Peak speed (0.0 for the empty profile)."""
+    if speeds.size == 0:
+        return 0.0
+    return float(speeds.max())
+
+
+def work_in(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    speeds: np.ndarray,
+    lo: float,
+    hi: float,
+) -> float:
+    """Work available in ``[lo, hi)`` — one scalar query."""
+    if hi <= lo or speeds.size == 0:
+        return 0.0
+    a = np.maximum(starts, lo)
+    b = np.minimum(ends, hi)
+    terms = np.where(b > a, speeds * (b - a), 0.0)
+    return float(np.cumsum(terms)[-1])
+
+
+def work_in_many(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    speeds: np.ndarray,
+    q_starts: np.ndarray,
+    q_ends: np.ndarray,
+) -> np.ndarray:
+    """Batched ``work_in`` over interval arrays (one broadcast pass).
+
+    Each row reproduces the scalar query's accumulation order exactly, so
+    ``work_in_many(...)[i] == work_in(..., q_starts[i], q_ends[i])``.
+    """
+    q_starts = as_float_array(q_starts)
+    q_ends = as_float_array(q_ends)
+    if speeds.size == 0 or q_starts.size == 0:
+        return np.zeros(q_starts.size, dtype=np.float64)
+    a = np.maximum(starts[None, :], q_starts[:, None])
+    b = np.minimum(ends[None, :], q_ends[:, None])
+    terms = np.where(b > a, speeds[None, :] * (b - a), 0.0)
+    out = np.cumsum(terms, axis=1)[:, -1]
+    out[q_ends <= q_starts] = 0.0
+    return out
+
+
+def speeds_at(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    speeds: np.ndarray,
+    times: np.ndarray,
+) -> np.ndarray:
+    """Batched point queries ``s(t)`` (segments closed-left, open-right)."""
+    times = as_float_array(times)
+    if speeds.size == 0:
+        return np.zeros(times.size, dtype=np.float64)
+    idx = np.searchsorted(starts, times, side="right") - 1
+    clipped = np.clip(idx, 0, speeds.size - 1)
+    inside = (idx >= 0) & (times >= starts[clipped]) & (times < ends[clipped])
+    return np.where(inside, speeds[clipped], 0.0)
+
+
+# -- algebra ------------------------------------------------------------------------
+
+
+def scale(arrays: ProfileArrays, factor: float) -> ProfileArrays:
+    """Pointwise speed scaling (re-normalized, like the constructor)."""
+    starts, ends, speeds = arrays
+    return normalize(starts, ends, speeds * factor)
+
+
+def restrict(arrays: ProfileArrays, lo: float, hi: float) -> ProfileArrays:
+    """Clip to ``[lo, hi)``."""
+    starts, ends, speeds = arrays
+    if speeds.size == 0:
+        return arrays
+    a = np.maximum(starts, lo)
+    b = np.minimum(ends, hi)
+    keep = b > a
+    return normalize(a[keep], b[keep], speeds[keep])
+
+
+def shift(arrays: ProfileArrays, delta: float) -> ProfileArrays:
+    """Translate in time by ``delta``."""
+    starts, ends, speeds = arrays
+    return normalize(starts + delta, ends + delta, speeds.copy())
+
+
+def _combine(
+    arrays_list: Sequence[ProfileArrays], pointwise_max: bool
+) -> ProfileArrays:
+    """Shared sum/max combinator over the union breakpoint grid.
+
+    Accumulates profiles one at a time (vectorized over the grid) so the
+    per-interval addition order equals the reference's left-to-right
+    ``sum(p.speed_at(mid) for p in profiles)``.
+    """
+    boundary_arrays = [a for arrs in arrays_list for a in (arrs[0], arrs[1])]
+    boundaries = (
+        np.concatenate(boundary_arrays)
+        if boundary_arrays
+        else np.empty(0, dtype=np.float64)
+    )
+    if boundaries.size == 0:
+        return empty_arrays()
+    grid = collapse_times(boundaries)
+    if grid.size < 2:
+        return empty_arrays()
+    mids = 0.5 * (grid[:-1] + grid[1:])
+    acc = np.zeros(mids.size, dtype=np.float64)
+    for starts, ends, speeds in arrays_list:
+        vals = speeds_at(starts, ends, speeds, mids)
+        acc = np.maximum(acc, vals) if pointwise_max else acc + vals
+    keep = acc > 0.0
+    return normalize(grid[:-1][keep], grid[1:][keep], acc[keep])
+
+
+def sum_arrays(arrays_list: Sequence[ProfileArrays]) -> ProfileArrays:
+    """Pointwise sum of many profiles (AVR's density stack)."""
+    return _combine(arrays_list, pointwise_max=False)
+
+
+def max_arrays(arrays_list: Sequence[ProfileArrays]) -> ProfileArrays:
+    """Pointwise maximum of many profiles."""
+    return _combine(arrays_list, pointwise_max=True)
+
+
+# -- batched clairvoyant baselines ---------------------------------------------------
+
+
+def shard_clairvoyant_values(
+    releases: Sequence[float] | np.ndarray,
+    deadlines: Sequence[float] | np.ndarray,
+    loads: Sequence[float] | np.ndarray,
+    alpha: float,
+) -> tuple[float, float]:
+    """Single-machine clairvoyant optimum of one shard, values only.
+
+    Takes the shard's derived classical loads ``p* = min(w, c + w*)`` as
+    flat arrays and returns ``(optimal_energy, optimal_max_speed)`` via
+    the discovery-only YDS loop — no EDF realization, no
+    :class:`~repro.core.schedule.Schedule` objects, and the compressed
+    timeline arithmetic runs through :meth:`TimelineCompressor.compress_many
+    <repro.speed_scaling.yds.TimelineCompressor.compress_many>` in one
+    vectorized pass per iteration.  Bit-identical to
+    ``yds(jobs).profile`` energy/max-speed.
+    """
+    from .job import Job
+    from .power import PowerFunction
+    from ..speed_scaling.yds import yds_profile
+
+    rel = as_float_array(releases)
+    dls = as_float_array(deadlines)
+    wks = as_float_array(loads)
+    jobs = [
+        Job(r, d, w, str(i))
+        for i, (r, d, w) in enumerate(zip(rel.tolist(), dls.tolist(), wks.tolist()))
+    ]
+    profile = yds_profile(jobs)
+    return (
+        profile.energy(PowerFunction(alpha)),
+        profile.max_speed(),
+    )

@@ -13,6 +13,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from collections.abc import Iterable
 
+from . import profile_kernel as _pk
 from .power import PowerFunction
 from .profile import Segment, SpeedProfile
 
@@ -117,6 +118,14 @@ class Schedule:
 
     def energy(self, power: PowerFunction) -> float:
         """Total energy over all machines."""
+        if _pk.kernel_enabled():
+            speeds = _pk.as_float_array(
+                [s.speed for per in self._slices for s in per]
+            )
+            durations = _pk.as_float_array(
+                [s.duration for per in self._slices for s in per]
+            )
+            return _pk.sequential_sum(_pk.powers(speeds, power.alpha) * durations)
         return sum(
             power.energy(s.speed, s.duration)
             for per in self._slices
@@ -125,6 +134,12 @@ class Schedule:
 
     def max_speed(self) -> float:
         """Peak speed over all machines and times."""
+        if _pk.kernel_enabled():
+            return _pk.max_speed(
+                _pk.as_float_array(
+                    [s.speed for per in self._slices for s in per]
+                )
+            )
         return max(
             (s.speed for per in self._slices for s in per), default=0.0
         )

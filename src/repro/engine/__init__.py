@@ -59,6 +59,7 @@ from .runner import (
     resolve_jobs,
     run_experiments,
 )
+from .session import UNSET, ExecutionSession, session_from_kwargs
 
 __all__ = [
     "CACHE_FORMAT_VERSION",
@@ -88,4 +89,7 @@ __all__ = [
     "map_measure",
     "resolve_jobs",
     "run_experiments",
+    "UNSET",
+    "ExecutionSession",
+    "session_from_kwargs",
 ]

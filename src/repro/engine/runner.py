@@ -45,6 +45,12 @@ from ..analysis.experiments import REGISTRY, ExperimentReport, resolve_kwargs
 
 if TYPE_CHECKING:
     from ..analysis.ratios import RatioMeasurement
+    from .session import ExecutionSession
+
+#: Sentinel for legacy kwargs: distinguishes "not passed" from an explicit
+#: ``None`` so :func:`repro.engine.session.session_from_kwargs` can tell
+#: which values should override an explicit session.
+_UNSET: Any = object()
 from ..core.constants import DEFAULT_ALPHA
 from .cache import ResultCache, cache_key
 from .faults import (
@@ -675,20 +681,29 @@ def run_experiments(
     names: Sequence[str],
     overrides: dict[str, dict] | None = None,
     *,
-    jobs: int | str = 1,
-    cache: bool = True,
-    cache_dir: str | Path | None = None,
-    package_version: str | None = None,
-    task_timeout: float | None = None,
-    retry: RetryPolicy | None = None,
-    fault_plan: FaultPlan | None = None,
-    tracer: Any | None = None,
-    metrics: Any | None = None,
+    session: "ExecutionSession | None" = None,
+    jobs: int | str = _UNSET,
+    cache: bool = _UNSET,
+    cache_dir: str | Path | None = _UNSET,
+    package_version: str | None = _UNSET,
+    task_timeout: float | None = _UNSET,
+    retry: RetryPolicy | None = _UNSET,
+    fault_plan: FaultPlan | None = _UNSET,
+    tracer: Any | None = _UNSET,
+    metrics: Any | None = _UNSET,
 ) -> EngineResult:
     """Evaluate ``names`` (registry keys), parallel, cached and fault tolerant.
 
     ``overrides`` maps an experiment name to keyword-argument overrides
     (already validated — see :func:`repro.analysis.experiments.resolve_kwargs`).
+    ``session`` (an :class:`~repro.engine.session.ExecutionSession`)
+    carries the execution context — pool size, cache, hardening and
+    observability — and can be shared across calls (one cache handle, one
+    tracer).  The individual kwargs below remain as the legacy spelling:
+    without a session they construct one ad hoc (pre-1.2 behaviour);
+    combined with an explicit session they are deprecated pass-throughs
+    that override its fields for this call.
+
     ``jobs > 1`` dispatches cache misses to a process pool; hits are served
     in-process; ``jobs=0`` or ``"auto"`` means one worker per CPU (see
     :func:`resolve_jobs`).  ``cache=False`` bypasses the cache entirely (no
@@ -710,15 +725,34 @@ def run_experiments(
     optional, cost nothing when omitted, and never touch report payloads —
     outputs are byte-identical with observability on or off.
     """
-    jobs = resolve_jobs(jobs)
-    if task_timeout is not None and task_timeout <= 0:
-        raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
-    retry = retry or RetryPolicy()
+    from .session import session_from_kwargs
+
+    session = session_from_kwargs(
+        session,
+        warn_name="run_experiments",
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+        package_version=package_version,
+        task_timeout=task_timeout,
+        retry=retry,
+        fault_plan=fault_plan,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    jobs = session.pool_jobs
+    package_version = session.package_version
+    task_timeout = session.task_timeout
+    retry = session.retry_policy
+    fault_plan = session.fault_plan
+    tracer = session.tracer
+    metrics = session.metrics
     unknown = [n for n in names if n not in REGISTRY]
     if unknown:
         raise KeyError(f"unknown experiments: {unknown}")
 
-    store = ResultCache(cache_dir, metrics=metrics) if cache else None
+    store = session.store
+    quarantined_before = store.quarantined if store is not None else 0
     tasks: list[_ExperimentTask] = []
     runs: list[ExperimentRun | None] = [None] * len(names)
     batch_span = (
@@ -836,16 +870,13 @@ def run_experiments(
         effective_jobs = jobs
         if len(tasks) <= 1 and task_timeout is None:
             effective_jobs = 1
-        stats = execute_hardened(
+        stats = session.execute(
             tasks,
             worker=_execute,
             payload=lambda t: (t.name, t.call_kwargs, t.task_key),
             on_success=on_success,
             on_failure=on_failure,
             jobs=min(effective_jobs, max(1, len(tasks))),
-            retry=retry,
-            task_timeout=task_timeout,
-            tracer=tracer,
             trace_parent=batch_span,
         )
 
@@ -857,7 +888,9 @@ def run_experiments(
         timeouts=stats.timeouts,
         pool_rebuilds=stats.pool_rebuilds,
         degraded=stats.degraded,
-        quarantined=store.quarantined if store is not None else 0,
+        quarantined=(
+            store.quarantined - quarantined_before if store is not None else 0
+        ),
     )
     if tracer is not None:
         tracer.end(

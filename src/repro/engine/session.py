@@ -1,0 +1,159 @@
+"""Execution sessions: one object owning the engine's execution context.
+
+Before 1.2, every entry point that wanted hardened execution —
+:func:`repro.engine.runner.run_experiments`,
+:func:`repro.traces.replay.replay_jobs` — threaded the same nine knobs by
+hand (pool size, cache toggle and directory, package version, deadline,
+retry policy, fault plan, tracer, metrics) into
+:func:`~repro.engine.runner.execute_hardened` and
+:class:`~repro.engine.cache.ResultCache`.  :class:`ExecutionSession`
+bundles them: construct one, hand it to any number of runs, and the pool
+configuration, cache handle and observability sinks are shared — the
+prerequisite shape for a long-lived ``qbss-serve`` process, where a single
+session must outlive many requests.
+
+The legacy keyword arguments on the entry points still work; passing them
+*alongside* an explicit ``session=`` is deprecated (the values override
+the session's fields for that call, with a :class:`DeprecationWarning`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any
+from collections.abc import Callable, Iterable
+
+from .cache import ResultCache
+from .faults import FaultPlan, RetryPolicy
+from .runner import (
+    _UNSET,
+    ExecutionStats,
+    HardenedTask,
+    execute_hardened,
+    resolve_jobs,
+)
+
+#: Sentinel distinguishing "caller did not pass this legacy kwarg" from an
+#: explicit ``None`` (several knobs have ``None`` as a meaningful value).
+#: Shared with the entry points' keyword defaults in ``runner.py``.
+UNSET: Any = _UNSET
+
+
+@dataclass
+class ExecutionSession:
+    """The execution context shared by engine and replay runs.
+
+    Fields mirror the legacy per-call kwargs one for one:
+
+    * ``jobs`` — pool size request (``int``, ``0``/``"auto"`` = per-CPU);
+    * ``cache``/``cache_dir``/``package_version`` — the content-addressed
+      :class:`~repro.engine.cache.ResultCache` configuration;
+    * ``task_timeout``/``retry``/``fault_plan`` — the hardening layer;
+    * ``tracer``/``metrics`` — the observability sinks
+      (:class:`repro.obs.Tracer` / :class:`repro.obs.MetricsRegistry`).
+
+    The cache handle is created lazily on first use and then reused for
+    the session's lifetime, so warm lookups across consecutive runs share
+    one store (and one quarantine tally — callers measure deltas).
+    """
+
+    jobs: int | str = 1
+    cache: bool = True
+    cache_dir: str | Path | None = None
+    package_version: str | None = None
+    task_timeout: float | None = None
+    retry: RetryPolicy | None = None
+    fault_plan: FaultPlan | None = None
+    tracer: Any | None = None
+    metrics: Any | None = None
+
+    def __post_init__(self) -> None:
+        resolve_jobs(self.jobs)  # fail fast on malformed requests
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be > 0, got {self.task_timeout}"
+            )
+        self._store: ResultCache | None = None
+
+    @property
+    def pool_jobs(self) -> int:
+        """The resolved concrete worker count (>= 1)."""
+        return resolve_jobs(self.jobs)
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The retry policy, defaulted (never ``None``)."""
+        return self.retry if self.retry is not None else RetryPolicy()
+
+    @property
+    def store(self) -> ResultCache | None:
+        """The session's result cache (lazy; ``None`` when caching is off)."""
+        if not self.cache:
+            return None
+        if self._store is None:
+            self._store = ResultCache(self.cache_dir, metrics=self.metrics)
+        return self._store
+
+    def execute(
+        self,
+        tasks: Iterable[HardenedTask],
+        *,
+        worker: Callable[..., dict[str, Any]],
+        payload: Callable[[HardenedTask], tuple],
+        on_success: Callable[[HardenedTask, dict[str, Any], bool], None],
+        on_failure: Callable[[HardenedTask, str, str | None], None],
+        jobs: int | None = None,
+        max_inflight: int | None = None,
+        trace_parent: Any | None = None,
+    ) -> ExecutionStats:
+        """Run ``tasks`` under this session's hardening and observability.
+
+        Thin wrapper over :func:`~repro.engine.runner.execute_hardened`
+        with the session supplying pool size, retry policy, deadline and
+        tracer.  ``jobs`` overrides the pool size for this call only (the
+        engine shrinks it to the task count).
+        """
+        return execute_hardened(
+            tasks,
+            worker=worker,
+            payload=payload,
+            on_success=on_success,
+            on_failure=on_failure,
+            jobs=self.pool_jobs if jobs is None else jobs,
+            retry=self.retry_policy,
+            task_timeout=self.task_timeout,
+            max_inflight=max_inflight,
+            tracer=self.tracer,
+            trace_parent=trace_parent,
+        )
+
+
+def session_from_kwargs(
+    session: ExecutionSession | None,
+    *,
+    warn_name: str,
+    **legacy: Any,
+) -> ExecutionSession:
+    """Merge an optional explicit session with legacy per-call kwargs.
+
+    ``legacy`` values equal to :data:`UNSET` were not passed by the
+    caller.  Without a session, the explicit kwargs simply construct one
+    (the pre-1.2 behaviour, no warning).  With a session, explicit kwargs
+    are deprecated pass-throughs: they override the session's fields for
+    this call behind a :class:`DeprecationWarning` naming the new form.
+    """
+    explicit = {k: v for k, v in legacy.items() if v is not UNSET}
+    if session is None:
+        return ExecutionSession(**explicit)
+    if explicit:
+        names = ", ".join(sorted(explicit))
+        warnings.warn(
+            f"passing {names} to {warn_name}() alongside session= is "
+            f"deprecated; set them on the ExecutionSession instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return replace(session, **explicit)
+    return session

@@ -94,6 +94,56 @@ def clairvoyant(
     )
 
 
+def clairvoyant_values(
+    qinstance: QBSSInstance,
+    *,
+    alpha: float = DEFAULT_ALPHA,
+    exact_multi: bool = False,
+) -> ClairvoyantBaseline:
+    """Values-only clairvoyant optimum (no schedule materialisation).
+
+    Produces the same ``energy_value`` / ``max_speed_value`` /
+    ``exact`` as :func:`clairvoyant` — bit for bit — but skips
+    everything ratio measurement never reads: on a single machine the
+    EDF realisation inside each YDS critical interval (via
+    :func:`~repro.speed_scaling.yds.yds_profile`), and on multiple
+    machines with ``exact_multi`` the ``optimal_schedule`` solve.  The
+    fast path for per-shard baselines in trace replay, where one
+    baseline serves every algorithm.
+    """
+    from ..speed_scaling.yds import yds_profile
+
+    star = qinstance.clairvoyant_instance()
+    if qinstance.machines == 1:
+        profile = yds_profile(list(star.jobs))
+        return ClairvoyantBaseline(
+            instance=qinstance,
+            star=star,
+            energy_value=profile.energy(PowerFunction(alpha)),
+            max_speed_value=profile.max_speed(),
+            schedule=None,
+            profile=profile,
+            exact=True,
+        )
+    jobs = list(star.jobs)
+    m = qinstance.machines
+    if exact_multi:
+        energy = convex_optimal_energy(jobs, m, alpha)
+        exact = True
+    else:
+        energy = pooled_lower_bound(jobs, m, alpha)
+        exact = False
+    return ClairvoyantBaseline(
+        instance=qinstance,
+        star=star,
+        energy_value=energy,
+        max_speed_value=max_speed_lower_bound(jobs, m),
+        schedule=None,
+        profile=None,
+        exact=exact,
+    )
+
+
 def optimal_energy(qinstance: QBSSInstance, alpha: float, exact_multi: bool = False) -> float:
     """Clairvoyant optimal energy (see :func:`clairvoyant`)."""
     return clairvoyant(qinstance, alpha=alpha, exact_multi=exact_multi).energy_value

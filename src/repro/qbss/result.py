@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from ..core.feasibility import FeasibilityReport, check_feasible
 from ..core.instance import Instance, QBSSInstance
 from ..core.power import PowerFunction
-from ..core.profile import SpeedProfile
+from ..core.profile import SpeedProfile, profiles_energy, profiles_max_speed
 from ..core.schedule import Schedule
 from .decisions import DecisionLog
 
@@ -50,12 +50,12 @@ class QBSSResult:
         return self.profiles[0]
 
     def energy(self, power: PowerFunction) -> float:
-        """Total energy across machines."""
-        return sum(p.energy(power) for p in self.profiles)
+        """Total energy across machines (shared kernel sum)."""
+        return profiles_energy(self.profiles, power)
 
     def max_speed(self) -> float:
         """Peak speed across machines."""
-        return max((p.max_speed() for p in self.profiles), default=0.0)
+        return profiles_max_speed(self.profiles)
 
     def validate(self, tol: float = 1e-6) -> FeasibilityReport:
         """Check the schedule is feasible for the derived instance."""

@@ -32,7 +32,7 @@ from collections.abc import Callable, Sequence
 from ...core.constants import EPS
 from ...core.job import Job
 from ...core.power import PowerFunction
-from ...core.profile import SpeedProfile
+from ...core.profile import SpeedProfile, profiles_energy, profiles_max_speed
 from ...core.schedule import Schedule
 from ..yds import yds
 
@@ -134,10 +134,10 @@ class NonMigratoryResult:
     schedule: Schedule
 
     def energy(self, power: PowerFunction) -> float:
-        return sum(p.energy(power) for p in self.profiles)
+        return profiles_energy(self.profiles, power)
 
     def max_speed(self) -> float:
-        return max((p.max_speed() for p in self.profiles), default=0.0)
+        return profiles_max_speed(self.profiles)
 
 
 def optimal_non_migratory(

@@ -22,7 +22,12 @@ from collections.abc import Sequence
 from ...core.constants import EPS
 from ...core.job import Job
 from ...core.power import PowerFunction
-from ...core.profile import Segment, SpeedProfile
+from ...core.profile import (
+    Segment,
+    SpeedProfile,
+    profiles_energy,
+    profiles_max_speed,
+)
 from ...core.schedule import Schedule
 from ...core.timeline import dedupe_times
 from .allocation import allocate_slot
@@ -45,10 +50,10 @@ class OAmResult:
         return not self.unfinished
 
     def energy(self, power: PowerFunction) -> float:
-        return sum(p.energy(power) for p in self.profiles)
+        return profiles_energy(self.profiles, power)
 
     def max_speed(self) -> float:
-        return max((p.max_speed() for p in self.profiles), default=0.0)
+        return profiles_max_speed(self.profiles)
 
 
 def oa_m(jobs: Sequence[Job], machines: int, alpha: float = 3.0) -> OAmResult:

@@ -20,14 +20,17 @@ and CRP2D calls YDS as a subroutine (Algorithm 2, line 6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from collections.abc import Sequence
+from dataclasses import dataclass, field
+from collections.abc import Iterator, Sequence
+
+import numpy as np
 
 from ..core.constants import EPS
 from ..core.edf import run_edf
 from ..core.job import Job
 from ..core.profile import Segment, SpeedProfile
 from ..core.schedule import Schedule
+from ..core import profile_kernel as _pk
 from ..core.timeline import dedupe_times
 
 
@@ -41,6 +44,7 @@ class TimelineCompressor:
     def __init__(self, origin: float) -> None:
         self.origin = origin
         self._cuts: list[tuple[float, float]] = []  # disjoint, sorted, merged
+        self._cut_arrays: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     @property
     def cuts(self) -> list[tuple[float, float]]:
@@ -57,6 +61,30 @@ class TimelineCompressor:
             else:
                 break
         return (t - self.origin) - removed
+
+    def compress_many(self, times: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`compress` over an array of original times.
+
+        Bit-identical to the scalar loop: the per-cut removed lengths are
+        accumulated left-to-right (``np.cumsum``), and the partial term of
+        the one cut straddling ``t`` is added last, exactly like the scalar
+        accumulation order.
+        """
+        ts = np.asarray(times, dtype=np.float64)
+        base = ts - self.origin
+        if not self._cuts:
+            return base
+        if self._cut_arrays is None:
+            a = np.array([c[0] for c in self._cuts], dtype=np.float64)
+            b = np.array([c[1] for c in self._cuts], dtype=np.float64)
+            self._cut_arrays = (a, b, np.concatenate([[0.0], np.cumsum(b - a)]))
+        a, b, cum = self._cut_arrays
+        k = np.searchsorted(b, ts, side="right")  # cuts fully below t
+        removed = cum[k]
+        ak = a[np.minimum(k, a.size - 1)]
+        straddles = (k < a.size) & (ak < ts)
+        removed = np.where(straddles, removed + (ts - ak), removed)
+        return base - removed
 
     def expand_interval(self, c1: float, c2: float) -> list[tuple[float, float]]:
         """Map compressed interval ``[c1, c2)`` back to original time.
@@ -94,6 +122,7 @@ class TimelineCompressor:
             else:
                 out.append((a, b))
         self._cuts = out
+        self._cut_arrays = None
 
 
 @dataclass(frozen=True)
@@ -117,21 +146,31 @@ class YDSResult:
 
 def _max_intensity(
     jobs: Sequence[Job], compressor: TimelineCompressor
-) -> tuple[float, float, float, list[Job]] | None:
+) -> tuple[float, float, float, list[Job], list[tuple[float, float]]] | None:
     """Find the compressed interval of maximum intensity.
 
-    Returns ``(intensity, c_start, c_end, critical_jobs)`` or ``None`` when
-    no positive-work interval exists.  Vectorised over all candidate
-    (release, deadline) pairs — this is the hot loop of YDS.
+    Returns ``(intensity, c_start, c_end, critical_jobs, comp_windows)`` —
+    where ``comp_windows`` are the critical jobs' compressed
+    ``(release, deadline)`` windows — or ``None`` when no positive-work
+    interval exists.  Vectorised over all candidate (release, deadline)
+    pairs — this is the hot loop of YDS; the coordinate mapping runs
+    through :meth:`TimelineCompressor.compress_many` in one pass.
     """
-    import numpy as np
-
-    comp_r = np.array([compressor.compress(j.release) for j in jobs])
-    comp_d = np.array([compressor.compress(j.deadline) for j in jobs])
+    if _pk.kernel_enabled():
+        comp_all = compressor.compress_many(
+            [j.release for j in jobs] + [j.deadline for j in jobs]
+        )
+        comp_r, comp_d = comp_all[: len(jobs)], comp_all[len(jobs):]
+        # collapse_times == dedupe_times on floats (sub-EPS chain collapse
+        # keeping the first of each group), minus the Python sort.
+        starts = _pk.collapse_times(comp_r)
+        ends = _pk.collapse_times(comp_d)
+    else:
+        comp_r = np.array([compressor.compress(j.release) for j in jobs])
+        comp_d = np.array([compressor.compress(j.deadline) for j in jobs])
+        starts = np.array(dedupe_times(comp_r))
+        ends = np.array(dedupe_times(comp_d))
     works = np.array([j.work for j in jobs])
-
-    starts = np.array(dedupe_times(comp_r))
-    ends = np.array(dedupe_times(comp_d))
 
     # in_start[i, j] : job j's compressed window starts at or after starts[i]
     in_start = comp_r[None, :] >= starts[:, None] - EPS
@@ -151,12 +190,74 @@ def _max_intensity(
     if not np.isfinite(intensity[i, k]):
         return None
     a, b = float(starts[i]), float(ends[k])
-    inside = [
-        j
-        for j, r, d in zip(jobs, comp_r, comp_d)
-        if r >= a - EPS and d <= b + EPS
-    ]
-    return (float(intensity[i, k]), a, b, inside)
+    inside: list[Job] = []
+    windows: list[tuple[float, float]] = []
+    for j, r, d in zip(jobs, comp_r.tolist(), comp_d.tolist()):
+        if r >= a - EPS and d <= b + EPS:
+            inside.append(j)
+            windows.append((r, d))
+    return (float(intensity[i, k]), a, b, inside, windows)
+
+
+@dataclass(frozen=True)
+class _DiscoveryStep:
+    """One critical interval as discovered, before timeline excision.
+
+    ``compressor`` is the live compressor in its *pre-cut* state — valid
+    only until the generator is advanced, which is exactly the window a
+    consumer needs to map compressed slices back to original time.
+    """
+
+    speed: float
+    c1: float
+    c2: float
+    jobs: list[Job]
+    comp_windows: list[tuple[float, float]]
+    original_cover: list[tuple[float, float]]
+    compressor: TimelineCompressor = field(repr=False)
+
+
+def _discover(jobs: Sequence[Job]) -> Iterator[_DiscoveryStep]:
+    """Yield the critical-interval decomposition step by step.
+
+    This is the schedule-free core of YDS: both :func:`yds` (which
+    additionally realises EDF inside each step) and :func:`yds_profile`
+    (which only needs the speeds and covers) drive it.
+    """
+    pending = [j for j in jobs if j.work > EPS]
+    if not pending:
+        return
+    origin = min(j.release for j in pending)
+    compressor = TimelineCompressor(origin)
+    while pending:
+        found = _max_intensity(pending, compressor)
+        if found is None:
+            break
+        speed, c1, c2, critical_jobs, comp_windows = found
+        original_cover = compressor.expand_interval(c1, c2)
+        yield _DiscoveryStep(
+            speed, c1, c2, critical_jobs, comp_windows, original_cover, compressor
+        )
+        compressor.cut(original_cover)
+        scheduled_ids = {j.id for j in critical_jobs}
+        pending = [j for j in pending if j.id not in scheduled_ids]
+
+
+def _step_critical(step: _DiscoveryStep) -> CriticalInterval:
+    return CriticalInterval(
+        speed=step.speed,
+        compressed=(step.c1, step.c2),
+        original_intervals=tuple(step.original_cover),
+        job_ids=tuple(sorted(j.id for j in step.jobs)),
+    )
+
+
+def _criticals_profile(criticals: Sequence[CriticalInterval]) -> SpeedProfile:
+    return SpeedProfile(
+        Segment(a, b, ci.speed)
+        for ci in criticals
+        for (a, b) in ci.original_intervals
+    )
 
 
 def yds(jobs: Sequence[Job]) -> YDSResult:
@@ -166,33 +267,16 @@ def yds(jobs: Sequence[Job]) -> YDSResult:
     concrete schedule, the optimal speed profile and the critical-interval
     decomposition (in discovery order, i.e. non-increasing speeds).
     """
-    pending = [j for j in jobs if j.work > EPS]
     schedule = Schedule(1)
     criticals: list[CriticalInterval] = []
 
-    if not pending:
-        return YDSResult(schedule, SpeedProfile(), criticals)
-
-    origin = min(j.release for j in pending)
-    compressor = TimelineCompressor(origin)
-
-    while pending:
-        found = _max_intensity(pending, compressor)
-        if found is None:
-            break
-        speed, c1, c2, critical_jobs = found
-
+    for step in _discover(jobs):
         # EDF inside the compressed critical interval with compressed windows.
         comp_jobs = [
-            Job(
-                max(compressor.compress(j.release), c1),
-                min(compressor.compress(j.deadline), c2),
-                j.work,
-                j.id,
-            )
-            for j in critical_jobs
+            Job(max(r, step.c1), min(d, step.c2), j.work, j.id)
+            for j, (r, d) in zip(step.jobs, step.comp_windows)
         ]
-        comp_profile = SpeedProfile.constant(c1, c2, speed)
+        comp_profile = SpeedProfile.constant(step.c1, step.c2, step.speed)
         result = run_edf(comp_jobs, comp_profile)
         if not result.feasible:  # pragma: no cover - guaranteed by YDS theory
             raise RuntimeError(
@@ -201,42 +285,25 @@ def yds(jobs: Sequence[Job]) -> YDSResult:
             )
 
         # Map compressed slices back to (possibly split) original time.
-        original_cover = compressor.expand_interval(c1, c2)
         for s in result.schedule.slices(0):
-            for (o1, o2) in _map_slice(compressor, s.start, s.end):
-                schedule.add(o1, o2, speed, s.job_id)
+            for (o1, o2) in step.compressor.expand_interval(s.start, s.end):
+                schedule.add(o1, o2, step.speed, s.job_id)
 
-        criticals.append(
-            CriticalInterval(
-                speed=speed,
-                compressed=(c1, c2),
-                original_intervals=tuple(original_cover),
-                job_ids=tuple(sorted(j.id for j in critical_jobs)),
-            )
-        )
+        criticals.append(_step_critical(step))
 
-        compressor.cut(original_cover)
-        scheduled_ids = {j.id for j in critical_jobs}
-        pending = [j for j in pending if j.id not in scheduled_ids]
-
-    profile = SpeedProfile(
-        Segment(a, b, ci.speed)
-        for ci in criticals
-        for (a, b) in ci.original_intervals
-    )
-    return YDSResult(schedule, profile, criticals)
-
-
-def _map_slice(
-    compressor: TimelineCompressor, c1: float, c2: float
-) -> list[tuple[float, float]]:
-    """Map one compressed slice back to original-time intervals."""
-    return compressor.expand_interval(c1, c2)
+    return YDSResult(schedule, _criticals_profile(criticals), criticals)
 
 
 def yds_profile(jobs: Sequence[Job]) -> SpeedProfile:
-    """The optimal speed profile only (convenience wrapper)."""
-    return yds(jobs).profile
+    """The optimal speed profile, without realising a schedule.
+
+    Identical to ``yds(jobs).profile`` but skips the per-interval EDF
+    simulation and :class:`~repro.core.schedule.Schedule` construction —
+    the fast path for clairvoyant baselines, which only need the profile's
+    energy and peak speed.
+    """
+    criticals = [_step_critical(step) for step in _discover(jobs)]
+    return _criticals_profile(criticals)
 
 
 def optimal_energy(jobs: Sequence[Job], alpha: float) -> float:

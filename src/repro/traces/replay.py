@@ -39,7 +39,6 @@ from .. import __version__ as PACKAGE_VERSION
 from ..analysis.tables import render_table
 from ..core.instance import QBSSInstance
 from ..core.qjob import QJob
-from ..engine.cache import ResultCache
 from ..engine.faults import (
     FailureInfo,
     FaultPlan,
@@ -50,7 +49,8 @@ from ..engine.faults import (
     corrupt_cache_entry,
     installed_fault_plan,
 )
-from ..engine.runner import HardenedTask, execute_hardened
+from ..engine.runner import _UNSET, HardenedTask
+from ..engine.session import ExecutionSession
 from ..qbss.registry import get_algorithm
 from .records import TraceOrderError
 
@@ -222,12 +222,18 @@ def _evaluate_shard(
     payload so cached and fresh results are indistinguishable.
     """
     from ..analysis.ratios import measure
+    from ..core.profile_kernel import kernel_enabled
     from ..io import qbss_instance_from_dict
+    from ..qbss.clairvoyant import clairvoyant_values
 
     qi = qbss_instance_from_dict(shard_doc["instance"])
+    # One clairvoyant baseline serves every algorithm of the shard (the
+    # values are identical per algorithm anyway).  Gated on the kernel flag
+    # so pure_python() reproduces the pre-kernel call graph exactly.
+    baseline = clairvoyant_values(qi, alpha=alpha) if kernel_enabled() else None
     rows = []
     for name in algorithms:
-        m = measure(name, qi, alpha=alpha)
+        m = measure(name, qi, alpha=alpha, baseline=baseline)
         bound = paper_energy_bound(name, alpha)
         rows.append(
             {
@@ -586,18 +592,27 @@ def replay_jobs(
     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
     alpha: float = 3.0,
     shard_window: float = 3600.0,
-    jobs: int | str = 1,
-    cache: bool = True,
-    cache_dir=None,
-    package_version: str | None = None,
+    session: "ExecutionSession | None" = None,
+    jobs: int | str = _UNSET,
+    cache: bool = _UNSET,
+    cache_dir=_UNSET,
+    package_version: str | None = _UNSET,
     meta: dict | None = None,
-    task_timeout: float | None = None,
-    retry: RetryPolicy | None = None,
-    fault_plan: FaultPlan | None = None,
-    tracer=None,
-    metrics=None,
+    task_timeout: float | None = _UNSET,
+    retry: RetryPolicy | None = _UNSET,
+    fault_plan: FaultPlan | None = _UNSET,
+    tracer=_UNSET,
+    metrics=_UNSET,
 ) -> tuple[ReplayReport, ReplayMetrics]:
     """Stream a release-sorted QJob iterable through sharded evaluation.
+
+    ``session`` (an :class:`~repro.engine.session.ExecutionSession`)
+    carries the execution context — pool, cache, hardening,
+    observability — and can be shared across replays (one cache handle).
+    The individual execution kwargs remain as the legacy spelling:
+    without a session they construct one ad hoc; alongside an explicit
+    session they are deprecated pass-throughs overriding its fields for
+    this call.
 
     ``meta`` carries the provenance fields of the report (source, format,
     noise model, seed, deadline_slack, skipped) — :func:`replay_trace`
@@ -623,15 +638,30 @@ def replay_jobs(
     ``qbss_cache_*`` and ``qbss_replay_*`` series.  Both are optional and
     never change report payloads.
     """
-    from ..engine.runner import resolve_jobs
+    from ..engine.session import session_from_kwargs
 
-    jobs = resolve_jobs(jobs)
-    if task_timeout is not None and task_timeout <= 0:
-        raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
-    retry = retry or RetryPolicy()
+    session = session_from_kwargs(
+        session,
+        warn_name="replay_jobs",
+        jobs=jobs,
+        cache=cache,
+        cache_dir=cache_dir,
+        package_version=package_version,
+        task_timeout=task_timeout,
+        retry=retry,
+        fault_plan=fault_plan,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    jobs = session.pool_jobs
+    package_version = session.package_version
+    task_timeout = session.task_timeout
+    fault_plan = session.fault_plan
+    tracer = session.tracer
     algorithms = validate_replay_algorithms(algorithms)
-    registry = metrics
-    store = ResultCache(cache_dir, metrics=registry) if cache else None
+    registry = session.metrics
+    store = session.store
+    quarantined_before = store.quarantined if store is not None else 0
     meta = dict(meta or {})
     start_wall = time.perf_counter()
     metrics = ReplayMetrics(
@@ -736,17 +766,13 @@ def replay_jobs(
                 }
             )
 
-        stats = execute_hardened(
+        stats = session.execute(
             shard_tasks(),
             worker=_evaluate_shard_task,
             payload=lambda t: (t.doc, algorithms, alpha, t.task_key),
             on_success=on_success,
             on_failure=on_failure,
-            jobs=jobs,
-            retry=retry,
-            task_timeout=task_timeout,
             max_inflight=2 * jobs if jobs > 1 else None,
-            tracer=tracer,
             trace_parent=batch_span,
         )
 
@@ -754,7 +780,9 @@ def replay_jobs(
     metrics.timeouts = stats.timeouts
     metrics.pool_rebuilds = stats.pool_rebuilds
     metrics.degraded = stats.degraded
-    metrics.quarantined = store.quarantined if store is not None else 0
+    metrics.quarantined = (
+        store.quarantined - quarantined_before if store is not None else 0
+    )
     metrics.wall_time = time.perf_counter() - start_wall
     if tracer is not None:
         tracer.end(
@@ -807,21 +835,23 @@ def replay_trace(
     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
     alpha: float = 3.0,
     shard_window: float = 3600.0,
-    jobs: int = 1,
-    cache: bool = True,
-    cache_dir=None,
-    package_version: str | None = None,
-    task_timeout: float | None = None,
-    retry: RetryPolicy | None = None,
-    fault_plan: FaultPlan | None = None,
-    tracer=None,
-    metrics=None,
+    session: ExecutionSession | None = None,
+    jobs: int = _UNSET,
+    cache: bool = _UNSET,
+    cache_dir=_UNSET,
+    package_version: str | None = _UNSET,
+    task_timeout: float | None = _UNSET,
+    retry: RetryPolicy | None = _UNSET,
+    fault_plan: FaultPlan | None = _UNSET,
+    tracer=_UNSET,
+    metrics=_UNSET,
 ) -> tuple[ReplayReport, ReplayMetrics]:
     """End-to-end replay: parse ``path``, synthesize uncertainty, shard,
     evaluate, aggregate.  The trace is streamed — bounded memory holds for
-    arbitrarily large files.  ``task_timeout``/``retry``/``fault_plan``
+    arbitrarily large files.  ``session`` bundles the execution context
+    (see :func:`replay_jobs`); ``task_timeout``/``retry``/``fault_plan``
     configure the hardened execution layer and ``tracer``/``metrics`` the
-    observability layer (see :func:`replay_jobs`)."""
+    observability layer, as legacy per-call spellings."""
     import itertools
 
     from .records import ParseStats
@@ -842,12 +872,18 @@ def replay_trace(
     stream = synthesize_jobs(
         records, model=noise_model, seed=seed, deadline_slack=deadline_slack
     )
-    registry = metrics
+    if metrics is not _UNSET:
+        registry = metrics
+    elif session is not None:
+        registry = session.metrics
+    else:
+        registry = None
     report, metrics = replay_jobs(
         stream,
         algorithms=algorithms,
         alpha=alpha,
         shard_window=shard_window,
+        session=session,
         jobs=jobs,
         cache=cache,
         cache_dir=cache_dir,
@@ -856,7 +892,7 @@ def replay_trace(
         retry=retry,
         fault_plan=fault_plan,
         tracer=tracer,
-        metrics=registry,
+        metrics=metrics,
         meta={
             "source": str(path),
             "trace_format": fmt,

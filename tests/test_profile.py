@@ -50,11 +50,28 @@ class TestConstruction:
             SpeedProfile([Segment(0, 2, 1.0), Segment(1, 3, 1.0)])
 
     def test_from_breakpoints(self):
-        p = SpeedProfile.from_breakpoints([0, 1, 3], [2.0, 1.0])
+        p = SpeedProfile.from_breakpoints(times=[0, 1, 3], speeds=[2.0, 1.0])
         assert p.speed_at(0.5) == 2.0
         assert p.speed_at(2.0) == 1.0
         with pytest.raises(ValueError):
-            SpeedProfile.from_breakpoints([0, 1], [1.0, 2.0])
+            SpeedProfile.from_breakpoints(times=[0, 1], speeds=[1.0, 2.0])
+
+    def test_from_breakpoints_positional_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="from_breakpoints"):
+            p = SpeedProfile.from_breakpoints([0, 1, 3], [2.0, 1.0])
+        assert p == SpeedProfile.from_breakpoints(times=[0, 1, 3], speeds=[2.0, 1.0])
+
+    def test_from_segments(self):
+        p = SpeedProfile.from_segments(
+            starts=[0.0, 2.0], ends=[1.0, 3.0], speeds=[2.0, 4.0]
+        )
+        assert p == SpeedProfile([Segment(0, 1, 2.0), Segment(2, 3, 4.0)])
+        with pytest.raises(ValueError):
+            SpeedProfile.from_segments(starts=[0.0], ends=[0.0], speeds=[1.0])
+        with pytest.raises(ValueError):
+            SpeedProfile.from_segments(starts=[0.0, 1.0], ends=[2.0, 3.0], speeds=[1.0, 1.0])
+        with pytest.raises(ValueError):
+            SpeedProfile.from_segments(starts=[0.0], ends=[1.0], speeds=[1.0, 2.0])
 
 
 class TestQueries:

@@ -1,0 +1,136 @@
+"""ExecutionSession: the shared execution-context object and its migration shims."""
+
+import warnings
+
+import pytest
+
+from repro.engine import (
+    ExecutionSession,
+    RetryPolicy,
+    run_experiments,
+    session_from_kwargs,
+)
+
+FAST = ["lemma42", "rho"]
+QUICK = RetryPolicy(max_attempts=2, backoff_base=0.0, backoff_cap=0.0)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        s = ExecutionSession()
+        assert s.pool_jobs == 1
+        assert s.cache is True
+        assert isinstance(s.retry_policy, RetryPolicy)
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ValueError, match="task_timeout"):
+            ExecutionSession(task_timeout=0.0)
+        with pytest.raises(ValueError, match="task_timeout"):
+            ExecutionSession(task_timeout=-1.5)
+
+    def test_rejects_bad_jobs_eagerly(self):
+        with pytest.raises(ValueError):
+            ExecutionSession(jobs="several")
+
+    def test_auto_jobs_resolve(self):
+        assert ExecutionSession(jobs="auto").pool_jobs >= 1
+        assert ExecutionSession(jobs=3).pool_jobs == 3
+
+    def test_store_is_lazy_and_reused(self, tmp_path):
+        s = ExecutionSession(cache_dir=tmp_path)
+        first = s.store
+        assert first is not None
+        assert s.store is first  # one handle for the session's lifetime
+
+    def test_store_none_when_cache_disabled(self):
+        assert ExecutionSession(cache=False).store is None
+
+    def test_retry_policy_defaulted(self):
+        assert ExecutionSession(retry=None).retry_policy.max_attempts >= 1
+        assert ExecutionSession(retry=QUICK).retry_policy is QUICK
+
+
+class TestSessionFromKwargs:
+    def test_no_session_builds_one_without_warning(self, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            s = session_from_kwargs(
+                None, warn_name="f", jobs=2, cache_dir=tmp_path
+            )
+        assert s.pool_jobs == 2
+        assert s.cache_dir == tmp_path
+
+    def test_session_passthrough_untouched(self):
+        base = ExecutionSession(jobs=2)
+        assert session_from_kwargs(base, warn_name="f") is base
+
+    def test_legacy_kwargs_alongside_session_warn_and_override(self):
+        base = ExecutionSession(jobs=2, task_timeout=30.0)
+        with pytest.warns(DeprecationWarning, match="jobs.*replay_jobs"):
+            merged = session_from_kwargs(base, warn_name="replay_jobs", jobs=4)
+        assert merged.pool_jobs == 4
+        assert merged.task_timeout == 30.0  # untouched fields carried over
+        assert base.pool_jobs == 2  # original session unchanged
+
+    def test_unset_kwargs_do_not_warn(self):
+        from repro.engine import UNSET
+
+        base = ExecutionSession()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert session_from_kwargs(base, warn_name="f", jobs=UNSET) is base
+
+
+class TestEntryPoints:
+    def test_run_experiments_accepts_session(self, tmp_path):
+        session = ExecutionSession(jobs=1, cache_dir=tmp_path, retry=QUICK)
+        via_session = run_experiments(FAST, session=session)
+        via_kwargs = run_experiments(
+            FAST, jobs=1, cache_dir=tmp_path, retry=QUICK
+        )
+        assert [r.name for r in via_session.runs] == [r.name for r in via_kwargs.runs]
+        assert [r.metrics.status for r in via_session.runs] == ["ok", "ok"]
+        for a, b in zip(via_session.reports, via_kwargs.reports):
+            assert a.render() == b.render()
+
+    def test_session_reuse_shares_cache(self, tmp_path):
+        session = ExecutionSession(jobs=1, cache_dir=tmp_path, retry=QUICK)
+        cold = run_experiments(FAST, session=session)
+        warm = run_experiments(FAST, session=session)
+        assert [r.metrics.cache_hit for r in cold.runs] == [False, False]
+        assert [r.metrics.cache_hit for r in warm.runs] == [True, True]
+
+    def test_legacy_kwarg_with_session_warns(self, tmp_path):
+        session = ExecutionSession(jobs=1, cache_dir=tmp_path, retry=QUICK)
+        with pytest.warns(DeprecationWarning, match="run_experiments"):
+            result = run_experiments(
+                ["lemma42"], session=session, package_version="x.y.z"
+            )
+        assert result.runs[0].metrics.status == "ok"
+
+    def test_replay_jobs_accepts_session(self, tmp_path):
+        from repro.core.qjob import QJob
+        from repro.traces.replay import replay_jobs
+
+        def stream():
+            yield QJob(0.0, 3600.0, 1.0, 30.0, 12.0, "a")
+            yield QJob(100.0, 4000.0, 1.0, 25.0, 5.0, "b")
+
+        session = ExecutionSession(jobs=1, cache_dir=tmp_path, retry=QUICK)
+        report, metrics = replay_jobs(stream(), session=session)
+        assert report.shards
+        assert metrics.shards == len(report.shards)
+
+    def test_replay_quarantine_reported_as_delta(self, tmp_path):
+        """A reused session's store accumulates; per-run metrics must not."""
+        from repro.core.qjob import QJob
+        from repro.traces.replay import replay_jobs
+
+        def stream():
+            yield QJob(0.0, 3600.0, 1.0, 30.0, 12.0, "a")
+
+        session = ExecutionSession(jobs=1, cache_dir=tmp_path, retry=QUICK)
+        _, m1 = replay_jobs(stream(), session=session)
+        _, m2 = replay_jobs(stream(), session=session)
+        assert m1.quarantined == 0
+        assert m2.quarantined == 0
