@@ -1,12 +1,17 @@
-"""The machine-readable perf trajectory of the profile kernel (PR 6).
+"""The machine-readable perf trajectory (profile kernel, PR 6; serve, PR 7).
 
-Measures every tracked benchmark twice on the *same* machine — once with
-the numpy kernel disabled (``repro.core.profile_kernel.pure_python()``,
-i.e. the exact pre-kernel code path) and once with it enabled — and
-records the pair in ``BENCH_6.json`` at the repo root::
+Measures every tracked benchmark twice on the *same* machine and records
+the pair in a ``BENCH_*.json`` at the repo root::
 
     {"<bench>": {"before": <float>, "after": <float>,
-                 "unit": "ms" | "shards/s", "commit": "<short sha>"}}
+                 "unit": "ms" | "shards/s" | "jobs/s", "commit": "<short sha>"}}
+
+For the profile-kernel benches, ``before`` runs with the numpy kernel
+disabled (``repro.core.profile_kernel.pure_python()``, i.e. the exact
+pre-kernel code path) and ``after`` with it enabled.  The serve bench
+compares a different axis: ``before`` is a cold ``qbss-replay`` CLI
+subprocess (full interpreter + import + session startup per workload),
+``after`` the same workload submitted to a warm ``qbss-serve`` daemon.
 
 ``before``/``after`` are best-of-``--repeats`` measurements.  For time
 units lower is better and the speedup is ``before / after``; for rate
@@ -14,8 +19,8 @@ units (``.../s``) higher is better and the speedup is ``after / before``.
 
 Usage::
 
-    python benchmarks/perf_trajectory.py --record            # write BENCH_6.json
-    python benchmarks/perf_trajectory.py --check BENCH_6.json  # CI gate
+    python benchmarks/perf_trajectory.py --record --output BENCH_7.json
+    python benchmarks/perf_trajectory.py --check BENCH_7.json  # CI gate
 
 ``--check`` re-measures on the current machine and fails (exit 1) when any
 bench's speedup drops more than 10% below the committed trajectory
@@ -81,17 +86,24 @@ def qjob_stream(n=120, seed=7):
 
 # -- the tracked benchmarks ----------------------------------------------------------
 #
-# Each entry: name -> (unit, before_callable, after_callable).  ``before``
-# runs inside pure_python() (the pre-kernel path); ``after`` runs with the
-# kernel on.  Where the kernel also changed the *algorithm* (yds_profile
-# skips EDF, replay shares one clairvoyant baseline per shard), ``before``
-# is the pre-kernel way of computing the same artifact.
+# Each entry: name -> (unit, before_callable, after_callable[, opts]).
+# By default ``before`` runs inside pure_python() (the pre-kernel path)
+# and ``after`` runs with the kernel on.  Where the kernel also changed
+# the *algorithm* (yds_profile skips EDF, replay shares one clairvoyant
+# baseline per shard), ``before`` is the pre-kernel way of computing the
+# same artifact.  ``opts`` tunes measurement:
+#   "pure_python": False  — the before path is not a kernel toggle (the
+#                           serve bench's before is a cold CLI subprocess),
+#                           so don't wrap it in pure_python();
+#   "count": callable     — item count for rate units (items/second).
 
 
 def _bench_profile_energy():
     power = PowerFunction(3.0)
     profile = dense_profile(2000)
-    return lambda: profile.energy(power)
+    # 20 calls per sample: one energy() is ~0.2ms, inside timer noise;
+    # the ratio (all --check compares) is unaffected by the batching.
+    return lambda: [profile.energy(power) for _ in range(20)]
 
 
 def _bench_sum_profiles():
@@ -128,10 +140,84 @@ def _bench_replay(unit_holder):
     return run
 
 
+SERVE_N_JOBS = 200
+SERVE_SHARD_WINDOW = 100.0
+SERVE_SEED = 3
+
+
+def _serve_workload():
+    jobs = []
+    for i in range(SERVE_N_JOBS):
+        release = i * 2.0
+        jobs.append(
+            {
+                "id": f"j{i}",
+                "release": release,
+                "deadline": release + 40.0,
+                "runtime": 1.0 + (i % 7) * 0.5,
+            }
+        )
+    return jobs
+
+
+def _bench_serve(cleanups):
+    """(cold CLI callable, warm daemon callable) over the same workload."""
+    import os
+    import tempfile
+
+    from repro.serve import Client, QbssServer, ServeConfig
+
+    tmp = tempfile.TemporaryDirectory(prefix="qbss-serve-bench-")
+    cleanups.append(tmp.cleanup)
+    jobs = _serve_workload()
+    trace = Path(tmp.name) / "jobs.jsonl"
+    trace.write_text("".join(json.dumps(j) + "\n" for j in jobs))
+
+    def cold():
+        env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "import sys; from repro.cli import replay_main;"
+                " sys.exit(replay_main(sys.argv[1:]))",
+                str(trace),
+                "--shard-window", str(SERVE_SHARD_WINDOW),
+                "--seed", str(SERVE_SEED),
+                "--jobs", "1",
+                "--no-cache",
+            ],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(f"cold qbss-replay failed: {proc.stderr}")
+
+    server = QbssServer(
+        ServeConfig(
+            shard_window=SERVE_SHARD_WINDOW, seed=SERVE_SEED,
+            jobs=1, cache=False,
+        )
+    )
+    server.start()
+
+    def shutdown():
+        server.begin_drain()
+        server.drain(timeout=120.0)
+        server.stop()
+
+    cleanups.append(shutdown)
+    client = Client("127.0.0.1", server.port, client_id="perf-trajectory")
+    client.submit(jobs)  # warm the session before any timing
+
+    return cold, (lambda: client.submit(jobs))
+
+
 def build_benches():
     yds_jobs = classical(100)
     clair_jobs = classical(200)
     replay_meta: dict = {}
+    cleanups: list = []
+    serve_cold, serve_warm = _bench_serve(cleanups)
     return {
         "profile_energy_2000seg": (
             "ms", _bench_profile_energy(), _bench_profile_energy()),
@@ -150,17 +236,40 @@ def build_benches():
         ),
         "replay_shards": (
             "shards/s", _bench_replay(replay_meta), _bench_replay(replay_meta),
+            {"count": lambda: replay_meta.get("shards", 0) or 1},
         ),
-    }, replay_meta
+        # Warm daemon vs cold CLI: the before is a subprocess, not a
+        # kernel toggle — never wrap it in pure_python().
+        "serve_jobs_200": (
+            "jobs/s", serve_cold, serve_warm,
+            {"pure_python": False, "count": lambda: SERVE_N_JOBS},
+        ),
+    }, cleanups
 
 
-def best_of(fn, repeats):
-    best = float("inf")
+def time_once(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def best_of_pair(before_fn, after_fn, repeats, *, toggle_kernel=True):
+    """Best-of-``repeats`` for both paths, measured interleaved.
+
+    Interleaving samples the two paths across the *same* wall-clock
+    window, so a load spike on a shared machine inflates both minima or
+    neither — consecutive-block timing skewed the ratio whenever the
+    spike covered exactly one block.
+    """
+    before_best = after_best = float("inf")
     for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
+        if toggle_kernel:
+            with pk.pure_python():
+                before_best = min(before_best, time_once(before_fn))
+        else:
+            before_best = min(before_best, time_once(before_fn))
+        after_best = min(after_best, time_once(after_fn))
+    return before_best, after_best
 
 
 def is_rate(unit: str) -> bool:
@@ -174,32 +283,41 @@ def speedup(entry: dict) -> float:
 
 
 def measure(repeats: int) -> dict:
-    benches, replay_meta = build_benches()
+    benches, cleanups = build_benches()
     commit = subprocess.run(
         ["git", "rev-parse", "--short", "HEAD"],
         cwd=REPO_ROOT, capture_output=True, text=True, check=False,
     ).stdout.strip() or "unknown"
     out = {}
-    for name, (unit, before_fn, after_fn) in benches.items():
-        with pk.pure_python():
-            before_s = best_of(before_fn, repeats)
-        after_s = best_of(after_fn, repeats)
-        if is_rate(unit):
-            shards = replay_meta.get("shards", 0) or 1
-            before, after = shards / before_s, shards / after_s
-        else:
-            before, after = before_s * 1e3, after_s * 1e3
-        out[name] = {
-            "before": round(before, 4),
-            "after": round(after, 4),
-            "unit": unit,
-            "commit": commit,
-        }
-        print(
-            f"{name:28s} before={before:10.3f} after={after:10.3f} {unit:8s}"
-            f" speedup={speedup(out[name]):6.2f}x",
-            file=sys.stderr,
-        )
+    try:
+        for name, entry in benches.items():
+            unit, before_fn, after_fn = entry[:3]
+            opts = entry[3] if len(entry) > 3 else {}
+            before_s, after_s = best_of_pair(
+                before_fn,
+                after_fn,
+                repeats,
+                toggle_kernel=opts.get("pure_python", True),
+            )
+            if is_rate(unit):
+                count = opts["count"]()
+                before, after = count / before_s, count / after_s
+            else:
+                before, after = before_s * 1e3, after_s * 1e3
+            out[name] = {
+                "before": round(before, 4),
+                "after": round(after, 4),
+                "unit": unit,
+                "commit": commit,
+            }
+            print(
+                f"{name:28s} before={before:10.3f} after={after:10.3f} {unit:8s}"
+                f" speedup={speedup(out[name]):6.2f}x",
+                file=sys.stderr,
+            )
+    finally:
+        for cleanup in reversed(cleanups):
+            cleanup()
     return out
 
 
@@ -256,8 +374,8 @@ def main(argv=None) -> int:
         help="re-measure and fail on >10%% regression vs FILE",
     )
     parser.add_argument(
-        "--output", type=Path, default=REPO_ROOT / "BENCH_6.json",
-        help="trajectory file written by --record (default: BENCH_6.json)",
+        "--output", type=Path, default=REPO_ROOT / "BENCH_7.json",
+        help="trajectory file written by --record (default: BENCH_7.json)",
     )
     parser.add_argument(
         "--repeats", type=int, default=5,

@@ -1,0 +1,137 @@
+"""SERVE — sustained submission throughput, warm daemon vs cold CLI.
+
+The point of ``qbss-serve`` is amortization: one warm
+:class:`~repro.engine.session.ExecutionSession` (interpreter, imports,
+pool, open cache) answers a stream of submissions, where the CLI pays
+full process startup per invocation.  This bench submits the same
+workload repeatedly to a live daemon and via cold ``qbss-replay``
+subprocesses, records both in jobs/second, and asserts
+
+* the warm path dominates the cold path, and
+* every warm submission is byte-identical to the first (the serve
+  determinism guarantee, cache off so each one really evaluates).
+
+Writes ``benchmarks/results/serve_throughput.json``; CI uploads the
+``benchmarks/results`` JSONs as an artifact.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import Client, QbssServer, ServeConfig
+from repro.serve.protocol import encode_jsonl
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+N_JOBS = 200
+N_SUBMISSIONS = 3
+SHARD_WINDOW = 100.0
+SEED = 3
+
+
+def workload_jobs():
+    jobs = []
+    for i in range(N_JOBS):
+        release = i * 2.0
+        jobs.append(
+            {
+                "id": f"j{i}",
+                "release": release,
+                "deadline": release + 40.0,
+                "runtime": 1.0 + (i % 7) * 0.5,
+            }
+        )
+    return jobs
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serve_bench") / "jobs.jsonl"
+    with open(path, "w") as fh:
+        for job in workload_jobs():
+            fh.write(json.dumps(job) + "\n")
+    return path
+
+
+def run_cold_cli(trace_path):
+    """One cold ``qbss-replay`` of the workload in a fresh interpreter."""
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "import sys; from repro.cli import replay_main; sys.exit(replay_main(sys.argv[1:]))",
+            str(trace_path),
+            "--shard-window",
+            str(SHARD_WINDOW),
+            "--seed",
+            str(SEED),
+            "--jobs",
+            "1",
+            "--no-cache",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc
+
+
+def test_bench_serve_warm_vs_cold_cli(trace_path, results_dir):
+    server = QbssServer(
+        ServeConfig(
+            shard_window=SHARD_WINDOW, seed=SEED, jobs=1, cache=False
+        )
+    )
+    server.start()
+    try:
+        client = Client("127.0.0.1", server.port, client_id="bench")
+        jobs = workload_jobs()
+        client.submit(jobs)  # warm the session before timing
+
+        t0 = time.perf_counter()
+        results = [client.submit(jobs) for _ in range(N_SUBMISSIONS)]
+        warm_wall = time.perf_counter() - t0
+    finally:
+        server.begin_drain()
+        server.drain(timeout=120.0)
+        server.stop()
+
+    t0 = time.perf_counter()
+    for _ in range(N_SUBMISSIONS):
+        run_cold_cli(trace_path)
+    cold_wall = time.perf_counter() - t0
+
+    total_jobs = N_JOBS * N_SUBMISSIONS
+    warm_rate = total_jobs / warm_wall
+    cold_rate = total_jobs / cold_wall
+
+    # determinism: cache is off, every submission truly evaluated, and
+    # every response stream is byte-identical to the first
+    first = encode_jsonl(results[0].shards)
+    for result in results[1:]:
+        assert encode_jsonl(result.shards) == first
+
+    payload = {
+        "n_jobs_per_submission": N_JOBS,
+        "n_submissions": N_SUBMISSIONS,
+        "warm_jobs_per_s": round(warm_rate, 2),
+        "cold_cli_jobs_per_s": round(cold_rate, 2),
+        "speedup": round(warm_rate / cold_rate, 2),
+    }
+    (results_dir / "serve_throughput.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"[BENCH serve] {json.dumps(payload)}", file=sys.stderr)
+
+    assert warm_rate > cold_rate, (
+        f"warm daemon ({warm_rate:.1f} jobs/s) must beat cold CLI "
+        f"({cold_rate:.1f} jobs/s)"
+    )

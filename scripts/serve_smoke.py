@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the ``qbss-serve`` daemon lifecycle.
+
+Launches the real console entry point as a subprocess, submits 100 jobs
+through the typed client, scrapes ``/metrics``, sends SIGTERM under a
+freshly-submitted load, and asserts
+
+* the daemon exits 0 (graceful drain),
+* every admitted job was completed (``admitted == completed`` on the
+  final scrape is checked indirectly: the last submission's response
+  arrives *before* the exit, because drain flushes in-flight batches),
+* post-drain submissions are rejected with a structured ``draining`` /
+  connection-level error, never a hang.
+
+Exit code 0 = all assertions held.  Used by the CI serve job; also
+runnable locally: ``python scripts/serve_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import Client, ServeClientError  # noqa: E402
+
+N_JOBS = 100
+SHARD_WINDOW = 50.0
+
+
+def wait_for_port_file(path: Path, proc: subprocess.Popen, timeout: float = 30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"daemon died during startup (exit {proc.returncode})"
+            )
+        if path.exists() and path.read_text().strip():
+            host, _, port = path.read_text().strip().rpartition(":")
+            return host, int(port)
+        time.sleep(0.05)
+    raise RuntimeError("daemon did not write its port file in time")
+
+
+def jobs(n: int = N_JOBS):
+    out = []
+    for i in range(n):
+        release = i * 1.0
+        out.append(
+            {
+                "id": f"smoke{i}",
+                "release": release,
+                "deadline": release + 25.0,
+                "runtime": 1.0 + (i % 5) * 0.5,
+            }
+        )
+    return out
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="qbss-serve-smoke-"))
+    port_file = tmp / "port"
+    log_path = tmp / "serve.log"
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    with open(log_path, "w") as log:
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.serve.cli",
+                "--bind", "127.0.0.1:0",
+                "--port-file", str(port_file),
+                "--shard-window", str(SHARD_WINDOW),
+                "--seed", "3",
+                "--jobs", "1",
+                "--cache-dir", str(tmp / "cache"),
+            ],
+            env=env,
+            cwd=REPO_ROOT,
+            stderr=log,
+        )
+    try:
+        host, port = wait_for_port_file(port_file, proc)
+        client = Client(host, port, client_id="smoke")
+
+        health = client.healthz()
+        assert health["status"] == "ok", health
+
+        result = client.submit(jobs())
+        assert result.ok, result.failed_shards
+        assert result.summary["n_jobs"] == N_JOBS, result.summary
+        print(
+            f"smoke: {N_JOBS} jobs -> {result.n_shards} shards, "
+            f"avrq ratios {['%.3f' % r for r in result.ratios_for('avrq')][:3]}..."
+        )
+
+        samples = client.metrics()
+        admitted = samples[("qbss_serve_jobs_admitted_total", ())]
+        completed = samples[("qbss_serve_jobs_completed_total", ())]
+        assert admitted == completed == float(N_JOBS), (admitted, completed)
+        assert samples[("qbss_serve_queue_depth", ())] == 0.0
+
+        # drain under load: submit again, SIGTERM while the daemon is
+        # warm, and require the flushed response *and* a clean exit
+        second = client.submit(jobs())
+        proc.send_signal(signal.SIGTERM)
+        try:
+            # Signal-handler latency is bounded (~0.5s poll in the CLI)
+            # but nonzero: retry until the daemon rejects, then require a
+            # structured 503 or a closed listener — never a hang.
+            rejected = False
+            client_late = Client(host, port, client_id="late", timeout=10.0)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                try:
+                    client_late.submit(jobs(2))
+                except (ServeClientError, OSError):
+                    rejected = True  # structured 503 or listener down
+                    break
+                time.sleep(0.1)
+            assert rejected, "post-SIGTERM submissions kept being admitted"
+        finally:
+            exit_code = proc.wait(timeout=60.0)
+        assert exit_code == 0, f"daemon exited {exit_code}"
+        assert second.summary["n_jobs"] == N_JOBS
+        assert json.dumps(second.shards, sort_keys=True) == json.dumps(
+            result.shards, sort_keys=True
+        ), "drain-time submission diverged from the first"
+        print("smoke: graceful drain ok (exit 0, responses flushed)")
+        log_text = log_path.read_text()
+        assert "drained cleanly" in log_text, log_text
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        sys.stderr.write(log_path.read_text())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,7 +28,16 @@ import argparse
 import os
 import sys
 
+from . import __version__ as PACKAGE_VERSION
 from .analysis.experiments import REGISTRY, experiment_params, resolve_kwargs
+
+
+def _add_version_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {PACKAGE_VERSION}",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,6 +48,7 @@ def build_parser() -> argparse.ArgumentParser:
             "Explorable Uncertainty' (SPAA 2021)."
         ),
     )
+    _add_version_argument(parser)
     parser.add_argument(
         "experiment",
         nargs="?",
@@ -424,6 +434,7 @@ def build_replay_parser() -> argparse.ArgumentParser:
             "optimum."
         ),
     )
+    _add_version_argument(parser)
     parser.add_argument("trace", help="path to the trace file")
     parser.add_argument(
         "--format",

@@ -57,6 +57,11 @@ class ExecutionSession:
     The cache handle is created lazily on first use and then reused for
     the session's lifetime, so warm lookups across consecutive runs share
     one store (and one quarantine tally — callers measure deltas).
+
+    Long-lived holders (``qbss-serve``) retire a session with
+    :meth:`close` — idempotent, after which :meth:`execute` and
+    :attr:`store` raise :class:`RuntimeError` — or use the session as a
+    context manager.
     """
 
     jobs: int | str = 1
@@ -76,6 +81,37 @@ class ExecutionSession:
                 f"task_timeout must be > 0, got {self.task_timeout}"
             )
         self._store: ResultCache | None = None
+        self._closed: bool = False
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Retire the session.  Idempotent; drops the cache handle.
+
+        A closed session refuses further work (:meth:`execute` and
+        :attr:`store` raise :class:`RuntimeError`) so lifecycle bugs in
+        long-lived holders surface as clear errors, not stale-handle
+        corruption.
+        """
+        self._closed = True
+        self._store = None
+
+    def __enter__(self) -> ExecutionSession:
+        self._check_open()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "ExecutionSession is closed; submitting work to a closed "
+                "session is a bug — create a new session instead"
+            )
 
     @property
     def pool_jobs(self) -> int:
@@ -90,6 +126,7 @@ class ExecutionSession:
     @property
     def store(self) -> ResultCache | None:
         """The session's result cache (lazy; ``None`` when caching is off)."""
+        self._check_open()
         if not self.cache:
             return None
         if self._store is None:
@@ -115,6 +152,7 @@ class ExecutionSession:
         tracer.  ``jobs`` overrides the pool size for this call only (the
         engine shrinks it to the task count).
         """
+        self._check_open()
         return execute_hardened(
             tasks,
             worker=worker,

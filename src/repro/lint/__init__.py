@@ -25,6 +25,7 @@ the rare justified exception.
 from __future__ import annotations
 
 from .baseline import Baseline, BaselineEntry
+from .config import LintConfig, LintConfigError, discover_config, load_config
 from .engine import LintRun, collect_files, lint_paths, render_json, render_text
 from .findings import LINT_FORMAT_VERSION, Finding
 from .rules import Rule, all_rules, select_rules
@@ -34,11 +35,15 @@ __all__ = [
     "BaselineEntry",
     "Finding",
     "LINT_FORMAT_VERSION",
+    "LintConfig",
+    "LintConfigError",
     "LintRun",
     "Rule",
     "all_rules",
     "collect_files",
+    "discover_config",
     "lint_paths",
+    "load_config",
     "render_json",
     "render_text",
     "select_rules",

@@ -1,0 +1,94 @@
+"""Lint configuration: the project-tunable knobs of the rule set.
+
+Most of qbss-lint is deliberately *not* configurable — the invariants it
+enforces are the repository's own contracts, and a knob to weaken them
+would defeat the gate.  The one legitimate per-project degree of freedom
+is QL003's sanctioned environment-variable set: the fault-injection hook
+``QBSS_FAULT_PLAN`` is always allowed, and a deployment may sanction
+additional keys (e.g. the server's ``QBSS_SERVE_BIND``) without
+weakening worker-body purity for everything else.
+
+Configuration lives in a ``.qbss-lint.json`` file at the lint root::
+
+    {
+      "version": 1,
+      "sanctioned_env": ["QBSS_SERVE_BIND"]
+    }
+
+``sanctioned_env`` is additive — the defaults can never be removed, so a
+config file can only *extend* the sanctioned set, not strip the fault
+hook out of it.  :func:`discover_config` picks the file up automatically
+(``lint_paths`` calls it with the lint root); ``qbss-lint --config``
+points at an explicit file or disables discovery with ``none``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Discovered automatically at the lint root.
+CONFIG_FILENAME = ".qbss-lint.json"
+LINT_CONFIG_VERSION = 1
+
+#: The always-sanctioned environment keys (the fault-injection hook) and
+#: the module-constant names that refer to them.
+DEFAULT_SANCTIONED_ENV_KEYS = frozenset({"QBSS_FAULT_PLAN"})
+DEFAULT_SANCTIONED_ENV_NAMES = frozenset({"FAULT_PLAN_ENV"})
+
+
+class LintConfigError(ValueError):
+    """A malformed lint-config file, with the path in the message."""
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved lint configuration (defaults always included)."""
+
+    sanctioned_env_keys: frozenset[str] = DEFAULT_SANCTIONED_ENV_KEYS
+    sanctioned_env_names: frozenset[str] = DEFAULT_SANCTIONED_ENV_NAMES
+    source: str | None = field(default=None, compare=False)
+
+
+def load_config(path: Path) -> LintConfig:
+    """Parse one config file; raises :class:`LintConfigError`."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintConfigError(f"{path}: cannot read lint config: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintConfigError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise LintConfigError(f"{path}: lint config must be a JSON object")
+    version = data.get("version")
+    if version != LINT_CONFIG_VERSION:
+        raise LintConfigError(
+            f"{path}: unsupported lint-config version {version!r} "
+            f"(expected {LINT_CONFIG_VERSION})"
+        )
+    unknown = sorted(set(data) - {"version", "sanctioned_env"})
+    if unknown:
+        raise LintConfigError(
+            f"{path}: unknown lint-config key(s): {', '.join(unknown)}"
+        )
+    extra = data.get("sanctioned_env", [])
+    if not isinstance(extra, list) or not all(
+        isinstance(key, str) and key for key in extra
+    ):
+        raise LintConfigError(
+            f"{path}: 'sanctioned_env' must be a list of non-empty strings"
+        )
+    return LintConfig(
+        sanctioned_env_keys=DEFAULT_SANCTIONED_ENV_KEYS | frozenset(extra),
+        source=str(path),
+    )
+
+
+def discover_config(root: Path | None) -> LintConfig:
+    """The config at ``root`` (or cwd) when present, else the defaults."""
+    base = root if root is not None else Path.cwd()
+    candidate = base / CONFIG_FILENAME
+    if candidate.is_file():
+        return load_config(candidate)
+    return LintConfig()

@@ -17,6 +17,8 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .config import LintConfig
+
 
 def derive_module_name(path: Path) -> str:
     """Dotted module name for ``path``, anchored at the ``repro`` package.
@@ -139,9 +141,11 @@ def relativize(path: Path, root: Path | None) -> str:
 
 @dataclass
 class LintContext:
-    """Everything a rule may look at: all parsed modules, by name."""
+    """Everything a rule may look at: all parsed modules, by name, plus
+    the resolved :class:`~repro.lint.config.LintConfig`."""
 
     modules: list[SourceModule] = field(default_factory=list)
+    config: LintConfig = field(default_factory=lambda: LintConfig())
 
     def __post_init__(self) -> None:
         self.by_name: dict[str, SourceModule] = {m.module: m for m in self.modules}

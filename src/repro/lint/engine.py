@@ -18,6 +18,7 @@ from typing import Any
 
 from .. import __version__ as PACKAGE_VERSION
 from .baseline import Baseline
+from .config import LintConfig, discover_config
 from .context import LintContext, SourceModule, relativize
 from .findings import (
     LINT_FORMAT_VERSION,
@@ -72,8 +73,16 @@ def lint_paths(
     select: list[str] | None = None,
     ignore: list[str] | None = None,
     root: Path | None = None,
+    config: LintConfig | None = None,
 ) -> LintRun:
-    """Lint every Python file under ``paths`` and return the findings."""
+    """Lint every Python file under ``paths`` and return the findings.
+
+    ``config`` overrides the lint configuration; by default a
+    ``.qbss-lint.json`` at ``root`` (or the cwd) is discovered, falling
+    back to the built-in defaults.
+    """
+    if config is None:
+        config = discover_config(root)
     files = collect_files(paths)
     modules: list[SourceModule] = []
     raw: list[Finding] = []
@@ -91,7 +100,7 @@ def lint_paths(
                     message=f"file does not parse: {exc.msg}",
                 )
             )
-    ctx = LintContext(modules)
+    ctx = LintContext(modules, config=config)
     rules = select_rules(select, ignore)
     for rule in rules:
         for module in ctx.modules:

@@ -8,8 +8,10 @@ walks the call graph from every function handed to the hardened executor
 (``execute_hardened(worker=...)``, ``pool.submit(fn, ...)``) and flags,
 anywhere reachable:
 
-- ``os.environ`` / ``os.getenv`` reads — except the sanctioned
-  ``QBSS_FAULT_PLAN`` fault-injection hook (``FAULT_PLAN_ENV``);
+- ``os.environ`` / ``os.getenv`` reads — except the sanctioned keys
+  (always ``QBSS_FAULT_PLAN`` / ``FAULT_PLAN_ENV``; a ``.qbss-lint.json``
+  at the lint root may sanction additional keys, see
+  :mod:`repro.lint.config`);
 - ``global`` statements and stores into module-level constants.
 """
 
@@ -19,13 +21,10 @@ import ast
 from collections import deque
 from collections.abc import Iterable, Iterator
 
+from ..config import LintConfig
 from ..context import LintContext, SourceModule
 from ..findings import Finding
 from . import Rule
-
-#: The one environment variable worker bodies may read.
-SANCTIONED_ENV_KEYS = {"QBSS_FAULT_PLAN"}
-SANCTIONED_ENV_NAMES = {"FAULT_PLAN_ENV"}
 
 #: Attribute-call names too generic to traverse (dict.get, list.append…)
 #: — following them would connect every function to every other one.
@@ -111,12 +110,17 @@ class CachePurityRule(Rule):
                 continue
             module, func = defs[key]
             owned_globals = module_globals.get(module.module, set())
-            yield from self._check_body(module, func, owned_globals)
+            yield from self._check_body(module, func, owned_globals, ctx.config)
 
     def _check_body(
-        self, module: SourceModule, func: ast.AST, owned_globals: set[str]
+        self,
+        module: SourceModule,
+        func: ast.AST,
+        owned_globals: set[str],
+        config: LintConfig,
     ) -> Iterator[Finding]:
         name = getattr(func, "name", "<fn>")
+        sanctioned = ", ".join(sorted(config.sanctioned_env_keys))
         for node in ast.walk(func):
             if isinstance(node, ast.Global):
                 yield self.finding(
@@ -127,24 +131,24 @@ class CachePurityRule(Rule):
                     "mutate module state",
                 )
             elif isinstance(node, ast.Call) and _is_environ_read(node):
-                if not _env_key_sanctioned(node.args):
+                if not _env_key_sanctioned(node.args, config):
                     yield self.finding(
                         module,
                         node,
                         f"worker-reachable `{name}` reads os.environ; only "
-                        "the QBSS_FAULT_PLAN hook is sanctioned in worker "
-                        "bodies (cache keys must stay pure)",
+                        f"the sanctioned hook(s) ({sanctioned}) are allowed "
+                        "in worker bodies (cache keys must stay pure)",
                     )
             elif isinstance(node, ast.Subscript) and _is_environ_node(node.value):
                 if isinstance(node.ctx, ast.Load) and not _env_key_sanctioned(
-                    [node.slice]
+                    [node.slice], config
                 ):
                     yield self.finding(
                         module,
                         node,
                         f"worker-reachable `{name}` reads os.environ; only "
-                        "the QBSS_FAULT_PLAN hook is sanctioned in worker "
-                        "bodies (cache keys must stay pure)",
+                        f"the sanctioned hook(s) ({sanctioned}) are allowed "
+                        "in worker bodies (cache keys must stay pure)",
                     )
             elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
                 targets: list[ast.expr]
@@ -308,12 +312,12 @@ def _is_environ_read(node: ast.Call) -> bool:
     return False
 
 
-def _env_key_sanctioned(args: list[ast.expr]) -> bool:
+def _env_key_sanctioned(args: list[ast.expr], config: LintConfig) -> bool:
     if not args:
         return False
     key = args[0]
-    if isinstance(key, ast.Constant) and key.value in SANCTIONED_ENV_KEYS:
+    if isinstance(key, ast.Constant) and key.value in config.sanctioned_env_keys:
         return True
-    if isinstance(key, ast.Name) and key.id in SANCTIONED_ENV_NAMES:
+    if isinstance(key, ast.Name) and key.id in config.sanctioned_env_names:
         return True
     return False

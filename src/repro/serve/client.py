@@ -1,0 +1,173 @@
+"""The typed client for ``qbss-serve``.
+
+:class:`Client` speaks the JSONL protocol over plain
+:mod:`http.client` (stdlib only) and returns a :class:`ServeResult` —
+the Client/Runner/typed-result split: transport here, evaluation in the
+daemon, a structured result object for callers.
+
+Rejections come back as :class:`ServeClientError` carrying the same
+structured ``code``/``status``/``detail`` the server put on the wire.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Mapping
+
+from ..obs.metrics import LabelItems, parse_prometheus_text
+from .protocol import JobRequest, ProtocolError, parse_response_lines
+
+
+class ServeClientError(Exception):
+    """A structured server rejection, reconstructed client-side."""
+
+    def __init__(self, code: str, detail: str, status: int):
+        super().__init__(f"{code} (HTTP {status}): {detail}")
+        self.code = code
+        self.detail = detail
+        self.status = status
+
+    @classmethod
+    def from_envelope(cls, envelope: Mapping[str, object]) -> ServeClientError:
+        return cls(
+            code=str(envelope.get("code", "internal")),
+            detail=str(envelope.get("detail", "")),
+            status=int(envelope.get("status", 500)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class ServeResult:
+    """One submission's evaluated outcome.
+
+    ``shards`` holds the per-shard payloads exactly as ``qbss-replay``
+    would report them (same keys, same normalization); ``summary`` is
+    the closing envelope's stream-level tallies.
+    """
+
+    shards: list[dict] = field(default_factory=list)
+    summary: dict = field(default_factory=dict)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_jobs(self) -> int:
+        return sum(int(s.get("n_jobs", 0)) for s in self.shards)
+
+    @property
+    def failed_shards(self) -> list[dict]:
+        return [
+            s for s in self.shards if s.get("status", "ok") in ("error", "timeout")
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """True when every shard evaluated (``ok`` or ``degraded``)."""
+        return not self.failed_shards
+
+    def ratios_for(self, algorithm: str) -> list[float]:
+        """Per-shard energy ratios of one algorithm, in shard order."""
+        return [
+            float(row["energy_ratio"])
+            for s in self.shards
+            for row in s.get("rows") or []
+            if row["algorithm"] == algorithm
+        ]
+
+
+def _job_to_dict(job: object) -> dict:
+    if isinstance(job, JobRequest):
+        return job.to_dict()
+    if isinstance(job, Mapping):
+        return dict(job)
+    raise TypeError(
+        f"jobs must be JobRequest or mapping, got {type(job).__name__}"
+    )
+
+
+class Client:
+    """A thin, typed HTTP client for one ``qbss-serve`` daemon.
+
+    One connection per call (the daemon is thread-per-request anyway),
+    so a single ``Client`` may be shared across threads.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        client_id: str = "anonymous",
+        timeout: float = 300.0,
+    ):
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, body: str | None = None
+    ) -> tuple[int, str]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"X-QBSS-Client": self.client_id}
+            if body is not None:
+                headers["Content-Type"] = "application/jsonl"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read().decode("utf-8")
+        finally:
+            conn.close()
+
+    def submit(self, jobs: Iterable[object]) -> ServeResult:
+        """Submit a release-sorted job stream; block for its evaluation.
+
+        ``jobs`` may be :class:`JobRequest` objects or plain mappings
+        with the same fields.  Raises :class:`ServeClientError` on any
+        structured rejection (queue full, rate limited, draining,
+        invalid request) and :class:`ProtocolError` on undecodable
+        responses.
+        """
+        payload = "".join(
+            json.dumps(_job_to_dict(job), sort_keys=True) + "\n" for job in jobs
+        )
+        status, text = self._request("POST", "/v1/jobs", body=payload)
+        result = ServeResult()
+        for envelope in parse_response_lines(text):
+            kind = envelope["kind"]
+            if kind == "error":
+                raise ServeClientError.from_envelope(envelope)
+            if kind == "shard_result":
+                result.shards.append(envelope["shard"])
+            elif kind == "summary":
+                result.summary = envelope
+            else:
+                raise ProtocolError(
+                    "<response>", 1, f"unknown envelope kind {kind!r}"
+                )
+        if status != 200:
+            raise ServeClientError("internal", f"HTTP {status}: {text!r}", status)
+        return result
+
+    def healthz(self) -> dict:
+        status, text = self._request("GET", "/healthz")
+        if status != 200:
+            raise ServeClientError("internal", f"HTTP {status}: {text!r}", status)
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ProtocolError("<response>", 1, "healthz payload is not an object")
+        return data
+
+    def metrics_text(self) -> str:
+        status, text = self._request("GET", "/metrics")
+        if status != 200:
+            raise ServeClientError("internal", f"HTTP {status}: {text!r}", status)
+        return text
+
+    def metrics(self) -> dict[tuple[str, LabelItems], float]:
+        """The scraped ``/metrics`` samples, parsed."""
+        return parse_prometheus_text(self.metrics_text())

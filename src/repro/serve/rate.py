@@ -1,0 +1,83 @@
+"""Per-client token-bucket rate accounting for ``qbss-serve``.
+
+Each client (the ``X-QBSS-Client`` request header; ``anonymous`` when
+absent) gets its own :class:`TokenBucket`: capacity ``burst`` jobs,
+refilled at ``rate`` jobs/second.  A submission of *n* jobs takes *n*
+tokens atomically — either the whole batch is within budget or the whole
+batch is rejected (``rate_limited``, HTTP 429); there are no partial
+admissions.
+
+The clock is injectable so tests drive time deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable
+
+
+class TokenBucket:
+    """Classic token bucket: ``capacity`` tokens, ``refill_rate``/s."""
+
+    __slots__ = ("capacity", "refill_rate", "tokens", "updated")
+
+    def __init__(self, capacity: float, refill_rate: float, now: float = 0.0):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        if refill_rate <= 0:
+            raise ValueError(f"refill_rate must be > 0, got {refill_rate}")
+        self.capacity = float(capacity)
+        self.refill_rate = float(refill_rate)
+        self.tokens = float(capacity)  # start full: first burst is free
+        self.updated = now
+
+    def try_take(self, n: float, now: float) -> bool:
+        """Atomically take ``n`` tokens at time ``now``; False if short."""
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.refill_rate)
+        self.updated = now
+        if n > self.tokens:
+            return False
+        self.tokens -= n
+        return True
+
+
+class RateLimiter:
+    """Per-client buckets; ``rate=None`` disables limiting entirely."""
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be > 0 (or None), got {rate}")
+        self.rate = rate
+        # Default burst: one second's worth of budget, at least one job.
+        self.burst = burst if burst is not None else (max(1.0, rate) if rate else None)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+
+    def allow(self, client: str, n: int = 1) -> bool:
+        """Whether ``client`` may submit ``n`` jobs right now."""
+        if self.rate is None:
+            return True
+        assert self.burst is not None
+        now = self.clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.burst, self.rate, now=now)
+                self._buckets[client] = bucket
+            return bucket.try_take(float(n), now)
+
+    def tokens_left(self, client: str) -> float | None:
+        """Remaining budget for ``client`` (None = unlimited/unseen)."""
+        if self.rate is None:
+            return None
+        with self._lock:
+            bucket = self._buckets.get(client)
+            return None if bucket is None else bucket.tokens

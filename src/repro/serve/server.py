@@ -1,0 +1,477 @@
+"""The ``qbss-serve`` daemon: admission, warm evaluation, HTTP surface.
+
+One :class:`QbssServer` owns
+
+* a single warm :class:`~repro.engine.session.ExecutionSession` — the
+  pool configuration, the open content-addressed shard cache and the
+  metrics registry live for the daemon's whole lifetime;
+* the bounded :class:`~repro.serve.queue.AdmissionQueue` and per-client
+  :class:`~repro.serve.rate.RateLimiter` deciding, synchronously and
+  cheaply, whether a submission is admitted;
+* one scheduler thread that pops admitted batches and evaluates each
+  through :func:`~repro.traces.replay.replay_jobs` on the warm session —
+  sessions are not thread-safe, so all evaluation serializes here by
+  design;
+* a :class:`ThreadingHTTPServer` exposing ``POST /v1/jobs``,
+  ``GET /healthz`` and ``GET /metrics``.
+
+Determinism contract: a submission stream is validated into
+:class:`~repro.traces.records.TraceRecord` with indexes assigned in
+submission order, synthesized with the configured noise model/seed, and
+sharded on the same absolute window grid as ``qbss-replay`` — so a warm
+server answering a workload produces byte-identical per-shard payloads
+to a cold ``qbss-replay`` of the same records.
+
+Graceful drain (SIGTERM/SIGINT via the CLI): :meth:`QbssServer.
+begin_drain` stops admission (new submissions get structured
+``draining`` errors), :meth:`QbssServer.drain` lets the scheduler finish
+every already-admitted batch — so waiting clients get their responses
+flushed — then closes the session; :meth:`QbssServer.stop` tears the
+HTTP listener down last.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from collections.abc import Sequence
+
+from .. import __version__ as PACKAGE_VERSION
+from ..engine.faults import FaultPlan, RetryPolicy
+from ..engine.session import ExecutionSession
+from ..obs.metrics import MetricsRegistry
+from ..obs.publish import WALL_BUCKETS
+from ..traces.replay import DEFAULT_ALGORITHMS, ReplayReport, replay_jobs
+from ..traces.synthesize import synthesize_jobs
+from . import protocol
+from .protocol import JobRequest, ProtocolError, ServeError
+from .queue import AdmissionQueue, QueueClosedError, QueueFullError
+from .rate import RateLimiter
+
+
+class LockedMetricsRegistry(MetricsRegistry):
+    """A :class:`MetricsRegistry` safe for one writer thread per series
+    plus concurrent renderers.
+
+    The base registry is deliberately unthreaded; the daemon adds the
+    minimum: ``lock`` is held around series *registration* and around
+    full-text rendering, so a scrape can never iterate the series dict
+    while a new series is being inserted.  Value updates on existing
+    series stay lock-free (single-writer discipline: the scheduler owns
+    the replay/cache series, admission updates happen under ``lock``).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.lock = threading.RLock()
+
+    def _get(self, cls: type, name: str, help: str, labels: dict, **kwargs: object) -> object:
+        with self.lock:
+            return super()._get(cls, name, help, labels, **kwargs)
+
+    def to_prometheus(self) -> str:
+        with self.lock:
+            return super().to_prometheus()
+
+    def to_dict(self) -> dict:
+        with self.lock:
+            return super().to_dict()
+
+
+@dataclass
+class ServeConfig:
+    """Everything the daemon needs, in one declarative object.
+
+    Evaluation parameters (``algorithms``/``alpha``/``shard_window``/
+    ``noise_model``/``seed``/``deadline_slack``) are fixed per daemon —
+    they are part of the shard cache key and of the byte-identity
+    contract with ``qbss-replay``, so they are configuration, not
+    request fields.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS
+    alpha: float = 3.0
+    shard_window: float = 3600.0
+    noise_model: str = "multiplicative"
+    seed: int = 0
+    deadline_slack: float = 2.0
+    queue_limit: int = 4096
+    rate: float | None = None
+    burst: float | None = None
+    request_timeout: float = 300.0
+    jobs: int | str = 1
+    cache: bool = True
+    cache_dir: str | Path | None = None
+    task_timeout: float | None = None
+    retry: RetryPolicy | None = None
+    fault_plan: FaultPlan | None = None
+
+
+class Batch:
+    """One admitted submission awaiting (or holding) its evaluation."""
+
+    __slots__ = ("requests", "client", "done", "report", "error", "admitted_at")
+
+    def __init__(self, requests: list[JobRequest], client: str, admitted_at: float):
+        self.requests = requests
+        self.client = client
+        self.done = threading.Event()
+        self.report: ReplayReport | None = None
+        self.error: ServeError | None = None
+        self.admitted_at = admitted_at
+
+
+class QbssServer:
+    """The long-lived scheduling service around one warm session."""
+
+    def __init__(self, config: ServeConfig, registry: LockedMetricsRegistry | None = None):
+        self.config = config
+        self.registry = registry if registry is not None else LockedMetricsRegistry()
+        self.session = ExecutionSession(
+            jobs=config.jobs,
+            cache=config.cache,
+            cache_dir=config.cache_dir,
+            task_timeout=config.task_timeout,
+            retry=config.retry,
+            fault_plan=config.fault_plan,
+            metrics=self.registry,
+        )
+        self.queue = AdmissionQueue(config.queue_limit)
+        self.limiter = RateLimiter(config.rate, config.burst)
+        self._draining = threading.Event()
+        self._scheduler: threading.Thread | None = None
+        self._httpd: ThreadingHTTPServer | None = None
+        self._http_thread: threading.Thread | None = None
+        # Pre-register every qbss_serve_* series so /metrics shows the
+        # full shape (zeros included) from the first scrape onward.
+        reg = self.registry
+        self._depth_gauge = reg.gauge(
+            "qbss_serve_queue_depth", "Jobs admitted and awaiting evaluation."
+        )
+        self._draining_gauge = reg.gauge(
+            "qbss_serve_draining", "1 once drain has begun."
+        )
+        self._admitted = reg.counter(
+            "qbss_serve_jobs_admitted_total", "Jobs admitted into the queue."
+        )
+        self._completed = reg.counter(
+            "qbss_serve_jobs_completed_total", "Jobs whose batch finished evaluation."
+        )
+        self._rejected = {
+            reason: reg.counter(
+                "qbss_serve_jobs_rejected_total",
+                "Jobs rejected at admission, by structured reason.",
+                reason=reason,
+            )
+            for reason in ("queue_full", "rate_limited", "draining", "invalid_request")
+        }
+        self._batches = {
+            status: reg.counter(
+                "qbss_serve_batches_total",
+                "Submissions fully processed, by outcome.",
+                status=status,
+            )
+            for status in ("ok", "error")
+        }
+        self._shard_latency = reg.histogram(
+            "qbss_serve_shard_latency_seconds",
+            "Evaluation wall time attributed per shard.",
+            buckets=WALL_BUCKETS,
+        )
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The actually-bound TCP port (meaningful after :meth:`start`)."""
+        if self._httpd is None:
+            raise RuntimeError("server is not started")
+        return int(self._httpd.server_address[1])
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def start(self, *, http: bool = True) -> None:
+        """Start the scheduler thread and (optionally) the HTTP listener."""
+        if self._scheduler is not None:
+            raise RuntimeError("server already started")
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="qbss-serve-scheduler"
+        )
+        self._scheduler.start()
+        if http:
+            self._httpd = _make_httpd(self)
+            self._http_thread = threading.Thread(
+                target=self._httpd.serve_forever, name="qbss-serve-http"
+            )
+            self._http_thread.start()
+
+    def begin_drain(self) -> None:
+        """Stop admitting; already-admitted batches will still complete."""
+        self._draining.set()
+        with self.registry.lock:
+            self._draining_gauge.set(1.0)
+        self.queue.close()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait for the scheduler to finish every admitted batch, then
+        close the session.  Returns ``False`` on timeout."""
+        if not self._draining.is_set():
+            self.begin_drain()
+        if self._scheduler is not None:
+            self._scheduler.join(timeout)
+            if self._scheduler.is_alive():
+                return False
+        self.session.close()
+        return True
+
+    def stop(self) -> None:
+        """Tear down the HTTP listener (after :meth:`drain`, normally)."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._http_thread is not None:
+            self._http_thread.join()
+            self._http_thread = None
+
+    # -- admission -------------------------------------------------------------------
+
+    def submit_payload(
+        self, body: str, client: str, *, block: bool = False
+    ) -> Batch:
+        """Validate, rate-check and enqueue one submission.
+
+        Raises :class:`ServeError` with a structured code on any
+        rejection; every rejection is counted in
+        ``qbss_serve_jobs_rejected_total`` by reason.
+        """
+        try:
+            requests = protocol.parse_jobs_payload(body, source=f"client:{client}")
+        except ProtocolError as exc:
+            self._count_rejection("invalid_request", 1)
+            raise ServeError("invalid_request", str(exc)) from exc
+        n = len(requests)
+        if self._draining.is_set():
+            self._count_rejection("draining", n)
+            raise ServeError(
+                "draining", "server is draining; not accepting new submissions"
+            )
+        if not self.limiter.allow(client, n):
+            self._count_rejection("rate_limited", n)
+            raise ServeError(
+                "rate_limited",
+                f"client {client!r} exceeded {self.config.rate} jobs/s "
+                f"(burst {self.limiter.burst})",
+            )
+        batch = Batch(requests, client, admitted_at=time.monotonic())
+        try:
+            self.queue.submit(batch, n, block=block)
+        except QueueFullError as exc:
+            self._count_rejection("queue_full", n)
+            raise ServeError("queue_full", str(exc)) from exc
+        except QueueClosedError as exc:
+            self._count_rejection("draining", n)
+            raise ServeError(
+                "draining", "server is draining; not accepting new submissions"
+            ) from exc
+        with self.registry.lock:
+            self._admitted.inc(n)
+            self._depth_gauge.set(self.queue.depth)
+        return batch
+
+    def _count_rejection(self, reason: str, n: int) -> None:
+        with self.registry.lock:
+            self._rejected[reason].inc(n)
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        while True:
+            batch = self.queue.pop()
+            with self.registry.lock:
+                self._depth_gauge.set(self.queue.depth)
+            if batch is None:
+                return
+            self._evaluate(batch)
+
+    def _evaluate(self, batch: Batch) -> None:
+        """Evaluate one batch on the warm session; never raises.
+
+        Shard-level failures (faults, timeouts, degraded pools) are
+        already structured *inside* the replay report; only a failure of
+        the replay machinery itself becomes an ``internal`` error — and
+        even that is a response envelope, not a dead scheduler.
+        """
+        t0 = time.perf_counter()
+        try:
+            records = [req.to_record(i) for i, req in enumerate(batch.requests)]
+            stream = synthesize_jobs(
+                iter(records),
+                model=self.config.noise_model,
+                seed=self.config.seed,
+                deadline_slack=self.config.deadline_slack,
+            )
+            report, _ = replay_jobs(
+                stream,
+                algorithms=self.config.algorithms,
+                alpha=self.config.alpha,
+                shard_window=self.config.shard_window,
+                session=self.session,
+                meta={
+                    "source": f"serve:{batch.client}",
+                    "trace_format": "serve",
+                    "noise_model": self.config.noise_model,
+                    "seed": self.config.seed,
+                    "deadline_slack": self.config.deadline_slack,
+                },
+            )
+            batch.report = report
+        except Exception as exc:
+            batch.error = ServeError("internal", f"{type(exc).__name__}: {exc}")
+        wall = time.perf_counter() - t0
+        with self.registry.lock:
+            if batch.error is None and batch.report is not None:
+                self._completed.inc(len(batch.requests))
+                self._batches["ok"].inc()
+                n_shards = len(batch.report.shards)
+                per_shard = wall / n_shards if n_shards else wall
+                for _ in range(n_shards):
+                    self._shard_latency.observe(per_shard)
+            else:
+                self._batches["error"].inc()
+        batch.done.set()
+
+    def response_envelopes(self, batch: Batch) -> list[dict]:
+        """The JSONL response stream for one finished batch."""
+        if batch.error is not None or batch.report is None:
+            error = batch.error or ServeError("internal", "batch lost its report")
+            return [error.to_dict()]
+        report = batch.report
+        envelopes = [protocol.shard_envelope(shard) for shard in report.shards]
+        envelopes.append(
+            protocol.summary_envelope(
+                n_jobs=report.n_jobs,
+                n_shards=len(report.shards),
+                failed_shards=len(report.failed_shards),
+                algorithms=list(report.algorithms),
+                alpha=report.alpha,
+                shard_window=report.shard_window,
+                noise_model=report.noise_model,
+                seed=report.seed,
+                deadline_slack=report.deadline_slack,
+            )
+        )
+        return envelopes
+
+    # -- read-only surfaces ----------------------------------------------------------
+
+    def health(self) -> dict:
+        return {
+            "status": "draining" if self._draining.is_set() else "ok",
+            "version": PACKAGE_VERSION,
+            "protocol": protocol.SERVE_PROTOCOL_VERSION,
+            "queue_depth": self.queue.depth,
+            "queue_limit": self.queue.max_jobs,
+        }
+
+    def metrics_text(self) -> str:
+        return self.registry.to_prometheus()
+
+    # -- one-shot (stdin) mode -------------------------------------------------------
+
+    def serve_once(self, body: str, *, client: str = "stdin") -> tuple[int, str]:
+        """Evaluate one submission inline (no queue, no threads).
+
+        The stdin JSONL mode: the pipe itself is the backpressure, so
+        admission control does not apply — but the warm session, the
+        metrics and the response vocabulary are exactly the HTTP path's.
+        Returns ``(exit_code, jsonl_text)``.
+        """
+        try:
+            requests = protocol.parse_jobs_payload(body, source=f"client:{client}")
+        except ProtocolError as exc:
+            self._count_rejection("invalid_request", 1)
+            error = ServeError("invalid_request", str(exc))
+            return 1, protocol.encode_jsonl([error.to_dict()])
+        batch = Batch(requests, client, admitted_at=time.monotonic())
+        with self.registry.lock:
+            self._admitted.inc(len(requests))
+        self._evaluate(batch)
+        code = 0 if batch.error is None else 1
+        return code, protocol.encode_jsonl(self.response_envelopes(batch))
+
+
+# -- the HTTP surface ---------------------------------------------------------------
+
+
+def _make_httpd(server: QbssServer) -> ThreadingHTTPServer:
+    handler = type("QbssServeHandler", (_Handler,), {"qbss": server})
+    return ThreadingHTTPServer((server.config.host, server.config.port), handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes: ``POST /v1/jobs``, ``GET /healthz``, ``GET /metrics``."""
+
+    qbss: QbssServer  # bound by _make_httpd
+    server_version = f"qbss-serve/{PACKAGE_VERSION}"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence the stock per-request stderr access log; the daemon's
+        observable surface is /metrics, not chatter on stderr."""
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/healthz":
+            body = json.dumps(self.qbss.health(), sort_keys=True) + "\n"
+            self._send(200, body, "application/json")
+        elif self.path == "/metrics":
+            self._send(200, self.qbss.metrics_text(), "text/plain; version=0.0.4")
+        else:
+            self._send_error_envelope(
+                ServeError("invalid_request", f"no such path {self.path!r}", status=404)
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path != "/v1/jobs":
+            self._send_error_envelope(
+                ServeError("invalid_request", f"no such path {self.path!r}", status=404)
+            )
+            return
+        length = int(self.headers.get("Content-Length", 0))
+        body = self.rfile.read(length).decode("utf-8", errors="replace")
+        client = self.headers.get("X-QBSS-Client", "anonymous")
+        try:
+            batch = self.qbss.submit_payload(body, client)
+        except ServeError as err:
+            self._send_error_envelope(err)
+            return
+        if not batch.done.wait(self.qbss.config.request_timeout):
+            self._send_error_envelope(
+                ServeError(
+                    "timeout",
+                    f"batch not evaluated within {self.qbss.config.request_timeout}s",
+                )
+            )
+            return
+        envelopes = self.qbss.response_envelopes(batch)
+        status = batch.error.status if batch.error is not None else 200
+        self._send(status, protocol.encode_jsonl(envelopes), "application/jsonl")
+
+    def _send_error_envelope(self, err: ServeError) -> None:
+        self._send(err.status, protocol.encode_jsonl([err.to_dict()]), "application/jsonl")
+
+    def _send(self, status: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)

@@ -1,0 +1,12 @@
+"""QL003 config fixture (bad): server key read without a sanctioning config."""
+
+import os
+
+
+def _worker(task, attempt):
+    os.environ.get("QBSS_SERVE_BIND")
+    return task
+
+
+def run(tasks, execute_hardened):
+    return execute_hardened(tasks, worker=_worker)

@@ -94,3 +94,29 @@ class TestCLI:
         assert main(["lemma42", "--alpha", "2.0"]) == 0
         out = capsys.readouterr().out
         assert "alpha=2.0" in out
+
+
+class TestVersionFlag:
+    """Every console script answers --version with the package version."""
+
+    @pytest.mark.parametrize(
+        ("prog", "entry"),
+        [
+            ("qbss-report", "repro.cli:main"),
+            ("qbss-replay", "repro.cli:replay_main"),
+            ("qbss-lint", "repro.lint.cli:main"),
+            ("qbss-serve", "repro.serve.cli:main"),
+        ],
+    )
+    def test_version_flag(self, prog, entry, capsys):
+        import importlib
+
+        from repro import __version__
+
+        module_name, func_name = entry.split(":")
+        entry_main = getattr(importlib.import_module(module_name), func_name)
+        with pytest.raises(SystemExit) as excinfo:
+            entry_main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert __version__ in out

@@ -15,8 +15,16 @@ from pathlib import Path
 
 import pytest
 
-from repro.lint import Baseline, all_rules, lint_paths
+from repro.lint import (
+    Baseline,
+    LintConfig,
+    LintConfigError,
+    all_rules,
+    lint_paths,
+    load_config,
+)
 from repro.lint.cli import main as lint_main
+from repro.lint.config import discover_config
 from repro.lint.engine import render_json
 from repro.lint.suppress import Suppressions
 
@@ -94,6 +102,109 @@ def test_ql005_is_conservative_about_name_comparisons(tmp_path):
     )
     run = lint_paths([tmp_path], root=tmp_path)
     assert [f for f in run.findings if f.rule == "QL005"] == []
+
+
+# -- QL003 sanctioned-env configuration ---------------------------------------------
+
+
+def test_ql003cfg_bad_fires_without_config():
+    """A worker reading QBSS_SERVE_BIND is flagged under the defaults."""
+    root = FIXTURES / "ql003cfg" / "bad"
+    run = lint_paths([root], root=root)
+    hits = [f for f in run.findings if f.rule == "QL003"]
+    assert len(hits) == 1
+    assert "QBSS_FAULT_PLAN" in hits[0].message
+
+
+def test_ql003cfg_good_sanctioned_by_discovered_config():
+    """The same read is clean when .qbss-lint.json sanctions the key."""
+    root = FIXTURES / "ql003cfg" / "good"
+    run = lint_paths([root], root=root)
+    assert [f for f in run.findings if f.rule == "QL003"] == []
+
+
+def test_ql003cfg_explicit_config_overrides_discovery():
+    # Lint the *bad* tree (no config file) with the good tree's config
+    # passed explicitly: the finding disappears.
+    root = FIXTURES / "ql003cfg" / "bad"
+    config = load_config(FIXTURES / "ql003cfg" / "good" / ".qbss-lint.json")
+    run = lint_paths([root], root=root, config=config)
+    assert [f for f in run.findings if f.rule == "QL003"] == []
+
+
+def test_lint_config_is_additive_only(tmp_path):
+    """A config can extend the sanctioned set but never drop the fault hook."""
+    path = tmp_path / ".qbss-lint.json"
+    path.write_text('{"version": 1, "sanctioned_env": ["EXTRA_KEY"]}')
+    config = load_config(path)
+    assert "QBSS_FAULT_PLAN" in config.sanctioned_env_keys
+    assert "EXTRA_KEY" in config.sanctioned_env_keys
+    assert config.source == str(path)
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        "[]",
+        '{"version": 2, "sanctioned_env": []}',
+        '{"version": 1, "sanctioned_env": "QBSS_SERVE_BIND"}',
+        '{"version": 1, "sanctioned_env": [""]}',
+        '{"version": 1, "sanctioned_env": [], "unknown": true}',
+        "not json",
+    ],
+)
+def test_lint_config_rejects_malformed_files(tmp_path, body):
+    path = tmp_path / ".qbss-lint.json"
+    path.write_text(body)
+    with pytest.raises(LintConfigError):
+        load_config(path)
+
+
+def test_discover_config_falls_back_to_defaults(tmp_path):
+    config = discover_config(tmp_path)
+    assert config == LintConfig()
+    assert config.source is None
+
+
+def test_cli_config_flag(tmp_path, capsys):
+    write_tree(
+        tmp_path,
+        "case/repro/engine/w.py",
+        """
+        import os
+
+
+        def _worker(task, attempt):
+            os.environ.get("QBSS_SERVE_BIND")
+            return task
+
+
+        def run(tasks, execute_hardened):
+            return execute_hardened(tasks, worker=_worker)
+        """,
+    )
+    tree = str(tmp_path / "case")
+    config = tmp_path / "lint.json"
+    config.write_text('{"version": 1, "sanctioned_env": ["QBSS_SERVE_BIND"]}')
+    assert lint_main([tree, "--baseline", "none", "--config", str(config)]) == 0
+    capsys.readouterr()
+    assert lint_main([tree, "--baseline", "none", "--config", "none"]) == 1
+    assert "QL003" in capsys.readouterr().out
+
+
+def test_cli_malformed_config_is_usage_error(tmp_path, capsys):
+    config = tmp_path / "lint.json"
+    config.write_text('{"version": 99}')
+    write_tree(tmp_path, "repro/bounds/clean.py", "X = 1\n")
+    assert lint_main([str(tmp_path), "--config", str(config)]) == 2
+    assert "lint-config" in capsys.readouterr().err
+
+
+def test_repo_root_config_sanctions_serve_bind():
+    """The checked-in .qbss-lint.json sanctions the server bind key."""
+    config = discover_config(REPO_ROOT)
+    assert "QBSS_SERVE_BIND" in config.sanctioned_env_keys
+    assert "QBSS_FAULT_PLAN" in config.sanctioned_env_keys
 
 
 # -- planted violations (acceptance criterion) --------------------------------------

@@ -50,6 +50,71 @@ class TestConstruction:
         assert ExecutionSession(retry=QUICK).retry_policy is QUICK
 
 
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        s = ExecutionSession()
+        assert not s.closed
+        s.close()
+        s.close()
+        assert s.closed
+
+    def test_execute_after_close_raises(self):
+        s = ExecutionSession()
+        s.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            s.execute(
+                [],
+                worker=lambda: {},
+                payload=lambda t: (),
+                on_success=lambda *a: None,
+                on_failure=lambda *a: None,
+            )
+
+    def test_store_after_close_raises(self, tmp_path):
+        s = ExecutionSession(cache_dir=tmp_path)
+        assert s.store is not None
+        s.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            s.store
+
+    def test_context_manager_closes(self, tmp_path):
+        with ExecutionSession(jobs=1, cache_dir=tmp_path, retry=QUICK) as s:
+            result = run_experiments(["lemma42"], session=s)
+            assert result.runs[0].metrics.status == "ok"
+        assert s.closed
+
+    def test_context_manager_closes_on_error(self):
+        s = ExecutionSession()
+        with pytest.raises(ValueError, match="boom"):
+            with s:
+                raise ValueError("boom")
+        assert s.closed
+
+    def test_reentering_closed_session_raises(self):
+        s = ExecutionSession()
+        s.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            s.__enter__()
+
+    def test_replay_via_closed_session_raises(self, tmp_path):
+        from repro.core.qjob import QJob
+        from repro.traces.replay import replay_jobs
+
+        s = ExecutionSession(jobs=1, cache_dir=tmp_path, retry=QUICK)
+        s.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            replay_jobs(
+                iter([QJob(0.0, 3600.0, 1.0, 30.0, 12.0, "a")]), session=s
+            )
+
+    def test_close_drops_store_handle(self, tmp_path):
+        s = ExecutionSession(cache_dir=tmp_path)
+        first = s.store
+        assert first is not None
+        s.close()
+        assert s._store is None
+
+
 class TestSessionFromKwargs:
     def test_no_session_builds_one_without_warning(self, tmp_path):
         with warnings.catch_warnings():
