@@ -1,4 +1,5 @@
-"""The machine-readable perf trajectory (profile kernel, PR 6; serve, PR 7).
+"""The machine-readable perf trajectory (profile kernel, PR 6; serve, PR 7;
+admission-journal overhead, PR 8).
 
 Measures every tracked benchmark twice on the *same* machine and records
 the pair in a ``BENCH_*.json`` at the repo root::
@@ -19,8 +20,8 @@ units (``.../s``) higher is better and the speedup is ``after / before``.
 
 Usage::
 
-    python benchmarks/perf_trajectory.py --record --output BENCH_7.json
-    python benchmarks/perf_trajectory.py --check BENCH_7.json  # CI gate
+    python benchmarks/perf_trajectory.py --record --output BENCH_8.json
+    python benchmarks/perf_trajectory.py --check BENCH_8.json  # CI gate
 
 ``--check`` re-measures on the current machine and fails (exit 1) when any
 bench's speedup drops more than 10% below the committed trajectory
@@ -212,12 +213,49 @@ def _bench_serve(cleanups):
     return cold, (lambda: client.submit(jobs))
 
 
+def _bench_serve_journal(cleanups):
+    """(journal-off callable, journal-on callable) — two warm daemons,
+    same workload; the ratio is the durability tax of the fsync'd
+    admission journal on warm-serve throughput (acceptance: under 5%)."""
+    import tempfile
+
+    from repro.serve import Client, QbssServer, ServeConfig
+
+    tmp = tempfile.TemporaryDirectory(prefix="qbss-serve-journal-bench-")
+    cleanups.append(tmp.cleanup)
+    jobs = _serve_workload()
+
+    def warm_client(journal_dir=None):
+        server = QbssServer(
+            ServeConfig(
+                shard_window=SERVE_SHARD_WINDOW, seed=SERVE_SEED,
+                jobs=1, cache=False, journal_dir=journal_dir,
+            )
+        )
+        server.start()
+
+        def shutdown():
+            server.begin_drain()
+            server.drain(timeout=120.0)
+            server.stop()
+
+        cleanups.append(shutdown)
+        client = Client("127.0.0.1", server.port, client_id="perf-trajectory")
+        client.submit(jobs)  # warm before any timing
+        return client
+
+    plain = warm_client()
+    journalled = warm_client(Path(tmp.name) / "journal")
+    return (lambda: plain.submit(jobs)), (lambda: journalled.submit(jobs))
+
+
 def build_benches():
     yds_jobs = classical(100)
     clair_jobs = classical(200)
     replay_meta: dict = {}
     cleanups: list = []
     serve_cold, serve_warm = _bench_serve(cleanups)
+    journal_off, journal_on = _bench_serve_journal(cleanups)
     return {
         "profile_energy_2000seg": (
             "ms", _bench_profile_energy(), _bench_profile_energy()),
@@ -242,6 +280,13 @@ def build_benches():
         # kernel toggle — never wrap it in pure_python().
         "serve_jobs_200": (
             "jobs/s", serve_cold, serve_warm,
+            {"pure_python": False, "count": lambda: SERVE_N_JOBS},
+        ),
+        # The durability tax: before is a journal-off warm daemon, after
+        # journal-on — a near-1x "speedup" tracked to keep the fsync'd
+        # admission journal under 5% of warm-serve throughput.
+        "serve_journal_overhead": (
+            "jobs/s", journal_off, journal_on,
             {"pure_python": False, "count": lambda: SERVE_N_JOBS},
         ),
     }, cleanups
@@ -374,8 +419,8 @@ def main(argv=None) -> int:
         help="re-measure and fail on >10%% regression vs FILE",
     )
     parser.add_argument(
-        "--output", type=Path, default=REPO_ROOT / "BENCH_7.json",
-        help="trajectory file written by --record (default: BENCH_7.json)",
+        "--output", type=Path, default=REPO_ROOT / "BENCH_8.json",
+        help="trajectory file written by --record (default: BENCH_8.json)",
     )
     parser.add_argument(
         "--repeats", type=int, default=5,

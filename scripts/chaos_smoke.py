@@ -1,0 +1,226 @@
+#!/usr/bin/env python
+"""Crash-recovery chaos harness for the ``qbss-serve`` daemon.
+
+The drill, end to end against the real console entry point:
+
+1. launch a journalled daemon with a ``kill`` fault pinned to
+   ``shard:2`` (``QBSS_FAULT_PLAN``) — with ``--jobs 1`` shard
+   evaluation runs in-process, so the injection SIGKILLs the *daemon*
+   mid-batch, after earlier shards were evaluated and cached but before
+   any response line was written;
+2. assert the daemon really died by signal (exit ``-SIGKILL``) and the
+   client saw a connection-level failure, not a partial response;
+3. restart the daemon on the **same journal and cache**, without the
+   fault plan, and wait for it to replay the incomplete admission to
+   completion (``qbss_serve_recovered_jobs_total`` /
+   ``qbss_serve_jobs_completed_total``);
+4. resubmit the identical stream and require byte-identical shard
+   payloads against a **cold** uninterrupted run (``--stdin
+   --no-cache`` in a fresh process — no journal, no cache, nothing
+   shared with the crashed run).
+
+Byte-identity is the whole durability contract: an admitted-then-killed
+batch, recovered from the journal and served warm, must be
+indistinguishable from a run that never crashed.
+
+Exit code 0 = all assertions held.  Used by the CI chaos job; also
+runnable locally: ``python scripts/chaos_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine.faults import FAULT_PLAN_ENV, FaultPlan, FaultSpec  # noqa: E402
+from repro.serve import Client, ServeClientError  # noqa: E402
+
+N_JOBS = 100
+SHARD_WINDOW = 20.0  # releases 0..99 -> shards 0..4
+SEED = 3
+KILL_AT = "shard:2"  # shards 0 and 1 evaluate + cache first, then SIGKILL
+
+
+def wait_for_port_file(path: Path, proc: subprocess.Popen, timeout: float = 30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"daemon died during startup (exit {proc.returncode})"
+            )
+        if path.exists() and path.read_text().strip():
+            host, _, port = path.read_text().strip().rpartition(":")
+            return host, int(port)
+        time.sleep(0.05)
+    raise RuntimeError("daemon did not write its port file in time")
+
+
+def jobs(n: int = N_JOBS):
+    out = []
+    for i in range(n):
+        release = i * 1.0
+        out.append(
+            {
+                "id": f"chaos{i}",
+                "release": release,
+                "deadline": release + 25.0,
+                "runtime": 1.0 + (i % 5) * 0.5,
+            }
+        )
+    return out
+
+
+def launch(tmp: Path, log_name: str, *, fault_env: str | None = None):
+    port_file = tmp / f"{log_name}.port"
+    port_file.unlink(missing_ok=True)
+    log_path = tmp / f"{log_name}.log"
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    env.pop(FAULT_PLAN_ENV, None)
+    if fault_env is not None:
+        env[FAULT_PLAN_ENV] = fault_env
+    with open(log_path, "w") as log:
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.serve.cli",
+                "--bind", "127.0.0.1:0",
+                "--port-file", str(port_file),
+                "--shard-window", str(SHARD_WINDOW),
+                "--seed", str(SEED),
+                "--jobs", "1",
+                "--cache-dir", str(tmp / "cache"),
+                "--journal", str(tmp / "journal"),
+            ],
+            env=env,
+            cwd=REPO_ROOT,
+            stderr=log,
+        )
+    return proc, port_file, log_path
+
+
+def scrape(client: Client, name: str) -> float:
+    return client.metrics().get((name, ()), 0.0)
+
+
+def wait_for_metric(client: Client, name: str, at_least: float, timeout: float = 60.0):
+    deadline = time.monotonic() + timeout
+    value = 0.0
+    while time.monotonic() < deadline:
+        try:
+            value = scrape(client, name)
+        except (ServeClientError, OSError):
+            value = 0.0
+        if value >= at_least:
+            return value
+        time.sleep(0.2)
+    raise RuntimeError(f"{name} never reached {at_least} (last seen {value})")
+
+
+def cold_run(tmp: Path) -> list[dict]:
+    """An uninterrupted reference run: fresh process, no cache, no journal."""
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    env.pop(FAULT_PLAN_ENV, None)
+    payload = "".join(json.dumps(j, sort_keys=True) + "\n" for j in jobs())
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve.cli",
+            "--stdin",
+            "--shard-window", str(SHARD_WINDOW),
+            "--seed", str(SEED),
+            "--jobs", "1",
+            "--no-cache",
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+        input=payload,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    shards = []
+    for line in proc.stdout.splitlines():
+        if not line.strip():
+            continue
+        envelope = json.loads(line)
+        if envelope["kind"] == "shard_result":
+            shards.append(envelope["shard"])
+    assert shards, proc.stdout
+    return shards
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="qbss-chaos-smoke-"))
+    plan = FaultPlan([FaultSpec(task=KILL_AT, kind="kill", attempt=0)])
+
+    # -- phase 1: kill -9 a live daemon mid-batch ------------------------------
+    proc, port_file, log_path = launch(tmp, "victim", fault_env=plan.to_json())
+    try:
+        host, port = wait_for_port_file(port_file, proc)
+        client = Client(host, port, client_id="chaos")
+        died_mid_submit = False
+        try:
+            client.submit(jobs())
+        except (ServeClientError, OSError):
+            died_mid_submit = True  # connection died with the daemon
+        assert died_mid_submit, "submission succeeded despite the kill fault"
+        exit_code = proc.wait(timeout=60.0)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    assert exit_code == -signal.SIGKILL, f"daemon exited {exit_code}, wanted SIGKILL"
+    journal_file = tmp / "journal" / "journal.jsonl"
+    assert journal_file.exists(), "no journal written before the kill"
+    print(f"chaos: daemon SIGKILLed mid-batch at {KILL_AT} (exit {exit_code})")
+
+    # -- phase 2: restart on the same journal, recover, resubmit --------------
+    proc, port_file, log_path = launch(tmp, "survivor")
+    try:
+        host, port = wait_for_port_file(port_file, proc)
+        client = Client(host, port, client_id="chaos")
+        recovered = wait_for_metric(
+            client, "qbss_serve_recovered_jobs_total", float(N_JOBS)
+        )
+        wait_for_metric(client, "qbss_serve_jobs_completed_total", float(N_JOBS))
+        print(f"chaos: restart recovered {recovered:.0f} journalled jobs")
+
+        result = client.submit(jobs())
+        assert result.ok, result.failed_shards
+        assert result.summary["n_jobs"] == N_JOBS, result.summary
+        warm = json.dumps(result.shards, sort_keys=True)
+        log_text = log_path.read_text()
+        assert "journal recovery:" in log_text, log_text
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=60.0)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+    # -- phase 3: byte-identity against an uninterrupted cold run --------------
+    cold = json.dumps(cold_run(tmp), sort_keys=True)
+    assert warm == cold, "recovered output diverged from the clean cold run"
+    print(
+        f"chaos: recovered run is byte-identical to the cold run "
+        f"({result.n_shards} shards, {N_JOBS} jobs)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

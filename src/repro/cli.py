@@ -213,6 +213,7 @@ def _obs_finish(
     started_at: float,
     seed=None,
     cache_dir=None,
+    recovery=None,
 ) -> None:
     """Flush the trace and write the metrics/manifest output files."""
     if tracer is not None:
@@ -236,6 +237,7 @@ def _obs_finish(
             seed=seed,
             cache_dir=cache_dir,
             fault_plan=active_fault_plan(),
+            recovery=recovery,
             now=started_at,
         )
         rio.save(manifest, args.manifest_out)
@@ -529,6 +531,23 @@ def build_replay_parser() -> argparse.ArgumentParser:
             "prune the cache before replaying ('30d', '500mb', '7d,1gb')"
         ),
     )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help=(
+            "durably record each completed shard to FILE (fsync'd JSONL) "
+            "so an interrupted replay can be resumed with --resume"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume from an existing --checkpoint file: shards it already "
+            "holds are served from it and skipped, everything else re-runs"
+        ),
+    )
     _add_robustness_arguments(parser)
     _add_obs_arguments(parser)
     parser.add_argument(
@@ -568,6 +587,8 @@ def _replay_main(argv: list[str] | None = None) -> int:
         parser.error("--shard-window must be > 0")
     if args.limit is not None and args.limit < 1:
         parser.error("--limit must be >= 1")
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint")
     if args.cache_prune is not None:
         _prune_cache(parser, args.cache_prune, args.cache_dir)
 
@@ -591,6 +612,22 @@ def _replay_main(argv: list[str] | None = None) -> int:
         parser.error(f"trace file not found: {args.trace}")
 
     tracer, registry, started_at = _obs_setup(args)
+    checkpoint = None
+    if args.checkpoint is not None:
+        from .traces.checkpoint import ReplayCheckpoint
+
+        checkpoint = ReplayCheckpoint(args.checkpoint, resume=args.resume)
+        if args.resume:
+            note = (
+                f" ({checkpoint.torn} torn entries dropped)"
+                if checkpoint.torn
+                else ""
+            )
+            print(
+                f"resuming from {args.checkpoint}: "
+                f"{checkpoint.completed} shards already completed{note}",
+                file=sys.stderr,
+            )
     try:
         report, metrics = replay_trace(
             args.trace,
@@ -609,6 +646,7 @@ def _replay_main(argv: list[str] | None = None) -> int:
             retry=_retry_policy(parser, args),
             tracer=tracer,
             metrics=registry,
+            checkpoint=checkpoint,
         )
     except (TraceParseError, TraceOrderError, ValueError) as exc:
         if tracer is not None:
@@ -619,6 +657,9 @@ def _replay_main(argv: list[str] | None = None) -> int:
         if tracer is not None:
             tracer.close()
         raise
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
 
     if not report.shards:
         if tracer is not None:
@@ -639,6 +680,12 @@ def _replay_main(argv: list[str] | None = None) -> int:
         rio.save(report, args.output)
         print(f"report written to {args.output}", file=sys.stderr)
 
+    recovery = None
+    if args.checkpoint is not None:
+        recovery = {
+            "checkpoint": args.checkpoint,
+            "resumed_shards": metrics.resumed,
+        }
     _obs_finish(
         args,
         "qbss-replay",
@@ -647,6 +694,7 @@ def _replay_main(argv: list[str] | None = None) -> int:
         started_at=started_at,
         seed=args.seed,
         cache_dir=metrics.cache_dir,
+        recovery=recovery,
     )
     print(metrics.footer(), file=sys.stderr)
     failed = report.failed_shards

@@ -199,7 +199,14 @@ class ResultCache:
             "report": report_doc,
         }
         tmp = path.with_suffix(f".tmp{os.getpid()}")
-        tmp.write_text(json.dumps(envelope, indent=2, sort_keys=True))
+        # flush + fsync *before* the rename: without it, a power loss can
+        # persist the rename but not the data, leaving a torn entry at the
+        # final path (a crashed process alone cannot — the kernel keeps
+        # buffered writes — but the durability contract covers both).
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(envelope, indent=2, sort_keys=True))
+            fh.flush()
+            os.fsync(fh.fileno())
         tmp.replace(path)
         self._count("qbss_cache_writes_total")
         return path

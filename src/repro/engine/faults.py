@@ -30,6 +30,7 @@ import json
 import multiprocessing
 import os
 import random
+import signal
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -44,7 +45,7 @@ FAULT_PLAN_VERSION = 1
 #: Exit status an injected ``crash`` uses to kill its worker process.
 CRASH_EXIT_CODE = 87
 
-FAULT_KINDS = ("crash", "hang", "corrupt-cache", "raise")
+FAULT_KINDS = ("crash", "hang", "corrupt-cache", "raise", "kill", "torn-write")
 
 
 class TransientError(RuntimeError):
@@ -179,6 +180,19 @@ class FaultSpec:
         no-op in the worker; the parent truncates the cache entry it just
         wrote for these coordinates, so the *next* run exercises the
         quarantine path.
+    ``kill``
+        real ``SIGKILL`` to the current process — uncatchable, like
+        ``kill -9``.  In a pool worker the parent sees
+        ``BrokenProcessPool`` (as with ``crash``, but without the orderly
+        ``os._exit``); injected in-process it kills the whole run or
+        daemon, which is exactly what the crash-recovery harness uses to
+        take a live ``qbss-serve`` down mid-batch.
+    ``torn-write``
+        no-op in the worker; the parent applies
+        :func:`torn_write_entry` to the cache/journal file it just wrote
+        for these coordinates — a raw mid-stream truncation simulating a
+        write interrupted by power loss, so the next reader exercises
+        the quarantine / torn-tail recovery path.
     """
 
     task: str
@@ -261,17 +275,23 @@ class FaultPlan:
                 f"injected crash for task {task!r} attempt {attempt} "
                 "(simulated in-process)"
             )
+        if spec.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
         if spec.kind == "raise":
             exc = InjectedTransientFault if spec.transient else InjectedFault
             raise exc(
                 f"injected {'transient ' if spec.transient else ''}fault for "
                 f"task {task!r} attempt {attempt}"
             )
-        # corrupt-cache is applied by the parent after the cache write.
+        # corrupt-cache / torn-write are applied by the parent after the write.
 
     def wants_corrupt_cache(self, task: str, attempt: int) -> bool:
         spec = self.lookup(task, attempt)
         return spec is not None and spec.kind == "corrupt-cache"
+
+    def wants_torn_write(self, task: str, attempt: int) -> bool:
+        spec = self.lookup(task, attempt)
+        return spec is not None and spec.kind == "torn-write"
 
     # -- serialization / the env hook ----------------------------------------------
 
@@ -361,5 +381,22 @@ def corrupt_cache_entry(path: str | Path) -> None:
     try:
         raw = path.read_bytes()
         path.write_bytes(raw[: max(1, len(raw) // 3)].rstrip(b"}\n") or b"{")
+    except OSError:  # pragma: no cover - fault injection best-effort
+        pass
+
+
+def torn_write_entry(path: str | Path) -> None:
+    """Cut a just-written file mid-stream (the ``torn-write`` fault).
+
+    Unlike :func:`corrupt_cache_entry` this is a *raw* byte truncation —
+    no rstrip, no guaranteed-garbage prefix — modelling exactly what a
+    crash between ``write`` and ``fsync`` can leave behind: a prefix of
+    the intended bytes, possibly cut mid-token or mid-codepoint.
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+        with open(path, "r+b") as fh:
+            fh.truncate(max(1, size // 2))
     except OSError:  # pragma: no cover - fault injection best-effort
         pass

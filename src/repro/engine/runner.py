@@ -62,6 +62,7 @@ from .faults import (
     active_fault_plan,
     corrupt_cache_entry,
     installed_fault_plan,
+    torn_write_entry,
 )
 
 
@@ -831,6 +832,12 @@ def run_experiments(
                     and plan.wants_corrupt_cache(task.task_key, task.attempt)
                 ):
                     corrupt_cache_entry(path)
+                if (
+                    path is not None
+                    and plan is not None
+                    and plan.wants_torn_write(task.task_key, task.attempt)
+                ):
+                    torn_write_entry(path)
             metrics = RunMetrics(
                 experiment=task.name,
                 wall_time=sum(task.walls),

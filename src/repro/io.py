@@ -224,6 +224,25 @@ def run_manifest_from_dict(data: dict[str, Any]):
         raise FormatError(str(exc)) from exc
 
 
+def serve_journal_record_to_dict(record) -> dict[str, Any]:
+    """Encode a :class:`~repro.serve.journal.JournalRecord`.
+
+    The record's own ``to_dict`` carries its versioned envelope
+    (``version``/``kind``); pass-through kept for encoder symmetry.
+    """
+    return record.to_dict()
+
+
+def serve_journal_record_from_dict(data: dict[str, Any]):
+    """Decode a serve-journal record (lazy import)."""
+    from .serve.journal import JournalRecord
+
+    try:
+        return JournalRecord.from_dict(data)
+    except ValueError as exc:
+        raise FormatError(str(exc)) from exc
+
+
 def schedule_from_dict(data: dict[str, Any]) -> Schedule:
     _expect(data, "schedule")
     schedule = Schedule(int(data["machines"]))
@@ -259,6 +278,8 @@ def save(obj, path: PathLike) -> None:
         encoder = trace_replay_report_to_dict
     if encoder is None and type(obj).__name__ == "RunManifest":
         encoder = run_manifest_to_dict
+    if encoder is None and type(obj).__name__ == "JournalRecord":
+        encoder = serve_journal_record_to_dict
     if encoder is None:
         raise TypeError(f"cannot serialize objects of type {type(obj).__name__}")
     Path(path).write_text(json.dumps(encoder(obj), indent=2, sort_keys=True))
@@ -272,6 +293,7 @@ _LOADERS = {
     "experiment_report": experiment_report_from_dict,
     "trace_replay_report": trace_replay_report_from_dict,
     "run_manifest": run_manifest_from_dict,
+    "serve_journal_record": serve_journal_record_from_dict,
 }
 
 

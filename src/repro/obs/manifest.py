@@ -39,6 +39,11 @@ class RunManifest:
     seed: int | None = None
     cache_dir: str | None = None
     fault_plan: dict[str, Any] | None = None
+    #: Durability story of the run, when one applies: which checkpoint or
+    #: journal it used and how much previously completed work it reused
+    #: (e.g. ``{"checkpoint": ..., "resumed_shards": 3}``).  ``None`` for
+    #: runs that started cold with no durability layer engaged.
+    recovery: dict[str, Any] | None = None
     package_version: str = PACKAGE_VERSION
     python_version: str = ""
     platform: str = ""
@@ -53,6 +58,7 @@ class RunManifest:
         seed: int | None = None,
         cache_dir: str | Path | None = None,
         fault_plan: Any | None = None,
+        recovery: dict[str, Any] | None = None,
         now: float | None = None,
     ) -> RunManifest:
         """Build a manifest for the current interpreter/environment.
@@ -74,6 +80,7 @@ class RunManifest:
             seed=seed,
             cache_dir=str(cache_dir) if cache_dir is not None else None,
             fault_plan=plan_doc,
+            recovery=dict(recovery) if recovery is not None else None,
             package_version=PACKAGE_VERSION,
             python_version=sys.version.split()[0],
             platform=_platform.platform(),
@@ -89,6 +96,7 @@ class RunManifest:
             "seed": self.seed,
             "cache_dir": self.cache_dir,
             "fault_plan": self.fault_plan,
+            "recovery": self.recovery,
             "package_version": self.package_version,
             "python_version": self.python_version,
             "platform": self.platform,
@@ -109,6 +117,7 @@ class RunManifest:
             seed=data.get("seed"),
             cache_dir=data.get("cache_dir"),
             fault_plan=data.get("fault_plan"),
+            recovery=data.get("recovery"),
             package_version=str(data.get("package_version", "")),
             python_version=str(data.get("python_version", "")),
             platform=str(data.get("platform", "")),

@@ -15,9 +15,13 @@ The pieces (``docs/serving.md`` has the full protocol):
 * :mod:`repro.serve.queue` — the bounded admission queue (reject, don't
   buffer, when the daemon is saturated);
 * :mod:`repro.serve.rate` — per-client token-bucket rate accounting;
+* :mod:`repro.serve.journal` — the fsync'd write-ahead admission
+  journal (:class:`AdmissionJournal`): submissions are durable before
+  they are acknowledged, and incomplete entries replay on restart;
 * :mod:`repro.serve.server` — :class:`QbssServer`: admission, the
   scheduler thread driving the warm session, the HTTP endpoints
-  (``/v1/jobs``, ``/healthz``, ``/metrics``), graceful drain;
+  (``/v1/jobs``, ``/healthz``, ``/metrics``), crash recovery
+  (:meth:`QbssServer.recover`), graceful drain;
 * :mod:`repro.serve.client` — the typed :class:`Client` /
   :class:`ServeResult` pair;
 * :mod:`repro.serve.cli` — the ``qbss-serve`` console script.
@@ -40,6 +44,7 @@ Quick start::
 """
 
 from .client import Client, ServeClientError, ServeResult
+from .journal import AdmissionJournal, JournalRecord, RecoveryReport
 from .protocol import (
     SERVE_PROTOCOL_VERSION,
     JobRequest,
@@ -69,4 +74,7 @@ __all__ = [
     "Client",
     "ServeClientError",
     "ServeResult",
+    "AdmissionJournal",
+    "JournalRecord",
+    "RecoveryReport",
 ]

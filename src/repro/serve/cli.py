@@ -179,6 +179,17 @@ def build_serve_parser() -> argparse.ArgumentParser:
         metavar="S",
         help="max seconds to wait for in-flight shards on shutdown (default: unbounded)",
     )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write-ahead admission journal directory: submissions are "
+            "fsync'd before acknowledgement and incomplete entries are "
+            "replayed on restart, so a hard crash (kill -9, power loss) "
+            "never silently loses admitted work (default: no journal)"
+        ),
+    )
     return parser
 
 
@@ -234,7 +245,23 @@ def _config_from_args(
         cache_dir=args.cache_dir,
         task_timeout=args.task_timeout,
         retry=retry,
+        journal_dir=args.journal,
     )
+
+
+def write_port_file(path: str, bound: str) -> None:
+    """Publish the bound address atomically (tmp + ``os.replace``).
+
+    Readers poll this file while the daemon boots; a plain ``write``
+    could expose a partial port string to a racing reader.  The rename
+    makes the content appear all-at-once or not at all.
+    """
+    tmp = f"{path}.tmp{os.getpid()}"
+    with open(tmp, "w") as fh:
+        fh.write(bound + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
 
 
 def _run_stdin(server: QbssServer) -> int:
@@ -269,8 +296,7 @@ def _run_daemon(
     server.start()
     bound = f"{server.config.host}:{server.port}"
     if port_file:
-        with open(port_file, "w") as fh:
-            fh.write(bound + "\n")
+        write_port_file(port_file, bound)
     print(
         f"qbss-serve {PACKAGE_VERSION} listening on http://{bound} "
         f"(queue limit {server.queue.max_jobs} jobs, "
@@ -308,6 +334,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     config = _config_from_args(parser, args)
     server = QbssServer(config)
+    recovery = server.recover()
+    if recovery is not None:
+        print(f"qbss-serve: {recovery.summary_line()}", file=sys.stderr, flush=True)
     if args.stdin:
         return _run_stdin(server)
     return _run_daemon(server, args.port_file, args.drain_timeout)

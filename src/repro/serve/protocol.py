@@ -25,7 +25,7 @@ Responses are JSONL envelopes, one object per line, each tagged with
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from collections.abc import Iterable, Iterator
 
 from ..traces.records import TraceRecord
@@ -33,14 +33,22 @@ from ..traces.records import TraceRecord
 SERVE_PROTOCOL_VERSION = 1
 
 #: Structured rejection codes and the HTTP status each maps to.
+#: ``unavailable`` is client-synthesized (connection-level failure after
+#: the retry budget) — it never appears in a server response envelope.
 ERROR_STATUS = {
     "invalid_request": 400,
     "rate_limited": 429,
     "queue_full": 429,
     "draining": 503,
+    "unavailable": 503,
     "timeout": 504,
     "internal": 500,
 }
+
+#: Rejection codes a client may transparently retry with backoff: the
+#: condition is load-dependent, and resubmission is safe because shard
+#: evaluation is deterministic and the result cache idempotent.
+RETRYABLE_CODES = frozenset({"queue_full"})
 
 _OPTIONAL_FIELDS = ("deadline", "requested", "query_cost")
 _KNOWN_FIELDS = frozenset(("id", "release", "runtime", *_OPTIONAL_FIELDS))
@@ -155,7 +163,18 @@ class JobRequest:
         )
 
     def to_dict(self) -> dict:
-        return {k: v for k, v in asdict(self).items() if v is not None}
+        # Field access, not dataclasses.asdict: asdict's recursive copy
+        # costs ~10x as much, and this runs per job on the journalled
+        # admission path.
+        data = {
+            "id": self.id,
+            "release": self.release,
+            "runtime": self.runtime,
+            "deadline": self.deadline,
+            "requested": self.requested,
+            "query_cost": self.query_cost,
+        }
+        return {k: v for k, v in data.items() if v is not None}
 
     def to_record(self, index: int) -> TraceRecord:
         """The trace record this request becomes at position ``index``."""

@@ -28,6 +28,13 @@ begin_drain` stops admission (new submissions get structured
 every already-admitted batch — so waiting clients get their responses
 flushed — then closes the session; :meth:`QbssServer.stop` tears the
 HTTP listener down last.
+
+Hard-crash durability (``--journal DIR``): every admission is appended
+to a fsync'd write-ahead :class:`~repro.serve.journal.AdmissionJournal`
+before it can be acknowledged, completion marks follow per shard, and
+:meth:`QbssServer.recover` replays incomplete entries on restart —
+byte-identically, because evaluation is deterministic and the
+content-addressed cache makes re-execution idempotent.
 """
 
 from __future__ import annotations
@@ -41,13 +48,14 @@ from pathlib import Path
 from collections.abc import Sequence
 
 from .. import __version__ as PACKAGE_VERSION
-from ..engine.faults import FaultPlan, RetryPolicy
+from ..engine.faults import FaultPlan, RetryPolicy, active_fault_plan
 from ..engine.session import ExecutionSession
 from ..obs.metrics import MetricsRegistry
 from ..obs.publish import WALL_BUCKETS
 from ..traces.replay import DEFAULT_ALGORITHMS, ReplayReport, replay_jobs
 from ..traces.synthesize import synthesize_jobs
 from . import protocol
+from .journal import AdmissionJournal, RecoveryReport, shard_payload_digest
 from .protocol import JobRequest, ProtocolError, ServeError
 from .queue import AdmissionQueue, QueueClosedError, QueueFullError
 from .rate import RateLimiter
@@ -111,12 +119,21 @@ class ServeConfig:
     task_timeout: float | None = None
     retry: RetryPolicy | None = None
     fault_plan: FaultPlan | None = None
+    #: Directory of the write-ahead admission journal (``--journal``).
+    #: ``None`` disables durability; see ``docs/serving.md``.
+    journal_dir: str | Path | None = None
+    #: Optional :class:`repro.obs.Tracer` receiving journal events and
+    #: the per-batch replay spans of the warm session.
+    tracer: object | None = None
 
 
 class Batch:
     """One admitted submission awaiting (or holding) its evaluation."""
 
-    __slots__ = ("requests", "client", "done", "report", "error", "admitted_at")
+    __slots__ = (
+        "requests", "client", "done", "report", "error", "admitted_at",
+        "batch_id", "recovered",
+    )
 
     def __init__(self, requests: list[JobRequest], client: str, admitted_at: float):
         self.requests = requests
@@ -125,6 +142,10 @@ class Batch:
         self.report: ReplayReport | None = None
         self.error: ServeError | None = None
         self.admitted_at = admitted_at
+        #: Journal sequence number (``None`` when journaling is off).
+        self.batch_id: int | None = None
+        #: True for batches rebuilt from the journal at startup.
+        self.recovered = False
 
 
 class QbssServer:
@@ -140,6 +161,7 @@ class QbssServer:
             task_timeout=config.task_timeout,
             retry=config.retry,
             fault_plan=config.fault_plan,
+            tracer=config.tracer,
             metrics=self.registry,
         )
         self.queue = AdmissionQueue(config.queue_limit)
@@ -148,6 +170,21 @@ class QbssServer:
         self._scheduler: threading.Thread | None = None
         self._httpd: ThreadingHTTPServer | None = None
         self._http_thread: threading.Thread | None = None
+        self.journal: AdmissionJournal | None = None
+        #: Batches rebuilt by :meth:`recover`, evaluated before any new
+        #: admission once the scheduler (or stdin mode) starts.
+        self._recovered_batches: list[Batch] = []
+        if config.journal_dir is not None:
+            self.journal = AdmissionJournal(
+                config.journal_dir,
+                metrics=self.registry,
+                tracer=config.tracer,
+                fault_plan=(
+                    config.fault_plan
+                    if config.fault_plan is not None
+                    else active_fault_plan()
+                ),
+            )
         # Pre-register every qbss_serve_* series so /metrics shows the
         # full shape (zeros included) from the first scrape onward.
         reg = self.registry
@@ -184,6 +221,14 @@ class QbssServer:
             "Evaluation wall time attributed per shard.",
             buckets=WALL_BUCKETS,
         )
+        self._recovered_batches_total = reg.counter(
+            "qbss_serve_recovered_batches_total",
+            "Incomplete journal batches replayed at startup.",
+        )
+        self._recovered_jobs = reg.counter(
+            "qbss_serve_recovered_jobs_total",
+            "Jobs re-enqueued from incomplete journal entries at startup.",
+        )
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -197,6 +242,65 @@ class QbssServer:
     @property
     def draining(self) -> bool:
         return self._draining.is_set()
+
+    def recover(self) -> RecoveryReport | None:
+        """Replay the journal's incomplete admissions; call before :meth:`start`.
+
+        Scans the journal tolerantly (torn tail records — crash debris —
+        are dropped and counted), compacts it down to the admissions that
+        never completed, and rebuilds each as a :class:`Batch` evaluated
+        *before* any new submission once the scheduler starts.  Requests
+        travel the same validation path as live traffic and indexes are
+        re-assigned per batch in admission order, so a recovered batch
+        produces byte-identical shard payloads to its uninterrupted run
+        (shards evaluated before the crash come straight from the
+        content-addressed cache).  Returns ``None`` with journaling off.
+        """
+        if self.journal is None:
+            return None
+        if self._scheduler is not None:
+            raise RuntimeError("recover() must run before start()")
+        scan = self.journal.scan()
+        incomplete = scan.incomplete()
+        report = RecoveryReport(torn_records=scan.torn)
+        kept = []
+        for record in incomplete:
+            try:
+                requests = [
+                    JobRequest.from_dict(
+                        dict(doc),
+                        source=f"journal:b{record.batch}",
+                        line=i + 1,
+                    )
+                    for i, doc in enumerate(record.jobs)
+                ]
+            except ProtocolError:
+                # An admission that no longer validates is preserved in
+                # the journal for the operator, never silently dropped.
+                report.skipped += 1
+                kept.append(record)
+                continue
+            batch = Batch(requests, record.client, admitted_at=time.monotonic())
+            batch.batch_id = record.batch
+            batch.recovered = True
+            self._recovered_batches.append(batch)
+            kept.append(record)
+            report.batches += 1
+            report.jobs += len(requests)
+        self.journal.compact(kept)
+        with self.registry.lock:
+            self._recovered_batches_total.inc(report.batches)
+            self._recovered_jobs.inc(report.jobs)
+        tracer = self.config.tracer
+        if tracer is not None:
+            tracer.event(
+                "journal_recover",
+                None,
+                batches=report.batches,
+                jobs=report.jobs,
+                torn=report.torn_records,
+            )
+        return report
 
     def start(self, *, http: bool = True) -> None:
         """Start the scheduler thread and (optionally) the HTTP listener."""
@@ -230,6 +334,8 @@ class QbssServer:
             if self._scheduler.is_alive():
                 return False
         self.session.close()
+        if self.journal is not None:
+            self.journal.close()
         return True
 
     def stop(self) -> None:
@@ -272,13 +378,16 @@ class QbssServer:
                 f"(burst {self.limiter.burst})",
             )
         batch = Batch(requests, client, admitted_at=time.monotonic())
+        self._journal_admission(batch)
         try:
             self.queue.submit(batch, n, block=block)
         except QueueFullError as exc:
             self._count_rejection("queue_full", n)
+            self._journal_rejected(batch)
             raise ServeError("queue_full", str(exc)) from exc
         except QueueClosedError as exc:
             self._count_rejection("draining", n)
+            self._journal_rejected(batch)
             raise ServeError(
                 "draining", "server is draining; not accepting new submissions"
             ) from exc
@@ -287,6 +396,41 @@ class QbssServer:
             self._depth_gauge.set(self.queue.depth)
         return batch
 
+    def _journal_admission(self, batch: Batch) -> None:
+        """Durably journal one submission *before* it can be acknowledged.
+
+        The append is fsync'd before ``submit_payload`` returns — and
+        therefore before any response (the implicit ack) can reach the
+        client — so a crash at any later point leaves a replayable
+        record.  A journal that cannot be written is an ``internal``
+        rejection: better to refuse work than to accept it undurably.
+        """
+        if self.journal is None:
+            return
+        try:
+            batch.batch_id = self.journal.log_admission(
+                batch.client, [r.to_dict() for r in batch.requests]
+            )
+        except OSError as exc:
+            self._count_rejection("invalid_request", len(batch.requests))
+            raise ServeError(
+                "internal", f"admission journal append failed: {exc}"
+            ) from exc
+
+    def _journal_rejected(self, batch: Batch) -> None:
+        """Close the journal entry of a journaled-then-rejected batch.
+
+        The client saw a structured rejection (never an ack), so the
+        entry must not replay on restart; an immediate ``batch_complete``
+        mark with status ``rejected`` retires it.
+        """
+        if self.journal is None or batch.batch_id is None:
+            return
+        try:
+            self.journal.log_batch_complete(batch.batch_id, "rejected")
+        except OSError:  # pragma: no cover - best effort; replay is idempotent
+            pass
+
     def _count_rejection(self, reason: str, n: int) -> None:
         with self.registry.lock:
             self._rejected[reason].inc(n)
@@ -294,6 +438,10 @@ class QbssServer:
     # -- evaluation ------------------------------------------------------------------
 
     def _scheduler_loop(self) -> None:
+        # Recovered batches first: they were admitted (and journaled)
+        # before anything the queue can currently hold.
+        for batch in self._drain_recovered():
+            self._evaluate(batch)
         while True:
             batch = self.queue.pop()
             with self.registry.lock:
@@ -301,6 +449,10 @@ class QbssServer:
             if batch is None:
                 return
             self._evaluate(batch)
+
+    def _drain_recovered(self) -> list[Batch]:
+        batches, self._recovered_batches = self._recovered_batches, []
+        return batches
 
     def _evaluate(self, batch: Batch) -> None:
         """Evaluate one batch on the warm session; never raises.
@@ -347,7 +499,33 @@ class QbssServer:
                     self._shard_latency.observe(per_shard)
             else:
                 self._batches["error"].inc()
+        self._journal_completion(batch)
         batch.done.set()
+
+    def _journal_completion(self, batch: Batch) -> None:
+        """Mark a fully-evaluated batch complete, shard by shard.
+
+        Completion marks are an optimization, not a correctness
+        requirement: a crash *after* evaluation but *before* the marks
+        merely re-runs the batch on restart, where the idempotent cache
+        reproduces the identical payloads.  So journal I/O trouble here
+        is swallowed — the scheduler must never die on a full disk.
+        """
+        if self.journal is None or batch.batch_id is None:
+            return
+        try:
+            if batch.report is not None:
+                for shard in batch.report.shards:
+                    self.journal.log_shard_complete(
+                        batch.batch_id,
+                        int(shard.get("index", -1)),
+                        shard_payload_digest(shard),
+                    )
+            self.journal.log_batch_complete(
+                batch.batch_id, "ok" if batch.error is None else "error"
+            )
+        except OSError:  # pragma: no cover - best effort; replay is idempotent
+            pass
 
     def response_envelopes(self, batch: Batch) -> list[dict]:
         """The JSONL response stream for one finished batch."""
@@ -380,6 +558,7 @@ class QbssServer:
             "protocol": protocol.SERVE_PROTOCOL_VERSION,
             "queue_depth": self.queue.depth,
             "queue_limit": self.queue.max_jobs,
+            "journal": str(self.journal.path) if self.journal else None,
         }
 
     def metrics_text(self) -> str:
@@ -395,6 +574,8 @@ class QbssServer:
         metrics and the response vocabulary are exactly the HTTP path's.
         Returns ``(exit_code, jsonl_text)``.
         """
+        for recovered in self._drain_recovered():
+            self._evaluate(recovered)
         try:
             requests = protocol.parse_jobs_payload(body, source=f"client:{client}")
         except ProtocolError as exc:
@@ -402,6 +583,10 @@ class QbssServer:
             error = ServeError("invalid_request", str(exc))
             return 1, protocol.encode_jsonl([error.to_dict()])
         batch = Batch(requests, client, admitted_at=time.monotonic())
+        try:
+            self._journal_admission(batch)
+        except ServeError as err:
+            return 1, protocol.encode_jsonl([err.to_dict()])
         with self.registry.lock:
             self._admitted.inc(len(requests))
         self._evaluate(batch)

@@ -48,9 +48,11 @@ from ..engine.faults import (
     active_fault_plan,
     corrupt_cache_entry,
     installed_fault_plan,
+    torn_write_entry,
 )
 from ..engine.runner import _UNSET, HardenedTask
 from ..engine.session import ExecutionSession
+from .checkpoint import ReplayCheckpoint
 from ..qbss.registry import get_algorithm
 from .records import TraceOrderError
 
@@ -531,6 +533,7 @@ class ReplayMetrics:
     jobs: int = 0
     hits: int = 0
     misses: int = 0
+    resumed: int = 0
     wall_time: float = 0.0
     peak_resident_jobs: int = 0
     cache_dir: str | None = None
@@ -553,6 +556,8 @@ class ReplayMetrics:
             f"jobs={self.pool_jobs} | peak resident jobs="
             f"{self.peak_resident_jobs} | cache: {cache_note}"
         )
+        if self.resumed:
+            out += f"\nresumed: {self.resumed} shards from checkpoint"
         if (
             self.retries
             or self.timeouts
@@ -603,6 +608,7 @@ def replay_jobs(
     fault_plan: FaultPlan | None = _UNSET,
     tracer=_UNSET,
     metrics=_UNSET,
+    checkpoint: ReplayCheckpoint | None = None,
 ) -> tuple[ReplayReport, ReplayMetrics]:
     """Stream a release-sorted QJob iterable through sharded evaluation.
 
@@ -637,6 +643,13 @@ def replay_jobs(
     ``metrics`` (a :class:`repro.obs.MetricsRegistry`) receives the
     ``qbss_cache_*`` and ``qbss_replay_*`` series.  Both are optional and
     never change report payloads.
+
+    ``checkpoint`` (a :class:`~repro.traces.checkpoint.ReplayCheckpoint`)
+    makes the replay restartable: every completed shard is durably
+    appended before the replay moves on, and shards the checkpoint
+    already holds are served from it (counted in ``metrics.resumed``)
+    without touching cache or pool.  Failed shards are never
+    checkpointed — they re-run on resume.
     """
     from ..engine.session import session_from_kwargs
 
@@ -687,8 +700,17 @@ def replay_jobs(
                 metrics.jobs += len(shard.jobs)
                 doc = _shard_doc(shard)
                 key = None
-                if store is not None:
+                if store is not None or checkpoint is not None:
                     key = shard_cache_key(doc, algorithms, alpha, package_version)
+                if checkpoint is not None and key is not None:
+                    stored = checkpoint.get(key)
+                    if stored is not None:
+                        payload = _normalise(stored)
+                        payload.setdefault("status", "ok")
+                        results[shard.index] = payload
+                        metrics.resumed += 1
+                        continue
+                if store is not None and key is not None:
                     shard_name = f"shard:{shard.index}"
                     before_q = store.quarantined
                     lookup_span = (
@@ -711,6 +733,8 @@ def replay_jobs(
                         payload.setdefault("status", "ok")
                         results[shard.index] = payload
                         metrics.hits += 1
+                        if checkpoint is not None:
+                            checkpoint.record(key, dict(payload, status="ok"))
                         continue
                 metrics.misses += 1
                 task = _ShardTask(doc, key)
@@ -739,6 +763,17 @@ def replay_jobs(
                     task.task_key, task.attempt
                 ):
                     corrupt_cache_entry(path)
+                if plan is not None and plan.wants_torn_write(
+                    task.task_key, task.attempt
+                ):
+                    torn_write_entry(path)
+            if checkpoint is not None and task.key is not None:
+                checkpoint.record(
+                    task.key,
+                    dict(payload, status="ok"),
+                    torn=plan is not None
+                    and plan.wants_torn_write(task.task_key, task.attempt),
+                )
             payload["status"] = "degraded" if degraded else "ok"
             results[task.doc["index"]] = payload
 
@@ -845,6 +880,7 @@ def replay_trace(
     fault_plan: FaultPlan | None = _UNSET,
     tracer=_UNSET,
     metrics=_UNSET,
+    checkpoint: ReplayCheckpoint | None = None,
 ) -> tuple[ReplayReport, ReplayMetrics]:
     """End-to-end replay: parse ``path``, synthesize uncertainty, shard,
     evaluate, aggregate.  The trace is streamed — bounded memory holds for
@@ -893,6 +929,7 @@ def replay_trace(
         fault_plan=fault_plan,
         tracer=tracer,
         metrics=metrics,
+        checkpoint=checkpoint,
         meta={
             "source": str(path),
             "trace_format": fmt,

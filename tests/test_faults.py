@@ -139,6 +139,30 @@ class TestFaultPlan:
         with pytest.raises(WorkerCrashError):  # in-process simulation
             crash.inject("t", 1)
 
+    def test_kill_and_torn_write_are_known_kinds(self):
+        FaultSpec(task="t", kind="kill")
+        FaultSpec(task="t", kind="torn-write")
+
+    def test_wants_torn_write_is_parent_applied(self):
+        plan = FaultPlan((FaultSpec(task="t", kind="torn-write", attempt=0),))
+        assert plan.wants_torn_write("t", 1)
+        assert plan.wants_torn_write("t", 3)
+        assert not plan.wants_torn_write("u", 1)
+        assert not plan.wants_corrupt_cache("t", 1)
+        plan.inject("t", 1)  # worker-side: a no-op, the parent truncates
+
+    def test_torn_write_entry_cuts_raw_bytes_mid_stream(self, tmp_path):
+        from repro.engine.faults import torn_write_entry
+
+        path = tmp_path / "entry.json"
+        full = json.dumps({"cache_version": 3, "report": {"rows": [1, 2, 3]}})
+        path.write_text(full)
+        torn_write_entry(path)
+        raw = path.read_text()
+        assert raw == full[: len(full) // 2]  # a prefix, cut mid-token
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(raw)
+
 
 class TestFailureInfo:
     def test_round_trip_and_summary(self):
@@ -256,6 +280,38 @@ class TestQuarantine:
         assert again.quarantined == 1
         assert first.reports[0].render() == again.reports[0].render()
 
+    def test_torn_write_fault_round_trip(self, tmp_path, no_env_plan):
+        """A cache entry cut mid-stream is quarantined and recomputed —
+        never served as a hit, never a crash."""
+        plan = FaultPlan((FaultSpec(task="lemma42", kind="torn-write"),))
+        first = run_quiet(
+            ["lemma42"], jobs=1, cache_dir=tmp_path, fault_plan=plan
+        )
+        assert first.runs[0].metrics.status == "ok"
+        again = run_experiments(["lemma42"], jobs=1, cache_dir=tmp_path)
+        assert not again.runs[0].metrics.cache_hit
+        assert again.quarantined == 1
+        assert first.reports[0].render() == again.reports[0].render()
+        # the recomputed (intact) entry hits next time
+        warm = run_experiments(["lemma42"], jobs=1, cache_dir=tmp_path)
+        assert warm.runs[0].metrics.cache_hit
+
+    def test_put_fsyncs_before_atomic_replace(self, tmp_path, monkeypatch):
+        """Durability contract of the cache write path: the entry is
+        flushed + fsync'd to a temp file, then renamed into place — a
+        crash can lose the entry but never publish a torn one."""
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))[1]
+        )
+        store = ResultCache(tmp_path)
+        path = store.put("deadbeef" * 8, "lemma42", {}, {"rows": []}, 0.1)
+        assert synced, "put() published an entry without fsync"
+        assert path.exists()
+        assert not list(tmp_path.glob("**/*.tmp*")), "temp file left behind"
+        assert store.get("deadbeef" * 8) is not None
+
 
 # -- engine: retries, crashes, timeouts ---------------------------------------------
 
@@ -339,6 +395,26 @@ class TestEngineFaults:
             ["lemma41", "lemma43", "lemma45"], jobs=1, cache_dir=tmp_path
         )
         assert all(r.metrics.cache_hit for r in rerun.runs)
+
+    def test_kill_fault_in_pool_worker_is_recovered(self, no_env_plan):
+        """A SIGKILLed worker (real kill -9: no orderly ``os._exit``)
+        breaks the pool; the driver rebuilds it and retries the charged
+        attempts, and the final output is byte-identical to a clean run."""
+        clean = run_quiet(FAST, jobs=1, cache=False)
+        plan = FaultPlan((FaultSpec(task="lemma42", kind="kill", attempt=1),))
+        res = run_quiet(
+            FAST,
+            jobs=max(2, matrix_jobs(2)),  # in-process kill would take pytest down
+            cache=False,
+            fault_plan=plan,
+        )
+        assert not res.errors
+        assert res.retries >= 1
+        assert res.pool_rebuilds >= 1
+        assert not res.degraded
+        assert [a.render() for a in clean.reports] == [
+            b.render() for b in res.reports
+        ]
 
     def test_hang_times_out_and_batch_continues(self, tmp_path, no_env_plan):
         plan = FaultPlan(

@@ -590,3 +590,138 @@ class TestServeCli:
         with pytest.raises(SystemExit) as excinfo:
             serve_main(argv)
         assert excinfo.value.code == 2
+
+
+# -- client retries -----------------------------------------------------------------
+
+
+class _ScriptedTransport:
+    """Stands in for ``Client._request``: replays a scripted exchange
+    sequence — ``("raise", exc)`` items raise, ``(status, text)`` items
+    return — and counts the calls."""
+
+    def __init__(self, *script):
+        self.script = list(script)
+        self.calls = 0
+
+    def __call__(self, method, path, body=None):
+        self.calls += 1
+        action = self.script.pop(0)
+        if action[0] == "raise":
+            raise action[1]
+        return action
+
+
+def _scripted_client(*script):
+    client = Client("127.0.0.1", 1, retry=QUICK)
+    transport = _ScriptedTransport(*script)
+    client._request = transport
+    return client, transport
+
+
+_SUMMARY_OK = encode_jsonl(
+    [{"kind": "summary", "version": SERVE_PROTOCOL_VERSION, "n_jobs": 0}]
+)
+
+
+class TestClientRetry:
+    def test_queue_full_is_retried_then_succeeds(self):
+        full = encode_jsonl([ServeError("queue_full", "brimming").to_dict()])
+        client, transport = _scripted_client((429, full), (200, _SUMMARY_OK))
+        result = client.submit([])
+        assert result.summary["n_jobs"] == 0
+        assert transport.calls == 2
+
+    def test_queue_full_exhausts_the_budget(self):
+        full = encode_jsonl([ServeError("queue_full", "brimming").to_dict()])
+        client, transport = _scripted_client((429, full), (429, full))
+        with pytest.raises(ServeClientError) as excinfo:
+            client.submit([])
+        assert excinfo.value.code == "queue_full"
+        assert excinfo.value.attempts == QUICK.max_attempts
+        assert transport.calls == QUICK.max_attempts
+
+    def test_rate_limited_is_never_retried(self):
+        limited = encode_jsonl([ServeError("rate_limited", "slow down").to_dict()])
+        client, transport = _scripted_client((429, limited), (200, _SUMMARY_OK))
+        with pytest.raises(ServeClientError) as excinfo:
+            client.submit([])
+        assert excinfo.value.code == "rate_limited"
+        assert excinfo.value.attempts == 1
+        assert transport.calls == 1  # the scripted success was never reached
+
+    def test_connection_error_is_retried_then_succeeds(self):
+        client, transport = _scripted_client(
+            ("raise", ConnectionRefusedError("refused")), (200, _SUMMARY_OK)
+        )
+        assert client.submit([]).summary["n_jobs"] == 0
+        assert transport.calls == 2
+
+    def test_connection_exhaustion_synthesizes_unavailable(self):
+        client, transport = _scripted_client(
+            ("raise", ConnectionRefusedError("refused")),
+            ("raise", ConnectionRefusedError("refused")),
+        )
+        with pytest.raises(ServeClientError) as excinfo:
+            client.submit([])
+        err = excinfo.value
+        assert err.code == "unavailable"
+        assert err.status == ERROR_STATUS["unavailable"] == 503
+        assert err.attempts == QUICK.max_attempts
+
+    def test_connection_and_queue_full_share_one_budget(self):
+        # attempt 1: connection error; attempt 2: queue_full -> budget
+        # (2 attempts) is spent, no third try
+        full = encode_jsonl([ServeError("queue_full", "brimming").to_dict()])
+        client, transport = _scripted_client(
+            ("raise", ConnectionResetError("reset")), (429, full)
+        )
+        with pytest.raises(ServeClientError) as excinfo:
+            client.submit([])
+        assert excinfo.value.code == "queue_full"
+        assert excinfo.value.attempts == 2
+        assert transport.calls == 2
+
+    def test_healthz_against_a_dead_port_is_unavailable(self):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+        client = Client("127.0.0.1", port, retry=QUICK)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.healthz()
+        assert excinfo.value.code == "unavailable"
+        assert excinfo.value.attempts == QUICK.max_attempts
+
+    def test_default_retry_policy(self):
+        from repro.serve.client import DEFAULT_CLIENT_RETRY
+
+        client = Client("127.0.0.1", 1)
+        assert client.retry is DEFAULT_CLIENT_RETRY
+        assert DEFAULT_CLIENT_RETRY.max_attempts == 3
+
+
+# -- the port file ------------------------------------------------------------------
+
+
+class TestPortFile:
+    def test_write_is_atomic_and_fsynced(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.serve.cli import write_port_file
+
+        replaced = []
+        real_replace = os.replace
+        monkeypatch.setattr(
+            os,
+            "replace",
+            lambda a, b: (replaced.append((str(a), str(b))), real_replace(a, b))[1],
+        )
+        path = tmp_path / "daemon.port"
+        write_port_file(str(path), "127.0.0.1:8457")
+        assert path.read_text() == "127.0.0.1:8457\n"
+        # written via a sibling tmp name, then renamed into place
+        assert replaced and replaced[0][1] == str(path)
+        assert replaced[0][0] != str(path)
+        assert not list(tmp_path.glob("*.tmp*"))
