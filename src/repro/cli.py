@@ -148,6 +148,18 @@ def _add_robustness_arguments(parser: argparse.ArgumentParser) -> None:
             "death, cache I/O errors (default 3; 1 disables retries)"
         ),
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "execution backend: 'serial' (inline), 'pool' (local process "
+            "pool, the default), or 'remote:HOST:PORT[,HOST:PORT...]' to "
+            "fan tasks out to qbss-worker processes over TCP; remote "
+            "entries may also be '@FILE' naming a qbss-worker --port-file "
+            "(see docs/backends.md)"
+        ),
+    )
 
 
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -302,6 +314,28 @@ def _resolve_jobs_arg(parser: argparse.ArgumentParser, value) -> int:
         parser.error(str(exc))
 
 
+def _backend_arg(
+    parser: argparse.ArgumentParser, args: argparse.Namespace, jobs: int
+) -> tuple[str | None, int]:
+    """Validate ``--backend``; returns ``(spec, effective jobs)``.
+
+    A remote spec raises the effective job count to the worker count so
+    the driver actually feeds the whole fleet (and the replay memory
+    bound of ``2 x jobs`` in-flight shards scales with it).
+    """
+    if args.backend is None:
+        return None, jobs
+    from .engine import parse_backend_spec
+
+    try:
+        kind, entries = parse_backend_spec(args.backend)
+    except ValueError as exc:
+        parser.error(str(exc))
+    if kind == "remote":
+        jobs = max(jobs, len(entries))
+    return args.backend, jobs
+
+
 def _prune_cache(
     parser: argparse.ArgumentParser, spec: str, cache_dir
 ) -> None:
@@ -371,6 +405,7 @@ def _main(argv: list[str] | None = None) -> int:
 
     from .engine import run_experiments
 
+    backend, jobs = _backend_arg(parser, args, jobs)
     tracer, registry, started_at = _obs_setup(args)
     try:
         result = run_experiments(
@@ -383,6 +418,7 @@ def _main(argv: list[str] | None = None) -> int:
             retry=_retry_policy(parser, args),
             tracer=tracer,
             metrics=registry,
+            backend=backend,
         )
     except BaseException:
         if tracer is not None:
@@ -611,6 +647,7 @@ def _replay_main(argv: list[str] | None = None) -> int:
     if not os.path.exists(args.trace):
         parser.error(f"trace file not found: {args.trace}")
 
+    backend, jobs = _backend_arg(parser, args, jobs)
     tracer, registry, started_at = _obs_setup(args)
     checkpoint = None
     if args.checkpoint is not None:
@@ -646,6 +683,7 @@ def _replay_main(argv: list[str] | None = None) -> int:
             retry=_retry_policy(parser, args),
             tracer=tracer,
             metrics=registry,
+            backend=backend,
             checkpoint=checkpoint,
         )
     except (TraceParseError, TraceOrderError, ValueError) as exc:

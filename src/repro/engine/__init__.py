@@ -26,6 +26,15 @@ Quick start::
     print(result.summary()["failures"])
 """
 
+from .backends import (
+    Backend,
+    BackendBroken,
+    PoolBackend,
+    RemoteBackend,
+    SerialBackend,
+    create_backend,
+    parse_backend_spec,
+)
 from .cache import (
     CACHE_FORMAT_VERSION,
     QUARANTINE_DIRNAME,
@@ -62,6 +71,13 @@ from .runner import (
 from .session import UNSET, ExecutionSession, session_from_kwargs
 
 __all__ = [
+    "Backend",
+    "BackendBroken",
+    "PoolBackend",
+    "RemoteBackend",
+    "SerialBackend",
+    "create_backend",
+    "parse_backend_spec",
     "CACHE_FORMAT_VERSION",
     "QUARANTINE_DIRNAME",
     "PruneStats",

@@ -1,0 +1,46 @@
+"""Pluggable execution backends for the hardened driver.
+
+:func:`repro.engine.runner.execute_hardened` used to know exactly one
+way to run a task: a local :class:`concurrent.futures.ProcessPoolExecutor`
+with serial degradation.  This package extracts that knowledge behind the
+small :class:`Backend` protocol — ``submit`` / ``cancel`` / ``drain`` /
+``close`` — so the same driver loop (deadlines, seeded retries,
+broken-backend rebuilds, degradation) runs against any of three
+implementations:
+
+* :class:`SerialBackend` — in-process, inline execution (``serial``);
+* :class:`PoolBackend` — the existing hardened local process pool
+  (``pool``, the default; behavior-identical to the pre-protocol driver);
+* :class:`RemoteBackend` — a stdlib-socket TCP work queue fanning tasks
+  out to ``qbss-worker`` processes (``remote:HOST:PORT[,HOST:PORT...]``),
+  where workers publish results into the content-addressed
+  :class:`~repro.engine.cache.ResultCache` by digest so the cache is the
+  coordination point and a lost worker is just a transient retry.
+
+Backend selection threads through
+:class:`~repro.engine.session.ExecutionSession` and the ``--backend``
+flag of ``qbss-report``, ``qbss-replay`` and ``qbss-serve``; see
+``docs/backends.md`` for the protocol, the wire format and the failure
+semantics.
+"""
+
+from .base import (
+    Backend,
+    BackendBroken,
+    create_backend,
+    parse_backend_spec,
+)
+from .local import PoolBackend
+from .remote import RemoteBackend, resolve_worker_address
+from .serial import SerialBackend
+
+__all__ = [
+    "Backend",
+    "BackendBroken",
+    "PoolBackend",
+    "RemoteBackend",
+    "SerialBackend",
+    "create_backend",
+    "parse_backend_spec",
+    "resolve_worker_address",
+]

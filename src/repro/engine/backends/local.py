@@ -1,0 +1,95 @@
+"""The hardened local process pool, as a :class:`Backend`.
+
+This is the execution strategy :func:`~repro.engine.runner.execute_hardened`
+always had, extracted behind the protocol: a
+:class:`concurrent.futures.ProcessPoolExecutor` of ``jobs`` workers,
+rebuilt by the driver when it breaks or when every worker is pinned by a
+timed-out task.
+
+The executor class is looked up through the :mod:`repro.engine.runner`
+module attribute **at construction time** — the fault-injection suite
+monkeypatches ``runner.ProcessPoolExecutor`` with scripted pools, and
+that seam must keep working no matter which layer builds the pool.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING, Any
+
+from .base import Backend, BackendBroken
+
+if TYPE_CHECKING:
+    from concurrent.futures import ProcessPoolExecutor
+
+
+class PoolBackend(Backend):
+    """``jobs`` local worker processes behind the legacy pool semantics."""
+
+    name = "pool"
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError(f"pool backend needs jobs >= 1, got {jobs}")
+        self.jobs = jobs
+        self._pool: ProcessPoolExecutor | None = None
+        #: Timed-out tasks still pinning a worker of the *current* pool.
+        self._hung = 0
+
+    def ensure_open(self) -> None:
+        if self._pool is None:
+            from repro.engine import runner as _runner
+
+            # Construct through the runner module attribute: tests
+            # monkeypatch runner.ProcessPoolExecutor to script pool
+            # behavior, and pool construction never raises (workers
+            # spawn lazily), so no BackendBroken mapping is needed here.
+            self._pool = _runner.ProcessPoolExecutor(max_workers=self.jobs)
+            self._hung = 0
+
+    def submit(
+        self,
+        fn: Callable[..., dict[str, Any]],
+        args: Sequence[Any],
+        task: Any | None = None,
+    ) -> Future:
+        if self._pool is None:
+            raise BackendBroken("pool backend is closed")
+        try:
+            return self._pool.submit(fn, *args)
+        except BrokenProcessPool as exc:
+            raise BackendBroken(str(exc)) from exc
+
+    def result(self, handle: Future) -> dict[str, Any]:
+        try:
+            outcome: dict[str, Any] = handle.result()
+        except BrokenProcessPool as exc:
+            raise BackendBroken(str(exc)) from exc
+        return outcome
+
+    def cancel(self, handle: Future) -> bool:
+        if handle.cancel() or handle.done():
+            return True
+        # cancel() cannot stop a running future: its worker stays pinned
+        # until this pool is replaced, and capacity shrinks meanwhile.
+        self._hung += 1
+        return False
+
+    def free_slots(self) -> int:
+        return max(0, self.jobs - self._hung)
+
+    def release(self, kill: bool = False) -> None:
+        # Pools are per-batch: the legacy driver shut its pool down after
+        # every run (killing it when a timeout pinned a worker), and warm
+        # sessions keep the *cache* warm, not the workers.
+        self.close(kill=kill)
+
+    def close(self, kill: bool = False) -> None:
+        if self._pool is not None:
+            from repro.engine import runner as _runner
+
+            _runner._shutdown_pool(self._pool, kill=kill)
+            self._pool = None
+        self._hung = 0

@@ -1,0 +1,44 @@
+"""The in-process serial backend: no capacity, pure inline execution."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from concurrent.futures import Future
+from typing import Any
+
+from .base import Backend
+
+
+class SerialBackend(Backend):
+    """Run every task inline on the driver thread.
+
+    ``inline = True`` routes the driver straight into its serial loop:
+    attempts run one at a time, retry backoff blocks between attempts of
+    the same task, and ``task_timeout`` is not enforced (a running task
+    cannot be preempted in-process).  This is byte-identical to the
+    legacy ``jobs=1`` path — the spec exists so callers can *force*
+    serial semantics regardless of the session's ``jobs``.
+    """
+
+    name = "serial"
+    inline = True
+
+    def submit(
+        self,
+        fn: Callable[..., dict[str, Any]],
+        args: Sequence[Any],
+        task: Any | None = None,
+    ) -> Future:
+        raise RuntimeError(
+            "SerialBackend is inline; the driver must not submit to it"
+        )
+
+    def result(self, handle: Future) -> dict[str, Any]:
+        raise RuntimeError(
+            "SerialBackend is inline; the driver must not collect from it"
+        )
+
+    def cancel(self, handle: Future) -> bool:
+        raise RuntimeError(
+            "SerialBackend is inline; the driver must not cancel on it"
+        )

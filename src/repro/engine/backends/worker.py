@@ -1,0 +1,309 @@
+"""``qbss-worker``: a long-lived TCP execution worker.
+
+One worker process serves one driver connection at a time (the remote
+backend keeps exactly one task in flight per worker, so there is nothing
+to parallelise here).  Per task it:
+
+1. resolves the requested worker function (restricted to module-level
+   callables inside the :mod:`repro` package — a frame cannot name
+   arbitrary code to run);
+2. installs the forwarded ``QBSS_FAULT_PLAN`` value for the duration of
+   the call, so the deterministic fault harness drives remote workers
+   exactly like local pool workers;
+3. runs the function — worker bodies such as
+   :func:`repro.engine.runner._execute` capture their own exceptions
+   into the outcome dict, and this loop catches anything that still
+   escapes;
+4. on success, *publishes* the result into this worker's
+   content-addressed :class:`~repro.engine.cache.ResultCache` (when the
+   task carries a publish spec and ``--cache-dir`` points at a store),
+   **before** replying.  With workers sharing a cache directory the
+   cache becomes the coordination point: if this worker dies after
+   publishing but before replying, the retrying driver finds the digest
+   already computed.
+
+Startup announces the bound address through ``--port-file`` (written
+atomically: temp file + fsync + rename), so ``--bind 127.0.0.1:0`` plus
+``remote:@FILE`` driver entries need no port arithmetic.
+
+A real ``kill`` fault (or SIGKILL from outside) terminates the process
+mid-task; the driver sees the connection drop and books a transient
+crash attempt — that is the failure mode this backend is built around.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import signal
+import socket
+import sys
+import time
+import traceback
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any
+
+from ..cache import ResultCache
+from ..faults import FAULT_PLAN_ENV
+from .remote import WIRE_VERSION, recv_frame, send_frame
+
+#: Default bind address when neither ``--bind`` nor the env hook is set.
+DEFAULT_BIND = "127.0.0.1:0"
+
+#: Environment fallback for ``--bind`` (HOST:PORT; port 0 = ephemeral).
+BIND_ENV = "QBSS_WORKER_BIND"
+
+
+def _log(message: str) -> None:
+    # stderr only, no wall-clock timestamps: worker logs are collected as
+    # CI artifacts and must stay deterministic-friendly (QL001).
+    print(f"qbss-worker[{os.getpid()}]: {message}", file=sys.stderr, flush=True)
+
+
+def parse_bind(value: str) -> tuple[str, int]:
+    """``HOST:PORT`` → address tuple (port 0 asks for an ephemeral port)."""
+    host, sep, port_text = value.strip().rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"--bind expects HOST:PORT, got {value!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid port in --bind {value!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"--bind port must be in [0, 65535], got {port}")
+    return host, port
+
+
+def write_port_file(path: Path, bound: tuple[str, int]) -> None:
+    """Atomically publish the bound address (readers never see a torn file)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w") as fh:
+        fh.write(f"{bound[0]}:{bound[1]}\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def resolve_task_fn(spec: str) -> Callable[..., Any]:
+    """``module:qualname`` → the callable, restricted to the repro package.
+
+    Refuses anything outside :mod:`repro` and any dunder path component:
+    a task frame selects among this package's module-level worker bodies,
+    it does not get an arbitrary-import gadget.
+    """
+    module_name, sep, qualname = spec.partition(":")
+    if not sep or not module_name or not qualname:
+        raise ValueError(f"task fn must be 'module:qualname', got {spec!r}")
+    if module_name != "repro" and not module_name.startswith("repro."):
+        raise ValueError(f"task fn must live in the repro package, got {spec!r}")
+    parts = qualname.split(".")
+    if any(not p or p.startswith("__") for p in parts):
+        raise ValueError(f"refusing dunder path in task fn {spec!r}")
+    import importlib
+
+    obj: Any = importlib.import_module(module_name)
+    for part in parts:
+        obj = getattr(obj, part)
+    if not callable(obj):
+        raise ValueError(f"task fn {spec!r} is not callable")
+    return obj  # type: ignore[no-any-return]
+
+
+@contextmanager
+def _forwarded_fault_plan(raw: str | None) -> Iterator[None]:
+    """Install the driver's ``QBSS_FAULT_PLAN`` for one task, then restore."""
+    previous = os.environ.get(FAULT_PLAN_ENV)
+    if raw is None:
+        os.environ.pop(FAULT_PLAN_ENV, None)
+    else:
+        os.environ[FAULT_PLAN_ENV] = raw
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(FAULT_PLAN_ENV, None)
+        else:
+            os.environ[FAULT_PLAN_ENV] = previous
+
+
+def _publish_outcome(
+    store: ResultCache, publish: dict[str, Any], outcome: dict[str, Any]
+) -> None:
+    """Best-effort cache publication of one successful outcome."""
+    payload = outcome.get("payload")
+    if not isinstance(payload, dict):
+        return
+    report_doc = dict(payload, status="ok") if publish.get("wrap_status") else payload
+    try:
+        store.put(
+            str(publish["key"]),
+            str(publish.get("experiment", "task")),
+            dict(publish.get("params") or {}),
+            report_doc,
+            float(outcome.get("wall", 0.0)),
+            publish.get("package_version"),
+        )
+    except (OSError, KeyError, TypeError, ValueError) as exc:
+        # The reply still carries the payload; the driver's own cache
+        # write (or the next recompute) covers for a failed publication.
+        _log(f"cache publish failed for {publish.get('key')!r}: {exc}")
+
+
+def _run_task(frame: dict[str, Any], store: ResultCache | None) -> dict[str, Any]:
+    """Execute one task frame, returning the outcome dict to send back."""
+    start = time.perf_counter()
+    try:
+        fn = resolve_task_fn(str(frame["fn"]))
+        args = tuple(frame.get("args") or ())
+        raw_plan = frame.get("fault_plan")
+        with _forwarded_fault_plan(raw_plan if isinstance(raw_plan, str) else None):
+            outcome = fn(*args)
+        if not isinstance(outcome, dict) or "ok" not in outcome:
+            raise TypeError(
+                f"worker fn returned {type(outcome).__name__}, expected an outcome dict"
+            )
+    except Exception:
+        # Worker bodies catch their own errors; this guards the frame
+        # plumbing itself (bad fn spec, unpicklable args, contract drift).
+        return {
+            "ok": False,
+            "error": traceback.format_exc(limit=8),
+            "transient": False,
+            "kind": "error",
+            "wall": time.perf_counter() - start,
+        }
+    publish = frame.get("publish")
+    if outcome.get("ok") and isinstance(publish, dict) and store is not None:
+        _publish_outcome(store, publish, outcome)
+    return outcome
+
+
+def _serve_connection(
+    conn: socket.socket, peer: str, store: ResultCache | None
+) -> bool:
+    """Serve one driver connection; ``True`` means shut the worker down."""
+    reader = conn.makefile("rb")
+    try:
+        send_frame(
+            conn,
+            {
+                "kind": "hello",
+                "wire_version": WIRE_VERSION,
+                "pid": os.getpid(),
+            },
+        )
+        while True:
+            try:
+                frame = recv_frame(reader)
+            except (ConnectionError, ValueError, pickle.UnpicklingError, EOFError):
+                _log(f"torn frame from {peer}; dropping connection")
+                return False
+            if frame is None:
+                return False  # driver went away; wait for the next one
+            kind = frame.get("kind")
+            if kind == "task":
+                outcome = _run_task(frame, store)
+                send_frame(
+                    conn,
+                    {"kind": "result", "id": frame.get("id"), "outcome": outcome},
+                )
+            elif kind == "ping":
+                send_frame(conn, {"kind": "pong"})
+            elif kind == "shutdown":
+                send_frame(conn, {"kind": "bye"})
+                return True
+            else:
+                _log(f"ignoring unknown frame kind {kind!r} from {peer}")
+    except OSError:
+        return False  # reply failed: driver is gone
+    finally:
+        try:
+            reader.close()
+            conn.close()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qbss-worker",
+        description=(
+            "Long-lived TCP execution worker for the qbss remote backend "
+            "(see docs/backends.md)."
+        ),
+    )
+    parser.add_argument(
+        "--bind",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "address to listen on (port 0 = ephemeral; default: "
+            f"${BIND_ENV} or {DEFAULT_BIND})"
+        ),
+    )
+    parser.add_argument(
+        "--port-file",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="atomically write the bound HOST:PORT here once listening "
+        "(drivers point remote:@PATH at it)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache to publish successful outcomes into "
+        "(share one directory across workers to make the cache the "
+        "coordination point)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="never publish outcomes to a cache, even with --cache-dir",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    bind_text = args.bind or os.environ.get(BIND_ENV) or DEFAULT_BIND
+    try:
+        address = parse_bind(bind_text)
+    except ValueError as exc:
+        build_parser().error(str(exc))
+    store: ResultCache | None = None
+    if args.cache_dir is not None and not args.no_cache:
+        store = ResultCache(args.cache_dir)
+
+    def _on_sigterm(signum: int, frame: Any) -> None:
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
+
+    server = socket.create_server(address, backlog=4)
+    bound_host, bound_port = server.getsockname()[:2]
+    if args.port_file is not None:
+        write_port_file(args.port_file, (bound_host, bound_port))
+    _log(f"listening on {bound_host}:{bound_port} (wire v{WIRE_VERSION})")
+    # SIGTERM raises SystemExit(0), which propagates (QL004) and still
+    # exits 0; Ctrl-C propagates as KeyboardInterrupt.
+    try:
+        while True:
+            conn, peer_addr = server.accept()
+            peer = f"{peer_addr[0]}:{peer_addr[1]}"
+            _log(f"driver connected from {peer}")
+            if _serve_connection(conn, peer, store):
+                _log("shutdown requested; exiting")
+                return 0
+            _log(f"driver at {peer} disconnected")
+    finally:
+        server.close()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -34,8 +34,7 @@ import time
 import traceback
 import warnings
 from collections import deque
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from collections.abc import Callable, Iterable, Sequence
 from pathlib import Path
@@ -52,6 +51,7 @@ if TYPE_CHECKING:
 #: which values should override an explicit session.
 _UNSET: Any = object()
 from ..core.constants import DEFAULT_ALPHA
+from .backends.base import Backend, BackendBroken
 from .cache import ResultCache, cache_key
 from .faults import (
     FailureInfo,
@@ -103,10 +103,13 @@ class HardenedTask:
     driver only touches ``task_key`` (retry/injection coordinates),
     ``attempt`` (1-based), ``walls`` (per-attempt wall times) and the two
     tracing slots (open ``task`` / ``attempt`` span handles, ``None``
-    whenever tracing is off or the span is closed).
+    whenever tracing is off or the span is closed).  ``publish`` is an
+    advisory cache-publication spec for backends whose workers write the
+    result store themselves (the remote work queue); inline and pool
+    execution ignore it.
     """
 
-    __slots__ = ("task_key", "attempt", "walls", "span", "attempt_span")
+    __slots__ = ("task_key", "attempt", "walls", "span", "attempt_span", "publish")
 
     def __init__(self, task_key: str) -> None:
         self.task_key = task_key
@@ -114,6 +117,7 @@ class HardenedTask:
         self.walls: list[float] = []
         self.span = None
         self.attempt_span = None
+        self.publish: dict[str, Any] | None = None
 
 
 @dataclass
@@ -178,6 +182,7 @@ def execute_hardened(
     max_inflight: int | None = None,
     tracer: Any | None = None,
     trace_parent: Any | None = None,
+    backend: Backend | None = None,
 ) -> ExecutionStats:
     """Run ``tasks`` through ``worker`` with timeouts, retries and recovery.
 
@@ -217,6 +222,19 @@ def execute_hardened(
     ``max_inflight`` bounds how many are pulled before results drain.
     Serial execution (``jobs <= 1``) cannot preempt a running task, so
     ``task_timeout`` is not enforced there.
+
+    ``backend`` selects *where* attempts run (see
+    :mod:`repro.engine.backends`): ``None`` keeps the built-in default —
+    a hardened local :class:`~repro.engine.backends.local.PoolBackend`
+    of ``jobs`` workers for ``jobs > 1``, inline serial execution
+    otherwise.  An ``inline`` backend forces the serial path regardless
+    of ``jobs``.  Any other backend runs the same driver loop:
+    :class:`~repro.engine.backends.base.BackendBroken` plays the role
+    :class:`BrokenProcessPool` plays for the pool (rebuild once, then
+    degrade), deadline cancellation pins workers through
+    :meth:`~repro.engine.backends.base.Backend.cancel`, and submissions
+    are bounded by :meth:`~repro.engine.backends.base.Backend.free_slots`
+    when a deadline is set or the backend is ``bounded``.
 
     ``tracer`` (a :class:`repro.obs.Tracer`, optional) records the span
     taxonomy of ``docs/observability.md``: a ``task`` span per task
@@ -295,11 +313,18 @@ def execute_hardened(
                 if delay > 0:
                     time.sleep(delay)
 
-    if jobs <= 1:
+    if backend is not None and backend.inline:
         run_serial(stream)
         return stats
+    if backend is None:
+        if jobs <= 1:
+            run_serial(stream)
+            return stats
+        from .backends.local import PoolBackend
 
-    carry: deque = deque()  # tasks ready for (re)submission across pool rebuilds
+        backend = PoolBackend(jobs)
+
+    carry: deque = deque()  # tasks ready for (re)submission across rebuilds
     retry_heap: list[tuple] = []  # (eligible_at, seq, task) backoff parking lot
     seq = 0
     limit = max_inflight if max_inflight is not None else float("inf")
@@ -316,13 +341,24 @@ def execute_hardened(
             carry.append(task)
 
     while True:
-        pool = ProcessPoolExecutor(max_workers=jobs)
+        try:
+            backend.ensure_open()
+        except BackendBroken:
+            # No capacity reachable at all (e.g. the whole remote fleet is
+            # down): same escalation as a backend that broke mid-batch.
+            stats.pool_rebuilds += 1
+            crash_rebuilds += 1
+            if tracer is not None:
+                tracer.event("pool_rebuild", trace_parent, reason="broken")
+            if crash_rebuilds > 1:
+                stats.degraded = True
+                break
+            continue
         inflight: dict[Any, tuple] = {}
-        hung = 0  # timed-out tasks still pinning a worker of *this* pool
         saw_timeout = False
 
         def crash_inflight() -> None:
-            # The whole pool is dead: every in-flight task is a crashed
+            # The whole backend is dead: every in-flight task is a crashed
             # attempt (attribution is impossible).
             for _fut, (task, _deadline, t0) in list(inflight.items()):
                 outcome = _crash_outcome(time.monotonic() - t0)
@@ -335,8 +371,10 @@ def execute_hardened(
             begin_task(task)
             t0 = time.monotonic()
             try:
-                fut = pool.submit(worker, *payload(task), task.attempt)
-            except BrokenProcessPool:
+                fut = backend.submit(
+                    worker, (*payload(task), task.attempt), task=task
+                )
+            except BackendBroken:
                 carry.appendleft(task)  # no attempt consumed (no attempt span)
                 crash_inflight()
                 raise _PoolBroken() from None
@@ -350,10 +388,14 @@ def execute_hardened(
                 while retry_heap and retry_heap[0][0] <= now:
                     carry.append(heapq.heappop(retry_heap)[2])
                 capacity = limit
-                if task_timeout is not None:
-                    # A submitted task must hold a free worker immediately,
-                    # otherwise queue wait would count against its deadline.
-                    capacity = min(capacity, jobs - hung)
+                if task_timeout is not None or backend.bounded:
+                    # A submitted task must hold a free worker immediately —
+                    # under a deadline because queue wait would count
+                    # against it, on a bounded backend because there is no
+                    # queue to wait in.
+                    slots = backend.free_slots()
+                    if slots is not None:
+                        capacity = min(capacity, slots)
                 while len(inflight) < capacity and carry:
                     submit(carry.popleft())
                 while len(inflight) < capacity and not exhausted and not carry:
@@ -364,7 +406,7 @@ def execute_hardened(
                 if not inflight:
                     if carry or not exhausted:
                         # Submittable work but zero capacity: every worker
-                        # is pinned by a hung task.  Replace the pool.
+                        # is pinned by a hung task.  Replace the backend.
                         raise _PoolHung()
                     if not retry_heap:
                         break
@@ -378,15 +420,13 @@ def execute_hardened(
                     candidates.append(retry_heap[0][0])
                 if candidates:
                     wait_timeout = max(0.0, min(candidates) - time.monotonic())
-                done, _pending = wait(
-                    set(inflight), timeout=wait_timeout, return_when=FIRST_COMPLETED
-                )
+                done = backend.drain(set(inflight), wait_timeout)
                 broken = False
                 for fut in done:
                     task, _deadline, t0 = inflight.pop(fut)
                     try:
-                        outcome = fut.result()
-                    except BrokenProcessPool:
+                        outcome = backend.result(fut)
+                    except BackendBroken:
                         broken = True
                         outcome = _crash_outcome(time.monotonic() - t0)
                     delay = settle(task, outcome, False)
@@ -404,10 +444,10 @@ def execute_hardened(
                     ]
                     for fut in expired:
                         task, _deadline, t0 = inflight.pop(fut)
-                        if not fut.cancel() and not fut.done():
-                            # cancel() cannot stop a running task: its worker
-                            # stays pinned until this pool is replaced.
-                            hung += 1
+                        # cancel() cannot stop a running task: its worker
+                        # stays pinned (the backend tracks it and shrinks
+                        # free_slots) until the backend is replaced.
+                        backend.cancel(fut)
                         saw_timeout = True
                         stats.timeouts += 1
                         task.walls.append(now - t0)
@@ -426,18 +466,18 @@ def execute_hardened(
                             f"task exceeded its {task_timeout}s deadline "
                             f"(attempt {task.attempt})",
                         )
-            _shutdown_pool(pool, kill=saw_timeout)
+            backend.release(kill=saw_timeout)
             return stats
         except _PoolHung:
-            # Not a crash: kill the pinned workers and start a fresh pool.
+            # Not a crash: kill the pinned workers and start fresh.
             # Bounded — each hung task times out exactly once, so at most
-            # ceil(timeouts / jobs) replacements can ever happen.
-            _shutdown_pool(pool, kill=True)
+            # ceil(timeouts / workers) replacements can ever happen.
+            backend.close(kill=True)
             stats.pool_rebuilds += 1
             if tracer is not None:
                 tracer.event("pool_rebuild", trace_parent, reason="hung")
         except _PoolBroken:
-            _shutdown_pool(pool, kill=True)
+            backend.close(kill=True)
             stats.pool_rebuilds += 1
             crash_rebuilds += 1
             if tracer is not None:
@@ -445,7 +485,9 @@ def execute_hardened(
             if crash_rebuilds > 1:
                 stats.degraded = True
                 break
-        # loop: rebuild the pool and keep going
+        # loop: reopen the backend and keep going
+
+    backend.close(kill=True)
 
     if tracer is not None:
         tracer.event("degraded", trace_parent)
@@ -692,6 +734,7 @@ def run_experiments(
     fault_plan: FaultPlan | None = _UNSET,
     tracer: Any | None = _UNSET,
     metrics: Any | None = _UNSET,
+    backend: "str | Backend | None" = _UNSET,
 ) -> EngineResult:
     """Evaluate ``names`` (registry keys), parallel, cached and fault tolerant.
 
@@ -718,6 +761,11 @@ def run_experiments(
     :class:`~repro.engine.faults.FaultPlan` for the duration of the run
     (tests; equivalently export ``QBSS_FAULT_PLAN``).
 
+    ``backend`` selects where tasks execute: a spec string (``"serial"``,
+    ``"pool"``, ``"remote:HOST:PORT[,HOST:PORT...]"``), a
+    :class:`~repro.engine.backends.Backend` instance, or ``None`` for the
+    default local pool (see ``docs/backends.md``).
+
     Observability (``docs/observability.md``): ``tracer`` (a
     :class:`repro.obs.Tracer`) records a ``batch`` span containing
     ``cache-lookup`` / ``task`` / ``attempt`` spans and the recovery point
@@ -728,6 +776,10 @@ def run_experiments(
     """
     from .session import session_from_kwargs
 
+    # Sessions built here (no caller session) are closed before returning:
+    # backend capacity — pool workers, warm remote links — must not outlive
+    # the call unless the caller owns the session.
+    owns_session = session is None
     session = session_from_kwargs(
         session,
         warn_name="run_experiments",
@@ -740,6 +792,7 @@ def run_experiments(
         fault_plan=fault_plan,
         tracer=tracer,
         metrics=metrics,
+        backend=backend,
     )
     jobs = session.pool_jobs
     package_version = session.package_version
@@ -805,6 +858,17 @@ def run_experiments(
                 quarantined = 0
             task = _ExperimentTask(i, name, call_kwargs, resolved, key)
             task.quarantined = quarantined
+            if store is not None:
+                # Remote workers publish straight into the shared result
+                # store by digest; local execution ignores the spec (the
+                # driver's own on_success write below covers it).
+                task.publish = {
+                    "key": key,
+                    "experiment": name,
+                    "params": resolved,
+                    "package_version": package_version,
+                    "wrap_status": False,
+                }
             tasks.append(task)
 
         def on_success(
@@ -909,6 +973,8 @@ def run_experiments(
         from ..obs.publish import publish_engine_result
 
         publish_engine_result(metrics, result)
+    if owns_session:
+        session.close()
     return result
 
 

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Any
 from collections.abc import Callable, Iterable
 
+from .backends.base import Backend, create_backend, parse_backend_spec
 from .cache import ResultCache
 from .faults import FaultPlan, RetryPolicy
 from .runner import (
@@ -52,7 +53,11 @@ class ExecutionSession:
       :class:`~repro.engine.cache.ResultCache` configuration;
     * ``task_timeout``/``retry``/``fault_plan`` — the hardening layer;
     * ``tracer``/``metrics`` — the observability sinks
-      (:class:`repro.obs.Tracer` / :class:`repro.obs.MetricsRegistry`).
+      (:class:`repro.obs.Tracer` / :class:`repro.obs.MetricsRegistry`);
+    * ``backend`` — where tasks execute: a spec string (``"serial"``,
+      ``"pool"``, ``"remote:HOST:PORT[,...]"``), a constructed
+      :class:`~repro.engine.backends.Backend`, or ``None`` for the
+      default local pool (see :mod:`repro.engine.backends`).
 
     The cache handle is created lazily on first use and then reused for
     the session's lifetime, so warm lookups across consecutive runs share
@@ -73,6 +78,7 @@ class ExecutionSession:
     fault_plan: FaultPlan | None = None
     tracer: Any | None = None
     metrics: Any | None = None
+    backend: str | Backend | None = None
 
     def __post_init__(self) -> None:
         resolve_jobs(self.jobs)  # fail fast on malformed requests
@@ -80,7 +86,11 @@ class ExecutionSession:
             raise ValueError(
                 f"task_timeout must be > 0, got {self.task_timeout}"
             )
+        if isinstance(self.backend, str):
+            parse_backend_spec(self.backend)  # fail fast on malformed specs
         self._store: ResultCache | None = None
+        self._backend: Backend | None = None
+        self._backend_resolved: bool = False
         self._closed: bool = False
 
     @property
@@ -98,6 +108,10 @@ class ExecutionSession:
         """
         self._closed = True
         self._store = None
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+        self._backend_resolved = False
 
     def __enter__(self) -> ExecutionSession:
         self._check_open()
@@ -133,6 +147,21 @@ class ExecutionSession:
             self._store = ResultCache(self.cache_dir, metrics=self.metrics)
         return self._store
 
+    @property
+    def execution_backend(self) -> Backend | None:
+        """The resolved :class:`Backend` (lazy; ``None`` = built-in pool).
+
+        A spec string is instantiated once and reused across runs — for
+        the remote backend that keeps worker connections warm between
+        batches (idle links survive :meth:`Backend.release`), mirroring
+        how the cache handle is shared.
+        """
+        self._check_open()
+        if not self._backend_resolved:
+            self._backend = create_backend(self.backend)
+            self._backend_resolved = True
+        return self._backend
+
     def execute(
         self,
         tasks: Iterable[HardenedTask],
@@ -165,6 +194,7 @@ class ExecutionSession:
             max_inflight=max_inflight,
             tracer=self.tracer,
             trace_parent=trace_parent,
+            backend=self.execution_backend,
         )
 
 

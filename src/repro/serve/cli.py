@@ -173,6 +173,16 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="retry budget for transient shard failures (default: policy default)",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "shard execution backend: 'serial', 'pool' (default), or "
+            "'remote:HOST:PORT[,HOST:PORT...]' / 'remote:@PORTFILE' "
+            "fanning shards out to qbss-worker processes (docs/backends.md)"
+        ),
+    )
+    parser.add_argument(
         "--drain-timeout",
         type=float,
         default=None,
@@ -227,6 +237,13 @@ def _config_from_args(
         if args.max_attempts < 1:
             parser.error("--max-attempts must be >= 1")
         retry = RetryPolicy(max_attempts=args.max_attempts)
+    if args.backend is not None:
+        from ..engine.backends.base import parse_backend_spec
+
+        try:
+            parse_backend_spec(args.backend)
+        except ValueError as exc:
+            parser.error(str(exc))
     return ServeConfig(
         host=host,
         port=port,
@@ -245,6 +262,7 @@ def _config_from_args(
         cache_dir=args.cache_dir,
         task_timeout=args.task_timeout,
         retry=retry,
+        backend=args.backend,
         journal_dir=args.journal,
     )
 

@@ -28,7 +28,7 @@ import http.client
 import json
 import time
 from dataclasses import dataclass, field
-from collections.abc import Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
 
 from ..engine.faults import RetryPolicy
 from ..obs.metrics import LabelItems, parse_prometheus_text
@@ -132,12 +132,16 @@ class Client:
         client_id: str = "anonymous",
         timeout: float = 300.0,
         retry: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ):
         self.host = host
         self.port = port
         self.client_id = client_id
         self.timeout = timeout
         self.retry = retry if retry is not None else DEFAULT_CLIENT_RETRY
+        #: Injectable backoff sleeper — tests pass a recorder and assert
+        #: the exact seeded delay sequence without real waiting.
+        self.sleep = sleep
 
     def _request(
         self, method: str, path: str, body: str | None = None
@@ -178,7 +182,7 @@ class Client:
                         503,
                         attempts=attempts,
                     ) from exc
-                time.sleep(self.retry.delay(task, attempts))
+                self.sleep(self.retry.delay(task, attempts))
 
     def submit(self, jobs: Iterable[object]) -> ServeResult:
         """Submit a release-sorted job stream; block for its evaluation.
@@ -208,7 +212,7 @@ class Client:
                     or attempts >= self.retry.max_attempts
                 ):
                     raise
-                time.sleep(self.retry.delay(task, attempts))
+                self.sleep(self.retry.delay(task, attempts))
 
     def _parse_submission(self, status: int, text: str) -> ServeResult:
         result = ServeResult()

@@ -52,6 +52,10 @@ class AdmissionQueue:
         self._items: deque[tuple[Any, int]] = deque()
         self._depth = 0
         self._closed = False
+        #: Tickets of blocked submitters, admission order.  Capacity is
+        #: granted strictly head-first so a large blocked batch cannot be
+        #: starved by a stream of small ones slipping past it.
+        self._waiters: deque[object] = deque()
 
     @property
     def depth(self) -> int:
@@ -77,6 +81,14 @@ class AdmissionQueue:
         backpressure).  Raises :class:`QueueClosedError` once draining.
         A batch larger than the whole queue can never be admitted; that
         raises :class:`QueueFullError` even in blocking mode.
+
+        Blocked submitters are served strictly FIFO: freed capacity goes
+        to the longest-waiting batch, and later arrivals — blocking or
+        not — cannot claim capacity past a waiter.  Without the ticket
+        queue a large blocked batch could starve forever: every pop's
+        freed capacity would be snatched by whichever small submission
+        raced in first, and ``depth + large_size <= max_jobs`` might
+        never hold at the instant the large waiter woke.
         """
         if size <= 0:
             raise ValueError(f"batch size must be > 0, got {size}")
@@ -85,12 +97,28 @@ class AdmissionQueue:
                 raise QueueClosedError("admission queue is draining")
             if size > self.max_jobs:
                 raise QueueFullError(size, self._depth, self.max_jobs)
-            while self._depth + size > self.max_jobs:
+            if self._depth + size > self.max_jobs or self._waiters:
                 if not block:
+                    # Waiters present counts as full even when the batch
+                    # itself would fit: capacity freed while they queue
+                    # belongs to them, not to whoever raced in last.
                     raise QueueFullError(size, self._depth, self.max_jobs)
-                self._cond.wait()
-                if self._closed:
-                    raise QueueClosedError("admission queue is draining")
+                ticket = object()
+                self._waiters.append(ticket)
+                try:
+                    while (
+                        self._waiters[0] is not ticket
+                        or self._depth + size > self.max_jobs
+                    ):
+                        self._cond.wait()
+                        if self._closed:
+                            raise QueueClosedError(
+                                "admission queue is draining"
+                            )
+                finally:
+                    self._waiters.remove(ticket)
+                    # Wake the new head (and any non-blocking poller).
+                    self._cond.notify_all()
             self._items.append((item, size))
             self._depth += size
             self._cond.notify_all()

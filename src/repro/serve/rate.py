@@ -7,6 +7,12 @@ tokens atomically — either the whole batch is within budget or the whole
 batch is rejected (``rate_limited``, HTTP 429); there are no partial
 admissions.
 
+Idle buckets are evicted: a bucket untouched for :data:`DEFAULT_IDLE_GRACE`
+seconds whose refill has brought it back to full carries no state worth
+keeping (a fresh bucket starts full, so eviction is lossless) — without
+this, one-shot clients each leak a bucket and the map grows without bound
+for the life of the daemon.
+
 The clock is injectable so tests drive time deterministically.
 """
 
@@ -15,6 +21,9 @@ from __future__ import annotations
 import threading
 import time
 from collections.abc import Callable
+
+#: Seconds a bucket may sit untouched before it is eligible for eviction.
+DEFAULT_IDLE_GRACE = 300.0
 
 
 class TokenBucket:
@@ -51,15 +60,41 @@ class RateLimiter:
         rate: float | None,
         burst: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        idle_grace: float = DEFAULT_IDLE_GRACE,
     ):
         if rate is not None and rate <= 0:
             raise ValueError(f"rate must be > 0 (or None), got {rate}")
+        if idle_grace <= 0:
+            raise ValueError(f"idle_grace must be > 0, got {idle_grace}")
         self.rate = rate
         # Default burst: one second's worth of budget, at least one job.
         self.burst = burst if burst is not None else (max(1.0, rate) if rate else None)
         self.clock = clock
+        self.idle_grace = idle_grace
         self._lock = threading.Lock()
         self._buckets: dict[str, TokenBucket] = {}
+        self._last_sweep = clock()
+
+    def _sweep(self, now: float) -> None:
+        """Evict idle, fully-refilled buckets (call with ``_lock`` held).
+
+        Eviction is lossless: a new bucket starts full, so dropping one
+        that has refilled to capacity changes no admission decision.  A
+        bucket still below capacity (client in debt) is kept until its
+        refill completes, however long it idles.  Runs at most once per
+        grace period, so the amortized cost per request is O(1).
+        """
+        if now - self._last_sweep < self.idle_grace:
+            return
+        self._last_sweep = now
+        idle = [
+            client
+            for client, b in self._buckets.items()
+            if (now - b.updated) >= self.idle_grace
+            and b.tokens + (now - b.updated) * b.refill_rate >= b.capacity
+        ]
+        for client in idle:
+            del self._buckets[client]
 
     def allow(self, client: str, n: int = 1) -> bool:
         """Whether ``client`` may submit ``n`` jobs right now."""
@@ -68,11 +103,18 @@ class RateLimiter:
         assert self.burst is not None
         now = self.clock()
         with self._lock:
+            self._sweep(now)
             bucket = self._buckets.get(client)
             if bucket is None:
                 bucket = TokenBucket(self.burst, self.rate, now=now)
                 self._buckets[client] = bucket
             return bucket.try_take(float(n), now)
+
+    @property
+    def tracked_clients(self) -> int:
+        """How many client buckets are currently resident."""
+        with self._lock:
+            return len(self._buckets)
 
     def tokens_left(self, client: str) -> float | None:
         """Remaining budget for ``client`` (None = unlimited/unseen)."""

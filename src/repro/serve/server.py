@@ -119,6 +119,10 @@ class ServeConfig:
     task_timeout: float | None = None
     retry: RetryPolicy | None = None
     fault_plan: FaultPlan | None = None
+    #: Execution backend spec for shard evaluation: ``"serial"``,
+    #: ``"pool"``, ``"remote:HOST:PORT[,...]"`` or ``None`` for the
+    #: default local pool (see ``docs/backends.md``).
+    backend: str | None = None
     #: Directory of the write-ahead admission journal (``--journal``).
     #: ``None`` disables durability; see ``docs/serving.md``.
     journal_dir: str | Path | None = None
@@ -163,6 +167,7 @@ class QbssServer:
             fault_plan=config.fault_plan,
             tracer=config.tracer,
             metrics=self.registry,
+            backend=config.backend,
         )
         self.queue = AdmissionQueue(config.queue_limit)
         self.limiter = RateLimiter(config.rate, config.burst)

@@ -608,6 +608,7 @@ def replay_jobs(
     fault_plan: FaultPlan | None = _UNSET,
     tracer=_UNSET,
     metrics=_UNSET,
+    backend=_UNSET,
     checkpoint: ReplayCheckpoint | None = None,
 ) -> tuple[ReplayReport, ReplayMetrics]:
     """Stream a release-sorted QJob iterable through sharded evaluation.
@@ -653,6 +654,10 @@ def replay_jobs(
     """
     from ..engine.session import session_from_kwargs
 
+    # Sessions built here (no caller session) are closed before returning:
+    # backend capacity — pool workers, warm remote links — must not outlive
+    # the call unless the caller owns the session.
+    owns_session = session is None
     session = session_from_kwargs(
         session,
         warn_name="replay_jobs",
@@ -665,6 +670,7 @@ def replay_jobs(
         fault_plan=fault_plan,
         tracer=tracer,
         metrics=metrics,
+        backend=backend,
     )
     jobs = session.pool_jobs
     package_version = session.package_version
@@ -738,6 +744,20 @@ def replay_jobs(
                         continue
                 metrics.misses += 1
                 task = _ShardTask(doc, key)
+                if store is not None and key is not None:
+                    # Remote workers publish the shard verdict by digest
+                    # before replying — the shared cache is the
+                    # coordination point on worker loss.
+                    task.publish = {
+                        "key": key,
+                        "experiment": "trace-shard",
+                        "params": {
+                            "algorithms": list(algorithms),
+                            "alpha": alpha,
+                        },
+                        "package_version": package_version,
+                        "wrap_status": True,
+                    }
                 resident += task.njobs
                 metrics.peak_resident_jobs = max(
                     metrics.peak_resident_jobs, resident
@@ -842,6 +862,8 @@ def replay_jobs(
         from ..obs.publish import publish_replay
 
         publish_replay(registry, report, metrics)
+    if owns_session:
+        session.close()
     return report, metrics
 
 
@@ -880,6 +902,7 @@ def replay_trace(
     fault_plan: FaultPlan | None = _UNSET,
     tracer=_UNSET,
     metrics=_UNSET,
+    backend=_UNSET,
     checkpoint: ReplayCheckpoint | None = None,
 ) -> tuple[ReplayReport, ReplayMetrics]:
     """End-to-end replay: parse ``path``, synthesize uncertainty, shard,
@@ -929,6 +952,7 @@ def replay_trace(
         fault_plan=fault_plan,
         tracer=tracer,
         metrics=metrics,
+        backend=backend,
         checkpoint=checkpoint,
         meta={
             "source": str(path),

@@ -214,6 +214,121 @@ class TestAdmissionQueue:
         with pytest.raises(ValueError):
             q.submit("a", 0)
 
+    def test_nonblocking_submit_yields_to_waiters(self):
+        # A blocked waiter owns any capacity freed while it queues: a
+        # non-blocking submit that would otherwise fit is rejected
+        # rather than allowed to jump the line.
+        q = AdmissionQueue(5)
+        q.submit("a", 5)
+        waiting = threading.Event()
+        admitted = threading.Event()
+
+        def big():
+            waiting.set()
+            q.submit("big", 4, block=True)
+            admitted.set()
+
+        t = threading.Thread(target=big)
+        t.start()
+        assert waiting.wait(5.0)
+        # Give the waiter time to enqueue its ticket.
+        deadline = 50
+        while not q._waiters and deadline:  # noqa: SLF001 - white-box sync
+            threading.Event().wait(0.01)
+            deadline -= 1
+        assert q.pop() == "a"  # frees all 5 slots
+        # 1 job would fit (depth 0 or 4) but the big waiter is ahead.
+        with pytest.raises(QueueFullError):
+            q.submit("tiny", 1)
+        assert admitted.wait(5.0)
+        t.join()
+        assert q.pop() == "big"
+        # With no waiters left, small submissions flow again.
+        q.submit("tiny", 1)
+        assert q.pop() == "tiny"
+
+    def test_large_blocked_batch_is_not_starved(self):
+        # The starvation scenario: a full queue, one large blocked
+        # batch, and a continuous stream of small blocking submitters.
+        # Without FIFO tickets the small ones snatch every freed slot
+        # and depth never dips low enough for the large batch.
+        q = AdmissionQueue(4)
+        q.submit("seed-0", 2)
+        q.submit("seed-1", 2)
+        big_admitted = threading.Event()
+        stop = threading.Event()
+
+        def big():
+            q.submit("big", 4, block=True)
+            big_admitted.set()
+
+        def small_stream(tag):
+            i = 0
+            while not stop.is_set():
+                try:
+                    q.submit(f"{tag}-{i}", 1, block=True)
+                except QueueClosedError:
+                    return
+                i += 1
+
+        big_thread = threading.Thread(target=big)
+        big_thread.start()
+        # Let the big batch reach the head of the waiter queue first;
+        # FIFO must hold even though the stream arrives right behind it.
+        deadline = 100
+        while not q._waiters and deadline:  # noqa: SLF001
+            threading.Event().wait(0.01)
+            deadline -= 1
+        streams = [
+            threading.Thread(target=small_stream, args=(f"s{k}",), daemon=True)
+            for k in range(3)
+        ]
+        for t in streams:
+            t.start()
+        popped = []
+        try:
+            while not big_admitted.is_set():
+                popped.append(q.pop())
+                assert len(popped) < 500, (
+                    f"large batch starved; popped {len(popped)} small batches"
+                )
+        finally:
+            stop.set()
+            q.close()
+            while q.pop() is not None:
+                pass
+            big_thread.join(5.0)
+            for t in streams:
+                t.join(5.0)
+        assert big_admitted.is_set()
+
+    def test_close_releases_blocked_waiters(self):
+        q = AdmissionQueue(2)
+        q.submit("a", 2)
+        errors = []
+        started = threading.Event()
+
+        def blocked():
+            started.set()
+            try:
+                q.submit("b", 2, block=True)
+            except QueueClosedError as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=blocked)
+        t.start()
+        assert started.wait(5.0)
+        deadline = 100
+        while not q._waiters and deadline:  # noqa: SLF001
+            threading.Event().wait(0.01)
+            deadline -= 1
+        q.close()
+        t.join(5.0)
+        assert not t.is_alive()
+        assert len(errors) == 1
+        # The abandoned ticket does not linger and wedge the queue.
+        assert not q._waiters  # noqa: SLF001
+
 
 # -- rate limiting ------------------------------------------------------------------
 
@@ -255,6 +370,53 @@ class TestRateLimiter:
     def test_invalid_rates_rejected(self):
         with pytest.raises(ValueError):
             RateLimiter(0.0)
+        with pytest.raises(ValueError):
+            RateLimiter(1.0, idle_grace=0.0)
+
+    def test_bucket_map_stays_bounded_under_one_shot_clients(self):
+        # The leak this guards against: every distinct client id used to
+        # pin a TokenBucket forever, so 10k one-shot clients grew the
+        # map by 10k entries for the life of the daemon.
+        now = [0.0]
+        limiter = RateLimiter(
+            rate=10.0, burst=10.0, clock=lambda: now[0], idle_grace=60.0
+        )
+        for i in range(10_000):
+            assert limiter.allow(f"one-shot-{i}", 1)
+            now[0] += 0.1  # 1000 s total: far beyond any grace window
+        # Buckets refill (0.1 s * 10/s = 1 token) long before the grace
+        # period elapses, so only clients from the last grace window or
+        # so can still be resident.  Well under the 10k that would leak.
+        assert limiter.tracked_clients < 1500
+        # And eviction was lossless: an evicted client's fresh bucket
+        # grants the same full burst a kept bucket would have refilled.
+        assert limiter.allow("one-shot-0", 10)
+
+    def test_indebted_bucket_survives_the_sweep(self):
+        now = [0.0]
+        limiter = RateLimiter(
+            rate=0.001, burst=10.0, clock=lambda: now[0], idle_grace=5.0
+        )
+        assert limiter.allow("slow", 10)  # drained; refill is glacial
+        assert limiter.allow("bystander", 1)
+        now[0] += 6.0  # past the grace period, but "slow" is in debt
+        limiter.allow("trigger", 1)  # drives a sweep
+        assert limiter.tokens_left("slow") is not None  # still tracked
+        # The debt is still enforced: 6 s * 0.001/s rounds to nothing.
+        assert not limiter.allow("slow", 10)
+
+    def test_sweep_runs_at_most_once_per_grace_period(self):
+        now = [0.0]
+        limiter = RateLimiter(
+            rate=100.0, burst=100.0, clock=lambda: now[0], idle_grace=10.0
+        )
+        assert limiter.allow("early", 1)
+        now[0] = 10.5  # "early" is idle and refilled -> evictable
+        assert limiter.allow("a", 1)  # sweep fires here
+        assert limiter.tracked_clients == 1  # "early" evicted, "a" added
+        now[0] = 11.0
+        assert limiter.allow("b", 1)  # within the same period: no sweep
+        assert limiter.tracked_clients == 2
 
 
 # -- inline evaluation (serve_once / submit_payload, no HTTP) -----------------------
@@ -700,6 +862,59 @@ class TestClientRetry:
         client = Client("127.0.0.1", 1)
         assert client.retry is DEFAULT_CLIENT_RETRY
         assert DEFAULT_CLIENT_RETRY.max_attempts == 3
+
+    def test_backoff_uses_the_injected_sleeper(self):
+        # The client must never call time.sleep directly — every backoff
+        # goes through the injectable sleeper, and the delays are exactly
+        # the policy's seeded sequence for the retried task.
+        policy = RetryPolicy(max_attempts=4, backoff_base=0.05, backoff_cap=1.0)
+        slept = []
+        client = Client(
+            "127.0.0.1", 1, client_id="c1", retry=policy, sleep=slept.append
+        )
+        transport = _ScriptedTransport(
+            ("raise", ConnectionRefusedError("refused")),
+            ("raise", ConnectionResetError("reset")),
+            ("raise", ConnectionRefusedError("refused")),
+            (200, _SUMMARY_OK),
+        )
+        client._request = transport
+        assert client.submit([]).summary["n_jobs"] == 0
+        task = "POST /v1/jobs:c1"
+        assert slept == [policy.delay(task, 1), policy.delay(task, 2),
+                         policy.delay(task, 3)]
+        # Seeded determinism: a rebuilt client replays the same delays.
+        replay = []
+        again = Client(
+            "127.0.0.1", 1, client_id="c1", retry=policy, sleep=replay.append
+        )
+        again._request = _ScriptedTransport(
+            ("raise", ConnectionRefusedError("refused")),
+            ("raise", ConnectionResetError("reset")),
+            ("raise", ConnectionRefusedError("refused")),
+            (200, _SUMMARY_OK),
+        )
+        assert again.submit([]).summary["n_jobs"] == 0
+        assert replay == slept
+
+    def test_queue_full_backoff_is_seeded_per_submit_task(self):
+        policy = RetryPolicy(max_attempts=3, backoff_base=0.05, backoff_cap=1.0)
+        slept = []
+        client = Client(
+            "127.0.0.1", 1, client_id="c2", retry=policy, sleep=slept.append
+        )
+        full = encode_jsonl([ServeError("queue_full", "brimming").to_dict()])
+        client._request = _ScriptedTransport(
+            (429, full), (429, full), (200, _SUMMARY_OK)
+        )
+        assert client.submit([]).summary["n_jobs"] == 0
+        task = "submit:c2"
+        assert slept == [policy.delay(task, 1), policy.delay(task, 2)]
+
+    def test_default_sleeper_is_time_sleep(self):
+        import time as _time
+
+        assert Client("127.0.0.1", 1).sleep is _time.sleep
 
 
 # -- the port file ------------------------------------------------------------------
