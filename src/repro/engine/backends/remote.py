@@ -53,6 +53,7 @@ from concurrent.futures import Future
 from pathlib import Path
 from typing import Any
 
+from ...lint import lockwatch
 from ..faults import FAULT_PLAN_ENV
 from .base import Backend, BackendBroken
 
@@ -153,7 +154,7 @@ class _WorkerLink:
         self.sock: socket.socket | None = None
         self.reader: Any = None
         self.thread: threading.Thread | None = None
-        self.lock = threading.Lock()
+        self.lock = lockwatch.new_lock("_WorkerLink.lock")
         self.alive = False
         self.pinned = False
         self.pending: tuple[int, Future, float] | None = None

@@ -294,7 +294,9 @@ def main(argv: list[str] | None = None) -> int:
     # exits 0; Ctrl-C propagates as KeyboardInterrupt.
     try:
         while True:
-            conn, peer_addr = server.accept()
+            # Untimed accept() is deliberate: PEP 475 makes it
+            # signal-interruptible, and SIGTERM above raises SystemExit.
+            conn, peer_addr = server.accept()  # qbss-lint: disable=QL009
             peer = f"{peer_addr[0]}:{peer_addr[1]}"
             _log(f"driver connected from {peer}")
             if _serve_connection(conn, peer, store):

@@ -14,7 +14,16 @@ QL003 cache-key purity — no ambient reads in worker bodies
 QL004 exception hygiene — never swallow BaseException
 QL005 float equality — ``math.isclose`` in verdict code
 QL006 versioned IO — every document kind declares a version
+QL007 lock discipline — guarded state mutates only under the lock
+QL008 lock-order consistency — the acquisition graph is acyclic
+QL009 blocking-call hygiene — no unbounded blocking on main
+QL010 resource lifecycle — sockets/files/pools close on every path
+QL011 durability ordering — fsync dominates publish/ack
 ==== =========================================================
+
+QL007–QL011 share the project-wide call-graph / attribute-flow layer in
+:mod:`repro.lint.flow`; QL008's static lock graph is cross-validated at
+runtime by the opt-in :mod:`repro.lint.lockwatch` sanitizer.
 
 Use the ``qbss-lint`` console script (see ``docs/static-analysis.md``)
 or the :func:`lint_paths` API.  Inline suppressions
@@ -29,6 +38,7 @@ from .config import LintConfig, LintConfigError, discover_config, load_config
 from .engine import LintRun, collect_files, lint_paths, render_json, render_text
 from .findings import LINT_FORMAT_VERSION, Finding
 from .rules import Rule, all_rules, select_rules
+from .sarif import render_sarif
 
 __all__ = [
     "Baseline",
@@ -45,6 +55,7 @@ __all__ = [
     "lint_paths",
     "load_config",
     "render_json",
+    "render_sarif",
     "render_text",
     "select_rules",
 ]

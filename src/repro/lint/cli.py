@@ -9,6 +9,7 @@ findings as grandfathered (each entry then needs a human justification
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 
@@ -17,6 +18,7 @@ from .baseline import Baseline, BaselineError
 from .config import CONFIG_FILENAME, LintConfig, LintConfigError, load_config
 from .engine import LintRun, lint_paths, render_json, render_text
 from .rules import all_rules
+from .sarif import render_sarif
 
 DEFAULT_BASELINE = ".qbss-lint-baseline.json"
 DEFAULT_PATH = "src/repro"
@@ -29,7 +31,10 @@ def build_parser() -> argparse.ArgumentParser:
             "AST-based invariant linter for the QBSS reproduction: "
             "determinism (QL001), registry conformance (QL002), cache-key "
             "purity (QL003), exception hygiene (QL004), float equality "
-            "(QL005) and versioned IO (QL006)."
+            "(QL005), versioned IO (QL006), lock discipline (QL007), "
+            "lock-order consistency (QL008), blocking-call hygiene "
+            "(QL009), resource lifecycle (QL010) and durability ordering "
+            "(QL011)."
         ),
     )
     parser.add_argument(
@@ -40,9 +45,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help=(
+            "report only findings in files changed since REF (default "
+            "HEAD) plus untracked files; the whole tree is still "
+            "analyzed for cross-module context"
+        ),
     )
     parser.add_argument(
         "--version",
@@ -114,6 +131,31 @@ def _resolve_baseline_path(arg: str | None) -> Path | None:
     return Path(arg)
 
 
+def _changed_paths(ref: str) -> set[str]:
+    """Repo-relative ``*.py`` paths changed since ``ref``, plus untracked.
+
+    Paths come back relative to the git worktree root, which matches the
+    engine's ``rel_path`` convention when qbss-lint runs from the
+    repository root (the documented usage).  Raises ``RuntimeError``
+    when git is unavailable or ``ref`` does not resolve.
+    """
+    changed: set[str] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", "--diff-filter=d", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            detail = proc.stderr.strip() or f"`{' '.join(cmd)}` failed"
+            raise RuntimeError(f"--changed: {detail}")
+        changed.update(
+            line.strip()
+            for line in proc.stdout.splitlines()
+            if line.strip().endswith(".py")
+        )
+    return changed
+
+
 def _emit(text: str, output: Path | None) -> None:
     if output is None:
         sys.stdout.write(text)
@@ -152,12 +194,21 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"qbss-lint: error: {exc}", file=sys.stderr)
                 return 2
 
+    restrict: set[str] | None = None
+    if args.changed is not None:
+        try:
+            restrict = _changed_paths(args.changed)
+        except RuntimeError as exc:
+            print(f"qbss-lint: error: {exc}", file=sys.stderr)
+            return 2
+
     try:
         run: LintRun = lint_paths(
             paths,
             select=_split_ids(args.select),
             ignore=_split_ids(args.ignore),
             config=config,
+            restrict=restrict,
         )
     except (FileNotFoundError, ValueError) as exc:
         print(f"qbss-lint: error: {exc}", file=sys.stderr)
@@ -181,7 +232,11 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     new, baselined = run.partition(baseline)
-    renderer = render_json if args.format == "json" else render_text
+    renderer = {
+        "json": render_json,
+        "sarif": render_sarif,
+        "text": render_text,
+    }[args.format]
     _emit(
         renderer(run, new, baselined, show_suppressed=args.show_suppressed),
         args.output,

@@ -16,8 +16,12 @@ import ast
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from .config import LintConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .flow import ProjectFlow
 
 
 def derive_module_name(path: Path) -> str:
@@ -149,6 +153,16 @@ class LintContext:
 
     def __post_init__(self) -> None:
         self.by_name: dict[str, SourceModule] = {m.module: m for m in self.modules}
+        self._flow: ProjectFlow | None = None
 
     def get(self, module_name: str) -> SourceModule | None:
         return self.by_name.get(module_name)
+
+    @property
+    def flow(self) -> ProjectFlow:
+        """Lazily built shared call-graph / attribute-flow index."""
+        from .flow import ProjectFlow
+
+        if self._flow is None:
+            self._flow = ProjectFlow(self)
+        return self._flow

@@ -74,12 +74,19 @@ def lint_paths(
     ignore: list[str] | None = None,
     root: Path | None = None,
     config: LintConfig | None = None,
+    restrict: set[str] | None = None,
 ) -> LintRun:
     """Lint every Python file under ``paths`` and return the findings.
 
     ``config`` overrides the lint configuration; by default a
     ``.qbss-lint.json`` at ``root`` (or the cwd) is discovered, falling
     back to the built-in defaults.
+
+    ``restrict`` (``--changed``) filters the *reported* findings to the
+    given relative paths.  The whole tree is still parsed and analyzed —
+    the cross-module rules need full project context — so a change in
+    one file that breaks an invariant anchored in it is still caught,
+    while pre-existing findings elsewhere stay out of the report.
     """
     if config is None:
         config = discover_config(root)
@@ -116,6 +123,9 @@ def lint_paths(
             dropped.append(finding)
         else:
             kept.append(finding)
+    if restrict is not None:
+        kept = [f for f in kept if f.path in restrict]
+        dropped = [f for f in dropped if f.path in restrict]
 
     return LintRun(
         files=len(files),

@@ -1,0 +1,381 @@
+"""QL010-QL011 -- resource lifecycle and durability-ordering contracts.
+
+Both rules are scoped to ``repro.serve`` and ``repro.engine``: the
+serving daemon and the execution backends are where sockets, journals
+and pools live, and where the crash-safety contract (fsync before
+publish/ack) is load-bearing.
+
+- **QL010 resource lifecycle**: a socket / file / pool bound to a local
+  name must be closed on every path -- via ``with``, a ``finally``
+  close, or by escaping the function (returned, yielded, stored on an
+  object, or handed to another call, which transfers ownership).
+- **QL011 durability ordering**: on every control-flow path, a handle
+  that was written must be ``flush()``-ed and ``os.fsync()``-ed before
+  any publication sink (``os.replace``/``os.rename``, a path's
+  ``.replace()``, or a socket ack).  ``return`` is *not* a sink: the
+  admission journal deliberately fsyncs only admission records, and
+  that policy stays expressible.
+
+The analysis is a per-function abstract interpretation: branches fork
+the handle state and re-join with the least-durable outcome, so "one
+branch skipped the fsync" is caught even when the straight-line path is
+correct.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from .context import LintContext, SourceModule
+from .findings import SEVERITY_ERROR, Finding
+from .flow import SOCKET_FACTORIES, dotted_key
+from .rules import Rule, walk_functions
+
+_SCOPE_PACKAGES = ("repro.serve", "repro.engine")
+
+_POOL_FACTORIES = {
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.ThreadPoolExecutor",
+}
+
+#: ``finally``-block methods that count as releasing the resource.
+_CLOSERS = {"close", "shutdown", "terminate", "__exit__"}
+
+
+def _in_scope(module: SourceModule) -> bool:
+    return module.in_package(*_SCOPE_PACKAGES)
+
+
+# -- QL010 --------------------------------------------------------------------
+
+
+def _opener_kind(call: ast.Call, module: SourceModule) -> str | None:
+    origin = module.imports.origin(call.func)
+    if origin in SOCKET_FACTORIES:
+        return "socket"
+    if origin in _POOL_FACTORIES:
+        return "pool"
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "open" and origin is None:
+        return "file"
+    if isinstance(func, ast.Attribute) and func.attr in ("open", "makefile"):
+        return "file"
+    return None
+
+
+class ResourceLifecycleRule(Rule):
+    rule_id = "QL010"
+    title = "resource lifecycle: sockets/files/pools close on every path"
+    severity = SEVERITY_ERROR
+    rationale = (
+        "A leaked socket or journal handle in the daemon accumulates for "
+        "the life of the process; an exception between open and close "
+        "leaks silently.  Every opened resource is either managed by "
+        "`with`, closed in `finally`, or handed off to an owner."
+    )
+
+    def check_module(
+        self, module: SourceModule, ctx: LintContext
+    ) -> Iterable[Finding]:
+        if not _in_scope(module):
+            return
+        for fn in walk_functions(module.tree):
+            openers: list[tuple[str, ast.Call, str]] = []
+            for sub in ast.walk(fn):
+                if not (
+                    isinstance(sub, ast.Assign)
+                    and len(sub.targets) == 1
+                    and isinstance(sub.targets[0], ast.Name)
+                    and isinstance(sub.value, ast.Call)
+                ):
+                    continue
+                kind = _opener_kind(sub.value, module)
+                if kind is not None:
+                    openers.append((sub.targets[0].id, sub.value, kind))
+            if not openers:
+                continue
+            released = self._released_names(fn)
+            for name, call, kind in openers:
+                if name not in released:
+                    yield self.finding(
+                        module,
+                        call,
+                        f"{kind} `{name}` is opened but not closed on every "
+                        "path; manage it with `with`, close it in "
+                        "`finally`, or hand it to an owner",
+                    )
+
+    def _released_names(self, fn: ast.AST) -> set[str]:
+        """Names whose resource is managed, closed-in-finally, or escapes."""
+        released: set[str] = set()
+        for sub in ast.walk(fn):
+            if isinstance(sub, (ast.With, ast.AsyncWith)):
+                for item in sub.items:
+                    for name_node in ast.walk(item.context_expr):
+                        if isinstance(name_node, ast.Name):
+                            released.add(name_node.id)
+            elif isinstance(sub, ast.Try):
+                for stmt in sub.finalbody:
+                    for call in ast.walk(stmt):
+                        if (
+                            isinstance(call, ast.Call)
+                            and isinstance(call.func, ast.Attribute)
+                            and call.func.attr in _CLOSERS
+                            and isinstance(call.func.value, ast.Name)
+                        ):
+                            released.add(call.func.value.id)
+            elif isinstance(sub, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if sub.value is not None:
+                    for name_node in ast.walk(sub.value):
+                        if isinstance(name_node, ast.Name):
+                            released.add(name_node.id)
+            elif isinstance(sub, ast.Call):
+                # Ownership transfer: the handle passed as an argument.
+                for arg in [*sub.args, *[kw.value for kw in sub.keywords]]:
+                    for name_node in ast.walk(arg):
+                        if isinstance(name_node, ast.Name):
+                            released.add(name_node.id)
+            elif isinstance(sub, ast.Assign):
+                # Stored on an object / container: someone else owns it.
+                if any(
+                    not isinstance(t, ast.Name) for t in sub.targets
+                ):
+                    for name_node in ast.walk(sub.value):
+                        if isinstance(name_node, ast.Name):
+                            released.add(name_node.id)
+        return released
+
+
+# -- QL011 --------------------------------------------------------------------
+
+_DIRTY = "dirty"
+_FLUSHED = "flushed"
+_SYNCED = "synced"
+_CLEAN = "clean"
+
+_State = dict[str, str]
+
+
+def _merge(states: list[_State | None]) -> _State:
+    live = [s for s in states if s is not None]
+    if not live:
+        return {}
+    keys: set[str] = set()
+    for s in live:
+        keys |= set(s)
+    out: _State = {}
+    for key in keys:
+        vals = {s.get(key, _CLEAN) for s in live}
+        if _DIRTY in vals:
+            out[key] = _DIRTY
+        elif _FLUSHED in vals:
+            out[key] = _FLUSHED
+        elif _SYNCED in vals:
+            out[key] = _SYNCED
+        else:
+            out[key] = _CLEAN
+    return out
+
+
+class DurabilityOrderRule(Rule):
+    rule_id = "QL011"
+    title = "durability ordering: fsync dominates publish/ack"
+    severity = SEVERITY_ERROR
+    rationale = (
+        "The crash-safety contract: bytes are only durable after "
+        "flush()+os.fsync(), so publishing a file (os.replace) or acking "
+        "a client before the fsync means a crash can acknowledge work "
+        "that never hit disk and break replay identity."
+    )
+
+    def check_module(
+        self, module: SourceModule, ctx: LintContext
+    ) -> Iterable[Finding]:
+        if not _in_scope(module):
+            return
+        for fn in walk_functions(module.tree):
+            scan = _DurabilityScan(self, module)
+            scan.block(list(fn.body), {})
+            yield from scan.findings
+
+
+@dataclass
+class _DurabilityScan:
+    """Branch-sensitive handle-state walk over one function body."""
+
+    rule: Rule
+    module: SourceModule
+    findings: list[Finding] = field(default_factory=list)
+    pathlike: set[str] = field(default_factory=set)
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    def block(self, stmts: list[ast.stmt], state: _State) -> _State | None:
+        cur: _State | None = state
+        for stmt in stmts:
+            if cur is None:
+                return None
+            cur = self._stmt(stmt, cur)
+        return cur
+
+    def _stmt(self, stmt: ast.stmt, state: _State) -> _State | None:
+        if isinstance(stmt, (ast.Return, ast.Raise, ast.Break, ast.Continue)):
+            # Deliberately not sinks: conditional-durability policies
+            # (journal fsyncs only admission records) stay expressible.
+            return None
+        if isinstance(stmt, ast.If):
+            taken = self.block(stmt.body, dict(state))
+            skipped = self.block(stmt.orelse, dict(state))
+            if taken is None and skipped is None:
+                return None
+            return _merge([taken, skipped])
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            once = self.block(stmt.body, dict(state))
+            return _merge([once, dict(state)])
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                expr = item.context_expr
+                if (
+                    isinstance(expr, ast.Call)
+                    and item.optional_vars is not None
+                    and isinstance(
+                        item.optional_vars, (ast.Name, ast.Attribute)
+                    )
+                    and _is_write_open(expr)
+                ):
+                    key = dotted_key(item.optional_vars)
+                    if key is not None:
+                        state[key] = _CLEAN
+            return self.block(stmt.body, state)
+        if isinstance(stmt, ast.Try):
+            pre = dict(state)
+            body_state = self.block(stmt.body, dict(state))
+            if body_state is not None:
+                body_state = self.block(stmt.orelse, body_state)
+            handler_states = [
+                self.block(handler.body, dict(pre))
+                for handler in stmt.handlers
+            ]
+            outcomes = [body_state, *handler_states]
+            merged = _merge(outcomes)
+            alive = any(outcome is not None for outcome in outcomes)
+            if stmt.finalbody:
+                final_state = self.block(stmt.finalbody, merged)
+                if final_state is None:
+                    return None
+                merged = final_state
+            return merged if alive else None
+        self._leaf(stmt, state)
+        return state
+
+    def _leaf(self, stmt: ast.stmt, state: _State) -> None:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            key = dotted_key(stmt.targets[0])
+            value = stmt.value
+            if key is not None:
+                if isinstance(value, ast.Call) and _is_write_open(value):
+                    state[key] = _CLEAN
+                    return
+                if (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)
+                    and value.func.attr == "fileno"
+                ):
+                    handle = dotted_key(value.func.value)
+                    if handle is not None and handle in state:
+                        self.aliases[key] = handle
+                        return
+                if _is_pathlike_expr(value, self.module, self.pathlike):
+                    self.pathlike.add(key)
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Call):
+                self._call(sub, state)
+
+    def _call(self, call: ast.Call, state: _State) -> None:
+        func = call.func
+        origin = self.module.imports.origin(func)
+        if origin in ("os.replace", "os.rename"):
+            self._sink(call, state, origin)
+            return
+        if isinstance(func, ast.Name) and func.id == "send_frame":
+            self._sink(call, state, "send_frame()")
+            return
+        if isinstance(func, ast.Attribute):
+            receiver = dotted_key(func.value)
+            attr = func.attr
+            if receiver is not None and receiver in state:
+                if attr in ("write", "writelines"):
+                    state[receiver] = _DIRTY
+                elif attr == "flush" and state[receiver] == _DIRTY:
+                    state[receiver] = _FLUSHED
+            if attr == "replace" and receiver in self.pathlike:
+                self._sink(call, state, f"{receiver}.replace()")
+            elif attr == "sendall":
+                self._sink(call, state, f"socket {attr}()")
+        if origin == "os.fsync" and call.args:
+            for sub in ast.walk(call.args[0]):
+                if not isinstance(sub, (ast.Name, ast.Attribute)):
+                    continue
+                key = dotted_key(sub)
+                if key is None:
+                    continue
+                handle = self.aliases.get(key, key)
+                if handle in state:
+                    state[handle] = _SYNCED
+
+    def _sink(self, call: ast.Call, state: _State, desc: str) -> None:
+        for handle in sorted(state):
+            if state[handle] in (_DIRTY, _FLUSHED):
+                self.findings.append(
+                    self.rule.finding(
+                        self.module,
+                        call,
+                        f"`{handle}` is written but not fsynced before "
+                        f"{desc}; flush()+os.fsync() must precede every "
+                        "publish/ack (crash-safety contract)",
+                    )
+                )
+                # Report once per handle per path.
+                state[handle] = _SYNCED
+
+
+def _is_write_open(call: ast.Call) -> bool:
+    func = call.func
+    mode_expr: ast.expr | None = None
+    if isinstance(func, ast.Name) and func.id == "open":
+        if len(call.args) >= 2:
+            mode_expr = call.args[1]
+    elif isinstance(func, ast.Attribute) and func.attr == "open":
+        if len(call.args) >= 1:
+            mode_expr = call.args[0]
+    else:
+        return False
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode_expr = kw.value
+    if not (
+        isinstance(mode_expr, ast.Constant)
+        and isinstance(mode_expr.value, str)
+    ):
+        return False
+    return any(flag in mode_expr.value for flag in "wax+")
+
+
+def _is_pathlike_expr(
+    value: ast.expr, module: SourceModule, pathlike: set[str]
+) -> bool:
+    if isinstance(value, ast.Call):
+        if isinstance(value.func, ast.Attribute) and value.func.attr in (
+            "with_suffix",
+            "with_name",
+            "joinpath",
+        ):
+            return True
+        if module.imports.origin(value.func) == "pathlib.Path":
+            return True
+    if isinstance(value, ast.BinOp) and isinstance(value.op, ast.Div):
+        return True
+    if isinstance(value, ast.Name) and value.id in pathlike:
+        return True
+    return False

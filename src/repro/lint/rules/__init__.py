@@ -54,6 +54,8 @@ class Rule:
 
 def all_rules() -> list[Rule]:
     """Fresh instances of every registered rule, in ID order."""
+    from ..concurrency import BlockingCallRule, LockDisciplineRule, LockOrderRule
+    from ..lifecycle import DurabilityOrderRule, ResourceLifecycleRule
     from .ql001_determinism import DeterminismRule
     from .ql002_registry import RegistryConformanceRule
     from .ql003_cache_purity import CachePurityRule
@@ -68,6 +70,11 @@ def all_rules() -> list[Rule]:
         ExceptionHygieneRule(),
         FloatEqualityRule(),
         VersionedIORule(),
+        LockDisciplineRule(),
+        LockOrderRule(),
+        BlockingCallRule(),
+        ResourceLifecycleRule(),
+        DurabilityOrderRule(),
     ]
 
 

@@ -33,12 +33,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Any
 
 from ..engine.faults import FaultPlan
+from ..lint import lockwatch
 
 SERVE_JOURNAL_VERSION = 1
 JOURNAL_KIND = "serve_journal_record"
@@ -231,7 +231,7 @@ class AdmissionJournal:
         self.path = self.directory / JOURNAL_FILENAME
         self.tracer = tracer
         self.fault_plan = fault_plan
-        self._lock = threading.Lock()
+        self._lock = lockwatch.new_lock("AdmissionJournal._lock")
         self._fh: IO[str] | None = None
         self._seq = 1
         self._records_counter = None

@@ -16,9 +16,10 @@ been handed over and the loop may exit.
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from typing import Any
+
+from ..lint import lockwatch
 
 
 class QueueFullError(Exception):
@@ -48,7 +49,7 @@ class AdmissionQueue:
         if max_jobs <= 0:
             raise ValueError(f"max_jobs must be > 0, got {max_jobs}")
         self.max_jobs = max_jobs
-        self._cond = threading.Condition()
+        self._cond = lockwatch.new_condition("AdmissionQueue._cond")
         self._items: deque[tuple[Any, int]] = deque()
         self._depth = 0
         self._closed = False

@@ -18,9 +18,10 @@ The clock is injectable so tests drive time deterministically.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections.abc import Callable
+
+from ..lint import lockwatch
 
 #: Seconds a bucket may sit untouched before it is eligible for eviction.
 DEFAULT_IDLE_GRACE = 300.0
@@ -71,7 +72,7 @@ class RateLimiter:
         self.burst = burst if burst is not None else (max(1.0, rate) if rate else None)
         self.clock = clock
         self.idle_grace = idle_grace
-        self._lock = threading.Lock()
+        self._lock = lockwatch.new_lock("RateLimiter._lock")
         self._buckets: dict[str, TokenBucket] = {}
         self._last_sweep = clock()
 

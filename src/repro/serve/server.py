@@ -50,6 +50,7 @@ from collections.abc import Sequence
 from .. import __version__ as PACKAGE_VERSION
 from ..engine.faults import FaultPlan, RetryPolicy, active_fault_plan
 from ..engine.session import ExecutionSession
+from ..lint import lockwatch
 from ..obs.metrics import MetricsRegistry
 from ..obs.publish import WALL_BUCKETS
 from ..traces.replay import DEFAULT_ALGORITHMS, ReplayReport, replay_jobs
@@ -75,7 +76,7 @@ class LockedMetricsRegistry(MetricsRegistry):
 
     def __init__(self) -> None:
         super().__init__()
-        self.lock = threading.RLock()
+        self.lock = lockwatch.new_rlock("LockedMetricsRegistry.lock")
 
     def _get(self, cls: type, name: str, help: str, labels: dict, **kwargs: object) -> object:
         with self.lock:

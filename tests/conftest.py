@@ -2,10 +2,36 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core import Instance, Job, PowerFunction, QBSSInstance, QJob
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _lockwatch_sanitizer():
+    """Opt-in lock-order sanitizer for the whole session.
+
+    With ``QBSS_LOCKWATCH=1`` every lock constructed through the
+    :mod:`repro.lint.lockwatch` seam (the serve daemon, the journal, the
+    TCP backend) is watched; teardown fails the run on any observed
+    lock-order cycle.  CI enables this on the serve / backends / chaos
+    suites so they double as lock-order chaos runs.
+    """
+    if os.environ.get("QBSS_LOCKWATCH") != "1":
+        yield
+        return
+    from repro.lint import lockwatch
+
+    watcher = lockwatch.LockWatcher()
+    lockwatch.install_watcher(watcher)
+    try:
+        yield
+    finally:
+        lockwatch.uninstall_watcher()
+        watcher.check()
 
 
 @pytest.fixture

@@ -1,0 +1,28 @@
+"""QL007 bad fixture: guarded state mutated outside the owning lock.
+
+``Tally`` owns a lock, ``bump`` is reachable from both the main thread
+and a worker thread, and the mutation happens bare.
+"""
+
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        self.count += 1
+
+
+def _drain(tally: Tally) -> None:
+    tally.bump()
+
+
+def main():
+    tally = Tally()
+    worker = threading.Thread(target=_drain, args=(tally,))
+    worker.start()
+    tally.bump()
+    worker.join()

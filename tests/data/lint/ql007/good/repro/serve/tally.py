@@ -1,0 +1,33 @@
+"""QL007 good fixture: every mutation is under the owning lock.
+
+``_compact`` mutates bare but is only ever called with the lock held,
+which the caller-guard analysis sanctions (the ``_sweep`` idiom).
+"""
+
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+            self._compact()
+
+    def _compact(self):
+        self.count = min(self.count, 1000)
+
+
+def _drain(tally: Tally) -> None:
+    tally.bump()
+
+
+def main():
+    tally = Tally()
+    worker = threading.Thread(target=_drain, args=(tally,))
+    worker.start()
+    tally.bump()
+    worker.join()

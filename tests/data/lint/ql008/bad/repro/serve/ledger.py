@@ -1,0 +1,24 @@
+"""QL008 bad fixture: two locks nested in opposite orders.
+
+``credit`` takes ``lock_a`` then ``lock_b``; ``debit`` takes them the
+other way round -- the classic two-thread deadlock.
+"""
+
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self.lock_a = threading.Lock()
+        self.lock_b = threading.Lock()
+        self.balance = 0
+
+    def credit(self):
+        with self.lock_a:
+            with self.lock_b:
+                self.balance += 1
+
+    def debit(self):
+        with self.lock_b:
+            with self.lock_a:
+                self.balance -= 1

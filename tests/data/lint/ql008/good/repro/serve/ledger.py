@@ -1,0 +1,24 @@
+"""QL008 good fixture: a consistent lock order, including through a
+helper call (the acquisition graph is closed over calls)."""
+
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self.lock_a = threading.Lock()
+        self.lock_b = threading.Lock()
+        self.balance = 0
+
+    def credit(self):
+        with self.lock_a:
+            with self.lock_b:
+                self.balance += 1
+
+    def debit(self):
+        with self.lock_a:
+            self._commit()
+
+    def _commit(self):
+        with self.lock_b:
+            self.balance -= 1

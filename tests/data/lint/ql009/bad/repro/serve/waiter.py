@@ -1,0 +1,27 @@
+"""QL009 bad fixture: unbounded blocking on the main thread.
+
+An untimed ``Event.wait()``, a ``Condition.wait()`` with no predicate
+re-check loop, and a ``socket.accept()`` with no timeout -- each one
+starves signal delivery for the daemon's lifetime.
+"""
+
+import socket
+import threading
+
+
+def _poll(ready: threading.Condition) -> None:
+    with ready:
+        ready.wait()
+
+
+def main():
+    done = threading.Event()
+    done.wait()
+    ready = threading.Condition()
+    _poll(ready)
+    server = socket.create_server(("127.0.0.1", 0))
+    try:
+        conn, _ = server.accept()
+        conn.close()
+    finally:
+        server.close()

@@ -1,0 +1,35 @@
+"""QL009 good fixture: every main-thread block is bounded.
+
+``Event.wait`` polls with a timeout, ``Condition.wait`` re-checks its
+predicate in a loop, and the listening socket has a timeout set.
+"""
+
+import socket
+import threading
+
+_STATE = {"ready": False}
+
+
+def _ready_state():
+    return _STATE["ready"]
+
+
+def _poll(ready: threading.Condition) -> None:
+    with ready:
+        while not _ready_state():
+            ready.wait()
+
+
+def main():
+    done = threading.Event()
+    while not done.wait(0.5):
+        pass
+    ready = threading.Condition()
+    _poll(ready)
+    server = socket.create_server(("127.0.0.1", 0))
+    server.settimeout(1.0)
+    try:
+        conn, _ = server.accept()
+        conn.close()
+    finally:
+        server.close()

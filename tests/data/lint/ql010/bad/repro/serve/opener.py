@@ -1,0 +1,27 @@
+"""QL010 bad fixture: resources opened but not closed on every path.
+
+A socket, a journal file and a pool are each bound to a local name and
+leak if anything between open and the last use raises.
+"""
+
+import socket
+from concurrent.futures import ThreadPoolExecutor
+
+
+def probe(host, port):
+    conn = socket.create_connection((host, port))
+    conn.sendall(b"ping")
+    data = conn.recv(16)
+    return data
+
+
+def journal_line(path, line):
+    fh = open(path, "a")
+    fh.write(line)
+    fh.flush()
+
+
+def fan_out(jobs):
+    pool = ThreadPoolExecutor(max_workers=2)
+    futures = [pool.submit(job) for job in jobs]
+    return [f.result() for f in futures]

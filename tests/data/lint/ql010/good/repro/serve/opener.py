@@ -1,0 +1,35 @@
+"""QL010 good fixture: every resource is with-managed, closed in
+``finally``, or handed off to an owner."""
+
+import socket
+from concurrent.futures import ThreadPoolExecutor
+
+
+def probe(host, port):
+    with socket.create_connection((host, port)) as conn:
+        conn.sendall(b"ping")
+        return conn.recv(16)
+
+
+def probe_legacy(host, port):
+    conn = socket.create_connection((host, port))
+    try:
+        conn.sendall(b"ping")
+        return conn.recv(16)
+    finally:
+        conn.close()
+
+
+def lease(host, port, registry):
+    # Ownership transfer: the registry closes the socket later.
+    sock = socket.create_connection((host, port))
+    registry.adopt(sock)
+
+
+def fan_out(jobs):
+    pool = ThreadPoolExecutor(max_workers=2)
+    try:
+        futures = [pool.submit(job) for job in jobs]
+        return [f.result() for f in futures]
+    finally:
+        pool.shutdown()

@@ -1,0 +1,27 @@
+"""QL011 bad fixture: publish/ack without a dominating fsync.
+
+``publish`` renames a written temp file into place with no fsync at
+all; ``append_record`` only fsyncs on one branch, then acks the client
+on both.
+"""
+
+import os
+
+
+def publish(path, payload):
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w") as fh:
+        fh.write(payload)
+    os.replace(tmp, path)
+
+
+def append_record(path, record, sock):
+    fh = open(path, "a")
+    try:
+        fh.write(record)
+        if len(record) > 4096:
+            fh.flush()
+            os.fsync(fh.fileno())
+    finally:
+        fh.close()
+    sock.sendall(b"ok")

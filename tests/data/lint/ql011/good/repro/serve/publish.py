@@ -1,0 +1,40 @@
+"""QL011 good fixture: flush()+fsync() dominates every publish/ack.
+
+``maybe_persist`` shows the sanctioned conditional-durability policy:
+``return`` is not a sink, so an early return before the fsync is legal
+as long as no publish/ack follows on that path.
+"""
+
+import os
+
+
+def publish(path, payload):
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "w") as fh:
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def append_record(path, record, sock):
+    fh = open(path, "a")
+    try:
+        fh.write(record)
+        fh.flush()
+        os.fsync(fh.fileno())
+    finally:
+        fh.close()
+    sock.sendall(b"ok")
+
+
+def maybe_persist(path, record, durable):
+    fh = open(path, "a")
+    try:
+        fh.write(record)
+        if not durable:
+            return
+        fh.flush()
+        os.fsync(fh.fileno())
+    finally:
+        fh.close()

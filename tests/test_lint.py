@@ -31,7 +31,19 @@ from repro.lint.suppress import Suppressions
 FIXTURES = Path(__file__).parent / "data" / "lint"
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-RULE_IDS = ["QL001", "QL002", "QL003", "QL004", "QL005", "QL006"]
+RULE_IDS = [
+    "QL001",
+    "QL002",
+    "QL003",
+    "QL004",
+    "QL005",
+    "QL006",
+    "QL007",
+    "QL008",
+    "QL009",
+    "QL010",
+    "QL011",
+]
 
 
 def run_fixture(rule: str, flavor: str):
@@ -102,6 +114,80 @@ def test_ql005_is_conservative_about_name_comparisons(tmp_path):
     )
     run = lint_paths([tmp_path], root=tmp_path)
     assert [f for f in run.findings if f.rule == "QL005"] == []
+
+
+def test_ql007_names_class_attr_and_method():
+    run = run_fixture("QL007", "bad")
+    messages = [f.message for f in run.findings if f.rule == "QL007"]
+    assert any("Tally.count" in m and "`bump`" in m for m in messages)
+
+
+def test_ql008_reports_the_cycle_path():
+    run = run_fixture("QL008", "bad")
+    messages = [f.message for f in run.findings if f.rule == "QL008"]
+    assert len(messages) == 1
+    assert "Ledger.lock_a" in messages[0] and "Ledger.lock_b" in messages[0]
+    assert "deadlock" in messages[0]
+
+
+def test_ql009_flags_each_blocking_shape():
+    run = run_fixture("QL009", "bad")
+    messages = " | ".join(f.message for f in run.findings if f.rule == "QL009")
+    assert "Event.wait()" in messages
+    assert "Condition.wait()" in messages
+    assert "socket.accept()" in messages
+
+
+def test_ql009_ignores_worker_only_threads(tmp_path):
+    """The same untimed wait is fine off the main thread."""
+    write_tree(
+        tmp_path,
+        "repro/serve/bg.py",
+        """
+        import threading
+
+        def _loop(done):
+            done.wait()
+
+        def main():
+            done = threading.Event()
+            threading.Thread(target=_loop, args=(done,)).start()
+        """,
+    )
+    run = lint_paths([tmp_path], root=tmp_path)
+    assert [f for f in run.findings if f.rule == "QL009"] == []
+
+
+def test_ql010_reports_each_resource_kind():
+    run = run_fixture("QL010", "bad")
+    messages = " | ".join(f.message for f in run.findings if f.rule == "QL010")
+    assert "socket `conn`" in messages
+    assert "file `fh`" in messages
+    assert "pool `pool`" in messages
+
+
+def test_ql010_is_scoped_to_serve_and_engine(tmp_path):
+    """The same leak outside repro.serve/repro.engine is not flagged."""
+    write_tree(
+        tmp_path,
+        "repro/analysis/leaky.py",
+        """
+        def slurp(path):
+            fh = open(path, "a")
+            fh.write("x")
+        """,
+    )
+    run = lint_paths([tmp_path], root=tmp_path)
+    assert [f for f in run.findings if f.rule == "QL010"] == []
+
+
+def test_ql011_flags_branch_skipped_fsync():
+    run = run_fixture("QL011", "bad")
+    hits = [f for f in run.findings if f.rule == "QL011"]
+    assert len(hits) == 2
+    messages = " | ".join(f.message for f in hits)
+    assert "os.replace" in messages
+    assert "sendall" in messages
 
 
 # -- QL003 sanctioned-env configuration ---------------------------------------------
@@ -246,6 +332,53 @@ def test_planted_violations_fail_with_correct_ids(tmp_path, capsys):
         def verdict(ratio):
             doc = {"kind": "qbss", "ratio": ratio}
             return ratio == 1.0 / 3.0, doc
+        """,
+    )
+    write_tree(
+        tmp_path,
+        "repro/serve/_scratch.py",
+        """
+        import os
+        import socket
+        import threading
+
+
+        class Gauge:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.inner = threading.Lock()
+                self.total = 0
+
+            def bump(self):
+                self.total += 1
+
+            def swap_ab(self):
+                with self._lock:
+                    with self.inner:
+                        pass
+
+            def swap_ba(self):
+                with self.inner:
+                    with self._lock:
+                        pass
+
+
+        def _feed(gauge: Gauge) -> None:
+            gauge.bump()
+
+
+        def main():
+            gauge = Gauge()
+            threading.Thread(target=_feed, args=(gauge,)).start()
+            gauge.bump()
+            done = threading.Event()
+            done.wait()
+            conn = socket.create_connection(("localhost", 1))
+            fh = open("journal", "a")
+            fh.write("x")
+            os.replace("journal", "published")
+            fh.close()
+            conn.recv(1)
         """,
     )
     code = lint_main([str(tmp_path), "--baseline", "none"])
@@ -529,6 +662,117 @@ def test_cli_json_output_to_file(tmp_path):
     assert code == 0
     doc = json.loads(out.read_text())
     assert doc["kind"] == "qbss_lint_report"
+
+
+def test_cli_sarif_output_schema(tmp_path):
+    write_tree(
+        tmp_path,
+        "repro/bounds/v.py",
+        """
+        def verdict(r):
+            return r == 1.0
+        """,
+    )
+    out = tmp_path / "report.sarif"
+    code = lint_main(
+        [str(tmp_path), "--baseline", "none", "--format", "sarif", "--output", str(out)]
+    )
+    assert code == 1
+    doc = json.loads(out.read_text())
+    assert doc["version"] == "2.1.0"
+    assert "sarif-2.1.0" in doc["$schema"]
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "qbss-lint"
+    rule_ids = [r["id"] for r in driver["rules"]]
+    assert rule_ids == RULE_IDS
+    result = next(r for r in run["results"] if r["ruleId"] == "QL005")
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("v.py")
+    assert location["region"]["startLine"] >= 1
+    assert "qbssLintFingerprint/v1" in result["partialFingerprints"]
+    assert "suppressions" not in result
+
+
+def test_cli_sarif_marks_baselined_as_suppressed(tmp_path):
+    write_tree(
+        tmp_path,
+        "repro/bounds/v.py",
+        """
+        def verdict(r):
+            return r == 1.0
+        """,
+    )
+    baseline = tmp_path / "b.json"
+    assert lint_main([str(tmp_path), "--baseline", str(baseline), "--write-baseline"]) == 0
+    out = tmp_path / "report.sarif"
+    code = lint_main(
+        [
+            str(tmp_path),
+            "--baseline",
+            str(baseline),
+            "--format",
+            "sarif",
+            "--output",
+            str(out),
+        ]
+    )
+    assert code == 0
+    doc = json.loads(out.read_text())
+    result = next(
+        r for r in doc["runs"][0]["results"] if r["ruleId"] == "QL005"
+    )
+    assert result["suppressions"] == [{"kind": "external"}]
+
+
+def _git(tmp_path, *args):
+    subprocess.run(
+        ["git", *args],
+        cwd=tmp_path,
+        check=True,
+        capture_output=True,
+        env={
+            "PATH": "/usr/bin:/bin",
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(tmp_path),
+        },
+    )
+
+
+def test_cli_changed_scopes_report_to_touched_files(tmp_path, monkeypatch, capsys):
+    bad = """
+    def verdict(r):
+        return r == 1.0
+    """
+    write_tree(tmp_path, "repro/bounds/old.py", bad)
+    write_tree(tmp_path, "repro/bounds/stale.py", bad)
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+    # One tracked file modified, one brand-new untracked file; stale.py
+    # is untouched and must stay out of the report.
+    write_tree(tmp_path, "repro/bounds/old.py", bad + "\nX = 1\n")
+    write_tree(tmp_path, "repro/bounds/fresh.py", bad)
+    monkeypatch.chdir(tmp_path)
+    code = lint_main(["repro", "--baseline", "none", "--changed", "HEAD"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "old.py" in out
+    assert "fresh.py" in out
+    assert "stale.py" not in out
+
+
+def test_cli_changed_with_bad_ref_is_usage_error(tmp_path, monkeypatch, capsys):
+    write_tree(tmp_path, "repro/bounds/clean.py", "X = 1\n")
+    _git(tmp_path, "init", "-q")
+    monkeypatch.chdir(tmp_path)
+    assert (
+        lint_main(["repro", "--baseline", "none", "--changed", "no-such-ref"])
+        == 2
+    )
 
 
 def test_cli_list_rules(capsys):

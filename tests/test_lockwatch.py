@@ -1,0 +1,225 @@
+"""repro.lint.lockwatch: the runtime lock-order sanitizer, and the
+agreement contract between the observed graph and QL008's static graph.
+
+The two-thread cycle test is fully deterministic: the threads run to
+completion one after the other (the edge *set* is what matters, not the
+interleaving), so the cycle is observed without ever risking an actual
+deadlock.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import RetryPolicy
+from repro.lint import lockwatch
+from repro.lint.concurrency import build_lock_graph
+from repro.lint.context import LintContext, SourceModule
+from repro.lint.engine import collect_files
+from repro.lint.lockwatch import (
+    LockOrderError,
+    LockWatcher,
+    find_cycles,
+    new_condition,
+    new_lock,
+    new_rlock,
+)
+from repro.serve import QbssServer, ServeConfig
+
+from test_lint import REPO_ROOT
+from test_serve import job_lines
+
+
+@pytest.fixture(autouse=True)
+def _isolated_watcher():
+    """Stash any session-level watcher (QBSS_LOCKWATCH=1) so these
+    tests install their own, then restore it."""
+    prior = lockwatch.active_watcher()
+    if prior is not None:
+        lockwatch.uninstall_watcher()
+    yield
+    lockwatch.uninstall_watcher()
+    if prior is not None:
+        lockwatch.install_watcher(prior)
+
+
+# -- find_cycles (shared with QL008) ------------------------------------------------
+
+
+class TestFindCycles:
+    def test_acyclic_graph_has_no_cycles(self):
+        assert find_cycles({("a", "b"), ("b", "c"), ("a", "c")}) == []
+
+    def test_two_node_cycle(self):
+        assert find_cycles({("a", "b"), ("b", "a")}) == [["a", "b"]]
+
+    def test_self_edge_is_a_cycle(self):
+        assert find_cycles({("a", "a"), ("a", "b")}) == [["a"]]
+
+    def test_multiple_components_sorted(self):
+        edges = {("a", "b"), ("b", "a"), ("x", "y"), ("y", "x"), ("b", "x")}
+        assert find_cycles(edges) == [["a", "b"], ["x", "y"]]
+
+    def test_long_chain_is_iterative_not_recursive(self):
+        edges = {(f"n{i}", f"n{i + 1}") for i in range(5000)}
+        assert find_cycles(edges) == []
+
+
+# -- the factory seam ---------------------------------------------------------------
+
+
+class TestSeam:
+    def test_factories_return_plain_primitives_without_watcher(self):
+        lock = new_lock("a")
+        assert not isinstance(lock, lockwatch._WatchedLock)
+        cond = new_condition("b")
+        assert isinstance(cond, threading.Condition)
+
+    def test_factories_return_watched_wrappers_with_watcher(self):
+        with lockwatch.watching(LockWatcher()):
+            assert isinstance(new_lock("a"), lockwatch._WatchedLock)
+            assert isinstance(new_rlock("b"), lockwatch._WatchedLock)
+            assert isinstance(new_condition("c"), lockwatch._WatchedCondition)
+
+    def test_double_install_rejected(self):
+        with lockwatch.watching(LockWatcher()):
+            with pytest.raises(RuntimeError):
+                lockwatch.install_watcher(LockWatcher())
+
+    def test_watcher_uninstalled_after_block(self):
+        with lockwatch.watching(LockWatcher()) as watcher:
+            assert lockwatch.active_watcher() is watcher
+        assert lockwatch.active_watcher() is None
+
+
+# -- edge recording and cycle detection ---------------------------------------------
+
+
+class TestWatcher:
+    def test_nested_acquisition_records_edge(self):
+        watcher = LockWatcher()
+        with lockwatch.watching(watcher):
+            a = new_lock("A")
+            b = new_lock("B")
+        with a:
+            with b:
+                pass
+        assert watcher.edges() == {("A", "B")}
+        assert watcher.edge_counts() == {("A", "B"): 1}
+        watcher.check()  # acyclic: no error
+
+    def test_two_thread_cycle_detected_deterministically(self):
+        watcher = LockWatcher()
+        with lockwatch.watching(watcher):
+            a = new_lock("A")
+            b = new_lock("B")
+
+        def ab():
+            with a:
+                with b:
+                    pass
+
+        def ba():
+            with b:
+                with a:
+                    pass
+
+        # Serialized: each thread runs to completion before the next
+        # starts, so the cycle is observed without any real contention.
+        for target in (ab, ba):
+            t = threading.Thread(target=target)
+            t.start()
+            t.join()
+        assert watcher.cycles() == [["A", "B"]]
+        with pytest.raises(LockOrderError, match="A -> B -> A"):
+            watcher.check()
+
+    def test_rlock_reacquisition_is_not_a_self_edge(self):
+        watcher = LockWatcher()
+        with lockwatch.watching(watcher):
+            r = new_rlock("R")
+        with r:
+            with r:
+                pass
+        assert watcher.edges() == set()
+        watcher.check()
+
+    def test_hold_time_violation_with_injected_clock(self):
+        ticks = iter([0.0, 0.5])
+        watcher = LockWatcher(max_hold_ms=100.0, clock=lambda: next(ticks))
+        with lockwatch.watching(watcher):
+            lock = new_lock("slow")
+        with lock:
+            pass
+        (violation,) = watcher.hold_violations()
+        assert violation[0] == "slow"
+        assert violation[1] == pytest.approx(500.0)
+        with pytest.raises(LockOrderError, match="held 500.0 ms"):
+            watcher.check()
+
+    def test_conditions_are_exempt_from_hold_time(self):
+        ticks = iter([0.0, 9.0])
+        watcher = LockWatcher(max_hold_ms=1.0, clock=lambda: next(ticks))
+        with lockwatch.watching(watcher):
+            cond = new_condition("C")
+        with cond:
+            cond.notify_all()
+        assert watcher.hold_violations() == []
+        watcher.check()
+
+    def test_watched_condition_wait_notify_round_trip(self):
+        watcher = LockWatcher()
+        with lockwatch.watching(watcher):
+            cond = new_condition("C")
+        state = {"ready": False}
+
+        def producer():
+            with cond:
+                state["ready"] = True
+                cond.notify_all()
+
+        t = threading.Thread(target=producer)
+        with cond:
+            t.start()
+            assert cond.wait_for(lambda: state["ready"], timeout=5.0)
+        t.join()
+        watcher.check()
+
+
+# -- static/dynamic agreement (acceptance criterion) --------------------------------
+
+
+class TestAgreement:
+    def test_observed_graph_is_subset_of_static_graph(self, tmp_path):
+        """Drive the real daemon under a watcher: every observed edge
+        must be predicted by QL008's static graph, and both are acyclic."""
+        watcher = LockWatcher()
+        with lockwatch.watching(watcher):
+            server = QbssServer(
+                ServeConfig(
+                    shard_window=250.0,
+                    seed=3,
+                    cache_dir=tmp_path / "cache",
+                    jobs=1,
+                    retry=RetryPolicy(
+                        max_attempts=2, backoff_base=0.001, backoff_cap=0.01
+                    ),
+                )
+            )
+            code, _ = server.serve_once(job_lines(12))
+            server.drain()
+        assert code == 0
+        watcher.check()
+
+        src = REPO_ROOT / "src" / "repro"
+        modules = [
+            SourceModule.parse(path, root=REPO_ROOT)
+            for path in collect_files([src])
+        ]
+        static = build_lock_graph(LintContext(modules))
+        assert static.cycles() == []
+        unpredicted = watcher.edges() - static.edge_set()
+        assert not unpredicted, (
+            "runtime lock edges the static graph missed: "
+            f"{sorted(unpredicted)}"
+        )
